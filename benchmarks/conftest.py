@@ -1,0 +1,19 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), asserts the *shape* invariants the paper
+reports, and prints the regenerated artifact (run with ``-s`` to see
+them).  pytest-benchmark measures the wall-clock of regenerating the
+artifact; all simulated-time quantities are deterministic.
+"""
+
+import pytest
+
+from repro.gpu import reset_default_system
+
+
+@pytest.fixture(autouse=True)
+def fresh_gpu_state():
+    reset_default_system()
+    yield
+    reset_default_system()

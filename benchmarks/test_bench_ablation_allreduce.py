@@ -1,0 +1,83 @@
+"""Ablation — gradient aggregation design (Algorithm 1 line 12).
+
+Quantifies the two communication design choices DESIGN.md calls out:
+
+* **ring vs naive (gather+broadcast) all-reduce**: the ring overlaps
+  per-link transfers and moves 2·n·(k-1)/k per device, while the naive
+  scheme serializes 2·n·(k-1) through the root's link;
+* **bucketed vs per-tensor all-reduce**: fusing a model's gradients into
+  one bucket pays the ring's latency once instead of once per tensor.
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.distributed.collectives import (
+    bucketed_allreduce,
+    naive_allreduce,
+    ring_allreduce,
+)
+from repro.gpu import make_system
+
+NBYTES = 1 << 22          # 4 MiB gradient buffer
+K = 4
+
+
+def _time(system, fn) -> float:
+    t0 = system.clock.now_ns
+    fn()
+    system.synchronize()
+    return (system.clock.now_ns - t0) / 1e6
+
+
+def run_ablation():
+    n = NBYTES // 4
+    results = {}
+
+    # ring vs naive on one big buffer
+    for name, fn in (("ring", ring_allreduce), ("naive", naive_allreduce)):
+        system = make_system(K, "T4")
+        devices = [system.device(i) for i in range(K)]
+        arrays = [np.ones(n, dtype=np.float32) for _ in range(K)]
+        results[name] = _time(system, lambda: fn(arrays, devices))
+
+    # per-tensor vs bucketed over a 12-tensor "model"
+    shapes = [(256, 256)] * 8 + [(256,)] * 4
+    system = make_system(K, "T4")
+    devices = [system.device(i) for i in range(K)]
+    per_rank = [[np.ones(s, dtype=np.float32) for s in shapes]
+                for _ in range(K)]
+    results["per_tensor"] = _time(
+        system,
+        lambda: [ring_allreduce([rank[i] for rank in per_rank], devices)
+                 for i in range(len(shapes))])
+    system = make_system(K, "T4")
+    devices = [system.device(i) for i in range(K)]
+    results["bucketed"] = _time(
+        system, lambda: bucketed_allreduce(per_rank, devices))
+
+    # correctness spot-check: both aggregation paths agree
+    system = make_system(2, "T4")
+    devs = [system.device(i) for i in range(2)]
+    a = [np.arange(8.0), np.arange(8.0) * 2]
+    ring_out = ring_allreduce([x.copy() for x in a], devs)
+    naive_out = naive_allreduce([x.copy() for x in a], devs)
+    agree = np.allclose(ring_out[0], naive_out[0])
+    return results, agree
+
+
+def test_bench_ablation_allreduce(benchmark):
+    results, agree = benchmark.pedantic(run_ablation, rounds=1,
+                                        iterations=1)
+    print("\n" + series_table(
+        ["variant", "time ms"],
+        [[k, f"{v:.3f}"] for k, v in results.items()],
+        title=f"All-reduce ablation (k={K}, 4 MiB)"))
+
+    assert agree
+    # the ring beats gather+broadcast
+    assert results["ring"] < results["naive"]
+    # bucketing beats per-tensor by amortizing ring latency
+    assert results["bucketed"] < results["per_tensor"]
+    # and the bucketed win is substantial for many small tensors
+    assert results["per_tensor"] / results["bucketed"] > 1.5

@@ -1,0 +1,54 @@
+"""Ablation — which parts of the multilevel partitioner earn their keep.
+
+Four variants on the same community graph: full METIS pipeline,
+no-refinement, plain heavy-edge matching (no common-neighbor term), and
+the random baseline.  The expected ladder: full < no-refine /
+plain-HEM < random on edge cut.
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.graph import random_partition, stochastic_block_model
+from repro.graph.partition import edge_cut, metis_partition, partition_report
+
+
+def run_ablation():
+    # The noisy regime where coarsening quality matters: plain heavy-edge
+    # matching (unit weights = random matching) mixes communities during
+    # coarsening, and refinement alone cannot recover the cut.
+    g, labels = stochastic_block_model([800] * 3, p_in=10 / 800,
+                                       p_out=2 / 800, seed=20)
+    variants = {
+        "full": metis_partition(g, 3, seed=0),
+        "no_refine": metis_partition(g, 3, seed=0, refine=False),
+        "plain_hem": metis_partition(g, 3, seed=0,
+                                     common_neighbor_matching=False),
+        "random": random_partition(g, 3, seed=0),
+    }
+    cuts = {k: edge_cut(g, v) for k, v in variants.items()}
+    reports = {k: partition_report(g, v) for k, v in variants.items()}
+    community_cut = edge_cut(g, labels)
+    return cuts, reports, community_cut
+
+
+def test_bench_ablation_partitioner(benchmark):
+    cuts, reports, community_cut = benchmark.pedantic(run_ablation,
+                                                      rounds=1,
+                                                      iterations=1)
+    print("\n" + series_table(
+        ["variant", "edge cut", "vs community-optimal", "balance"],
+        [[k, f"{c:.0f}", f"{c / community_cut:.2f}x",
+          f"{reports[k].balance:.3f}"] for k, c in cuts.items()],
+        title=f"Partitioner ablation (community cut = {community_cut:.0f})"))
+
+    # the full pipeline is the best variant
+    assert cuts["full"] <= min(cuts["no_refine"], cuts["plain_hem"])
+    # every METIS variant beats random
+    for k in ("full", "no_refine", "plain_hem"):
+        assert cuts[k] < cuts["random"]
+    # both ablated components contribute measurably (≥10% cut increase)
+    assert cuts["no_refine"] > 1.1 * cuts["full"]
+    assert cuts["plain_hem"] > 1.1 * cuts["full"]
+    # the full pipeline lands near the planted-community optimum
+    assert cuts["full"] < 1.35 * community_cut

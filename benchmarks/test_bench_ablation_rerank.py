@@ -1,0 +1,75 @@
+"""Ablation — one-stage vs two-stage retrieval.
+
+The stage-2 cross-encoder improves precision@3 on a noisy first stage
+(collision-heavy hashing embedder), at a per-candidate cost far above
+the stage-1 dot product — the trade that justifies the candidate-set
+design.
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.gpu import make_system
+from repro.rag import (
+    CrossEncoderReranker,
+    FlatIndex,
+    HashingEmbedder,
+    make_corpus,
+)
+
+
+def precision_at(ids: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    top = ids[:k]
+    top = top[top >= 0]
+    if len(top) == 0:
+        return 0.0
+    return float(np.isin(top, relevant).mean())
+
+
+def run_ablation():
+    system = make_system(1, "T4")
+    corpus = make_corpus(n_docs=240, n_queries=40, seed=2,
+                         query_length=4, topic_fraction=0.45)
+    emb = HashingEmbedder(dim=32)  # deliberately weak stage 1
+    index = FlatIndex(32, device="cuda:0")
+    index.add(emb.embed(corpus.documents))
+    # a realistically-sized cross-encoder: heavy per pair by design
+    reranker = CrossEncoderReranker(corpus.documents, device="cuda:0",
+                                    d_model=384, n_layers=4)
+
+    one_stage, two_stage = [], []
+    t0 = system.clock.now_ns
+    candidates = []
+    for query in corpus.queries:
+        candidates.append(index.search(emb.embed([query]), k=12).ids[0])
+    system.synchronize()
+    stage1_ms = (system.clock.now_ns - t0) / 1e6
+
+    t0 = system.clock.now_ns
+    for qi, query in enumerate(corpus.queries):
+        rel = corpus.relevant[qi]
+        one_stage.append(precision_at(candidates[qi], rel, 3))
+        rr = reranker.rerank(query, candidates[qi], top_k=3)
+        two_stage.append(precision_at(rr.ids, rel, 3))
+    system.synchronize()
+    stage2_ms = (system.clock.now_ns - t0) / 1e6
+
+    return (float(np.mean(one_stage)), float(np.mean(two_stage)),
+            stage1_ms, stage2_ms)
+
+
+def test_bench_ablation_rerank(benchmark):
+    p1, p2, stage1_ms, stage2_ms = benchmark.pedantic(run_ablation,
+                                                      rounds=1,
+                                                      iterations=1)
+    print("\n" + series_table(
+        ["pipeline", "precision@3", "sim GPU ms"],
+        [["stage 1 only (hashing + flat)", f"{p1:.3f}",
+          f"{stage1_ms:.3f}"],
+         ["+ cross-encoder rerank", f"{p2:.3f}", f"{stage2_ms:.3f}"]],
+        title="Two-stage retrieval ablation (40 queries)"))
+
+    # reranking buys precision...
+    assert p2 > p1 + 0.05
+    # ...and costs real extra compute
+    assert stage2_ms > stage1_ms

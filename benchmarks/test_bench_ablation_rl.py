@@ -1,0 +1,81 @@
+"""Ablation — value-based vs policy-based agents (Week 11's contrast).
+
+DQN and REINFORCE on the same GridWorld, same device model: both must
+solve the task; the bench records sample efficiency (episodes) and
+simulated GPU time side by side, plus DQN's target-network ablation
+(without it, training is visibly less stable).
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.gpu import make_system
+from repro.rl import DQNAgent, EpsilonSchedule, GridWorld, ReinforceAgent
+
+EPISODES = 150
+
+
+def run_ablation():
+    results = {}
+
+    system = make_system(1, "T4")
+    env = GridWorld(size=3, max_steps=20)
+    dqn = DQNAgent(env, hidden=32, batch_size=32, lr=2e-3, gamma=0.95,
+                   epsilon=EpsilonSchedule(1.0, 0.02, 1500),
+                   target_sync_every=50, seed=0)
+    t0 = system.clock.now_ns
+    hist = dqn.train(episodes=EPISODES, warmup=64)
+    results["dqn"] = {
+        "greedy": dqn.evaluate(3),
+        "late_mean": float(np.mean(hist.episode_rewards[-20:])),
+        "gpu_ms": (system.clock.now_ns - t0) / 1e6,
+    }
+
+    system = make_system(1, "T4")
+    env = GridWorld(size=3, max_steps=20)
+    pg = ReinforceAgent(env, hidden=32, lr=0.01, gamma=0.95, seed=0)
+    t0 = system.clock.now_ns
+    rewards = pg.train(episodes=EPISODES)
+    results["reinforce"] = {
+        "greedy": pg.evaluate(3),
+        "late_mean": float(np.mean(rewards[-20:])),
+        "gpu_ms": (system.clock.now_ns - t0) / 1e6,
+    }
+
+    # DQN without target network (sync every step = no frozen target)
+    make_system(1, "T4")
+    env = GridWorld(size=3, max_steps=20)
+    no_target = DQNAgent(env, hidden=32, batch_size=32, lr=2e-3,
+                         gamma=0.95,
+                         epsilon=EpsilonSchedule(1.0, 0.02, 1500),
+                         target_sync_every=1, seed=0)
+    hist_nt = no_target.train(episodes=EPISODES, warmup=64)
+    results["dqn_no_target"] = {
+        "greedy": no_target.evaluate(3),
+        "late_mean": float(np.mean(hist_nt.episode_rewards[-20:])),
+        "loss_var": float(np.var(hist_nt.losses[-200:])),
+    }
+    results["dqn"]["loss_var"] = float(np.var(hist.losses[-200:]))
+    return results
+
+
+def test_bench_ablation_rl(benchmark):
+    r = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print("\n" + series_table(
+        ["agent", "greedy return", "late mean", "sim GPU ms"],
+        [["DQN", f"{r['dqn']['greedy']:.2f}",
+          f"{r['dqn']['late_mean']:.2f}", f"{r['dqn']['gpu_ms']:.1f}"],
+         ["REINFORCE", f"{r['reinforce']['greedy']:.2f}",
+          f"{r['reinforce']['late_mean']:.2f}",
+          f"{r['reinforce']['gpu_ms']:.1f}"],
+         ["DQN (no target net)", f"{r['dqn_no_target']['greedy']:.2f}",
+          f"{r['dqn_no_target']['late_mean']:.2f}", "-"]],
+        title="RL ablation on GridWorld(3x3)"))
+
+    optimal = 1.0 - 0.01 * 3
+    # both families solve the task
+    assert r["dqn"]["greedy"] > optimal - 0.15
+    assert r["reinforce"]["greedy"] > optimal - 0.15
+    # both improve over training
+    assert r["dqn"]["late_mean"] > 0.5
+    assert r["reinforce"]["late_mean"] > 0.5

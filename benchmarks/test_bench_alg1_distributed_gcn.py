@@ -1,0 +1,86 @@
+"""E-ALG1 — Algorithm 1: distributed GCN training vs the sequential
+baseline (§III-B).
+
+Published claims under test:
+
+* "simply splitting the graph and distributing the training yielded
+  minimal performance improvement" — the k=2/k=4 speedups must stay
+  below 1.5× (at lab scale they are typically ≤ 1×: the all-reduce and
+  per-epoch orchestration eat the per-GPU savings);
+* METIS-partitioned training preserves accuracy where random
+  partitioning loses it (the partition-quality → accuracy link the
+  course has students analyze);
+* the paper's "enhanced prediction accuracy after splitting" vs the
+  sequential baseline reproduces only **weakly** under controlled
+  conditions: we assert METIS-distributed accuracy within 5 points of
+  sequential (parity), and strictly above random-partition accuracy.
+  EXPERIMENTS.md records this as a partial reproduction.
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.gcn import train_distributed, train_sequential
+from repro.gpu import make_system
+from repro.graph import noisy_citation
+
+EPOCHS = 40
+N_NODES = 900
+SEEDS = (0, 1)
+
+
+def run_experiment():
+    rows = []
+    for seed in SEEDS:
+        ds = noisy_citation(n=N_NODES, seed=seed)
+        seq = train_sequential(ds, epochs=EPOCHS, seed=0,
+                               system=make_system(1, "T4"))
+        metis = train_distributed(ds, k=4, epochs=EPOCHS, seed=0,
+                                  partitioner="metis",
+                                  system=make_system(4, "T4"))
+        rand = train_distributed(ds, k=4, epochs=EPOCHS, seed=0,
+                                 partitioner="random",
+                                 system=make_system(4, "T4"))
+        rows.append({"seed": seed, "seq": seq, "metis": metis,
+                     "rand": rand})
+    return rows
+
+
+def test_bench_alg1_distributed_gcn(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = []
+    for r in rows:
+        table.append([
+            r["seed"],
+            f"{r['seq'].test_accuracy:.3f}",
+            f"{r['metis'].test_accuracy:.3f}",
+            f"{r['rand'].test_accuracy:.3f}",
+            f"{r['seq'].elapsed_ms / r['metis'].elapsed_ms:.2f}x",
+            f"{r['metis'].partition.cut_fraction:.2f}",
+            f"{r['rand'].partition.cut_fraction:.2f}",
+        ])
+    print("\n" + series_table(
+        ["seed", "seq acc", "metis acc", "rand acc", "metis speedup",
+         "metis cut", "rand cut"],
+        table, title="Algorithm 1: sequential vs distributed GCN (k=4)"))
+
+    seq_acc = np.mean([r["seq"].test_accuracy for r in rows])
+    metis_acc = np.mean([r["metis"].test_accuracy for r in rows])
+    rand_acc = np.mean([r["rand"].test_accuracy for r in rows])
+
+    # all three train far above the 1/3 chance level
+    assert min(seq_acc, metis_acc, rand_acc) > 0.55
+    # partition quality shows in accuracy: METIS > random
+    assert metis_acc > rand_acc
+    # METIS-distributed stays within 5 points of sequential (parity)
+    assert metis_acc > seq_acc - 0.05
+    # "minimal performance improvement": no real speedup at lab scale
+    for r in rows:
+        speedup = r["seq"].elapsed_ms / r["metis"].elapsed_ms
+        assert speedup < 1.5
+    # losses converge in every mode
+    for r in rows:
+        for mode in ("seq", "metis", "rand"):
+            res = r[mode]
+            assert res.losses[-1] < res.losses[0]

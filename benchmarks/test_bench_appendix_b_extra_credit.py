@@ -1,0 +1,37 @@
+"""E-APPB — Appendix B: extra-credit outcomes.
+
+Published: "Build Your Own Lab" — zero Fall attempts; three Spring
+submissions, none fully meeting the SLOs.  "Academic Paper Review"
+(Spring only) — ~60% completion, strong summaries, vague extensions.
+"""
+
+from repro.analytics import series_table
+from repro.datasets import extra_credit_outcomes
+
+
+def build_appendix_b():
+    rows = []
+    for term in ("Fall 2024", "Spring 2025"):
+        for r in extra_credit_outcomes(term):
+            rows.append([r.term, r.opportunity,
+                         "yes" if r.offered else "no",
+                         r.submissions, r.met_outcomes,
+                         f"{r.completion_rate:.0%}"
+                         if r.completion_rate is not None else "-"])
+    return rows
+
+
+def test_bench_appendix_b_extra_credit(benchmark):
+    rows = benchmark(build_appendix_b)
+    print("\n" + series_table(
+        ["Term", "Opportunity", "Offered", "Submissions", "Met SLOs",
+         "Completion"], rows, title="Appendix B: Extra Credit"))
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    f24_byol = by_key[("Fall 2024", "Build Your Own Lab")]
+    s25_byol = by_key[("Spring 2025", "Build Your Own Lab")]
+    s25_review = by_key[("Spring 2025", "Academic Paper Review")]
+    assert f24_byol[3] == 0                       # no Fall attempts
+    assert s25_byol[3] == 3 and s25_byol[4] == 0  # 3 attempts, 0 met SLOs
+    assert s25_review[5] == "60%"                 # ~60% completion
+    assert by_key[("Fall 2024", "Academic Paper Review")][2] == "no"

@@ -1,0 +1,74 @@
+"""E-COST — §III-A1: budget caps, the reaper, and cost discipline.
+
+Under test: per-hour accounting matches the catalog exactly; the $100
+hard cap triggers as specified; the idle reaper prevents the forgotten-
+instance failure mode; AWS Educate hours stay invisible to the cost
+explorer (Appendix A's caveat).
+"""
+
+import pytest
+
+from repro.analytics import series_table
+from repro.cloud import CloudSession
+from repro.cloud.billing import UsageRecord
+from repro.errors import BudgetExceededError
+
+
+def run_cost_scenarios():
+    out = {}
+
+    # 1. exact hourly accounting
+    cloud = CloudSession()
+    cloud.set_term("Fall 2024")
+    alice = cloud.register_student("alice")
+    cloud.ec2.run_instance("g5.xlarge", owner="alice", credentials=alice)
+    cloud.advance_hours(7.5)
+    out["alice_spend"] = cloud.billing.explorer.spend_by_owner()["alice"]
+
+    # 2. the $100 cap
+    cloud2 = CloudSession()
+    cloud2.register_student("bob")
+    cloud2.ec2.run_instance("p3.8xlarge", owner="bob")  # $12.24/h
+    try:
+        cloud2.advance_hours(9.0)  # $110 > cap
+        out["cap_enforced"] = False
+    except BudgetExceededError:
+        out["cap_enforced"] = True
+
+    # 3. reaper prevents weekend burn
+    cloud3 = CloudSession()
+    cloud3.set_term("Fall 2024")
+    cloud3.register_student("carol")
+    cloud3.ec2.run_instance("g4dn.xlarge", owner="carol")
+    cloud3.advance_hours(3.0)
+    cloud3.reaper.sweep()
+    spend_before = cloud3.billing.explorer.total_spend()
+    cloud3.advance_hours(60.0)  # the forgotten weekend
+    out["weekend_burn"] = cloud3.billing.explorer.total_spend() - spend_before
+
+    # 4. Educate invisibility
+    cloud4 = CloudSession()
+    cloud4.billing.accrue(UsageRecord(
+        owner="dave", instance_id="i-edu", instance_type="g4dn.xlarge",
+        hours=20.0, rate_usd=0.526, service="educate", term="Fall 2024"))
+    out["educate_spend"] = cloud4.billing.explorer.total_spend()
+    out["educate_hours_visible"] = (
+        "dave" in cloud4.billing.explorer.hours_by_owner())
+    return out
+
+
+def test_bench_cost_accounting(benchmark):
+    out = benchmark.pedantic(run_cost_scenarios, rounds=1, iterations=1)
+    print("\n" + series_table(
+        ["Scenario", "Result"],
+        [["7.5 h on g5.xlarge ($1.006/h)", f"${out['alice_spend']:.3f}"],
+         ["$100 cap enforced", out["cap_enforced"]],
+         ["post-reap weekend burn", f"${out['weekend_burn']:.2f}"],
+         ["Educate spend visible", f"${out['educate_spend']:.2f}"]],
+        title="Cost-discipline scenarios (§III-A1)"))
+
+    assert out["alice_spend"] == pytest.approx(7.5 * 1.006)
+    assert out["cap_enforced"]
+    assert out["weekend_burn"] == 0.0
+    assert out["educate_spend"] == 0.0
+    assert not out["educate_hours_visible"]

@@ -1,0 +1,35 @@
+"""E-F10/11 — Figs 10-11: satisfaction counts and percentage split.
+
+Published verbatim: Fall 2024 (n=8): 87.5% Very High + 12.5% Very Low;
+Spring 2025 (n=10): 60% Very High + 40% High, no negatives.
+"""
+
+from repro.analytics import bar_chart, stacked_bar_chart
+from repro.analytics.likert import LIKERT_SATISFACTION
+from repro.datasets import satisfaction_counts
+
+
+def build_fig10_11():
+    return {term: satisfaction_counts(term)
+            for term in ("Fall 2024", "Spring 2025")}
+
+
+def test_bench_fig10_11_satisfaction(benchmark):
+    counts = benchmark(build_fig10_11)
+    print("\n" + bar_chart(
+        {f"{t}: {opt}": c
+         for t, lc in counts.items()
+         for opt, c in zip(lc.scale, lc.counts) if c},
+        title="Fig 10: Satisfaction counts"))
+    print(stacked_bar_chart(
+        {t: lc.percentages() for t, lc in counts.items()},
+        list(LIKERT_SATISFACTION), title="Fig 11: Percentage split"))
+
+    f24, s25 = counts["Fall 2024"], counts["Spring 2025"]
+    assert f24.total == 8 and s25.total == 10
+    assert f24.total + s25.total == 18                     # Appendix D n
+    assert f24.percentages()[-1] == 87.5                   # Very High
+    assert f24.percentages()[0] == 12.5                    # the lone Very Low
+    assert s25.percentages()[-1] == 60.0
+    assert s25.percentages()[-2] == 40.0
+    assert s25.bottom_box() == 0.0                         # no negatives

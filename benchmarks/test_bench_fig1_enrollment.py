@@ -1,0 +1,30 @@
+"""E-F1 — Fig 1: enrollment per term (graduate vs undergraduate).
+
+Published anchors: combined Fall 2024 + Spring 2025 ≈ 39 students;
+Spring 2025 had 15 graduates; Appendix C's groups imply Fall 2024 had 5.
+"""
+
+from repro.analytics import stacked_bar_chart
+from repro.datasets import ENROLLMENT
+from repro.datasets.enrollment import combined_fall_spring_total
+
+
+def build_fig1():
+    rows = {e.term + (" (est.)" if e.estimated else ""):
+            [e.graduate, e.undergraduate] for e in ENROLLMENT}
+    chart = stacked_bar_chart(rows, ["Graduate", "Undergraduate"],
+                              title="Fig 1: Enrollment per Term")
+    return rows, chart
+
+
+def test_bench_fig1_enrollment(benchmark):
+    rows, chart = benchmark(build_fig1)
+    print("\n" + chart)
+    by_term = {e.term: e for e in ENROLLMENT}
+    assert combined_fall_spring_total() == 39
+    assert by_term["Spring 2025"].graduate == 15
+    assert by_term["Fall 2024"].graduate == 5
+    # graduate + undergraduate totals match Appendix C's 20/20
+    grads = sum(e.graduate for e in ENROLLMENT if not e.estimated)
+    ugs = sum(e.undergraduate for e in ENROLLMENT if not e.estimated)
+    assert grads == 20 and ugs == 19  # one UG withdrew pre-analysis

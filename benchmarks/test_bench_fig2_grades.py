@@ -1,0 +1,49 @@
+"""E-F2 — Fig 2: grade distribution for both offerings.
+
+Published shape: Fall 2024's modal grade is B ("the majority of students
+achieved a 'B'"); Spring 2025 has >60% A; exam averages sit at 75-80% in
+both terms.
+"""
+
+import numpy as np
+
+from repro.analytics import stacked_bar_chart
+from repro.datasets import grade_distribution, sample_cohort
+
+LETTERS = ("A", "B", "C", "D", "F")
+
+
+def build_fig2():
+    rows = {}
+    for term in ("Fall 2024", "Spring 2025"):
+        counts = grade_distribution(term)
+        rows[term] = [counts.get(letter, 0) for letter in LETTERS]
+    chart = stacked_bar_chart(rows, list(LETTERS),
+                              title="Fig 2: Grade Distribution")
+    cohorts = {term: sample_cohort(term, seed=0)
+               for term in ("Fall 2024", "Spring 2025")}
+    return rows, chart, cohorts
+
+
+def test_bench_fig2_grades(benchmark):
+    rows, chart, cohorts = benchmark(build_fig2)
+    print("\n" + chart)
+
+    f24 = dict(zip(LETTERS, rows["Fall 2024"]))
+    s25 = dict(zip(LETTERS, rows["Spring 2025"]))
+    assert max(f24, key=f24.get) == "B"                  # Fall mode = B
+    assert s25["A"] / sum(s25.values()) > 0.6            # Spring >60% A
+    assert sum(f24.values()) == 19 and sum(s25.values()) == 20
+
+    # exam averages "remained remarkably consistent ... 75-80%"
+    for term, cohort in cohorts.items():
+        exam_avg = np.mean([s.exam_average for s in cohort])
+        assert 75.0 <= exam_avg <= 80.0
+
+    # graduates cluster at the top of each cohort (Appendix C direction)
+    s25_cohort = cohorts["Spring 2025"]
+    grad_mean = np.mean([s.final_score for s in s25_cohort
+                         if s.role == "graduate"])
+    ug_mean = np.mean([s.final_score for s in s25_cohort
+                       if s.role == "undergraduate"])
+    assert grad_mean > ug_mean

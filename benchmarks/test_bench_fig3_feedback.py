@@ -1,0 +1,49 @@
+"""E-F3 — Fig 3: course-content / lab feedback by cohort.
+
+Published reading of the figure: both cohorts skew strongly positive;
+"Seldom/Never/N/A ... a small minority"; the two lab items have lower
+"Always" shares than the content items (the improvement area §IV-B
+commits to address in Fall 2025).
+"""
+
+import numpy as np
+
+from repro.analytics import stacked_bar_chart
+from repro.analytics.likert import LIKERT_FREQUENCY
+from repro.datasets import course_content_feedback
+from repro.datasets.surveys import FIG3_QUESTIONS
+
+
+def build_fig3():
+    rows = {}
+    for q in FIG3_QUESTIONS:
+        for cohort in ("undergraduate", "graduate"):
+            lc = course_content_feedback(q, cohort)
+            rows[f"{q[:38]}.. [{cohort[:4]}]"] = lc.counts
+    chart = stacked_bar_chart(rows, list(LIKERT_FREQUENCY), width=30,
+                              title="Fig 3: Student Feedback")
+    return chart
+
+
+def test_bench_fig3_feedback(benchmark):
+    chart = benchmark(build_fig3)
+    print("\n" + chart)
+
+    for cohort in ("undergraduate", "graduate"):
+        always = {q: course_content_feedback(q, cohort).percentages()[-1]
+                  for q in FIG3_QUESTIONS}
+        # content items (first two) vs lab items (last two)
+        content = np.mean([always[q] for q in FIG3_QUESTIONS[:2]])
+        labs = np.mean([always[q] for q in FIG3_QUESTIONS[4:]])
+        assert labs < content
+        # negative feedback is a small minority on every question
+        for q in FIG3_QUESTIONS:
+            lc = course_content_feedback(q, cohort)
+            assert lc.bottom_box() <= 0.2
+            assert lc.top_box() >= 0.5
+
+    # graduates report larger gains on the skill-development item
+    skill_q = FIG3_QUESTIONS[3]
+    grad = course_content_feedback(skill_q, "graduate").top_box()
+    ug = course_content_feedback(skill_q, "undergraduate").top_box()
+    assert grad >= ug

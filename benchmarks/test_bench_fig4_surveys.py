@@ -1,0 +1,70 @@
+"""E-F4a-d — Fig 4: the anonymous mid/post-course surveys.
+
+Counts the paper states numerically are asserted verbatim; qualitative
+claims ("confidence improved", "the dip was less pronounced in Spring",
+"ten students expressing disagreement") are asserted as orderings.
+"""
+
+from repro.analytics import stacked_bar_chart
+from repro.analytics.likert import LIKERT_AGREEMENT
+from repro.datasets import survey_fig4
+
+
+def build_fig4():
+    bars = {
+        "4a F24 final": survey_fig4("4a", "Fall 2024"),
+        "4a S25 final": survey_fig4("4a", "Spring 2025"),
+        "4b F24 mid": survey_fig4("4b", "Fall 2024", "mid"),
+        "4b F24 final": survey_fig4("4b", "Fall 2024", "final"),
+        "4b S25 mid": survey_fig4("4b", "Spring 2025", "mid"),
+        "4b S25 final": survey_fig4("4b", "Spring 2025", "final"),
+        "4c F24 mid": survey_fig4("4c", "Fall 2024", "mid"),
+        "4c F24 final": survey_fig4("4c", "Fall 2024", "final"),
+        "4c S25 mid": survey_fig4("4c", "Spring 2025", "mid"),
+        "4c S25 final": survey_fig4("4c", "Spring 2025", "final"),
+        "4d F24 final": survey_fig4("4d", "Fall 2024"),
+        "4d S25 final": survey_fig4("4d", "Spring 2025"),
+    }
+    chart = stacked_bar_chart({k: s.counts.counts for k, s in bars.items()},
+                              list(LIKERT_AGREEMENT), width=30,
+                              title="Fig 4: Survey Results")
+    return bars, chart
+
+
+def test_bench_fig4_surveys(benchmark):
+    bars, chart = benchmark(build_fig4)
+    print("\n" + chart)
+
+    # 4a: Fall counts stated verbatim in the text
+    assert bars["4a F24 final"].counts.counts == [2, 2, 1, 2, 2]
+    assert not bars["4a F24 final"].inferred
+    # 4a: Spring — "Neutral the largest single response group"
+    s25 = bars["4a S25 final"].counts
+    assert s25.counts[2] == max(s25.counts) == 9
+
+    # 4b: Spring midterm stated (≈12 disagree / 8 neutral / 11 agree)
+    mid = bars["4b S25 mid"].counts
+    assert mid.counts[0] + mid.counts[1] == 12
+    assert mid.counts[2] == 8
+    assert mid.counts[3] + mid.counts[4] == 11
+    # 4b: confidence improves mid -> final in both terms
+    for term in ("F24", "S25"):
+        assert (bars[f"4b {term} final"].counts.top_box()
+                > bars[f"4b {term} mid"].counts.top_box())
+
+    # 4c: confidence *declines* mid -> final; Spring's dip is smaller
+    drops = {}
+    for term in ("F24", "S25"):
+        drop = (bars[f"4c {term} mid"].counts.top_box()
+                - bars[f"4c {term} final"].counts.top_box())
+        assert drop > 0
+        drops[term] = drop
+    assert drops["S25"] < drops["F24"]
+
+    # 4d: Spring has exactly ten in disagreement, majority neutral+
+    d = bars["4d S25 final"].counts
+    assert d.counts[0] + d.counts[1] == 10
+    assert sum(d.counts[2:]) > 10 // 2
+    # 4d: Fall's small group is largely positive
+    f = bars["4d F24 final"].counts
+    assert f.top_box() > 0.6

@@ -1,0 +1,57 @@
+"""E-F5 — Fig 5 / Appendix A: average AWS GPU usage and cost per term.
+
+This is the flagship *simulation-driven* evaluation bench: instead of
+reading numbers from a table, a full semester is played through the
+simulated AWS account per term (instances drawn from the §III-A1 mixes,
+weekly reaper sweeps), and the resulting per-student hours and dollars
+must land in the published bands — 40-45 h and $50-60, with Spring above
+Fall thanks to its two extra labs.
+"""
+
+from repro.analytics import bar_chart
+from repro.cloud.pricing import (
+    MULTI_GPU_COURSE_MIX,
+    SINGLE_GPU_COURSE_MIX,
+    course_mix_rate,
+)
+from repro.course import SemesterSimulator
+from repro.datasets.aws_usage import (
+    COST_BAND_USD,
+    MULTI_GPU_RATE_USD,
+    SINGLE_GPU_RATE_USD,
+)
+
+
+def run_semesters():
+    return {term: SemesterSimulator(term, seed=0).run()
+            for term in ("Fall 2024", "Spring 2025")}
+
+
+def test_bench_fig5_aws_cost(benchmark):
+    reports = benchmark.pedantic(run_semesters, rounds=1, iterations=1)
+
+    print("\n" + bar_chart(
+        {f"{t} hours/student": r.avg_hours_per_student
+         for t, r in reports.items()},
+        title="Fig 5a: Avg GPU hours per student", unit=" h"))
+    print(bar_chart(
+        {f"{t} cost/student": r.avg_cost_per_student_usd
+         for t, r in reports.items()},
+        title="Fig 5b: Avg AWS cost per student", unit=" $"))
+
+    f24, s25 = reports["Fall 2024"], reports["Spring 2025"]
+    # hours band (Spring runs slightly over with its two extra labs)
+    assert 38.0 <= f24.avg_hours_per_student <= 45.0
+    assert 43.0 <= s25.avg_hours_per_student <= 50.0
+    assert s25.avg_hours_per_student > f24.avg_hours_per_student
+    # cost band $50-60 (±$2 tolerance)
+    for rep in reports.values():
+        assert COST_BAND_USD[0] - 2 <= rep.avg_cost_per_student_usd \
+            <= COST_BAND_USD[1] + 2
+    # rate calibration: the instance mixes average to the published $/h
+    assert abs(course_mix_rate(SINGLE_GPU_COURSE_MIX)
+               - SINGLE_GPU_RATE_USD) < 0.002
+    assert abs(course_mix_rate(MULTI_GPU_COURSE_MIX)
+               - MULTI_GPU_RATE_USD) < 0.002
+    # "no one found it necessary to request additional funds"
+    assert all(r.budget_extensions_requested == 0 for r in reports.values())

@@ -1,0 +1,30 @@
+"""E-F9 — Fig 9: box/strip plot of both groups.
+
+Published reading: "a higher median and a more compact score
+distribution among graduate students compared to undergraduates".
+"""
+
+from repro.analytics import boxplot_stats, series_table
+from repro.datasets import graduate_scores, undergraduate_scores
+
+
+def build_fig9():
+    return {"grad": boxplot_stats(graduate_scores()),
+            "ug": boxplot_stats(undergraduate_scores())}
+
+
+def test_bench_fig9_boxplot(benchmark):
+    boxes = benchmark(build_fig9)
+    rows = []
+    for group, b in boxes.items():
+        rows.append([group, f"{b.whisker_low:.1f}", f"{b.q1:.1f}",
+                     f"{b.median:.1f}", f"{b.q3:.1f}",
+                     f"{b.whisker_high:.1f}", len(b.outliers)])
+    print("\n" + series_table(
+        ["Group", "Lo whisk", "Q1", "Median", "Q3", "Hi whisk",
+         "Outliers"], rows, title="Fig 9: Boxplot statistics"))
+
+    g, u = boxes["grad"], boxes["ug"]
+    assert g.median > u.median + 8      # higher graduate median
+    assert g.iqr < u.iqr                # more compact graduate box
+    assert g.outliers                   # low-end stragglers show as fliers

@@ -1,0 +1,75 @@
+"""E-LAB6 — Lab 6: RAPIDS-cuDF-style pipelines, GPU vs CPU, 1 vs 2 GPUs.
+
+Under test: the filter→groupby pipeline scales on the device; spreading
+partitions over a 2-GPU Dask cluster overlaps their timelines; the CPU
+costing of the same work is slower at scale.
+"""
+
+import numpy as np
+
+import repro.dataframe as cudf
+from repro.analytics import series_table
+from repro.distributed import Client, LocalCudaCluster
+from repro.gpu import make_system
+
+
+def _pipeline_ns(system, n_rows: int) -> int:
+    rng = np.random.default_rng(0)
+    df = cudf.from_host({"key": rng.integers(0, 64, n_rows),
+                         "value": rng.standard_normal(n_rows)})
+    t0 = system.clock.now_ns
+    df[df["value"] > 0].groupby("key").agg({"value": "mean"})
+    system.synchronize()
+    return system.clock.now_ns - t0
+
+
+def run_lab6():
+    rows = []
+    for n in (10_000, 100_000, 1_000_000):
+        system = make_system(1, "T4")
+        gpu_ns = _pipeline_ns(system, n)
+        host_span = system.host.compute(
+            flops=10.0 * n, nbytes=4.0 * n * 16, name="cpu pipeline")
+        rows.append({"n": n, "gpu_ns": gpu_ns,
+                     "cpu_ns": host_span.duration_ns})
+
+    # 2-GPU Dask spread
+    system2 = make_system(2, "T4")
+    cluster = LocalCudaCluster(system2)
+    client = Client(cluster)
+
+    def part_pipeline(seed: int) -> int:
+        rng = np.random.default_rng(seed)
+        df = cudf.from_host({"key": rng.integers(0, 64, 100_000),
+                             "value": rng.standard_normal(100_000)})
+        out = df.groupby("key").agg({"value": "sum"})
+        return len(out)
+
+    t0 = system2.clock.now_ns
+    futures = client.map(part_pipeline, range(4))
+    client.gather(futures)
+    two_gpu_ns = system2.clock.now_ns - t0
+    busy = [system2.device(i).busy_ns() for i in range(2)]
+    return rows, two_gpu_ns, busy
+
+
+def test_bench_lab6_dataframe(benchmark):
+    rows, two_gpu_ns, busy = benchmark.pedantic(run_lab6, rounds=1,
+                                                iterations=1)
+    print("\n" + series_table(
+        ["rows", "GPU ms", "CPU-model ms"],
+        [[r["n"], f"{r['gpu_ns']/1e6:.3f}", f"{r['cpu_ns']/1e6:.3f}"]
+         for r in rows], title="Lab 6: pipeline scaling"))
+    print(f"2-GPU spread: elapsed {two_gpu_ns/1e6:.3f} ms, "
+          f"busy per device {[round(b/1e6,3) for b in busy]} ms")
+
+    # GPU beats the CPU model at the largest size
+    assert rows[-1]["gpu_ns"] < rows[-1]["cpu_ns"]
+    # device time grows sublinearly vs the 100x row growth (overheads
+    # amortize)
+    growth = rows[-1]["gpu_ns"] / rows[0]["gpu_ns"]
+    assert growth < 100
+    # both devices in the cluster did comparable work
+    assert min(busy) > 0.3 * max(busy)
+    # spreading overlapped the timelines: elapsed < sum of busy
+    assert two_gpu_ns < sum(busy)

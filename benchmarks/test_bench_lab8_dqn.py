@@ -1,0 +1,67 @@
+"""E-DQN — Lab 8: DQN training and GPU batch-size scaling.
+
+Under test: the agent reaches near-optimal GridWorld return; and the
+per-step device time grows sublinearly with batch size (bigger batches
+amortize launch overhead — the "use the GPU properly" lesson of the RL
+week).
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.gpu import make_system
+from repro.rl import DQNAgent, EpsilonSchedule, GridWorld
+
+
+def run_lab8():
+    # learning curve
+    make_system(1, "T4")
+    env = GridWorld(size=3, max_steps=20)
+    agent = DQNAgent(env, hidden=24, batch_size=32, lr=2e-3, gamma=0.95,
+                     epsilon=EpsilonSchedule(1.0, 0.05, 800),
+                     target_sync_every=50, seed=0)
+    hist = agent.train(episodes=80, warmup=64)
+    greedy = agent.evaluate(3)
+
+    # batch-size scaling of a single train step
+    scaling = []
+    for batch in (16, 64, 256):
+        system = make_system(1, "T4")
+        env_b = GridWorld(size=3, max_steps=20)
+        ag = DQNAgent(env_b, hidden=64, batch_size=batch, seed=0,
+                      buffer_capacity=4096)
+        # fill the buffer
+        state = env_b.reset()
+        from repro.rl import Transition
+        rng = np.random.default_rng(0)
+        for _ in range(1024):
+            a = int(rng.integers(4))
+            nxt, r, done, _ = env_b.step(a)
+            ag.buffer.push(Transition(state, a, r, nxt, done))
+            state = env_b.reset() if done else nxt
+        t0 = system.clock.now_ns
+        for _ in range(10):
+            ag.train_step()
+        system.synchronize()
+        scaling.append({"batch": batch,
+                        "step_us": (system.clock.now_ns - t0) / 10 / 1e3})
+    return hist, greedy, scaling
+
+
+def test_bench_lab8_dqn(benchmark):
+    hist, greedy, scaling = benchmark.pedantic(run_lab8, rounds=1,
+                                               iterations=1)
+    print("\n" + series_table(
+        ["batch", "train-step us"],
+        [[s["batch"], f"{s['step_us']:.1f}"] for s in scaling],
+        title="Lab 8: DQN train-step cost vs batch size"))
+    print(f"greedy return: {greedy:.2f} "
+          f"(optimal {1.0 - 0.01 * 3:.2f})")
+
+    # the agent learns
+    assert greedy > 0.8
+    assert np.mean(hist.episode_rewards[-10:]) > np.mean(
+        hist.episode_rewards[:10])
+    # 16x batch growth costs far less than 16x step time
+    assert scaling[-1]["step_us"] < 8 * scaling[0]["step_us"]
+    assert scaling[-1]["step_us"] >= scaling[0]["step_us"] * 0.8

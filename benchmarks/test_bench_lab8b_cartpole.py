@@ -1,0 +1,52 @@
+"""E-DQN-b — Lab 8's literal environment: DQN on CartPole.
+
+GridWorld (the other Lab 8 bench) verifies optimality cheaply; this bench
+runs the control task the lab actually assigns.  CartPole with a
+from-scratch autograd DQN is noisy, so the assertions are on robust
+learning signals: the reward trend, a clearly-above-random greedy policy,
+and the gradient-clipping stability knob staying finite.
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.gpu import make_system
+from repro.profiling import SummaryWriter
+from repro.rl import CartPole, DQNAgent, EpsilonSchedule
+
+EPISODES = 110
+RANDOM_POLICY_MEAN = 22.0  # measured: uniform-random CartPole survival
+
+
+def run_lab8b():
+    make_system(1, "T4")
+    env = CartPole(seed=0, max_steps=200)
+    agent = DQNAgent(env, hidden=64, batch_size=64, lr=1e-3, gamma=0.99,
+                     epsilon=EpsilonSchedule(1.0, 0.05, 3000),
+                     target_sync_every=200, buffer_capacity=10_000, seed=0)
+    hist = agent.train(episodes=EPISODES, warmup=500)
+    writer = SummaryWriter()
+    for step, r in enumerate(hist.episode_rewards):
+        writer.add_scalar("cartpole/episode_reward", r, step)
+    return hist, agent.evaluate(3), writer
+
+
+def test_bench_lab8b_cartpole(benchmark):
+    hist, greedy, writer = benchmark.pedantic(run_lab8b, rounds=1,
+                                              iterations=1)
+    early = float(np.mean(hist.episode_rewards[:20]))
+    late = float(np.mean(hist.episode_rewards[-20:]))
+    print("\n" + writer.sparkline("cartpole/episode_reward", width=50))
+    print(series_table(
+        ["phase", "mean episode reward"],
+        [["episodes 1-20", f"{early:.1f}"],
+         [f"episodes {EPISODES-19}-{EPISODES}", f"{late:.1f}"],
+         ["greedy evaluation", f"{greedy:.1f}"],
+         ["random policy (reference)", f"{RANDOM_POLICY_MEAN:.1f}"]],
+        title="Lab 8b: DQN on CartPole"))
+
+    # robust learning signals
+    assert late > 2.0 * early
+    assert late > 3.0 * RANDOM_POLICY_MEAN
+    assert greedy > 2.0 * RANDOM_POLICY_MEAN
+    assert all(np.isfinite(hist.losses))

@@ -1,0 +1,113 @@
+"""E-RAG — Weeks 13-14: GPU-tuned retrieval/generation latency and
+throughput.
+
+Published claims under test (Labs 12-14's optimization arc):
+
+* GPU flat retrieval beats CPU at corpus scale and the gap widens with
+  corpus size (the reason the course moved retrieval onto the GPU);
+* at tiny corpora the CPU is competitive (kernel-launch overhead — the
+  crossover students must find);
+* IVF probing trades a little recall for a large scan reduction;
+* serving: batching raises throughput and tail latency together.
+"""
+
+import numpy as np
+
+from repro.analytics import series_table
+from repro.gpu import make_system
+from repro.rag import (
+    FlatIndex,
+    IVFFlatIndex,
+    RagPipeline,
+    TfidfEmbedder,
+    make_corpus,
+)
+from repro.rag.serving import sweep_batch_sizes
+
+DIM = 128
+BATCH = 32
+
+
+def _search_time_ns(system, index, queries, k=5) -> int:
+    t0 = system.clock.now_ns
+    index.search(queries, k)
+    system.synchronize()
+    return system.clock.now_ns - t0
+
+
+def run_study():
+    rng = np.random.default_rng(0)
+    system = make_system(1, "T4")
+    sizes = (500, 5_000, 50_000)
+    rows = []
+    for n in sizes:
+        vecs = rng.standard_normal((n, DIM)).astype(np.float32)
+        vecs /= np.linalg.norm(vecs, axis=1, keepdims=True)
+        q = vecs[:BATCH]
+        cpu = FlatIndex(DIM, device="cpu")
+        cpu.add(vecs)
+        gpu = FlatIndex(DIM, device="cuda:0")
+        gpu.add(vecs)
+        rows.append({
+            "n": n,
+            "cpu_ns": _search_time_ns(system, cpu, q),
+            "gpu_ns": _search_time_ns(system, gpu, q),
+        })
+
+    # serving sweep on the GPU pipeline
+    corpus = make_corpus(n_docs=400, n_queries=48, seed=0)
+    pipe = RagPipeline(corpus, device="cuda:0", seed=0)
+    serving = sweep_batch_sizes(pipe, list(corpus.queries) * 2,
+                                batch_sizes=(1, 4, 16), max_new_tokens=8)
+
+    # recall: flat vs IVF at two probe settings
+    emb = TfidfEmbedder(max_features=256).fit(corpus.documents)
+    flat_pipe = RagPipeline(corpus, embedder=emb,
+                            index=FlatIndex(emb.dim), device="cpu")
+    ivf_lo = RagPipeline(corpus, embedder=emb,
+                         index=IVFFlatIndex(emb.dim, nlist=16, nprobe=1),
+                         device="cpu")
+    ivf_hi = RagPipeline(corpus, embedder=emb,
+                         index=IVFFlatIndex(emb.dim, nlist=16, nprobe=8),
+                         device="cpu")
+    recalls = {"flat": flat_pipe.evaluate_recall(5),
+               "ivf_nprobe1": ivf_lo.evaluate_recall(5),
+               "ivf_nprobe8": ivf_hi.evaluate_recall(5)}
+    return rows, serving, recalls
+
+
+def test_bench_rag_latency(benchmark):
+    rows, serving, recalls = benchmark.pedantic(run_study, rounds=1,
+                                                iterations=1)
+    table = [[r["n"], f"{r['cpu_ns']/1e6:.3f}", f"{r['gpu_ns']/1e6:.3f}",
+              f"{r['cpu_ns']/max(r['gpu_ns'],1):.1f}x"] for r in rows]
+    print("\n" + series_table(
+        ["corpus size", "CPU ms", "GPU ms", "GPU speedup"], table,
+        title="Flat retrieval latency (batch of 32 queries)"))
+    print(series_table(
+        ["batch", "qps", "p50 ms", "p95 ms"],
+        [[s.batch_size, f"{s.throughput_qps:.0f}",
+          f"{s.latency_p50_ms:.2f}", f"{s.latency_p95_ms:.2f}"]
+         for s in serving],
+        title="Serving sweep (GPU pipeline)"))
+    print(series_table(
+        ["index", "recall@5"],
+        [[k, f"{v:.3f}"] for k, v in recalls.items()],
+        title="Retriever recall"))
+
+    # GPU wins at scale and the advantage grows with corpus size
+    speedups = [r["cpu_ns"] / r["gpu_ns"] for r in rows]
+    assert speedups[-1] > 3.0
+    assert speedups[-1] > speedups[0]
+    # crossover: at the smallest corpus the GPU win is modest (< 3x)
+    assert speedups[0] < 3.0
+
+    # serving: throughput rises with batch size, so does tail latency
+    qps = [s.throughput_qps for s in serving]
+    p95 = [s.latency_p95_ms for s in serving]
+    assert qps[-1] >= qps[0]
+    assert p95[-1] > p95[0]
+
+    # IVF: more probes, more recall; flat is the ceiling
+    assert recalls["ivf_nprobe8"] >= recalls["ivf_nprobe1"]
+    assert recalls["flat"] >= recalls["ivf_nprobe8"] - 1e-9

@@ -1,0 +1,30 @@
+"""E-T1 — Table I: course modules, SLOs, and deliverables.
+
+Regenerates the 16-row module table and validates the schedule
+invariants the paper states (12-14 labs, 4 assignments, midterm week 7,
+final week 16, assessment week without an SLO).
+"""
+
+from repro.analytics import series_table
+from repro.course import MODULES, all_assignments, all_labs, validate_curriculum
+
+
+def build_table1() -> str:
+    validate_curriculum()
+    rows = []
+    for m in MODULES:
+        deliverables = "; ".join(d.title for d in m.deliverables) or "-"
+        rows.append([f"Week {m.week}", m.topic,
+                     "/".join(m.slo_verbs) or "(assessment)",
+                     deliverables[:60]])
+    return series_table(["Week", "Topic", "SLO verbs", "Deliverables"],
+                        rows, title="Table I: Course Modules")
+
+
+def test_bench_table1_modules(benchmark):
+    table = benchmark(build_table1)
+    print("\n" + table)
+    assert table.count("Week") >= 16
+    assert len(all_labs()) + 1 in (12, 13, 14)
+    assert len(all_assignments()) == 4
+    assert "RAG" in table and "CUDA" in table

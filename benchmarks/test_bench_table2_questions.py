@@ -1,0 +1,27 @@
+"""E-T2 — Table II: the standardized evaluation questions.
+
+Checks the six-question form and its five-point frequency scale
+(plus N/A), then renders the table.
+"""
+
+from repro.analytics import series_table
+from repro.analytics.likert import LIKERT_FREQUENCY
+from repro.course import EVALUATION_QUESTIONS
+from repro.course.evaluation import EVALUATION_NA, EVALUATION_SCALE
+
+
+def build_table2() -> str:
+    rows = [[i + 1, q] for i, q in enumerate(EVALUATION_QUESTIONS)]
+    return series_table(["#", "Evaluation Question"], rows,
+                        title="Table II: End-of-Semester Assessment "
+                              "Questions")
+
+
+def test_bench_table2_questions(benchmark):
+    table = benchmark(build_table2)
+    print("\n" + table)
+    assert len(EVALUATION_QUESTIONS) == 6
+    assert EVALUATION_SCALE == LIKERT_FREQUENCY
+    assert EVALUATION_NA == "N/A"
+    assert "presentation skills" in table
+    assert "laboratory or clinical" in table

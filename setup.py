@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment this repo targets ships setuptools but not the
+``wheel`` package, so PEP-517 editable installs (``pip install -e .``) fail
+at the ``bdist_wheel`` step.  This shim lets ``python setup.py develop``
+provide the same editable install; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

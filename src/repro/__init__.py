@@ -1,0 +1,82 @@
+"""repro — a laptop-scale reproduction of the SC 2025 instructional paper
+*"GPU Programming for AI Workflow Development on AWS SageMaker"*.
+
+The paper teaches GPU programming for AI workflows on AWS; its artifacts are
+a cloud control plane (EC2 / SageMaker / IAM / VPC / billing), a Python GPU
+stack (CuPy, Numba, RAPIDS cuDF, Dask, PyTorch, FAISS), the distributed GCN
+training recipe of Algorithm 1, RAG serving labs, and a complete statistical
+evaluation of two course offerings.  This package rebuilds every one of
+those layers as deterministic, dependency-light simulations:
+
+``repro.gpu``
+    A virtual GPU device model with an analytic (roofline) timing model,
+    streams, events, PCIe transfers, and utilization accounting.
+``repro.xp``
+    A CuPy-like ndarray library executing on the virtual GPU.
+``repro.jit``
+    A Numba-like ``@cuda_jit`` kernel simulator plus CPU JIT facades.
+``repro.profiling``
+    Nsight-Systems-like timeline profiling, PyTorch-profiler-like tables,
+    NVTX ranges, and a roofline bottleneck analyzer.
+``repro.cloud``
+    A simulated AWS control plane: EC2, IAM, VPC, SageMaker, billing with
+    real on-demand GPU prices, budget caps, and an idle-resource reaper.
+``repro.distributed``
+    A Dask-like scheduler with GPU-pinned workers, futures, and ring
+    all-reduce collectives.
+``repro.dataframe``
+    A minimal cuDF-like columnar DataFrame resident on the virtual GPU.
+``repro.nn``
+    A reverse-mode autograd engine with layers, losses, optimizers, and
+    DistributedDataParallel.
+``repro.graph``
+    CSR graphs, synthetic PubMed/Reddit-style generators, and a multilevel
+    METIS-like partitioner with a random baseline.
+``repro.gcn``
+    GCN models plus the paper's Algorithm 1 distributed trainer.
+``repro.rl``
+    GridWorld/CartPole environments and a GPU-trained DQN agent.
+``repro.rag``
+    FAISS-like vector indexes (CPU/GPU), embedders, a tiny generator LM,
+    and a batched real-time RAG serving harness.
+``repro.course``
+    The 16-week module registry (Table I), grading policy, labs, and a
+    semester simulator.
+``repro.datasets``
+    Seeded student cohorts and survey banks calibrated to the paper's
+    published statistics.
+``repro.analytics``
+    Shapiro-Wilk / Levene / Mann-Whitney implementations, descriptive
+    statistics, Likert tooling, and ASCII figure renderers.
+
+See ``DESIGN.md`` for the full system inventory and the per-experiment
+index mapping every table and figure of the paper to a benchmark.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    DeviceError,
+    OutOfMemoryError,
+    CrossDeviceError,
+    CloudError,
+    AccessDeniedError,
+    BudgetExceededError,
+    SchedulerError,
+    GraphError,
+    ShapeError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DeviceError",
+    "OutOfMemoryError",
+    "CrossDeviceError",
+    "CloudError",
+    "AccessDeniedError",
+    "BudgetExceededError",
+    "SchedulerError",
+    "GraphError",
+    "ShapeError",
+]

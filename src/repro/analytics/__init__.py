@@ -1,0 +1,72 @@
+"""``repro.analytics`` — the paper's statistical evaluation toolbox.
+
+Appendix C runs a complete non-parametric comparison of graduate vs
+undergraduate performance: Shapiro-Wilk normality tests, Levene's variance
+test, descriptive statistics, and a Mann-Whitney U test (Tables III-IV,
+Figs 6-9).  Appendix D and §IV add Likert-scale survey aggregation
+(Figs 3, 4, 10, 11).
+
+All test statistics are implemented **from scratch** (Royston's AS R94
+for Shapiro-Wilk, the Brown-Forsythe/Levene ANOVA-on-deviations, the
+normal-approximated U with tie correction) and cross-checked against
+scipy in the test-suite; the ASCII renderers regenerate the figures as
+terminal charts for the benchmark harness.
+"""
+
+from repro.analytics.stats import (
+    shapiro_wilk,
+    levene,
+    mann_whitney_u,
+    describe,
+    Descriptives,
+    TestResult,
+    rank_biserial,
+    cohens_d,
+    chi_square_independence,
+    bootstrap_ci,
+)
+from repro.analytics.plots import (
+    histogram_data,
+    qq_plot_data,
+    boxplot_stats,
+    BoxplotStats,
+)
+from repro.analytics.likert import (
+    LIKERT_AGREEMENT,
+    LIKERT_FREQUENCY,
+    LIKERT_SATISFACTION,
+    LikertCounts,
+    likert_from_responses,
+)
+from repro.analytics.ascii_charts import (
+    bar_chart,
+    stacked_bar_chart,
+    histogram_chart,
+    series_table,
+)
+
+__all__ = [
+    "shapiro_wilk",
+    "levene",
+    "mann_whitney_u",
+    "describe",
+    "Descriptives",
+    "TestResult",
+    "rank_biserial",
+    "cohens_d",
+    "chi_square_independence",
+    "bootstrap_ci",
+    "histogram_data",
+    "qq_plot_data",
+    "boxplot_stats",
+    "BoxplotStats",
+    "LIKERT_AGREEMENT",
+    "LIKERT_FREQUENCY",
+    "LIKERT_SATISFACTION",
+    "LikertCounts",
+    "likert_from_responses",
+    "bar_chart",
+    "stacked_bar_chart",
+    "histogram_chart",
+    "series_table",
+]

@@ -1,0 +1,89 @@
+"""Terminal chart renderers for the benchmark harness.
+
+Every figure of the paper regenerates as a deterministic ASCII chart so
+that ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+visuals without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+FULL = "█"
+HALF = "▌"
+
+
+def bar_chart(data: Mapping[str, float], width: int = 40,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart (Figs 1, 5, 10)."""
+    if not data:
+        raise ReproError("no data to chart")
+    max_v = max(data.values()) or 1.0
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for key, value in data.items():
+        n = int(round(width * value / max_v))
+        lines.append(f"{key:<{label_w}} | {FULL * n}{HALF if n == 0 and value > 0 else ''} "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(rows: Mapping[str, Sequence[float]],
+                      segment_labels: Sequence[str],
+                      width: int = 50, title: str = "") -> str:
+    """100%-stacked horizontal bars (Figs 3, 4, 11).
+
+    ``rows`` maps a row label to per-segment values; each bar is
+    normalized to ``width`` characters, with one distinct fill glyph per
+    segment and a legend line.
+    """
+    glyphs = "█▓▒░·"
+    if len(segment_labels) > len(glyphs):
+        raise ReproError(f"at most {len(glyphs)} segments supported")
+    label_w = max(len(k) for k in rows)
+    lines = [title] if title else []
+    legend = "  ".join(f"{g}={lab}" for g, lab in zip(glyphs, segment_labels))
+    lines.append(legend)
+    for key, values in rows.items():
+        total = sum(values) or 1.0
+        bar = ""
+        for g, v in zip(glyphs, values):
+            bar += g * int(round(width * v / total))
+        lines.append(f"{key:<{label_w}} | {bar}")
+    return "\n".join(lines)
+
+
+def histogram_chart(x: np.ndarray, bins: int = 10, width: int = 40,
+                    title: str = "") -> str:
+    """Vertical-label histogram (Figs 6)."""
+    counts, edges = np.histogram(np.asarray(x, dtype=float), bins=bins)
+    max_c = counts.max() or 1
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        n = int(round(width * c / max_c))
+        lines.append(f"[{lo:7.2f},{hi:7.2f}) | {FULL * n} {c}")
+    return "\n".join(lines)
+
+
+def series_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """A plain fixed-width table (Tables I-IV)."""
+    if not rows:
+        raise ReproError("no rows")
+    cols = len(headers)
+    if any(len(r) != cols for r in rows):
+        raise ReproError("ragged rows")
+    str_rows = [[str(c) for c in r] for r in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows))
+              for i in range(cols)]
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Likert-scale survey tooling (Figs 3, 4, 10, 11).
+
+The paper uses three five-point scales: agreement (the anonymous
+surveys), frequency (the university's standard evaluation form, Table
+II), and satisfaction (Appendix D).  :class:`LikertCounts` holds counts
+per option and provides the percentage/top-box views the figures chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+LIKERT_AGREEMENT = ("Strongly Disagree", "Disagree", "Neutral", "Agree",
+                    "Strongly Agree")
+LIKERT_FREQUENCY = ("Never", "Seldom", "Sometimes", "Often", "Always")
+LIKERT_SATISFACTION = ("Very Low", "Low", "Neutral", "High", "Very High")
+
+
+@dataclass
+class LikertCounts:
+    """Counts per option on one 5-point scale."""
+
+    scale: tuple[str, ...]
+    counts: list[int]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.scale) != 5:
+            raise ReproError("Likert scales here are 5-point")
+        if len(self.counts) != 5:
+            raise ReproError(f"need 5 counts, got {len(self.counts)}")
+        if any(c < 0 for c in self.counts):
+            raise ReproError("counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def percentages(self) -> list[float]:
+        t = self.total or 1
+        return [100.0 * c / t for c in self.counts]
+
+    def count_of(self, option: str) -> int:
+        try:
+            return self.counts[self.scale.index(option)]
+        except ValueError:
+            raise ReproError(
+                f"option {option!r} not on scale {self.scale}") from None
+
+    def top_box(self, k: int = 2) -> float:
+        """Fraction answering in the top-k options (e.g. Agree+Strongly
+        Agree) — the summary §IV quotes repeatedly."""
+        t = self.total or 1
+        return sum(self.counts[-k:]) / t
+
+    def bottom_box(self, k: int = 2) -> float:
+        t = self.total or 1
+        return sum(self.counts[:k]) / t
+
+    def mean_score(self) -> float:
+        """Mean on the 1-5 coding."""
+        t = self.total
+        if t == 0:
+            raise ReproError("no responses")
+        return sum((i + 1) * c for i, c in enumerate(self.counts)) / t
+
+    def shifted(self, delta: dict[str, int]) -> "LikertCounts":
+        """A copy with per-option count adjustments (scenario modeling)."""
+        counts = list(self.counts)
+        for option, d in delta.items():
+            counts[self.scale.index(option)] += d
+        return LikertCounts(scale=self.scale, counts=counts,
+                            label=self.label)
+
+
+def likert_from_responses(responses: Iterable[int],
+                          scale: Sequence[str] = LIKERT_AGREEMENT,
+                          label: str = "") -> LikertCounts:
+    """Aggregate raw 1-5 coded responses into counts."""
+    counts = [0] * 5
+    for r in responses:
+        if not 1 <= r <= 5:
+            raise ReproError(f"response {r} outside the 1-5 coding")
+        counts[r - 1] += 1
+    return LikertCounts(scale=tuple(scale), counts=counts, label=label)

@@ -1,0 +1,82 @@
+"""``repro.cloud`` — a simulated AWS control plane.
+
+§III-A of the paper builds the course on AWS: per-student IAM roles, GPU
+EC2 instances in us-east-1, SageMaker notebooks, VPC networking for
+multi-GPU clusters, budget caps with automated idle-resource termination,
+and AWS Educate free credits.  This package reproduces that control plane
+as an offline simulation with the *published* price points, so the cost
+figures of §III-A1 and Appendix A (Fig 5) regenerate exactly:
+
+* single-GPU course mix ≈ **$1.262/h**, multi-GPU mix ≈ **$2.314/h**;
+* 40-45 h/student/semester → **$50-60/student**;
+* a $100/student hard cap that no student ever hit.
+
+Entry point::
+
+    from repro.cloud import CloudSession
+    cloud = CloudSession(region="us-east-1")
+    alice = cloud.register_student("alice")
+    inst = cloud.ec2.run_instance("g4dn.xlarge", owner=alice)
+    gpus = inst.gpu_system()        # a repro.gpu.GpuSystem matching the part
+    ...
+    cloud.advance_hours(2.0)        # billing accrues
+    cloud.ec2.terminate(inst.instance_id, principal=alice)
+"""
+
+from repro.cloud.pricing import (
+    InstanceType,
+    INSTANCE_CATALOG,
+    get_instance_type,
+    SINGLE_GPU_COURSE_MIX,
+    MULTI_GPU_COURSE_MIX,
+    course_mix_rate,
+)
+from repro.cloud.iam import IamService, Role, Statement, Credentials
+from repro.cloud.vpc import VpcService, Vpc, Subnet, SecurityGroup
+from repro.cloud.billing import BillingService, UsageRecord, CostExplorer
+from repro.cloud.ec2 import Ec2Service, Ec2Instance, InstanceState
+from repro.cloud.sagemaker import SageMakerService, NotebookInstance
+from repro.cloud.reaper import IdleReaper
+from repro.cloud.bootstrap import BootstrapScript, render_bootstrap
+from repro.cloud.session import CloudSession
+from repro.cloud.spot import SpotService, SpotRequest, spot_price
+from repro.cloud.cloudwatch import Alarm, AlarmState, CloudWatch
+from repro.cloud.s3 import S3Service, Bucket, S3Object
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_CATALOG",
+    "get_instance_type",
+    "SINGLE_GPU_COURSE_MIX",
+    "MULTI_GPU_COURSE_MIX",
+    "course_mix_rate",
+    "IamService",
+    "Role",
+    "Statement",
+    "Credentials",
+    "VpcService",
+    "Vpc",
+    "Subnet",
+    "SecurityGroup",
+    "BillingService",
+    "UsageRecord",
+    "CostExplorer",
+    "Ec2Service",
+    "Ec2Instance",
+    "InstanceState",
+    "SageMakerService",
+    "NotebookInstance",
+    "IdleReaper",
+    "BootstrapScript",
+    "render_bootstrap",
+    "CloudSession",
+    "SpotService",
+    "SpotRequest",
+    "spot_price",
+    "Alarm",
+    "AlarmState",
+    "CloudWatch",
+    "S3Service",
+    "Bucket",
+    "S3Object",
+]

@@ -1,0 +1,147 @@
+"""Billing, budget caps, and the cost explorer.
+
+§III-A1: "each student's usage was capped for all assessments" with a
+semester allocation of roughly $50-60 and a $100/student hard ceiling that
+"remarkably, no one found it necessary to request".  The billing service
+enforces the cap at accrual time and the cost explorer answers the
+questions Appendix A's Fig 5 charts (hours and dollars per student per
+semester).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceededError, CloudError
+
+DEFAULT_BUDGET_CAP_USD = 100.0   # the per-student hard cap (§III-A1)
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """One accrual: `owner` used `instance_type` for `hours` at `rate`."""
+
+    owner: str
+    instance_id: str
+    instance_type: str
+    hours: float          # instance-hours; for "s3" records this is GB
+    rate_usd: float
+    service: str          # "ec2" | "sagemaker" | "s3" | "educate"
+    term: str = ""        # e.g. "Fall 2024" — set by the course simulator
+
+    @property
+    def cost_usd(self) -> float:
+        # AWS Educate hours are free of charge (§III-A1).
+        return 0.0 if self.service == "educate" else self.hours * self.rate_usd
+
+
+@dataclass
+class Budget:
+    owner: str
+    cap_usd: float = DEFAULT_BUDGET_CAP_USD
+    spent_usd: float = 0.0
+    extension_requests: int = 0
+
+    @property
+    def remaining_usd(self) -> float:
+        return self.cap_usd - self.spent_usd
+
+
+class BillingService:
+    """Accrues usage and enforces per-student caps."""
+
+    def __init__(self, default_cap_usd: float = DEFAULT_BUDGET_CAP_USD) -> None:
+        self.default_cap_usd = default_cap_usd
+        self.budgets: dict[str, Budget] = {}
+        self.records: list[UsageRecord] = []
+
+    def budget_for(self, owner: str) -> Budget:
+        if owner not in self.budgets:
+            self.budgets[owner] = Budget(owner=owner, cap_usd=self.default_cap_usd)
+        return self.budgets[owner]
+
+    def request_extension(self, owner: str, extra_usd: float) -> Budget:
+        """The "$100 cap, extensions on request" policy.  (The paper notes
+        zero students used it; the course simulator asserts that.)"""
+        if extra_usd <= 0:
+            raise CloudError("extension must be positive")
+        budget = self.budget_for(owner)
+        budget.cap_usd += extra_usd
+        budget.extension_requests += 1
+        return budget
+
+    def accrue(self, record: UsageRecord) -> None:
+        """Record usage; raises :class:`BudgetExceededError` (and does not
+        record) if the charge would cross the owner's cap."""
+        budget = self.budget_for(record.owner)
+        cost = record.cost_usd
+        if budget.spent_usd + cost > budget.cap_usd + 1e-9:
+            raise BudgetExceededError(
+                f"{record.owner} would exceed the ${budget.cap_usd:.2f} cap: "
+                f"spent ${budget.spent_usd:.2f}, charge ${cost:.2f}"
+            )
+        budget.spent_usd += cost
+        self.records.append(record)
+
+    @property
+    def explorer(self) -> "CostExplorer":
+        return CostExplorer(self.records)
+
+
+@dataclass
+class CostExplorer:
+    """Read-only aggregation over usage records (the AWS Cost Explorer /
+    instructor dashboard).
+
+    AWS Educate usage is excluded from hour totals, mirroring Appendix A:
+    "the instructor lacks access to resource usage insights for that
+    platform".
+    """
+
+    records: list[UsageRecord]
+
+    def _visible(self) -> list[UsageRecord]:
+        return [r for r in self.records if r.service != "educate"]
+
+    def spend_by_owner(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self._visible():
+            out[r.owner] = out.get(r.owner, 0.0) + r.cost_usd
+        return out
+
+    def hours_by_owner(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self._visible():
+            if r.service == "s3":  # GB, not hours
+                continue
+            out[r.owner] = out.get(r.owner, 0.0) + r.hours
+        return out
+
+    def spend_by_instance_type(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self._visible():
+            out[r.instance_type] = out.get(r.instance_type, 0.0) + r.cost_usd
+        return out
+
+    def by_term(self) -> dict[str, dict[str, float]]:
+        """Per-term {hours, cost, students} — the exact aggregates of
+        Fig 5."""
+        out: dict[str, dict[str, float]] = {}
+        owners: dict[str, set] = {}
+        for r in self._visible():
+            term = r.term or "(unassigned)"
+            agg = out.setdefault(term, {"hours": 0.0, "cost_usd": 0.0,
+                                        "students": 0.0})
+            if r.service != "s3":  # s3 "hours" are GB
+                agg["hours"] += r.hours
+            agg["cost_usd"] += r.cost_usd
+            owners.setdefault(term, set()).add(r.owner)
+        for term, agg in out.items():
+            agg["students"] = float(len(owners[term]))
+            n = agg["students"] or 1.0
+            agg["avg_hours_per_student"] = agg["hours"] / n
+            agg["avg_cost_per_student"] = agg["cost_usd"] / n
+        return out
+
+    def total_spend(self) -> float:
+        return sum(r.cost_usd for r in self._visible())

@@ -1,0 +1,96 @@
+"""The per-assessment bootstrap script.
+
+§III-A: "Students were provided with a bootstrap script that simplified
+resource configuration using their AWS credentials for each assessment."
+:func:`render_bootstrap` produces the shell-style text a student would
+read; :class:`BootstrapScript` *executes* the same plan against a
+:class:`~repro.cloud.session.CloudSession` — VPC, subnet, security group
+with the Dask/Jupyter/SSH ports, N instances in the same subnet — and
+hands back ready-to-cluster instances.  This removes exactly the Fig 4b
+failure mode (wrong VPC/subnet) that the paper says the automation fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cloud.iam import Credentials
+from repro.cloud.vpc import DASK_SCHEDULER_PORT, JUPYTER_PORT, SSH_PORT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.ec2 import Ec2Instance
+    from repro.cloud.session import CloudSession
+
+
+@dataclass
+class BootstrapScript:
+    """A declarative assessment environment: run it to get instances that
+    can already reach each other on the cluster ports."""
+
+    instance_type: str = "g4dn.xlarge"
+    instance_count: int = 1
+    vpc_cidr: str = "10.42.0.0/16"
+    subnet_cidr: str = "10.42.1.0/24"
+    open_ports: tuple[int, ...] = (SSH_PORT, JUPYTER_PORT, DASK_SCHEDULER_PORT)
+    assessment: str = "lab"
+    instances: list["Ec2Instance"] = field(default_factory=list)
+
+    def run(self, cloud: "CloudSession", credentials: Credentials
+            ) -> list["Ec2Instance"]:
+        """Provision everything; idempotent per script object."""
+        if self.instances:
+            return self.instances
+        owner = credentials.principal
+        vpc = cloud.vpc.create_vpc(self.vpc_cidr)
+        subnet = cloud.vpc.create_subnet(vpc.vpc_id, self.subnet_cidr)
+        sg = cloud.vpc.create_security_group(f"{owner}-{self.assessment}")
+        for port in self.open_ports:
+            sg.authorize_ingress(port, self.vpc_cidr)
+        for _ in range(self.instance_count):
+            inst = cloud.ec2.run_instance(
+                self.instance_type, owner=owner, subnet=subnet,
+                security_group=sg, credentials=credentials,
+                tags={"assessment": self.assessment},
+            )
+            self.instances.append(inst)
+        return self.instances
+
+    def teardown(self, cloud: "CloudSession", credentials: Credentials) -> None:
+        """Terminate everything the script launched (the last line every
+        lab handout repeats in bold)."""
+        for inst in self.instances:
+            cloud.ec2.terminate(inst.instance_id, credentials=credentials)
+
+    def cluster_ready(self, cloud: "CloudSession") -> bool:
+        """All-pairs Dask-port reachability among the launched instances."""
+        if len(self.instances) < 2:
+            return bool(self.instances)
+        return cloud.vpc.cluster_ready(
+            [i.subnet.subnet_id for i in self.instances],
+            [i.private_ip for i in self.instances],
+            self.instances[0].security_group,
+        )
+
+
+def render_bootstrap(script: BootstrapScript, region: str = "us-east-1") -> str:
+    """The human-readable version handed to students (documentation only —
+    :meth:`BootstrapScript.run` is the executable truth)."""
+    lines = [
+        "#!/usr/bin/env bash",
+        f"# bootstrap for {script.assessment} — region {region}",
+        "set -euo pipefail",
+        f"aws ec2 create-vpc --cidr-block {script.vpc_cidr}",
+        f"aws ec2 create-subnet --cidr-block {script.subnet_cidr}",
+        "aws ec2 create-security-group --group-name "
+        f"$USER-{script.assessment}",
+    ]
+    for port in script.open_ports:
+        lines.append(
+            "aws ec2 authorize-security-group-ingress "
+            f"--port {port} --cidr {script.vpc_cidr}")
+    lines.append(
+        f"aws ec2 run-instances --instance-type {script.instance_type} "
+        f"--count {script.instance_count}")
+    lines.append("# REMEMBER: terminate your instances when you finish!")
+    return "\n".join(lines)

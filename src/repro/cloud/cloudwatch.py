@@ -1,0 +1,110 @@
+"""CloudWatch-like metrics and alarms.
+
+The instructor's "efficient management and monitoring" (§III-A) needs a
+metrics plane: instances publish utilization/cost datapoints, alarms
+watch thresholds, and the idle reaper (or a student script) can key off
+alarm state instead of raw activity timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import CloudError, ResourceNotFoundError
+
+
+@dataclass(frozen=True)
+class Datapoint:
+    timestamp_h: float
+    value: float
+
+
+class AlarmState(str, Enum):
+    OK = "OK"
+    ALARM = "ALARM"
+    INSUFFICIENT_DATA = "INSUFFICIENT_DATA"
+
+
+@dataclass
+class Alarm:
+    """A threshold alarm over one metric."""
+
+    name: str
+    namespace: str
+    metric: str
+    dimension: str                # e.g. an instance id
+    threshold: float
+    comparison: str               # "greater" | "less"
+    evaluation_periods: int = 1
+    state: AlarmState = AlarmState.INSUFFICIENT_DATA
+
+    def evaluate(self, recent: list[float]) -> AlarmState:
+        if len(recent) < self.evaluation_periods:
+            self.state = AlarmState.INSUFFICIENT_DATA
+            return self.state
+        window = recent[-self.evaluation_periods:]
+        if self.comparison == "greater":
+            breach = all(v > self.threshold for v in window)
+        elif self.comparison == "less":
+            breach = all(v < self.threshold for v in window)
+        else:
+            raise CloudError(f"unknown comparison {self.comparison!r}")
+        self.state = AlarmState.ALARM if breach else AlarmState.OK
+        return self.state
+
+
+class CloudWatch:
+    """Metric store + alarm evaluation."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, str], list[Datapoint]] = {}
+        self.alarms: dict[str, Alarm] = {}
+
+    # -- metrics -------------------------------------------------------------
+
+    def put_metric(self, namespace: str, metric: str, dimension: str,
+                   value: float, timestamp_h: float) -> None:
+        key = (namespace, metric, dimension)
+        series = self._metrics.setdefault(key, [])
+        if series and timestamp_h < series[-1].timestamp_h:
+            raise CloudError("metric timestamps must be non-decreasing")
+        series.append(Datapoint(timestamp_h=timestamp_h, value=value))
+
+    def get_statistics(self, namespace: str, metric: str, dimension: str,
+                       start_h: float, end_h: float) -> dict[str, float]:
+        """avg/min/max/count over a window (the GetMetricStatistics
+        surface)."""
+        key = (namespace, metric, dimension)
+        if key not in self._metrics:
+            raise ResourceNotFoundError(
+                f"no metric {namespace}/{metric} for {dimension}")
+        vals = [d.value for d in self._metrics[key]
+                if start_h <= d.timestamp_h <= end_h]
+        if not vals:
+            return {"count": 0.0}
+        arr = np.asarray(vals)
+        return {"count": float(len(arr)), "avg": float(arr.mean()),
+                "min": float(arr.min()), "max": float(arr.max()),
+                "sum": float(arr.sum())}
+
+    # -- alarms ----------------------------------------------------------------
+
+    def put_alarm(self, alarm: Alarm) -> Alarm:
+        self.alarms[alarm.name] = alarm
+        return alarm
+
+    def evaluate_alarms(self) -> dict[str, AlarmState]:
+        """Re-evaluate every alarm against its latest datapoints."""
+        states = {}
+        for alarm in self.alarms.values():
+            key = (alarm.namespace, alarm.metric, alarm.dimension)
+            recent = [d.value for d in self._metrics.get(key, [])]
+            states[alarm.name] = alarm.evaluate(recent)
+        return states
+
+    def alarming(self) -> list[Alarm]:
+        return [a for a in self.alarms.values()
+                if a.state is AlarmState.ALARM]

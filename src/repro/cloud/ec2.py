@@ -1,0 +1,234 @@
+"""EC2: instance lifecycle, GPU attachment, billing hooks.
+
+Students launch instances via Python scripts "to spin up and terminate
+instances" (§I).  An :class:`Ec2Instance` carries a network placement
+(subnet + private IP + security group) and can materialize a matching
+:class:`~repro.gpu.system.GpuSystem` for the compute side of a lab.
+Running instances accrue billing when the cloud session's clock advances;
+activity timestamps feed the idle reaper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cloud.billing import BillingService, UsageRecord
+from repro.cloud.iam import Credentials, IamService
+from repro.cloud.pricing import InstanceType, get_instance_type
+from repro.cloud.vpc import SecurityGroup, Subnet, VpcService
+from repro.errors import (
+    CloudError,
+    InvalidStateError,
+    ResourceNotFoundError,
+)
+from repro.gpu.system import GpuSystem
+
+_instance_ids = itertools.count(1)
+
+
+class InstanceState(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    STOPPING = "stopping"
+    STOPPED = "stopped"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Ec2Instance:
+    """One simulated EC2 instance."""
+
+    instance_id: str
+    itype: InstanceType
+    owner: str
+    subnet: Subnet
+    private_ip: str
+    security_group: SecurityGroup
+    state: InstanceState = InstanceState.RUNNING
+    launched_at_h: float = 0.0
+    last_activity_h: float = 0.0
+    billed_until_h: float = 0.0
+    tags: dict[str, str] = field(default_factory=dict)
+    # Spot instances bill at the market price, not the on-demand rate.
+    hourly_rate_override: float | None = None
+
+    @property
+    def hourly_rate(self) -> float:
+        return (self.hourly_rate_override
+                if self.hourly_rate_override is not None
+                else self.itype.hourly_usd)
+
+    @property
+    def arn(self) -> str:
+        return f"arn:student/{self.owner}/instance/{self.instance_id}"
+
+    def gpu_system(self, set_default: bool = True) -> GpuSystem:
+        """A fresh virtual-GPU machine matching this instance's hardware
+        (raises for CPU-only SKUs)."""
+        if not self.itype.is_gpu:
+            raise CloudError(
+                f"{self.itype.name} has no GPUs; pick a g4dn/g5/p3 type")
+        if self.state is not InstanceState.RUNNING:
+            raise InvalidStateError(
+                f"{self.instance_id} is {self.state.value}, not running")
+        from repro.gpu.system import make_system
+        return make_system(self.itype.gpu_count, self.itype.gpu_part,
+                           set_default=set_default)
+
+    def touch(self, now_h: float) -> None:
+        """Record user activity (SSH, notebook cell, job submission) —
+        what the idle reaper looks at."""
+        self.last_activity_h = max(self.last_activity_h, now_h)
+
+    def idle_hours(self, now_h: float) -> float:
+        if self.state is not InstanceState.RUNNING:
+            return 0.0
+        return max(now_h - self.last_activity_h, 0.0)
+
+
+class Ec2Service:
+    """The EC2 control plane: run / stop / start / terminate / describe."""
+
+    def __init__(self, iam: IamService, vpc: VpcService,
+                 billing: BillingService) -> None:
+        self.iam = iam
+        self.vpc = vpc
+        self.billing = billing
+        self.instances: dict[str, Ec2Instance] = {}
+        self.now_h = 0.0  # kept in sync by CloudSession.advance_hours
+        self.current_term = ""
+
+    # -- helpers --------------------------------------------------------------
+
+    def _get(self, instance_id: str) -> Ec2Instance:
+        if instance_id not in self.instances:
+            raise ResourceNotFoundError(
+                f"InvalidInstanceID.NotFound: {instance_id}")
+        return self.instances[instance_id]
+
+    def _authorize(self, creds: Credentials | None, action: str,
+                   resource: str) -> None:
+        if creds is not None:
+            self.iam.authorize(creds, action, resource)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run_instance(self, type_name: str, owner: str,
+                     subnet: Subnet | None = None,
+                     security_group: SecurityGroup | None = None,
+                     credentials: Credentials | None = None,
+                     tags: dict[str, str] | None = None) -> Ec2Instance:
+        """Launch one instance (``RunInstances``).
+
+        With no explicit placement, a per-call default VPC/subnet/SG is
+        created — the behaviour that later bites students who need two
+        instances to talk to each other (Fig 4b).
+        """
+        itype = get_instance_type(type_name)
+        if itype.family != "ec2":
+            raise CloudError(
+                f"{type_name} is a SageMaker SKU; use SageMakerService")
+        instance_id = f"i-{next(_instance_ids):012x}"
+        self._authorize(credentials, "ec2:RunInstances",
+                        f"arn:student/{owner}/instance/{instance_id}")
+        if subnet is None:
+            v = self.vpc.create_vpc("10.0.0.0/16")
+            subnet = self.vpc.create_subnet(v.vpc_id, "10.0.1.0/24")
+        if security_group is None:
+            security_group = self.vpc.create_security_group(f"{owner}-default")
+        inst = Ec2Instance(
+            instance_id=instance_id,
+            itype=itype,
+            owner=owner,
+            subnet=subnet,
+            private_ip=subnet.allocate_ip(),
+            security_group=security_group,
+            launched_at_h=self.now_h,
+            last_activity_h=self.now_h,
+            billed_until_h=self.now_h,
+            tags=dict(tags or {}),
+        )
+        self.instances[instance_id] = inst
+        return inst
+
+    def stop(self, instance_id: str,
+             credentials: Credentials | None = None) -> Ec2Instance:
+        inst = self._get(instance_id)
+        self._authorize(credentials, "ec2:StopInstances", inst.arn)
+        if inst.state is InstanceState.TERMINATED:
+            raise InvalidStateError(f"{instance_id} is terminated")
+        self._settle(inst)
+        inst.state = InstanceState.STOPPED
+        return inst
+
+    def start(self, instance_id: str,
+              credentials: Credentials | None = None) -> Ec2Instance:
+        inst = self._get(instance_id)
+        self._authorize(credentials, "ec2:StartInstances", inst.arn)
+        if inst.state is not InstanceState.STOPPED:
+            raise InvalidStateError(
+                f"{instance_id} is {inst.state.value}; only stopped "
+                "instances start")
+        inst.state = InstanceState.RUNNING
+        inst.billed_until_h = self.now_h
+        inst.last_activity_h = self.now_h
+        return inst
+
+    def terminate(self, instance_id: str,
+                  credentials: Credentials | None = None) -> Ec2Instance:
+        inst = self._get(instance_id)
+        self._authorize(credentials, "ec2:TerminateInstances", inst.arn)
+        if inst.state is InstanceState.TERMINATED:
+            return inst  # idempotent, as AWS
+        if inst.state is InstanceState.RUNNING:
+            self._settle(inst)
+        inst.state = InstanceState.TERMINATED
+        return inst
+
+    def describe(self, owner: str | None = None,
+                 states: tuple[InstanceState, ...] | None = None
+                 ) -> list[Ec2Instance]:
+        out = list(self.instances.values())
+        if owner is not None:
+            out = [i for i in out if i.owner == owner]
+        if states is not None:
+            out = [i for i in out if i.state in states]
+        return out
+
+    # -- billing ------------------------------------------------------------------
+
+    def _settle(self, inst: Ec2Instance) -> None:
+        """Accrue the owner's bill for this instance up to `now`."""
+        if inst.state is not InstanceState.RUNNING:
+            return
+        hours = self.now_h - inst.billed_until_h
+        if hours <= 0:
+            return
+        self.billing.accrue(UsageRecord(
+            owner=inst.owner,
+            instance_id=inst.instance_id,
+            instance_type=inst.itype.name,
+            hours=hours,
+            rate_usd=inst.hourly_rate,
+            service="ec2",
+            term=self.current_term,
+        ))
+        inst.billed_until_h = self.now_h
+
+    def settle_all(self) -> None:
+        for inst in self.instances.values():
+            self._settle(inst)
+
+    def advance_to(self, now_h: float) -> None:
+        """Move the service clock forward and settle running instances.
+
+        Billing failures (budget caps) propagate — a student whose
+        instance runs into the cap sees the launch-killing error, which is
+        the enforcement §III-A1 describes.
+        """
+        if now_h < self.now_h:
+            raise CloudError("cloud time is monotonic")
+        self.now_h = now_h
+        self.settle_all()

@@ -1,0 +1,121 @@
+"""IAM: principals, roles, policies.
+
+§III-A: "Each student was assigned a dedicated Identity and Access
+Management (IAM) role, empowering them to independently launch instances".
+The model is the standard AWS evaluation: explicit Deny beats Allow beats
+the implicit deny.  Actions/resources match with ``*`` glob wildcards.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import AccessDeniedError, CloudError
+
+_cred_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One policy statement: Effect / Action / Resource with `*` globs."""
+
+    effect: str            # "Allow" | "Deny"
+    actions: tuple[str, ...]
+    resources: tuple[str, ...] = ("*",)
+
+    def __post_init__(self) -> None:
+        if self.effect not in ("Allow", "Deny"):
+            raise CloudError(f"statement effect must be Allow/Deny, got {self.effect}")
+
+    def matches(self, action: str, resource: str) -> bool:
+        return (any(fnmatch.fnmatch(action, pat) for pat in self.actions)
+                and any(fnmatch.fnmatch(resource, pat) for pat in self.resources))
+
+
+@dataclass
+class Role:
+    """An IAM role: a named bag of statements."""
+
+    name: str
+    statements: list[Statement] = field(default_factory=list)
+
+    def attach(self, statement: Statement) -> None:
+        self.statements.append(statement)
+
+    def evaluate(self, action: str, resource: str) -> bool:
+        """AWS policy evaluation: explicit Deny wins; otherwise any Allow;
+        otherwise implicit deny."""
+        allowed = False
+        for st in self.statements:
+            if st.matches(action, resource):
+                if st.effect == "Deny":
+                    return False
+                allowed = True
+        return allowed
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """An access key pair bound to a role (what the bootstrap script
+    configures for each student)."""
+
+    principal: str
+    access_key_id: str
+    role_name: str
+
+
+def student_role(name: str) -> Role:
+    """The per-student role of §III-A: full EC2/SageMaker self-service on
+    the student's own resources, read access to shared course data, and no
+    IAM administration (students cannot mint new roles)."""
+    return Role(name=name, statements=[
+        Statement("Allow", ("ec2:*", "sagemaker:*"),
+                  (f"arn:student/{name}/*",)),
+        Statement("Allow", ("ec2:Describe*", "s3:GetObject"), ("*",)),
+        Statement("Deny", ("iam:*",), ("*",)),
+    ])
+
+
+def instructor_role(name: str = "instructor") -> Role:
+    """The instructor sees and can terminate everything (the idle-reaper
+    runs under this role)."""
+    return Role(name=name, statements=[Statement("Allow", ("*",), ("*",))])
+
+
+class IamService:
+    """Role & credential registry."""
+
+    def __init__(self) -> None:
+        self.roles: dict[str, Role] = {}
+        self.credentials: dict[str, Credentials] = {}
+
+    def create_role(self, role: Role) -> Role:
+        if role.name in self.roles:
+            raise CloudError(f"EntityAlreadyExists: role {role.name}")
+        self.roles[role.name] = role
+        return role
+
+    def issue_credentials(self, principal: str, role_name: str) -> Credentials:
+        if role_name not in self.roles:
+            raise CloudError(f"NoSuchEntity: role {role_name}")
+        creds = Credentials(
+            principal=principal,
+            access_key_id=f"AKIA{next(_cred_counter):012d}",
+            role_name=role_name,
+        )
+        self.credentials[creds.access_key_id] = creds
+        return creds
+
+    def authorize(self, creds: Credentials, action: str, resource: str) -> None:
+        """Raise :class:`AccessDeniedError` unless the caller's role allows
+        ``action`` on ``resource``."""
+        role = self.roles.get(creds.role_name)
+        if role is None:
+            raise AccessDeniedError(f"InvalidClientTokenId: {creds.access_key_id}")
+        if not role.evaluate(action, resource):
+            raise AccessDeniedError(
+                f"User {creds.principal} is not authorized to perform "
+                f"{action} on {resource}"
+            )

@@ -1,0 +1,68 @@
+"""The idle-resource reaper.
+
+§III-A: budget discipline was "complemented by automated scripts designed
+to terminate idle resources".  The reaper runs under the instructor role,
+scans running EC2 instances (and InService notebooks), and stops anything
+idle past a threshold.  Instances tagged ``keep-alive`` are exempt — the
+escape hatch students use for long multi-GPU training runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.ec2 import Ec2Service, InstanceState
+from repro.cloud.sagemaker import NotebookState, SageMakerService
+
+KEEP_ALIVE_TAG = "keep-alive"
+
+
+@dataclass
+class ReapReport:
+    """What one sweep did."""
+
+    scanned: int = 0
+    reaped_instances: list[str] = field(default_factory=list)
+    reaped_notebooks: list[str] = field(default_factory=list)
+    spared_keep_alive: list[str] = field(default_factory=list)
+
+    @property
+    def reaped_count(self) -> int:
+        return len(self.reaped_instances) + len(self.reaped_notebooks)
+
+
+class IdleReaper:
+    """Sweep-and-stop policy over a cloud session's resources."""
+
+    def __init__(self, ec2: Ec2Service, sagemaker: SageMakerService,
+                 idle_threshold_h: float = 2.0) -> None:
+        if idle_threshold_h <= 0:
+            raise ValueError("idle threshold must be positive")
+        self.ec2 = ec2
+        self.sagemaker = sagemaker
+        self.idle_threshold_h = idle_threshold_h
+        self.sweeps: list[ReapReport] = []
+
+    def sweep(self) -> ReapReport:
+        """One pass: stop idle instances/notebooks, honour keep-alive
+        tags, return the report (the instructor's audit trail)."""
+        report = ReapReport()
+        now = self.ec2.now_h
+        for inst in self.ec2.describe(states=(InstanceState.RUNNING,)):
+            report.scanned += 1
+            if inst.idle_hours(now) < self.idle_threshold_h:
+                continue
+            if inst.tags.get(KEEP_ALIVE_TAG):
+                report.spared_keep_alive.append(inst.instance_id)
+                continue
+            self.ec2.stop(inst.instance_id)
+            report.reaped_instances.append(inst.instance_id)
+        for nb in self.sagemaker.notebooks.values():
+            if nb.state is not NotebookState.IN_SERVICE:
+                continue
+            report.scanned += 1
+            if now - nb.last_activity_h >= self.idle_threshold_h:
+                self.sagemaker.stop_notebook_instance(nb.name)
+                report.reaped_notebooks.append(nb.name)
+        self.sweeps.append(report)
+        return report

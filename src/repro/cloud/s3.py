@@ -1,0 +1,135 @@
+"""An S3-like object store with transfer and storage economics.
+
+The course's datasets (graph snapshots, RAG corpora, checkpoints) live in
+object storage between sessions.  This service models the parts that
+matter to a lab budget: buckets and keys, versioned overwrite semantics,
+per-GB-month storage cost, free ingress / priced egress, and download
+time charged against the simulated clock at a realistic S3→EC2
+throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.billing import BillingService, UsageRecord
+from repro.errors import CloudError, ResourceNotFoundError
+from repro.gpu.clock import ns_from_s
+
+# us-east-1 S3 standard pricing and intra-region throughput.
+STORAGE_USD_PER_GB_MONTH = 0.023
+EGRESS_USD_PER_GB = 0.02       # cross-AZ / internet; same-AZ is free
+S3_THROUGHPUT_GBPS = 1.2       # typical single-stream S3->EC2 GB/s
+
+
+@dataclass
+class S3Object:
+    key: str
+    data: bytes
+    version: int
+    stored_at_h: float
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class Bucket:
+    name: str
+    objects: dict[str, S3Object] = field(default_factory=dict)
+    _versions: itertools.count = field(default_factory=lambda:
+                                       itertools.count(1))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.nbytes for o in self.objects.values())
+
+
+class S3Service:
+    """Buckets + objects + the billing hooks."""
+
+    def __init__(self, billing: BillingService, clock=None) -> None:
+        self.billing = billing
+        self.clock = clock            # optional SimClock for transfer time
+        self.buckets: dict[str, Bucket] = {}
+        self.now_h = 0.0
+        self.current_term = ""
+        self._billed_until_h = 0.0
+
+    # -- buckets ------------------------------------------------------------
+
+    def create_bucket(self, name: str) -> Bucket:
+        if not name or not name.islower() or "_" in name:
+            raise CloudError(
+                f"InvalidBucketName: {name!r} (lowercase, no underscores)")
+        if name in self.buckets:
+            raise CloudError(f"BucketAlreadyExists: {name}")
+        bucket = Bucket(name=name)
+        self.buckets[name] = bucket
+        return bucket
+
+    def _bucket(self, name: str) -> Bucket:
+        try:
+            return self.buckets[name]
+        except KeyError:
+            raise ResourceNotFoundError(f"NoSuchBucket: {name}") from None
+
+    # -- objects --------------------------------------------------------------
+
+    def put_object(self, bucket: str, key: str, data: bytes) -> S3Object:
+        """Upload (ingress is free; storage accrues with time)."""
+        b = self._bucket(bucket)
+        obj = S3Object(key=key, data=bytes(data),
+                       version=next(b._versions), stored_at_h=self.now_h)
+        b.objects[key] = obj
+        self._charge_transfer_time(len(data))
+        return obj
+
+    def get_object(self, bucket: str, key: str, owner: str = "",
+                   cross_az: bool = False) -> bytes:
+        """Download; charges transfer time and (cross-AZ) egress."""
+        b = self._bucket(bucket)
+        if key not in b.objects:
+            raise ResourceNotFoundError(f"NoSuchKey: {bucket}/{key}")
+        obj = b.objects[key]
+        self._charge_transfer_time(obj.nbytes)
+        if cross_az and owner:
+            # egress bills per GB; encoded as hours=GB at the egress rate
+            # (the "s3" service is excluded from hour aggregates)
+            self.billing.accrue(UsageRecord(
+                owner=owner, instance_id=f"s3://{bucket}/{key}",
+                instance_type="s3-egress", hours=obj.nbytes / 1e9,
+                rate_usd=EGRESS_USD_PER_GB, service="s3",
+                term=self.current_term))
+        return obj.data
+
+    def delete_object(self, bucket: str, key: str) -> None:
+        b = self._bucket(bucket)
+        if key not in b.objects:
+            raise ResourceNotFoundError(f"NoSuchKey: {bucket}/{key}")
+        del b.objects[key]
+
+    def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
+        b = self._bucket(bucket)
+        return sorted(k for k in b.objects if k.startswith(prefix))
+
+    # -- economics ---------------------------------------------------------------
+
+    def _charge_transfer_time(self, nbytes: int) -> None:
+        if self.clock is not None and nbytes > 0:
+            self.clock.advance(ns_from_s(nbytes / (S3_THROUGHPUT_GBPS
+                                                   * 1e9)))
+
+    def storage_cost_usd(self, bucket: str, months: float = 1.0) -> float:
+        """Projected storage bill for a bucket."""
+        if months < 0:
+            raise CloudError("months must be non-negative")
+        gb = self._bucket(bucket).total_bytes / 1e9
+        return gb * STORAGE_USD_PER_GB_MONTH * months
+
+    def advance_to(self, now_h: float) -> None:
+        if now_h < self.now_h:
+            raise CloudError("cloud time is monotonic")
+        self.now_h = now_h

@@ -1,0 +1,139 @@
+"""SageMaker: notebook instances (the course's Jupyter front end).
+
+§I: "Students were familiar with AWS SageMaker, which offers Jupyter
+Notebook, allowing them to write and run code in one place."  A notebook
+instance is a managed host with a lifecycle (``InService``/``Stopped``),
+per-hour billing on ml.* SKUs, and an ``execute_cell`` hook that marks
+activity (for the idle reaper) and hands back a GPU system when the SKU
+has one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.cloud.billing import BillingService, UsageRecord
+from repro.cloud.pricing import InstanceType, get_instance_type
+from repro.errors import CloudError, InvalidStateError, ResourceNotFoundError
+from repro.gpu.system import GpuSystem, make_system
+
+_notebook_ids = itertools.count(1)
+
+
+class NotebookState(str, Enum):
+    IN_SERVICE = "InService"
+    STOPPED = "Stopped"
+    DELETED = "Deleted"
+
+
+@dataclass
+class NotebookInstance:
+    """One SageMaker notebook instance."""
+
+    name: str
+    itype: InstanceType
+    owner: str
+    state: NotebookState = NotebookState.IN_SERVICE
+    last_activity_h: float = 0.0
+    billed_until_h: float = 0.0
+    executed_cells: int = 0
+
+    @property
+    def arn(self) -> str:
+        return f"arn:student/{self.owner}/notebook/{self.name}"
+
+    def gpu_system(self, set_default: bool = True) -> GpuSystem:
+        if not self.itype.is_gpu:
+            raise CloudError(
+                f"notebook SKU {self.itype.name} is CPU-only; GPU cells "
+                "need ml.g4dn/ml.p3")
+        return make_system(self.itype.gpu_count, self.itype.gpu_part,
+                           set_default=set_default)
+
+
+class SageMakerService:
+    """Notebook lifecycle + execution surface."""
+
+    def __init__(self, billing: BillingService) -> None:
+        self.billing = billing
+        self.notebooks: dict[str, NotebookInstance] = {}
+        self.now_h = 0.0
+        self.current_term = ""
+
+    def _get(self, name: str) -> NotebookInstance:
+        if name not in self.notebooks:
+            raise ResourceNotFoundError(f"RecordNotFound: notebook {name}")
+        return self.notebooks[name]
+
+    def create_notebook_instance(self, owner: str,
+                                 type_name: str = "ml.t3.medium",
+                                 name: str | None = None) -> NotebookInstance:
+        itype = get_instance_type(type_name)
+        if itype.family != "sagemaker":
+            raise CloudError(
+                f"{type_name} is an EC2 SKU; SageMaker needs ml.* types")
+        name = name or f"{owner}-nb-{next(_notebook_ids)}"
+        if name in self.notebooks:
+            raise CloudError(f"ResourceInUse: notebook {name}")
+        nb = NotebookInstance(name=name, itype=itype, owner=owner,
+                              last_activity_h=self.now_h,
+                              billed_until_h=self.now_h)
+        self.notebooks[name] = nb
+        return nb
+
+    def execute_cell(self, name: str, cell: Callable[[], Any] | None = None) -> Any:
+        """Run a "cell" on the notebook: marks activity, optionally calls a
+        Python callable (the lab code) and returns its value."""
+        nb = self._get(name)
+        if nb.state is not NotebookState.IN_SERVICE:
+            raise InvalidStateError(f"notebook {name} is {nb.state.value}")
+        nb.last_activity_h = self.now_h
+        nb.executed_cells += 1
+        return cell() if cell is not None else None
+
+    def stop_notebook_instance(self, name: str) -> NotebookInstance:
+        nb = self._get(name)
+        if nb.state is NotebookState.DELETED:
+            raise InvalidStateError(f"notebook {name} is deleted")
+        self._settle(nb)
+        nb.state = NotebookState.STOPPED
+        return nb
+
+    def start_notebook_instance(self, name: str) -> NotebookInstance:
+        nb = self._get(name)
+        if nb.state is not NotebookState.STOPPED:
+            raise InvalidStateError(
+                f"notebook {name} is {nb.state.value}; only Stopped starts")
+        nb.state = NotebookState.IN_SERVICE
+        nb.billed_until_h = self.now_h
+        return nb
+
+    def delete_notebook_instance(self, name: str) -> None:
+        nb = self._get(name)
+        if nb.state is NotebookState.IN_SERVICE:
+            raise InvalidStateError("stop the notebook before deleting it")
+        nb.state = NotebookState.DELETED
+
+    def _settle(self, nb: NotebookInstance) -> None:
+        if nb.state is not NotebookState.IN_SERVICE:
+            return
+        hours = self.now_h - nb.billed_until_h
+        if hours <= 0:
+            return
+        self.billing.accrue(UsageRecord(
+            owner=nb.owner, instance_id=nb.name,
+            instance_type=nb.itype.name, hours=hours,
+            rate_usd=nb.itype.hourly_usd, service="sagemaker",
+            term=self.current_term,
+        ))
+        nb.billed_until_h = self.now_h
+
+    def advance_to(self, now_h: float) -> None:
+        if now_h < self.now_h:
+            raise CloudError("cloud time is monotonic")
+        self.now_h = now_h
+        for nb in self.notebooks.values():
+            self._settle(nb)

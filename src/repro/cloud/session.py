@@ -1,0 +1,132 @@
+"""The top-level cloud session tying all services to one timeline.
+
+One :class:`CloudSession` is "the course's AWS account": IAM, VPC, EC2,
+SageMaker, billing, and the idle reaper share a monotonic hour-resolution
+clock.  §III-A pins the region to us-east-1 ("all GPU instances are
+provisioned within the US East (N. Virginia) region"), which the
+constructor enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.billing import BillingService
+from repro.cloud.ec2 import Ec2Service
+from repro.cloud.iam import (
+    Credentials,
+    IamService,
+    instructor_role,
+    student_role,
+)
+from repro.cloud.reaper import IdleReaper
+from repro.cloud.s3 import S3Service
+from repro.cloud.sagemaker import SageMakerService
+from repro.cloud.vpc import VpcService
+from repro.errors import CloudError
+
+SUPPORTED_REGIONS = ("us-east-1",)
+
+
+@dataclass
+class EducateGrant:
+    """An AWS Educate allocation: free hours on a starter SKU, opaque to
+    the instructor's cost explorer (Appendix A)."""
+
+    principal: str
+    free_hours: float = 25.0
+    instance_type: str = "g4dn.xlarge"
+    consumed_hours: float = 0.0
+
+    @property
+    def remaining_hours(self) -> float:
+        return self.free_hours - self.consumed_hours
+
+
+class CloudSession:
+    """The course AWS account."""
+
+    def __init__(self, region: str = "us-east-1",
+                 budget_cap_usd: float = 100.0) -> None:
+        if region not in SUPPORTED_REGIONS:
+            raise CloudError(
+                f"UnsupportedRegion: the course provisions only in "
+                f"{SUPPORTED_REGIONS}, got {region!r}")
+        self.region = region
+        self.iam = IamService()
+        self.vpc = VpcService()
+        self.billing = BillingService(default_cap_usd=budget_cap_usd)
+        self.ec2 = Ec2Service(self.iam, self.vpc, self.billing)
+        self.sagemaker = SageMakerService(self.billing)
+        self.s3 = S3Service(self.billing)
+        self.reaper = IdleReaper(self.ec2, self.sagemaker)
+        self.now_h = 0.0
+        self.educate_grants: dict[str, EducateGrant] = {}
+        self.iam.create_role(instructor_role())
+        self.instructor = self.iam.issue_credentials("instructor", "instructor")
+
+    # -- people -----------------------------------------------------------------
+
+    def register_student(self, name: str) -> Credentials:
+        """Week-1 onboarding: create the student's IAM role and hand back
+        credentials (what "set up credentials during the first class"
+        means here)."""
+        self.iam.create_role(student_role(name))
+        return self.iam.issue_credentials(name, name)
+
+    def grant_educate(self, name: str, free_hours: float = 25.0) -> EducateGrant:
+        """Attach an AWS Educate free-tier grant to a student."""
+        grant = EducateGrant(principal=name, free_hours=free_hours)
+        self.educate_grants[name] = grant
+        return grant
+
+    def use_educate(self, name: str, hours: float) -> EducateGrant:
+        """Spend Educate hours on an assessment (§III-A1: "we
+        strategically utilized AWS Educate resources, provided free of
+        charge").
+
+        The usage is recorded — but as an ``educate`` record, which the
+        instructor's cost explorer cannot see (Appendix A's caveat); the
+        grant's own balance enforces the platform-side cap.
+        """
+        if hours <= 0:
+            raise CloudError("hours must be positive")
+        grant = self.educate_grants.get(name)
+        if grant is None:
+            raise CloudError(f"{name} has no Educate grant")
+        if hours > grant.remaining_hours + 1e-9:
+            raise CloudError(
+                f"EducateQuotaExceeded: {name} has "
+                f"{grant.remaining_hours:.1f} h left, requested {hours}")
+        grant.consumed_hours += hours
+        from repro.cloud.billing import UsageRecord
+        from repro.cloud.pricing import get_instance_type
+        self.billing.accrue(UsageRecord(
+            owner=name, instance_id="educate-session",
+            instance_type=grant.instance_type, hours=hours,
+            rate_usd=get_instance_type(grant.instance_type).hourly_usd,
+            service="educate", term=self.ec2.current_term))
+        return grant
+
+    # -- time --------------------------------------------------------------------
+
+    def set_term(self, term: str) -> None:
+        """Tag subsequent usage with a semester label (feeds Fig 5)."""
+        self.ec2.current_term = term
+        self.sagemaker.current_term = term
+        self.s3.current_term = term
+
+    def advance_hours(self, hours: float) -> float:
+        """Advance the shared cloud clock; running resources accrue cost.
+
+        Returns the new time.  A budget violation surfaces here as
+        :class:`~repro.errors.BudgetExceededError` — the student's
+        instance bill crossed the cap mid-flight.
+        """
+        if hours < 0:
+            raise CloudError("cloud time is monotonic")
+        self.now_h += hours
+        self.ec2.advance_to(self.now_h)
+        self.sagemaker.advance_to(self.now_h)
+        self.s3.advance_to(self.now_h)
+        return self.now_h

@@ -1,0 +1,160 @@
+"""VPC networking: VPCs, subnets, security groups, private IPs.
+
+Fig 4b's story is that students initially struggled "configuring GPUs and
+ensuring instances were correctly connected within the same Virtual
+Private Cloud (VPC) with appropriate subnet addresses".  This module is
+that failure mode, executable: two instances can only form a Dask cluster
+if they sit in the same VPC, their subnets route, and a security group
+rule admits the scheduler port.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CloudError, ResourceNotFoundError
+
+_vpc_ids = itertools.count(1)
+_subnet_ids = itertools.count(1)
+_sg_ids = itertools.count(1)
+
+DASK_SCHEDULER_PORT = 8786
+JUPYTER_PORT = 8888
+SSH_PORT = 22
+
+
+@dataclass(frozen=True)
+class SecurityGroupRule:
+    """One ingress rule (egress is open, as the AWS default)."""
+
+    port: int
+    cidr: str  # source range, e.g. "10.0.0.0/16" or "0.0.0.0/0"
+
+    def admits(self, port: int, source_ip: str) -> bool:
+        return (port == self.port
+                and ipaddress.ip_address(source_ip)
+                in ipaddress.ip_network(self.cidr))
+
+
+@dataclass
+class SecurityGroup:
+    group_id: str
+    name: str
+    rules: list[SecurityGroupRule] = field(default_factory=list)
+
+    def authorize_ingress(self, port: int, cidr: str) -> None:
+        self.rules.append(SecurityGroupRule(port=port, cidr=cidr))
+
+    def admits(self, port: int, source_ip: str) -> bool:
+        return any(r.admits(port, source_ip) for r in self.rules)
+
+
+@dataclass
+class Subnet:
+    subnet_id: str
+    vpc_id: str
+    cidr: ipaddress.IPv4Network
+    _next_host: int = 4  # AWS reserves the first 4 addresses
+
+    def allocate_ip(self) -> str:
+        hosts = list(self.cidr.hosts())
+        if self._next_host >= len(hosts):
+            raise CloudError(
+                f"InsufficientFreeAddressesInSubnet: {self.subnet_id}")
+        ip = str(hosts[self._next_host])
+        self._next_host += 1
+        return ip
+
+
+@dataclass
+class Vpc:
+    vpc_id: str
+    cidr: ipaddress.IPv4Network
+    subnets: dict[str, Subnet] = field(default_factory=dict)
+
+
+class VpcService:
+    """Create VPCs/subnets/SGs and answer reachability questions."""
+
+    def __init__(self) -> None:
+        self.vpcs: dict[str, Vpc] = {}
+        self.security_groups: dict[str, SecurityGroup] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def create_vpc(self, cidr: str = "10.0.0.0/16") -> Vpc:
+        try:
+            net = ipaddress.ip_network(cidr)
+        except ValueError as exc:
+            raise CloudError(f"InvalidVpcRange: {exc}") from None
+        vpc = Vpc(vpc_id=f"vpc-{next(_vpc_ids):08x}", cidr=net)
+        self.vpcs[vpc.vpc_id] = vpc
+        return vpc
+
+    def create_subnet(self, vpc_id: str, cidr: str) -> Subnet:
+        vpc = self._vpc(vpc_id)
+        try:
+            net = ipaddress.ip_network(cidr)
+        except ValueError as exc:
+            raise CloudError(f"InvalidSubnet.Range: {exc}") from None
+        if not net.subnet_of(vpc.cidr):
+            raise CloudError(
+                f"InvalidSubnet.Range: {cidr} is not within the VPC CIDR "
+                f"{vpc.cidr} — the exact mistake Fig 4b's students made")
+        for existing in vpc.subnets.values():
+            if net.overlaps(existing.cidr):
+                raise CloudError(
+                    f"InvalidSubnet.Conflict: {cidr} overlaps {existing.cidr}")
+        subnet = Subnet(subnet_id=f"subnet-{next(_subnet_ids):08x}",
+                        vpc_id=vpc_id, cidr=net)
+        vpc.subnets[subnet.subnet_id] = subnet
+        return subnet
+
+    def create_security_group(self, name: str) -> SecurityGroup:
+        sg = SecurityGroup(group_id=f"sg-{next(_sg_ids):08x}", name=name)
+        self.security_groups[sg.group_id] = sg
+        return sg
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _vpc(self, vpc_id: str) -> Vpc:
+        if vpc_id not in self.vpcs:
+            raise ResourceNotFoundError(f"InvalidVpcID.NotFound: {vpc_id}")
+        return self.vpcs[vpc_id]
+
+    def subnet(self, subnet_id: str) -> Subnet:
+        for vpc in self.vpcs.values():
+            if subnet_id in vpc.subnets:
+                return vpc.subnets[subnet_id]
+        raise ResourceNotFoundError(f"InvalidSubnetID.NotFound: {subnet_id}")
+
+    # -- reachability ------------------------------------------------------------
+
+    def can_connect(self, src_subnet_id: str, src_ip: str,
+                    dst_subnet_id: str, dst_sg: SecurityGroup,
+                    port: int) -> bool:
+        """Whether a packet from ``src_ip`` reaches ``port`` on a host in
+        ``dst_subnet_id`` guarded by ``dst_sg``.
+
+        Requires: same VPC (no peering in the course setup) and an SG rule
+        admitting the source.
+        """
+        src = self.subnet(src_subnet_id)
+        dst = self.subnet(dst_subnet_id)
+        if src.vpc_id != dst.vpc_id:
+            return False
+        return dst_sg.admits(port, src_ip)
+
+    def cluster_ready(self, subnet_ids: list[str], ips: list[str],
+                      sg: SecurityGroup, port: int = DASK_SCHEDULER_PORT) -> bool:
+        """All-pairs connectivity check used before starting a Dask
+        cluster; this is the "cluster creation" skill Fig 4b surveys."""
+        for i, (s_i, ip_i) in enumerate(zip(subnet_ids, ips)):
+            for j, s_j in enumerate(subnet_ids):
+                if i == j:
+                    continue
+                if not self.can_connect(s_i, ip_i, s_j, sg, port):
+                    return False
+        return True

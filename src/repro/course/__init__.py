@@ -1,0 +1,76 @@
+"""``repro.course`` — the course itself, as an executable object.
+
+§III's course structure becomes data and code: the 16-week module
+registry with SLOs and deliverables (Table I), the university's standard
+evaluation questions (Table II), the §IV-A grading policy (interactive
+work = 50%, project 15%, the rest independent/exams), runnable labs
+that exercise every substrate the way the real labs exercised AWS, and a
+semester simulator that plays a whole term through the cloud layer to
+regenerate the usage, cost, and grade artifacts of Figs 2 and 5.
+"""
+
+from repro.course.modules import (
+    CourseModule,
+    Deliverable,
+    MODULES,
+    module_for_week,
+    all_labs,
+    all_assignments,
+    validate_curriculum,
+)
+from repro.course.evaluation import EVALUATION_QUESTIONS, EVALUATION_SCALE
+from repro.course.prerequisites import (
+    PREREQUISITES,
+    validate_prerequisites,
+    transitive_prerequisites,
+    dependents_of,
+    critical_path,
+)
+from repro.course.grading import GradePolicy, GradeBook, Submission
+from repro.course.labs import LabResult, run_lab, LAB_RUNNERS
+from repro.course.assignments import (
+    AssignmentResult,
+    run_assignment,
+    ASSIGNMENT_RUNNERS,
+)
+from repro.course.projects import (
+    ProjectTeam,
+    CapstoneRubric,
+    ByolSubmission,
+    form_teams,
+    validate_byol,
+)
+from repro.course.semester import SemesterSimulator, SemesterReport
+
+__all__ = [
+    "CourseModule",
+    "Deliverable",
+    "MODULES",
+    "module_for_week",
+    "all_labs",
+    "all_assignments",
+    "validate_curriculum",
+    "EVALUATION_QUESTIONS",
+    "EVALUATION_SCALE",
+    "PREREQUISITES",
+    "validate_prerequisites",
+    "transitive_prerequisites",
+    "dependents_of",
+    "critical_path",
+    "GradePolicy",
+    "GradeBook",
+    "Submission",
+    "LabResult",
+    "run_lab",
+    "LAB_RUNNERS",
+    "AssignmentResult",
+    "run_assignment",
+    "ASSIGNMENT_RUNNERS",
+    "ProjectTeam",
+    "CapstoneRubric",
+    "ByolSubmission",
+    "form_teams",
+    "validate_byol",
+    "SemesterSimulator",
+    "SemesterReport",
+]

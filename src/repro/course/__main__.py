@@ -1,0 +1,7 @@
+"""``python -m repro.course`` entry point."""
+
+import sys
+
+from repro.course.cli import main
+
+sys.exit(main())

@@ -1,0 +1,196 @@
+"""The four graded assignments as runnable scenarios.
+
+§IV-A: assignments are "extensions of in-class labs, challenging students
+to apply their critical thinking and problem-solving skills" — so each
+runner composes several substrates where the matching lab used one:
+
+* Assignment 1 (due wk 5) — GPU matrix multiplication *and profiling*:
+  sweep sizes, locate the transfer/compute crossover, return the verdicts.
+* Assignment 2 (due wk 7) — distributed GPU data processing: a partitioned
+  dataframe pipeline over a Dask cluster with a scaling measurement.
+* Assignment 3 (due wk 13) — multi-GPU AI agent: DQN whose replay/batch
+  inference is costed across 2 GPUs via DDP-style replicas.
+* Assignment 4 (due wk 16) — end-to-end RAG system: corpus → embedder →
+  GPU index → generator → batched serving, with recall and latency SLOs.
+
+Each returns an :class:`AssignmentResult` whose ``passed`` reflects the
+grading rubric's functional requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gpu import get_spec, make_system
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of one assignment run against its rubric."""
+
+    assignment: str
+    due_week: int
+    metrics: dict[str, float]
+    rubric: dict[str, bool]
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(self.rubric.values())
+
+
+def assignment1_matmul_profiling(seed: int = 0) -> AssignmentResult:
+    """GPU matmul + profiling: find the transfer/compute crossover."""
+    import repro.xp as xp
+    from repro.profiling import BottleneckAnalyzer, Profiler
+
+    system = make_system(1, "T4")
+    analyzer = BottleneckAnalyzer(get_spec("T4"))
+    crossover_n = None
+    timings = {}
+    for n in (64, 256, 1024, 4096):
+        host = np.ones((n, n), dtype=np.float32)
+        with Profiler(system) as prof:
+            a = xp.asarray(host)
+            xp.matmul(a, a).get()
+        diag = analyzer.diagnose(prof)
+        timings[n] = diag.kernel_ms + diag.transfer_ms
+        if diag.dominant == "kernels" and crossover_n is None:
+            crossover_n = n
+    rubric = {
+        "found_crossover": crossover_n is not None,
+        "crossover_above_tiny": (crossover_n or 0) >= 1024,
+        "timings_monotone": all(
+            timings[a] <= timings[b]
+            for a, b in zip(sorted(timings), sorted(timings)[1:])),
+    }
+    return AssignmentResult(
+        assignment="Assignment 1", due_week=5,
+        metrics={"crossover_n": float(crossover_n or -1),
+                 **{f"total_ms_{n}": t for n, t in timings.items()}},
+        rubric=rubric,
+        notes=f"compute-bound from n={crossover_n}")
+
+
+def assignment2_distributed_data(seed: int = 0) -> AssignmentResult:
+    """Distributed data processing: partitioned pipeline, 1 vs 2 GPUs."""
+    import repro.dataframe as cudf
+    from repro.distributed import Client, LocalCudaCluster
+
+    def pipeline(part_seed: int) -> float:
+        rng = np.random.default_rng(part_seed)
+        df = cudf.from_host({"key": rng.integers(0, 32, 200_000),
+                             "value": rng.standard_normal(200_000)})
+        out = df[df["value"] > 0].groupby("key").agg({"value": "mean"})
+        return float(out["value_mean"].to_numpy().mean())
+
+    elapsed = {}
+    results = {}
+    for n_gpus in (1, 2):
+        system = make_system(n_gpus, "T4")
+        client = Client(LocalCudaCluster(system))
+        t0 = system.clock.now_ns
+        futures = client.map(pipeline, range(8))
+        results[n_gpus] = client.gather(futures)
+        elapsed[n_gpus] = (system.clock.now_ns - t0) / 1e6
+    speedup = elapsed[1] / elapsed[2]
+    rubric = {
+        "results_match": bool(np.allclose(results[1], results[2])),
+        "parallel_speedup": speedup > 1.3,
+    }
+    return AssignmentResult(
+        assignment="Assignment 2", due_week=7,
+        metrics={"one_gpu_ms": elapsed[1], "two_gpu_ms": elapsed[2],
+                 "speedup": speedup},
+        rubric=rubric)
+
+
+def assignment3_multigpu_agent(seed: int = 0) -> AssignmentResult:
+    """Multi-GPU AI agent: DQN with 2-replica synchronized Q-networks."""
+    import repro.nn as nn
+    from repro.rl import DQNAgent, EpsilonSchedule, GridWorld
+
+    system = make_system(2, "T4")
+    env = GridWorld(size=3, max_steps=20)
+    agent = DQNAgent(env, hidden=24, batch_size=32, lr=2e-3, gamma=0.95,
+                     epsilon=EpsilonSchedule(1.0, 0.05, 800),
+                     target_sync_every=50, seed=seed)
+    hist = agent.train(episodes=70, warmup=64)
+
+    # the "multi-GPU" part: replicate the trained policy to device 1 and
+    # verify the replicas agree (the Assignment's correctness check)
+    replica = type(agent.q)(env.obs_dim, env.n_actions, 24,
+                            seed=seed).to("cuda:1")
+    replica.load_state_dict(agent.q.state_dict())
+    from repro.nn.tensor import Tensor, no_grad
+    states = np.stack([env.reset() for _ in range(16)])
+    with no_grad():
+        q0 = agent.q(Tensor(states, device="cuda:0")).numpy()
+        q1 = replica(Tensor(states, device="cuda:1")).numpy()
+    system.synchronize()
+    util = system.utilization_report()
+    rubric = {
+        "agent_learns": float(np.mean(hist.episode_rewards[-10:]))
+        > float(np.mean(hist.episode_rewards[:10])),
+        "replicas_agree": bool(np.allclose(q0, q1, atol=1e-5)),
+        "both_gpus_used": all(u > 0 for u in util.values()),
+    }
+    return AssignmentResult(
+        assignment="Assignment 3", due_week=13,
+        metrics={"greedy_reward": agent.evaluate(3),
+                 "late_mean_reward": float(
+                     np.mean(hist.episode_rewards[-10:]))},
+        rubric=rubric)
+
+
+def assignment4_end_to_end_rag(seed: int = 0) -> AssignmentResult:
+    """End-to-end RAG: recall and latency SLOs on the GPU pipeline."""
+    from repro.rag import RagPipeline, RagServer, make_corpus
+
+    make_system(1, "T4")
+    corpus = make_corpus(n_docs=300, n_queries=30, seed=seed)
+    pipe = RagPipeline(corpus, device="cuda:0", k=5, seed=seed)
+    recall = pipe.evaluate_recall(5)
+    stats = RagServer(pipe, batch_size=8).serve(list(corpus.queries),
+                                                max_new_tokens=12)
+    answer = pipe.answer("how do gpu kernels use shared memory")
+    from repro.rag import answer_support
+    support = answer_support(
+        answer.answer,
+        [corpus.documents[i] for i in answer.doc_ids if i >= 0])
+    rubric = {
+        "recall_slo": recall >= 0.8,            # retriever quality gate
+        "latency_slo": stats.latency_p95_ms < 10.0,
+        "throughput_slo": stats.throughput_qps > 100.0,
+        "grounded_answers": support > 0.5,
+    }
+    return AssignmentResult(
+        assignment="Assignment 4", due_week=16,
+        metrics={"recall_at_5": recall,
+                 "p95_ms": stats.latency_p95_ms,
+                 "qps": stats.throughput_qps,
+                 "answer_support": support},
+        rubric=rubric)
+
+
+ASSIGNMENT_RUNNERS: dict[str, Callable[[int], AssignmentResult]] = {
+    "Assignment 1": assignment1_matmul_profiling,
+    "Assignment 2": assignment2_distributed_data,
+    "Assignment 3": assignment3_multigpu_agent,
+    "Assignment 4": assignment4_end_to_end_rag,
+}
+
+
+def run_assignment(name: str, seed: int = 0) -> AssignmentResult:
+    """Run one assignment by its Table I name."""
+    try:
+        runner = ASSIGNMENT_RUNNERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown assignment {name!r}; have "
+            f"{sorted(ASSIGNMENT_RUNNERS)}") from None
+    return runner(seed)

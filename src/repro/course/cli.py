@@ -1,0 +1,109 @@
+"""Command-line front end: ``python -m repro.course <command>``.
+
+The instructor/TA surface: list the Table I curriculum, run any lab,
+or play a whole semester and print its Fig 5-style report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analytics import bar_chart, series_table
+
+
+def _cmd_curriculum(_args) -> int:
+    from repro.course.modules import MODULES, validate_curriculum
+    validate_curriculum()
+    rows = [[m.week, m.topic, "/".join(m.slo_verbs) or "(assessment)",
+             "; ".join(d.title for d in m.deliverables) or "-"]
+            for m in MODULES]
+    print(series_table(["Week", "Topic", "SLO", "Deliverables"], rows,
+                       title="Table I: Course Modules"))
+    return 0
+
+
+def _cmd_labs(_args) -> int:
+    from repro.course.labs import LAB_RUNNERS
+    for name in sorted(LAB_RUNNERS,
+                       key=lambda n: int(n.split()[1])):
+        fn = LAB_RUNNERS[name]
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:8s} {doc}")
+    return 0
+
+
+def _cmd_run_lab(args) -> int:
+    from repro.course.labs import run_lab
+    result = run_lab(args.name, seed=args.seed)
+    print(f"{result.lab} (week {result.week})")
+    for key, value in result.metrics.items():
+        print(f"  {key}: {value:.6g}")
+    if result.notes:
+        print(f"  notes: {result.notes}")
+    return 0
+
+
+def _cmd_run_assignment(args) -> int:
+    from repro.course.assignments import run_assignment
+    result = run_assignment(args.name, seed=args.seed)
+    verdict = "PASSED" if result.passed else "FAILED"
+    print(f"{result.assignment} (due week {result.due_week}): {verdict}")
+    for item, ok in result.rubric.items():
+        print(f"  [{'x' if ok else ' '}] {item}")
+    for key, value in result.metrics.items():
+        print(f"  {key}: {value:.6g}")
+    return 0 if result.passed else 1
+
+
+def _cmd_semester(args) -> int:
+    from repro.course.semester import SemesterSimulator
+    report = SemesterSimulator(args.term, seed=args.seed).run()
+    print(f"{report.term}: {len(report.students)} students, "
+          f"{report.labs_run} labs")
+    print(bar_chart({
+        "avg hours/student": report.avg_hours_per_student,
+        "avg cost/student ($)": report.avg_cost_per_student_usd,
+    }))
+    print(f"grades: {report.grade_counts()}")
+    print(f"budget extensions: {report.budget_extensions_requested}, "
+          f"idle resources reaped: {report.reaped_resources}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.course",
+        description="Run the simulated GPU-programming course.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("curriculum", help="print Table I").set_defaults(
+        fn=_cmd_curriculum)
+    sub.add_parser("labs", help="list runnable labs").set_defaults(
+        fn=_cmd_labs)
+
+    run_p = sub.add_parser("run-lab", help="run one lab by name")
+    run_p.add_argument("name", help='e.g. "Lab 3"')
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.set_defaults(fn=_cmd_run_lab)
+
+    asg_p = sub.add_parser("run-assignment",
+                           help="run one graded assignment by name")
+    asg_p.add_argument("name", help='e.g. "Assignment 1"')
+    asg_p.add_argument("--seed", type=int, default=0)
+    asg_p.set_defaults(fn=_cmd_run_assignment)
+
+    sem_p = sub.add_parser("semester", help="simulate a whole term")
+    sem_p.add_argument("term", choices=["Fall 2024", "Spring 2025"])
+    sem_p.add_argument("--seed", type=int, default=0)
+    sem_p.set_defaults(fn=_cmd_semester)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Table II: the university's standard end-of-semester evaluation form."""
+
+from __future__ import annotations
+
+from repro.analytics.likert import LIKERT_FREQUENCY
+
+# The six questions of Table II, verbatim.
+EVALUATION_QUESTIONS: tuple[str, ...] = (
+    "The course information further developed my knowledge in this area.",
+    "The course activities enhanced my learning of the course content.",
+    "The oral assignments improved my presentation skills.",
+    "The course activities improved my computer technology skills.",
+    "Lab or clinical experiences contributed to my understanding of the "
+    "course theories and concepts.",
+    "The instructor clearly explained laboratory or clinical experiments "
+    "or procedures.",
+)
+
+# "five-point Likert scale with response options including 'Always',
+# 'Often', 'Sometimes', 'Seldom', 'Never', and 'N/A'" — five scored
+# options plus an unscored N/A.
+EVALUATION_SCALE = LIKERT_FREQUENCY
+EVALUATION_NA = "N/A"

@@ -1,0 +1,114 @@
+"""The §IV-A grading policy and gradebook.
+
+Published constraints: "highly interactive activities [labs and
+assignments] collectively constitute half of final grade"; "the project
+... constitutes 15% of final grade"; the remaining 35% is independent
+work — the two closed-book exams plus participation (scribed notes and a
+question per lecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.students import letter_grade
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class GradePolicy:
+    """Category weights (fractions summing to 1)."""
+
+    labs: float = 0.25
+    assignments: float = 0.25
+    project: float = 0.15
+    midterm: float = 0.125
+    final_exam: float = 0.125
+    participation: float = 0.10
+
+    def __post_init__(self) -> None:
+        total = (self.labs + self.assignments + self.project
+                 + self.midterm + self.final_exam + self.participation)
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"weights sum to {total}, expected 1.0")
+        interactive = self.labs + self.assignments
+        if abs(interactive - 0.5) > 1e-9:
+            raise ReproError(
+                "labs+assignments must be half the grade (§IV-A)")
+        if abs(self.project - 0.15) > 1e-9:
+            raise ReproError("project must be 15% (§IV-A)")
+
+    def weighted_total(self, labs: float, assignments: float,
+                       project: float, midterm: float, final_exam: float,
+                       participation: float) -> float:
+        """Compose a 0-100 final score from 0-100 category scores."""
+        for name, v in [("labs", labs), ("assignments", assignments),
+                        ("project", project), ("midterm", midterm),
+                        ("final_exam", final_exam),
+                        ("participation", participation)]:
+            if not 0.0 <= v <= 100.0:
+                raise ReproError(f"{name} score {v} outside [0, 100]")
+        return (self.labs * labs + self.assignments * assignments
+                + self.project * project + self.midterm * midterm
+                + self.final_exam * final_exam
+                + self.participation * participation)
+
+
+@dataclass
+class Submission:
+    """One graded item turned in by a student."""
+
+    student: str
+    deliverable: str
+    category: str              # labs/assignments/project/exam/participation
+    score: float               # 0-100
+    late: bool = False
+    missing: bool = False
+
+    def effective_score(self, late_penalty: float = 10.0) -> float:
+        if self.missing:
+            return 0.0
+        return max(self.score - (late_penalty if self.late else 0.0), 0.0)
+
+
+class GradeBook:
+    """Collects submissions and produces final grades under a policy."""
+
+    CATEGORIES = ("labs", "assignments", "project", "midterm",
+                  "final_exam", "participation")
+
+    def __init__(self, policy: GradePolicy | None = None) -> None:
+        self.policy = policy or GradePolicy()
+        self._submissions: dict[str, list[Submission]] = {}
+
+    def record(self, submission: Submission) -> None:
+        if submission.category not in self.CATEGORIES:
+            raise ReproError(
+                f"unknown category {submission.category!r}; use one of "
+                f"{self.CATEGORIES}")
+        self._submissions.setdefault(submission.student, []).append(submission)
+
+    def category_average(self, student: str, category: str) -> float:
+        subs = [s for s in self._submissions.get(student, ())
+                if s.category == category]
+        if not subs:
+            return 0.0
+        return sum(s.effective_score() for s in subs) / len(subs)
+
+    def final_score(self, student: str) -> float:
+        if student not in self._submissions:
+            raise ReproError(f"no submissions for {student!r}")
+        return self.policy.weighted_total(
+            labs=self.category_average(student, "labs"),
+            assignments=self.category_average(student, "assignments"),
+            project=self.category_average(student, "project"),
+            midterm=self.category_average(student, "midterm"),
+            final_exam=self.category_average(student, "final_exam"),
+            participation=self.category_average(student, "participation"),
+        )
+
+    def final_letter(self, student: str) -> str:
+        return letter_grade(self.final_score(student))
+
+    def students(self) -> list[str]:
+        return sorted(self._submissions)

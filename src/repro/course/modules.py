@@ -1,0 +1,251 @@
+"""Table I as a validated registry: 16 weeks of modules, SLOs, and
+deliverables.
+
+Every row of the paper's Table I is one :class:`CourseModule`; the
+deliverables carry due-weeks so :func:`validate_curriculum` can check the
+schedule invariants (assignments due after they are assigned, exactly one
+midterm and one final, 12-14 labs as §IV-A states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+SLO_VERBS = ("Apply", "Understand", "Analyze", "Optimize", "Create",
+             "Integrate", "Evaluate", "Develop", "Implement", "Scale",
+             "Describe", "Construct", "Deploy", "Showcase", "Demonstrate")
+
+
+@dataclass(frozen=True)
+class Deliverable:
+    """One graded item attached to a module."""
+
+    kind: str          # "lab" | "assignment" | "exam" | "project" | "extra"
+    title: str
+    due_week: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lab", "assignment", "exam", "project", "extra"):
+            raise ReproError(f"unknown deliverable kind {self.kind!r}")
+        if not 1 <= self.due_week <= 16:
+            raise ReproError(f"due week {self.due_week} outside the term")
+
+
+@dataclass(frozen=True)
+class CourseModule:
+    """One week of Table I."""
+
+    week: int
+    topic: str
+    slo_verbs: tuple[str, ...]
+    slo: str
+    deliverables: tuple[Deliverable, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.week <= 16:
+            raise ReproError(f"week {self.week} outside the 16-week term")
+        for verb in self.slo_verbs:
+            if verb not in SLO_VERBS:
+                raise ReproError(f"unknown SLO verb {verb!r}")
+
+
+def _lab(n: int, title: str, week: int) -> Deliverable:
+    return Deliverable(kind="lab", title=f"Lab {n}: {title}", due_week=week)
+
+
+def _hw(n: int, title: str, due: int) -> Deliverable:
+    return Deliverable(kind="assignment",
+                       title=f"Assignment {n}: {title}", due_week=due)
+
+
+MODULES: tuple[CourseModule, ...] = (
+    CourseModule(
+        week=1, topic="AWS GPU Setup + Course Introduction",
+        slo_verbs=("Apply",),
+        slo="Set up AWS EC2 GPU instances and configure Python environments",
+        deliverables=(_lab(1, "AWS GPU instance setup with Jupyter and SSH",
+                           1),),
+    ),
+    CourseModule(
+        week=2, topic="CUDA Fundamentals & GPU Parallelism",
+        slo_verbs=("Understand", "Apply"),
+        slo="Explain GPU architecture, grasp CUDA programming basics, and "
+            "implement parallel execution",
+        deliverables=(_lab(2, "CuPy vector/matrix operations & parallel "
+                              "processing", 2),),
+    ),
+    CourseModule(
+        week=3, topic="Memory Management & GPU Optimization",
+        slo_verbs=("Analyze", "Optimize"),
+        slo="Manage and optimize memory transfers between host and GPU",
+        deliverables=(_lab(3, "Matrix multiplication with memory profiling "
+                              "using Numba", 3),
+                      _hw(1, "GPU Matrix Multiplication and Profiling", 5)),
+    ),
+    CourseModule(
+        week=4, topic="GPU Profiling Tools & Bottleneck Analysis",
+        slo_verbs=("Analyze", "Evaluate"),
+        slo="Apply Nsight Systems, PyTorch profiler, and cProfile for "
+            "comprehensive GPU workload analysis",
+        deliverables=(_lab(4, "Profiling GPU RL loop with Nsight and "
+                              "PyTorch profiler", 4),
+                      _hw(2, "Distributed GPU Data Processing", 7)),
+    ),
+    CourseModule(
+        week=5, topic="Custom CUDA Kernels with Python",
+        slo_verbs=("Create", "Integrate"),
+        slo="Write, compile, and seamlessly integrate custom CUDA kernels "
+            "in Python workflows",
+        deliverables=(_lab(5, "Custom CUDA kernel with Numba + profiling",
+                           5),),
+    ),
+    CourseModule(
+        week=6, topic="RAPIDS + Dask for Scalable Data Pipelines",
+        slo_verbs=("Apply", "Create"),
+        slo="Process large datasets efficiently using RAPIDS cuDF and Dask "
+            "for distributed GPU workflows",
+        deliverables=(_lab(6, "Parallel data processing using Dask with "
+                              "RAPIDS cuDF", 6),),
+    ),
+    CourseModule(
+        week=7, topic="Midterm Exam / Assessment",
+        slo_verbs=(),
+        slo="No SLO (Assessment Week)",
+        deliverables=(Deliverable(kind="exam", title="Midterm Exam",
+                                  due_week=7),),
+    ),
+    CourseModule(
+        week=8, topic="Deep Learning on GPUs (PyTorch Focus)",
+        slo_verbs=("Apply", "Optimize"),
+        slo="Train and optimize neural networks using GPU acceleration, "
+            "specifically focusing on GCNs",
+        deliverables=(_lab(7, "CNN model training on GPU using PyTorch",
+                           8),),
+    ),
+    CourseModule(
+        week=9, topic="Reinforcement Learning on GPUs",
+        slo_verbs=("Develop", "Implement"),
+        slo="Develop reinforcement learning agents accelerated by GPUs",
+        deliverables=(_lab(8, "DQN agent training using CUDA-enabled "
+                              "PyTorch", 9),),
+    ),
+    CourseModule(
+        week=10, topic="Multi-GPU Training & Parallel Strategies",
+        slo_verbs=("Apply", "Scale"),
+        slo="Scale models efficiently using multi-GPU setups with "
+            "Distributed Data Parallel (DDP)",
+        deliverables=(_lab(9, "PyTorch DDP implementation across 2 GPUs",
+                           10),),
+    ),
+    CourseModule(
+        week=11, topic="AI Agent Foundations & GPU Benefits",
+        slo_verbs=("Understand", "Describe"),
+        slo="Describe AI agents and explain the GPU's critical role in "
+            "training acceleration",
+        deliverables=(_lab(10, "Simple reinforcement agent using "
+                               "CuPy/Numba", 11),
+                      _hw(3, "Multi-GPU AI Agent", 13)),
+    ),
+    CourseModule(
+        week=12, topic="Retrieval-Augmented Generation (RAG) Basics",
+        slo_verbs=("Understand", "Describe"),
+        slo="Describe RAG architectures, combining retrieval and "
+            "generation modules effectively",
+        deliverables=(_lab(11, "Basic RAG pipeline using FAISS for "
+                               "retrieval", 12),),
+    ),
+    CourseModule(
+        week=13, topic="GPU-Optimized RAG Development",
+        slo_verbs=("Construct", "Optimize"),
+        slo="Construct and optimize RAG models using GPU-accelerated "
+            "retrievers and generators",
+        deliverables=(_lab(12, "Build GPU-enabled RAG with retriever + "
+                               "small LLM", 13),),
+    ),
+    CourseModule(
+        week=14, topic="RAG Pipeline Optimization & Inference",
+        slo_verbs=("Optimize", "Deploy"),
+        slo="Optimize end-to-end RAG pipelines for efficient real-time "
+            "GPU inference",
+        deliverables=(_lab(13, "Deploy real-time RAG inference pipeline",
+                           14),
+                      _hw(4, "End-to-End RAG System", 16)),
+    ),
+    CourseModule(
+        week=15, topic="Project Development & Support",
+        slo_verbs=("Apply", "Create"),
+        slo="Apply GPU acceleration, AI agent techniques, and RAG models "
+            "in capstone projects",
+        deliverables=(Deliverable(kind="extra",
+                                  title="Lab 14: Build your own Lab "
+                                        "(Extra Credit)", due_week=15),
+                      Deliverable(kind="extra",
+                                  title="Academic paper review "
+                                        "(Extra Credit)", due_week=15)),
+    ),
+    CourseModule(
+        week=16, topic="Final Project Presentations & Exam",
+        slo_verbs=("Showcase", "Demonstrate"),
+        slo="Showcase final projects demonstrating GPU-accelerated AI/RAG "
+            "pipelines",
+        deliverables=(Deliverable(kind="exam", title="Final Exam",
+                                  due_week=16),
+                      Deliverable(kind="project",
+                                  title="Final Project Presentation",
+                                  due_week=16)),
+    ),
+)
+
+
+def module_for_week(week: int) -> CourseModule:
+    """The Table I row for one week."""
+    for m in MODULES:
+        if m.week == week:
+            return m
+    raise ReproError(f"no module for week {week}")
+
+
+def all_labs() -> list[Deliverable]:
+    """Every lab deliverable, in week order."""
+    return [d for m in MODULES for d in m.deliverables if d.kind == "lab"]
+
+
+def all_assignments() -> list[Deliverable]:
+    return [d for m in MODULES for d in m.deliverables
+            if d.kind == "assignment"]
+
+
+def validate_curriculum() -> None:
+    """Schedule invariants from §III/§IV-A:
+
+    * 16 distinct weeks, one module each;
+    * 12-14 labs ("twelve to fourteen dynamic in-class labs"), counting
+      the extra-credit Lab 14 toward the upper bound;
+    * exactly four assignments, each due strictly after its module week;
+    * exactly two exams (midterm week 7, final week 16);
+    * week 7 has no SLO (assessment week).
+    """
+    weeks = [m.week for m in MODULES]
+    if sorted(weeks) != list(range(1, 17)):
+        raise ReproError("modules must cover weeks 1..16 exactly once")
+    n_labs = len(all_labs())
+    extra_labs = sum(1 for m in MODULES for d in m.deliverables
+                     if d.kind == "extra" and d.title.startswith("Lab"))
+    if not 12 <= n_labs + extra_labs <= 14:
+        raise ReproError(f"lab count {n_labs}+{extra_labs} outside 12-14")
+    assignments = all_assignments()
+    if len(assignments) != 4:
+        raise ReproError(f"expected 4 assignments, found {len(assignments)}")
+    for m in MODULES:
+        for d in m.deliverables:
+            if d.kind == "assignment" and d.due_week <= m.week:
+                raise ReproError(
+                    f"{d.title} due week {d.due_week} not after week "
+                    f"{m.week}")
+    exams = [d for m in MODULES for d in m.deliverables if d.kind == "exam"]
+    if [e.due_week for e in exams] != [7, 16]:
+        raise ReproError("exams must be midterm week 7 and final week 16")
+    if module_for_week(7).slo_verbs:
+        raise ReproError("assessment week must carry no SLO")

@@ -1,0 +1,104 @@
+"""Topic prerequisite graph: is Table I's week ordering coherent?
+
+§V's future work considers "a revision of the prerequisite course to
+infuse foundational HPC concepts"; doing that well requires knowing what
+each module actually depends on.  This module encodes the concept
+dependencies among the sixteen weeks and validates that the published
+schedule never teaches a topic before its prerequisites — and can answer
+"what must move if week X moves".
+"""
+
+from __future__ import annotations
+
+from repro.course.modules import MODULES, module_for_week
+from repro.errors import ReproError
+
+# week -> weeks whose content it builds on (the concept DAG)
+PREREQUISITES: dict[int, tuple[int, ...]] = {
+    1: (),
+    2: (1,),            # CUDA needs a provisioned GPU
+    3: (2,),            # memory management needs the execution model
+    4: (3,),            # profiling needs something to profile
+    5: (2, 4),          # custom kernels need CUDA + profiling habits
+    6: (1, 3),          # Dask/cuDF need cloud + transfer awareness
+    7: (2, 3, 4, 5, 6),  # midterm covers the first half
+    8: (3, 4),          # DL training needs memory + profiling
+    9: (8,),            # DQN builds on NN training
+    10: (6, 8),         # DDP needs distributed + DL
+    11: (9,),           # agents build on RL
+    12: (8,),           # RAG needs embeddings/NN background
+    13: (12, 4),        # GPU-optimized RAG needs RAG + profiling
+    14: (13, 10),       # serving at scale needs optimization + multi-GPU
+    15: (7,),           # projects need the first-half foundation
+    16: (15,),
+}
+
+
+def validate_prerequisites() -> None:
+    """Every dependency must point to an *earlier* week, every week must
+    appear, and the DAG must be acyclic (implied by the former)."""
+    weeks = {m.week for m in MODULES}
+    if set(PREREQUISITES) != weeks:
+        missing = weeks ^ set(PREREQUISITES)
+        raise ReproError(f"prerequisite map out of sync with Table I: "
+                         f"{sorted(missing)}")
+    for week, deps in PREREQUISITES.items():
+        for dep in deps:
+            if dep not in weeks:
+                raise ReproError(f"week {week} depends on unknown {dep}")
+            if dep >= week:
+                raise ReproError(
+                    f"week {week} ({module_for_week(week).topic}) depends "
+                    f"on week {dep}, which is not earlier — the schedule "
+                    f"teaches it too late")
+
+
+def transitive_prerequisites(week: int) -> set[int]:
+    """All weeks (transitively) required before ``week``."""
+    if week not in PREREQUISITES:
+        raise ReproError(f"unknown week {week}")
+    out: set[int] = set()
+    stack = list(PREREQUISITES[week])
+    while stack:
+        w = stack.pop()
+        if w not in out:
+            out.add(w)
+            stack.extend(PREREQUISITES[w])
+    return out
+
+
+def dependents_of(week: int) -> set[int]:
+    """Weeks that (transitively) build on ``week`` — what breaks if this
+    module is dropped or moved later."""
+    if week not in PREREQUISITES:
+        raise ReproError(f"unknown week {week}")
+    out: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for w, deps in PREREQUISITES.items():
+            if w in out:
+                continue
+            if week in deps or out & set(deps):
+                out.add(w)
+                changed = True
+    return out
+
+
+def critical_path() -> list[int]:
+    """The longest prerequisite chain — the minimum sequential depth of
+    the curriculum (how much could be compressed into a summer term)."""
+    depth: dict[int, int] = {}
+
+    def d(week: int) -> int:
+        if week not in depth:
+            deps = PREREQUISITES[week]
+            depth[week] = 1 + (max(d(x) for x in deps) if deps else 0)
+        return depth[week]
+
+    end = max(PREREQUISITES, key=d)
+    # reconstruct one longest chain
+    chain = [end]
+    while PREREQUISITES[chain[-1]]:
+        chain.append(max(PREREQUISITES[chain[-1]], key=d))
+    return list(reversed(chain))

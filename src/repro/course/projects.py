@@ -1,0 +1,125 @@
+"""Capstone group projects (Weeks 15-16) and the Appendix B lab validator.
+
+§IV-A's project facts: groups are "capped at two members", the project is
+15% of the grade, and Appendix A notes project GPU usage averaged under
+two hours.  Appendix B's "Build Your Own Lab" failed partly for lack of a
+structural check ("the only requirement was that the lab could not
+replicate an existing one; ... none of the submissions fully met the
+student learning outcomes") — :func:`validate_byol` is that check,
+automated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.course.modules import MODULES, SLO_VERBS, all_labs
+from repro.datasets.students import StudentRecord
+from repro.errors import ReproError
+
+MAX_TEAM_SIZE = 2            # §IV-A: "capped at two members"
+PROJECT_GPU_HOURS_MAX = 2.0  # Appendix A
+
+
+@dataclass(frozen=True)
+class ProjectTeam:
+    """One capstone team."""
+
+    members: tuple[str, ...]
+    title: str
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.members) <= MAX_TEAM_SIZE:
+            raise ReproError(
+                f"teams are capped at {MAX_TEAM_SIZE} members "
+                f"(got {len(self.members)})")
+        if len(set(self.members)) != len(self.members):
+            raise ReproError("duplicate team member")
+        if not self.title.strip():
+            raise ReproError("project needs a title")
+
+
+def form_teams(cohort: list[StudentRecord], seed: int = 0
+               ) -> list[ProjectTeam]:
+    """Pair students into capstone teams (odd cohorts leave one solo)."""
+    rng = np.random.default_rng(seed)
+    names = [s.name for s in cohort]
+    rng.shuffle(names)
+    teams = []
+    for i in range(0, len(names), 2):
+        members = tuple(names[i:i + 2])
+        teams.append(ProjectTeam(
+            members=members,
+            title=f"capstone-{i // 2:02d}"))
+    return teams
+
+
+@dataclass(frozen=True)
+class CapstoneRubric:
+    """The Week 16 rubric: every criterion from Table I's final SLO
+    ("GPU-accelerated AI/RAG pipelines")."""
+
+    uses_gpu_acceleration: bool
+    includes_agent_or_rag: bool
+    gpu_hours_used: float
+    presented: bool
+
+    def score(self) -> float:
+        """0-100 project score (used at the 15% grade weight)."""
+        pts = 0.0
+        pts += 40.0 if self.uses_gpu_acceleration else 0.0
+        pts += 30.0 if self.includes_agent_or_rag else 0.0
+        pts += 20.0 if self.presented else 0.0
+        # resource discipline: within the sub-2h budget
+        pts += 10.0 if self.gpu_hours_used <= PROJECT_GPU_HOURS_MAX else 0.0
+        return pts
+
+
+# ---------------------------------------------------------------------------
+# Appendix B: Build-Your-Own-Lab validation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ByolSubmission:
+    """A student-designed lab proposal."""
+
+    title: str
+    topic_week: int              # which module it extends
+    slo_verbs: tuple[str, ...]
+    deliverable: str
+    has_measurable_outcome: bool = True
+
+
+def validate_byol(submission: ByolSubmission) -> list[str]:
+    """The structural review Appendix B's submissions never got.
+
+    Returns the list of problems (empty = meets the bar):
+
+    * must not replicate an existing lab (title similarity check);
+    * must target a real module week;
+    * must use recognized SLO verbs;
+    * must name a deliverable with a measurable outcome.
+    """
+    problems: list[str] = []
+    existing = {lab.title.split(":", 1)[-1].strip().lower()
+                for lab in all_labs()}
+    title_l = submission.title.strip().lower()
+    if not title_l:
+        problems.append("missing title")
+    elif any(title_l in e or e in title_l for e in existing if e):
+        problems.append("replicates an existing lab")
+    if submission.topic_week not in {m.week for m in MODULES}:
+        problems.append(f"unknown module week {submission.topic_week}")
+    if not submission.slo_verbs:
+        problems.append("no student learning outcome verbs")
+    else:
+        unknown = [v for v in submission.slo_verbs if v not in SLO_VERBS]
+        if unknown:
+            problems.append(f"unrecognized SLO verbs: {unknown}")
+    if not submission.deliverable.strip():
+        problems.append("no deliverable")
+    if not submission.has_measurable_outcome:
+        problems.append("deliverable has no measurable outcome")
+    return problems

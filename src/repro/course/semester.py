@@ -1,0 +1,193 @@
+"""The semester simulator: a whole term played through the cloud layer.
+
+One :class:`SemesterSimulator` run enrolls the term's cohort (Fig 1
+sizes), walks the 16 weeks of Table I, provisions GPU time per student
+per deliverable through the simulated AWS account (drawing instance types
+from the §III-A1 course mixes), runs the reaper weekly, and emits a
+:class:`SemesterReport` whose aggregates are the Fig 5 quantities —
+average hours and dollars per student — plus the Fig 2 grade
+distribution from the cohort data.
+
+Calibration: per-lab GPU time ≈ 2.6 h and per-assignment ≈ 2.5 h puts a
+12-lab Fall at ≈ 40 h/student and a 14-lab Spring at ≈ 45 h/student, the
+published band; most items run on the single-GPU mix ($1.262/h) and the
+two multi-GPU items (DDP lab, multi-GPU assignment) on the multi-GPU mix
+($2.314/h), landing inside the $50-60 band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.pricing import SINGLE_GPU_COURSE_MIX
+from repro.cloud.session import CloudSession
+from repro.course.modules import MODULES, all_labs
+from repro.datasets.students import StudentRecord, sample_cohort
+from repro.errors import ReproError
+
+# GPU-time calibration (hours per student per deliverable).
+LAB_HOURS = 2.6
+ASSIGNMENT_HOURS = 2.2
+PROJECT_HOURS = 1.5          # "less than 2 hours in both semesters"
+MULTI_GPU_WEEKS = (10, 11)   # the DDP lab and the multi-GPU assignment
+
+
+@dataclass
+class SemesterReport:
+    """Aggregates of one simulated term (the Fig 5 / Fig 2 inputs)."""
+
+    term: str
+    students: list[StudentRecord]
+    avg_hours_per_student: float
+    avg_cost_per_student_usd: float
+    total_cost_usd: float
+    budget_extensions_requested: int
+    reaped_resources: int
+    labs_run: int
+
+    def grade_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.students:
+            out[s.letter] = out.get(s.letter, 0) + 1
+        return out
+
+
+SURVEY_WEEKS = {"mid": 6, "final": 12}  # §IV-C's collection points
+
+
+class SemesterSimulator:
+    """Plays one term against a fresh simulated AWS account."""
+
+    def __init__(self, term: str, seed: int = 0,
+                 extra_labs: int | None = None) -> None:
+        if term not in ("Fall 2024", "Spring 2025"):
+            raise ReproError(f"unknown term {term!r}")
+        self.term = term
+        self.seed = seed
+        # Spring added two labs (Appendix A); Fall ran the base 12.
+        self.n_labs = extra_labs if extra_labs is not None else (
+            12 if term == "Fall 2024" else 14)
+        self.cloud = CloudSession()
+        self.cloud.set_term(term)
+        self.students = sample_cohort(term, seed=seed)
+        self._rng = np.random.default_rng(seed)
+        self._creds = {s.name: self.cloud.register_student(s.name)
+                       for s in self.students}
+        # Appendix A counts *student session hours* (a 3-node cluster used
+        # for 2 h is 2 usage-hours at the multi-GPU rate, not 6); billing
+        # still accrues per instance-hour underneath.
+        self._session_hours: dict[str, float] = {s.name: 0.0
+                                                 for s in self.students}
+
+    # -- instance-type draws from the published mixes -----------------------
+
+    def _draw_single_gpu_type(self) -> str:
+        names = list(SINGLE_GPU_COURSE_MIX)
+        weights = np.array([SINGLE_GPU_COURSE_MIX[n] for n in names])
+        return str(self._rng.choice(names, p=weights / weights.sum()))
+
+    def _provision_hours(self, student: str, hours: float,
+                         multi_gpu: bool) -> None:
+        """Launch, burn `hours`, terminate — one deliverable's GPU use."""
+        creds = self._creds[student]
+        if multi_gpu:
+            # the dominant multi-GPU pattern: a 3-node g4dn cluster
+            instances = [self.cloud.ec2.run_instance(
+                "g4dn.xlarge", owner=student, credentials=creds)
+                for _ in range(3)]
+        else:
+            instances = [self.cloud.ec2.run_instance(
+                self._draw_single_gpu_type(), owner=student,
+                credentials=creds)]
+        self.cloud.advance_hours(hours)
+        for inst in instances:
+            self.cloud.ec2.terminate(inst.instance_id, credentials=creds)
+        self._session_hours[student] += hours
+
+    # -- surveys (the §IV-C instruments, keyed to the term) ------------------
+
+    def collect_survey(self, phase: str) -> dict[str, object]:
+        """The anonymous survey snapshot for this term at ``phase``
+        ("mid" = week 6, "final" = week 12): the Fig 4 items that exist
+        for that phase."""
+        from repro.datasets.surveys import survey_fig4
+        if phase not in SURVEY_WEEKS:
+            raise ReproError(f"phase must be mid/final, got {phase!r}")
+        out: dict[str, object] = {"week": SURVEY_WEEKS[phase]}
+        for fig in ("4a", "4b", "4c", "4d"):
+            try:
+                out[fig] = survey_fig4(fig, self.term, phase)
+            except ReproError:
+                continue  # not every item was asked at midterm
+        return out
+
+    def course_evaluations(self):
+        """End-of-term artifacts: Fig 3 feedback per question/cohort and
+        the Appendix D satisfaction counts."""
+        from repro.datasets.surveys import (
+            FIG3_QUESTIONS,
+            course_content_feedback,
+            satisfaction_counts,
+        )
+        feedback = {
+            (q, cohort): course_content_feedback(q, cohort)
+            for q in FIG3_QUESTIONS
+            for cohort in ("undergraduate", "graduate")
+        }
+        return feedback, satisfaction_counts(self.term)
+
+    # -- the term ---------------------------------------------------------------
+
+    def run(self) -> SemesterReport:
+        labs_scheduled = [d for d in all_labs()][:self.n_labs]
+        lab_weeks = {d.due_week for d in labs_scheduled}
+        # Spring's two extra labs land in otherwise lab-free weeks.
+        if self.n_labs > len(all_labs()):
+            lab_weeks.update({11, 15})
+
+        labs_run = 0
+        for module in MODULES:
+            week = module.week
+            for student in self.students:
+                if week in lab_weeks:
+                    hours = LAB_HOURS * self._rng.uniform(0.9, 1.1)
+                    self._provision_hours(student.name, hours,
+                                          multi_gpu=week in MULTI_GPU_WEEKS)
+            if week in lab_weeks:
+                labs_run += 1
+            for d in module.deliverables:
+                if d.kind == "assignment":
+                    for student in self.students:
+                        hours = ASSIGNMENT_HOURS * self._rng.uniform(0.9, 1.1)
+                        self._provision_hours(
+                            student.name, hours,
+                            multi_gpu=week in MULTI_GPU_WEEKS)
+            if week == 15:  # group project week
+                for student in self.students:
+                    self._provision_hours(student.name,
+                                          PROJECT_HOURS
+                                          * self._rng.uniform(0.6, 1.0),
+                                          multi_gpu=False)
+            # weekly hygiene sweep (the §III-A automation)
+            self.cloud.advance_hours(3.0)
+            self.cloud.reaper.sweep()
+
+        explorer = self.cloud.billing.explorer
+        per_term = explorer.by_term()[self.term]
+        extensions = sum(b.extension_requests
+                         for b in self.cloud.billing.budgets.values())
+        reaped = sum(r.reaped_count for r in self.cloud.reaper.sweeps)
+        avg_session_hours = (sum(self._session_hours.values())
+                             / len(self.students))
+        return SemesterReport(
+            term=self.term,
+            students=self.students,
+            avg_hours_per_student=avg_session_hours,
+            avg_cost_per_student_usd=per_term["avg_cost_per_student"],
+            total_cost_usd=per_term["cost_usd"],
+            budget_extensions_requested=extensions,
+            reaped_resources=reaped,
+            labs_run=labs_run,
+        )

@@ -1,0 +1,25 @@
+"""``repro.dataframe`` — a minimal RAPIDS-cuDF-like columnar DataFrame.
+
+Week 6 of the course ("RAPIDS + Dask for Scalable Data Pipelines") has
+students "process large datasets efficiently using RAPIDS cuDF".  This
+package provides the cuDF surface the lab uses — GPU-resident columns,
+filtering by boolean masks, group-by aggregation, hash joins, sorting —
+executing on the virtual GPU so the CPU-vs-GPU pipeline comparison of the
+Lab 6 benchmark falls out of the same cost model as everything else.
+
+    import repro.dataframe as cudf
+    df = cudf.DataFrame({"key": keys, "value": values})
+    out = df[df["value"] > 0].groupby("key").agg({"value": "mean"})
+"""
+
+from repro.dataframe.frame import (
+    Column,
+    DataFrame,
+    GroupBy,
+    from_host,
+    describe,
+    value_counts,
+)
+
+__all__ = ["Column", "DataFrame", "GroupBy", "from_host",
+           "describe", "value_counts"]

@@ -1,0 +1,443 @@
+"""Columnar DataFrame on the virtual GPU.
+
+Columns wrap :class:`repro.xp.ndarray`; elementwise column math reuses the
+xp kernels, while the relational operators (group-by, join, sort) charge
+their own hash/radix kernels — the operations whose GPU speedups RAPIDS
+advertises and Lab 6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+import repro.xp as xp
+from repro.errors import ShapeError
+from repro.gpu.kernelmodel import KernelCost
+from repro.xp.ndarray import ndarray as XpArray
+
+
+class Column:
+    """One named, GPU-resident column (a cuDF ``Series`` without index)."""
+
+    def __init__(self, data, device=None) -> None:
+        if isinstance(data, XpArray):
+            arr = data
+        else:
+            arr = xp.asarray(np.asarray(data), device=device)
+        if arr.ndim != 1:
+            raise ShapeError(f"columns are 1-D, got shape {arr.shape}")
+        self.data = arr
+
+    # -- basics ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def device(self):
+        return self.data.device
+
+    def to_numpy(self) -> np.ndarray:
+        """Copy to host (charges the D2H transfer)."""
+        return self.data.get()
+
+    def _np(self) -> np.ndarray:
+        return self.data._unwrap()
+
+    # -- elementwise (delegates to xp kernels) -----------------------------------
+
+    def _wrap(self, other):
+        return other.data if isinstance(other, Column) else other
+
+    def __add__(self, other):
+        return Column(self.data + self._wrap(other))
+
+    def __sub__(self, other):
+        return Column(self.data - self._wrap(other))
+
+    def __mul__(self, other):
+        return Column(self.data * self._wrap(other))
+
+    def __truediv__(self, other):
+        return Column(self.data / self._wrap(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Column(self.data == self._wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Column(self.data != self._wrap(other))
+
+    def __lt__(self, other):
+        return Column(self.data < self._wrap(other))
+
+    def __le__(self, other):
+        return Column(self.data <= self._wrap(other))
+
+    def __gt__(self, other):
+        return Column(self.data > self._wrap(other))
+
+    def __ge__(self, other):
+        return Column(self.data >= self._wrap(other))
+
+    def __and__(self, other):
+        out = self._np() & Column._as_bool(other)
+        return self._launch_new(out, "mask_and")
+
+    def __or__(self, other):
+        out = self._np() | Column._as_bool(other)
+        return self._launch_new(out, "mask_or")
+
+    def __invert__(self):
+        return self._launch_new(~self._np().astype(bool), "mask_not")
+
+    __hash__ = None
+
+    @staticmethod
+    def _as_bool(other) -> np.ndarray:
+        if isinstance(other, Column):
+            return other._np().astype(bool)
+        return np.asarray(other, dtype=bool)
+
+    def _launch_new(self, host_out: np.ndarray, name: str,
+                    flops_per_row: float = 1.0) -> "Column":
+        dev = self.device
+        dev.launch_auto(
+            KernelCost(flops=flops_per_row * max(len(host_out), 1),
+                       bytes_read=float(self.data.nbytes),
+                       bytes_written=float(host_out.nbytes), name=name,
+                       compute_efficiency=0.35),
+            max(len(host_out), 1))
+        return Column(XpArray(host_out, dev))
+
+    # -- reductions ------------------------------------------------------------
+
+    def sum(self) -> float:
+        return float(self.data.sum().item())
+
+    def mean(self) -> float:
+        return float(self.data.mean().item())
+
+    def min(self) -> float:
+        return float(self.data.min().item())
+
+    def max(self) -> float:
+        return float(self.data.max().item())
+
+    def count(self) -> int:
+        return len(self)
+
+    def unique(self) -> "Column":
+        vals = np.unique(self._np())
+        return self._launch_new(vals, "unique_hash", flops_per_row=4.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Column(len={len(self)}, dtype={self.dtype})"
+
+
+class DataFrame:
+    """A dict of equal-length GPU columns (the cuDF core)."""
+
+    def __init__(self, data: Mapping[str, object] | None = None,
+                 device=None) -> None:
+        self._cols: dict[str, Column] = {}
+        if data:
+            for name, values in data.items():
+                col = values if isinstance(values, Column) else Column(
+                    values, device=device)
+                self._check_len(name, col)
+                self._cols[name] = col
+
+    # -- structure -------------------------------------------------------------
+
+    def _check_len(self, name: str, col: Column) -> None:
+        if self._cols:
+            n = len(next(iter(self._cols.values())))
+            if len(col) != n:
+                raise ShapeError(
+                    f"column {name!r} has length {len(col)}, frame has {n}")
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._cols)
+
+    def __len__(self) -> int:
+        if not self._cols:
+            return 0
+        return len(next(iter(self._cols.values())))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            try:
+                return self._cols[key]
+            except KeyError:
+                raise KeyError(
+                    f"no column {key!r}; have {self.columns}") from None
+        if isinstance(key, Column):  # boolean mask
+            return self.filter(key)
+        if isinstance(key, (list, tuple)):
+            return DataFrame({k: self._cols[k] for k in key})
+        raise TypeError(f"cannot index DataFrame with {type(key).__name__}")
+
+    def __setitem__(self, name: str, values) -> None:
+        col = values if isinstance(values, Column) else Column(values)
+        self._check_len(name, col)
+        self._cols[name] = col
+
+    def to_host(self) -> dict[str, np.ndarray]:
+        """Copy every column back to numpy (charges the transfers)."""
+        return {k: c.to_numpy() for k, c in self._cols.items()}
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return self._take(np.arange(min(n, len(self))), "head")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataFrame(rows={len(self)}, columns={self.columns})"
+
+    # -- relational operators -----------------------------------------------------
+
+    def _device(self):
+        if not self._cols:
+            raise ShapeError("empty DataFrame has no device")
+        return next(iter(self._cols.values())).device
+
+    def _take(self, idx: np.ndarray, name: str) -> "DataFrame":
+        """Gather rows by host index array, charging one gather kernel per
+        column."""
+        dev = self._device()
+        out = DataFrame()
+        total_bytes = 0
+        for k, c in self._cols.items():
+            host = c._np()[idx]
+            out._cols[k] = Column(XpArray(host, dev))
+            total_bytes += host.nbytes
+        dev.launch_auto(
+            KernelCost(flops=0.0, bytes_read=2.0 * total_bytes,
+                       bytes_written=float(total_bytes),
+                       name=f"gather_{name}", compute_efficiency=0.35),
+            max(len(idx), 1))
+        return out
+
+    def filter(self, mask: Column) -> "DataFrame":
+        """Keep rows where ``mask`` is true (cuDF boolean indexing)."""
+        if len(mask) != len(self):
+            raise ShapeError(
+                f"mask length {len(mask)} != frame length {len(self)}")
+        idx = np.flatnonzero(mask._np())
+        return self._take(idx, "filter")
+
+    def assign(self, **new_cols) -> "DataFrame":
+        out = DataFrame({k: c for k, c in self._cols.items()})
+        for name, values in new_cols.items():
+            out[name] = values
+        return out
+
+    def sort_values(self, by: str, ascending: bool = True) -> "DataFrame":
+        """Radix-style sort: costed O(n) passes over the key column."""
+        key = self[by]._np()
+        order = np.argsort(key, kind="stable")
+        if not ascending:
+            order = order[::-1]
+        dev = self._device()
+        dev.launch_auto(
+            KernelCost(flops=4.0 * max(len(self), 1),
+                       bytes_read=4.0 * key.nbytes,
+                       bytes_written=float(key.nbytes),
+                       name="radix_sort", compute_efficiency=0.4),
+            max(len(self), 1))
+        return self._take(order, "sort")
+
+    def groupby(self, by: str) -> "GroupBy":
+        if by not in self._cols:
+            raise KeyError(f"no column {by!r}")
+        return GroupBy(self, by)
+
+    def merge(self, other: "DataFrame", on: str,
+              how: str = "inner") -> "DataFrame":
+        """Hash join on one key column (``inner`` or ``left``)."""
+        if how not in ("inner", "left"):
+            raise ValueError(f"how must be inner/left, got {how!r}")
+        if on not in self._cols or on not in other._cols:
+            raise KeyError(f"join key {on!r} missing from one side")
+        left_keys = self[on]._np()
+        right_keys = other[on]._np()
+
+        # Build side: hash table over the right keys.
+        table: dict = {}
+        for j, k in enumerate(right_keys.tolist()):
+            table.setdefault(k, []).append(j)
+
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        for i, k in enumerate(left_keys.tolist()):
+            hits = table.get(k)
+            if hits:
+                for j in hits:
+                    left_idx.append(i)
+                    right_idx.append(j)
+            elif how == "left":
+                left_idx.append(i)
+                right_idx.append(-1)
+
+        dev = self._device()
+        probe_bytes = left_keys.nbytes + right_keys.nbytes
+        dev.launch_auto(
+            KernelCost(flops=6.0 * (len(left_keys) + len(right_keys)),
+                       bytes_read=3.0 * probe_bytes,
+                       bytes_written=8.0 * max(len(left_idx), 1),
+                       name="hash_join", compute_efficiency=0.4),
+            max(len(left_keys), 1))
+
+        li = np.asarray(left_idx, dtype=np.int64)
+        ri = np.asarray(right_idx, dtype=np.int64)
+        out = DataFrame()
+        for k, c in self._cols.items():
+            out._cols[k] = Column(XpArray(c._np()[li], dev))
+        for k, c in other._cols.items():
+            if k == on:
+                continue
+            name = k if k not in out._cols else f"{k}_right"
+            vals = c._np()
+            joined = np.where(ri >= 0, vals[np.clip(ri, 0, None)],
+                              np.nan if np.issubdtype(vals.dtype, np.floating)
+                              else 0)
+            out._cols[name] = Column(XpArray(np.asarray(joined), dev))
+        return out
+
+
+_AGG_FUNCS: dict[str, Callable[[np.ndarray], float]] = {
+    "sum": np.sum,
+    "mean": np.mean,
+    "min": np.min,
+    "max": np.max,
+    "count": len,
+}
+
+
+class GroupBy:
+    """Deferred group-by; ``agg`` runs the segmented reduction."""
+
+    def __init__(self, frame: DataFrame, by: str) -> None:
+        self.frame = frame
+        self.by = by
+
+    def agg(self, spec: Mapping[str, "str | Sequence[str]"]) -> DataFrame:
+        """``spec`` maps column -> one of sum/mean/min/max/count, or a
+        list of them (cuDF's multi-aggregation form).
+
+        Implementation is sort-based segmented reduction (cuDF's default
+        path), charged as one hash+reduce kernel over the touched columns.
+        """
+        # normalize to (column, op) pairs
+        pairs: list[tuple[str, str]] = []
+        for col, ops in spec.items():
+            ops_list = [ops] if isinstance(ops, str) else list(ops)
+            for op in ops_list:
+                pairs.append((col, op))
+        for col, op in pairs:
+            if col not in self.frame._cols:
+                raise KeyError(f"no column {col!r}")
+            if op not in _AGG_FUNCS:
+                raise ValueError(
+                    f"unknown aggregation {op!r}; pick from "
+                    f"{sorted(_AGG_FUNCS)}")
+
+        keys = self.frame[self.by]._np()
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        dev = self.frame._device()
+
+        # Sort rows by group once, then segmented reductions via
+        # ``np.*.reduceat`` — O(n log n) total instead of the naive
+        # O(n·groups) per-group masking (the "vectorize your loops"
+        # optimization the course's own guides preach).
+        order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[order]
+        boundaries = np.flatnonzero(
+            np.diff(sorted_inverse, prepend=-1))
+        counts = np.diff(np.append(boundaries, len(keys)))
+
+        out_data: dict[str, np.ndarray] = {self.by: uniq}
+        touched_bytes = keys.nbytes
+        for col, op in pairs:
+            vals = self.frame[col]._np()[order].astype(np.float64)
+            touched_bytes += vals.nbytes
+            if op == "count":
+                agg = counts.astype(np.float64)
+            elif op == "sum":
+                agg = np.add.reduceat(vals, boundaries)
+            elif op == "mean":
+                agg = np.add.reduceat(vals, boundaries) / counts
+            elif op == "min":
+                agg = np.minimum.reduceat(vals, boundaries)
+            else:  # "max"
+                agg = np.maximum.reduceat(vals, boundaries)
+            out_data[f"{col}_{op}"] = agg
+
+        dev.launch_auto(
+            KernelCost(flops=8.0 * max(len(keys), 1) * max(len(pairs), 1),
+                       bytes_read=2.0 * touched_bytes,
+                       bytes_written=8.0 * max(len(uniq), 1)
+                       * max(len(pairs), 1),
+                       name="groupby_agg", compute_efficiency=0.4),
+            max(len(keys), 1))
+
+        out = DataFrame()
+        for name, host in out_data.items():
+            out._cols[name] = Column(XpArray(np.asarray(host), dev))
+        return out
+
+
+def from_host(data: Mapping[str, Sequence | np.ndarray],
+              device=None) -> DataFrame:
+    """Build a GPU DataFrame from host columns (charges H2D per column)."""
+    return DataFrame(data, device=device)
+
+
+def _describe_column(col: Column) -> dict[str, float]:
+    data = col._np().astype(np.float64)
+    return {
+        "count": float(len(data)),
+        "mean": float(data.mean()),
+        "std": float(data.std(ddof=1)) if len(data) > 1 else 0.0,
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+def describe(frame: DataFrame) -> dict[str, dict[str, float]]:
+    """Per-column summary statistics (cuDF's ``describe``), computed as
+    one fused reduction kernel over the frame."""
+    if not frame.columns:
+        raise ShapeError("cannot describe an empty DataFrame")
+    dev = frame._device()
+    out = {name: _describe_column(frame[name]) for name in frame.columns}
+    total_bytes = sum(frame[name].data.nbytes for name in frame.columns)
+    dev.launch_auto(
+        KernelCost(flops=5.0 * max(len(frame), 1) * len(frame.columns),
+                   bytes_read=float(total_bytes), bytes_written=256.0,
+                   name="describe", compute_efficiency=0.4),
+        max(len(frame), 1))
+    return out
+
+
+def value_counts(col: Column) -> dict[float, int]:
+    """Occurrence counts per distinct value, descending (cuDF's
+    ``value_counts``) — a hash-aggregate kernel."""
+    data = col._np()
+    values, counts = np.unique(data, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    col.device.launch_auto(
+        KernelCost(flops=4.0 * max(len(data), 1),
+                   bytes_read=2.0 * data.nbytes,
+                   bytes_written=8.0 * max(len(values), 1),
+                   name="value_counts", compute_efficiency=0.4),
+        max(len(data), 1))
+    return {float(values[i]): int(counts[i]) for i in order}

@@ -1,0 +1,43 @@
+"""Fig 1: enrollment per term, graduate vs undergraduate.
+
+Known from the text: combined Fall 2024 + Spring 2025 enrollment ≈ 39;
+Spring 2025 "notably saw fifteen graduate students"; Appendix C has 20
+graduates and 20 undergraduates overall (so Fall 2024 had 5 graduates).
+Summer 2025 was ongoing at submission — its bar is an estimate read off
+Fig 1 and flagged as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TermEnrollment:
+    term: str
+    graduate: int
+    undergraduate: int
+    estimated: bool = False
+
+    @property
+    def total(self) -> int:
+        return self.graduate + self.undergraduate
+
+
+ENROLLMENT: tuple[TermEnrollment, ...] = (
+    TermEnrollment(term="Fall 2024", graduate=5, undergraduate=14),
+    TermEnrollment(term="Spring 2025", graduate=15, undergraduate=5),
+    TermEnrollment(term="Summer 2025", graduate=4, undergraduate=6,
+                   estimated=True),
+)
+
+
+def enrollment_table() -> list[tuple[str, int, int, int]]:
+    """Rows of (term, graduate, undergraduate, total) for Fig 1."""
+    return [(e.term, e.graduate, e.undergraduate, e.total)
+            for e in ENROLLMENT]
+
+
+def combined_fall_spring_total() -> int:
+    """The "about thirty-nine students" sanity number from §I."""
+    return sum(e.total for e in ENROLLMENT if not e.estimated)

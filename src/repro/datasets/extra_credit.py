@@ -1,0 +1,56 @@
+"""Appendix B: the two extra-credit opportunities, as data.
+
+Published facts: "Build Your Own Lab" drew zero Fall submissions and
+three Spring submissions, none of which fully met the student learning
+outcomes (attributed to finals-week timing); the academic paper review
+(Spring only) was completed by ~60% of students, with excellent summaries
+but "often vague" research-extension proposals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ExtraCreditOutcome:
+    """One opportunity's published outcome in one term."""
+
+    opportunity: str
+    term: str
+    offered: bool
+    submissions: int
+    met_outcomes: int
+    completion_rate: float | None = None  # fraction of the cohort
+    notes: str = ""
+
+
+EXTRA_CREDIT: tuple[ExtraCreditOutcome, ...] = (
+    ExtraCreditOutcome(
+        opportunity="Build Your Own Lab", term="Fall 2024", offered=True,
+        submissions=0, met_outcomes=0,
+        notes="no students attempted"),
+    ExtraCreditOutcome(
+        opportunity="Build Your Own Lab", term="Spring 2025", offered=True,
+        submissions=3, met_outcomes=0,
+        notes="attempted during finals week; none fully met the SLOs"),
+    ExtraCreditOutcome(
+        opportunity="Academic Paper Review", term="Fall 2024",
+        offered=False, submissions=0, met_outcomes=0),
+    ExtraCreditOutcome(
+        opportunity="Academic Paper Review", term="Spring 2025",
+        offered=True, submissions=12, met_outcomes=12,
+        completion_rate=0.60,
+        notes="~60% completed; summaries excellent, proposed extensions "
+              "often vague"),
+)
+
+
+def extra_credit_outcomes(term: str) -> list[ExtraCreditOutcome]:
+    """The Appendix B rows for one term."""
+    rows = [e for e in EXTRA_CREDIT if e.term == term]
+    if not rows:
+        raise ReproError(f"no extra-credit data for {term!r}")
+    return rows

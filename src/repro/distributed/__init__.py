@@ -1,0 +1,60 @@
+"""``repro.distributed`` — a Dask-like distributed runtime on virtual GPUs.
+
+Algorithm 1 of the paper orchestrates multi-GPU GCN training with Dask:
+"Initialize Dask cluster; assign each worker to a GPU".  This package is
+that runtime:
+
+* :class:`~repro.distributed.cluster.LocalCudaCluster` — one worker pinned
+  to each GPU of a :class:`~repro.gpu.system.GpuSystem` (dask-cuda's
+  namesake), or built from bootstrap-provisioned EC2 instances with the
+  VPC reachability check that Fig 4b's students fought;
+* :class:`~repro.distributed.client.Client` — ``submit`` / ``map`` /
+  ``gather`` with :class:`~repro.distributed.client.Future` results;
+* :class:`~repro.distributed.taskgraph.TaskGraph` +
+  :class:`~repro.distributed.scheduler.Scheduler` — explicit task graphs
+  with dependency-aware placement (Lab 6's "scalable data pipelines");
+* :mod:`~repro.distributed.collectives` — broadcast / scatter / gather /
+  all-gather / ring all-reduce across devices, with modeled P2P costs (the
+  gradient aggregation of Algorithm 1 lines 11-13).
+
+Execution is eager Python; *parallelism lives in simulated time*: each
+worker's kernels land on its own device timeline, so two workers' work
+overlaps on the simulated clock exactly as two CUDA devices overlap in
+reality, and speedup numbers come out of the same model as everything
+else.
+"""
+
+from repro.distributed.taskgraph import Task, TaskGraph
+from repro.distributed.worker import Worker, WorkerDied
+from repro.distributed.scheduler import Scheduler, ScheduleReport
+from repro.distributed.cluster import LocalCudaCluster, cluster_from_instances
+from repro.distributed.client import Client, Future, as_completed, wait
+from repro.distributed.collectives import (
+    broadcast,
+    scatter,
+    gather,
+    allgather,
+    ring_allreduce,
+    bucketed_allreduce,
+)
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "Worker",
+    "WorkerDied",
+    "Scheduler",
+    "ScheduleReport",
+    "LocalCudaCluster",
+    "cluster_from_instances",
+    "Client",
+    "Future",
+    "as_completed",
+    "wait",
+    "broadcast",
+    "scatter",
+    "gather",
+    "allgather",
+    "ring_allreduce",
+    "bucketed_allreduce",
+]

@@ -1,0 +1,122 @@
+"""The user-facing Dask client: submit / map / gather futures.
+
+Execution is eager (simplest deterministic semantics) but placement is
+load-balanced across workers and device work is asynchronous in simulated
+time, so ``client.map`` over k workers genuinely overlaps on the clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.distributed.cluster import LocalCudaCluster
+from repro.distributed.worker import Worker
+from repro.errors import SchedulerError
+
+_future_ids = itertools.count(1)
+
+
+@dataclass
+class Future:
+    """A completed-or-failed task handle (eager execution means no
+    pending state, but the error-carrying surface matches Dask's)."""
+
+    key: str
+    worker: str
+    _value: Any = None
+    _error: BaseException | None = None
+
+    @property
+    def status(self) -> str:
+        return "error" if self._error is not None else "finished"
+
+    def result(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class Client:
+    """``Client(cluster)`` — the notebook-side handle of Lab 6."""
+
+    def __init__(self, cluster: LocalCudaCluster) -> None:
+        self.cluster = cluster
+        self._rr = itertools.cycle(range(len(cluster.workers)))
+
+    # -- placement -------------------------------------------------------------
+
+    def _pick(self, worker: Worker | int | None) -> Worker:
+        if isinstance(worker, Worker):
+            return worker
+        if isinstance(worker, int):
+            try:
+                return self.cluster.workers[worker]
+            except IndexError:
+                raise SchedulerError(f"no worker index {worker}") from None
+        # least-loaded by device horizon, round-robin on ties
+        idx = next(self._rr)
+        candidates = sorted(self.cluster.workers,
+                            key=lambda w: w.ready_at_ns)
+        earliest = candidates[0].ready_at_ns
+        tied = [w for w in candidates if w.ready_at_ns == earliest]
+        return tied[idx % len(tied)]
+
+    # -- API ---------------------------------------------------------------------
+
+    def submit(self, fn: Callable, *args: Any,
+               workers: Worker | int | None = None, **kwargs: Any) -> Future:
+        """Run ``fn`` on a worker; returns a :class:`Future`."""
+        worker = self._pick(workers)
+        fut = Future(key=f"task-{next(_future_ids)}", worker=worker.name)
+        try:
+            fut._value = worker.run(fn, *args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - surface via result()
+            fut._error = exc
+        return fut
+
+    def map(self, fn: Callable, *iterables: Iterable[Any]) -> list[Future]:
+        """Apply ``fn`` elementwise, spreading items across workers
+        round-robin (each worker's GPU timeline advances independently)."""
+        futures = []
+        workers = self.cluster.workers
+        for i, bundle in enumerate(zip(*iterables)):
+            futures.append(self.submit(fn, *bundle,
+                                       workers=workers[i % len(workers)]))
+        return futures
+
+    def gather(self, futures: Sequence[Future]) -> list[Any]:
+        """Collect results, synchronizing the simulated clock with every
+        device (the blocking point where elapsed time becomes visible)."""
+        self.cluster.system.synchronize()
+        return [f.result() for f in futures]
+
+    def run_on_all(self, fn: Callable) -> dict[str, Any]:
+        """Run ``fn`` once on every worker (Dask's ``client.run``)."""
+        return {w.name: w.run(fn) for w in self.cluster.workers}
+
+
+def as_completed(futures: Sequence[Future]) -> Iterable[Future]:
+    """Yield futures in (simulated) completion order.
+
+    With eager execution every future is already done; "completion order"
+    is the order their workers' devices drained — which is what a caller
+    consuming results as they stream off a real cluster would observe.
+    """
+    by_worker: dict[str, int] = {}
+    order = []
+    for seq, fut in enumerate(futures):
+        order.append((by_worker.get(fut.worker, 0), seq, fut))
+        by_worker[fut.worker] = by_worker.get(fut.worker, 0) + 1
+    order.sort(key=lambda t: (t[0], t[1]))
+    for _, _, fut in order:
+        yield fut
+
+
+def wait(futures: Sequence[Future]) -> tuple[list[Future], list[Future]]:
+    """Split futures into (done, errored) — the ``distributed.wait``
+    triage pattern for partially-failed fan-outs."""
+    done = [f for f in futures if f.status == "finished"]
+    errored = [f for f in futures if f.status == "error"]
+    return done, errored

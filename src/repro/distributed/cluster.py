@@ -1,0 +1,87 @@
+"""Clusters: worker pools over GPU systems or provisioned EC2 instances.
+
+``LocalCudaCluster`` mirrors dask-cuda: one worker per local GPU.
+``cluster_from_instances`` is the multi-node path the course's Assignment
+3 takes — and it *refuses to form* unless the instances can actually reach
+each other's Dask scheduler port, reproducing the VPC/subnet lesson of
+Fig 4b as an executable error.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.distributed.worker import Worker
+from repro.errors import SchedulerError
+from repro.gpu.system import GpuSystem, default_system, make_system
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.ec2 import Ec2Instance
+    from repro.cloud.session import CloudSession
+
+
+class LocalCudaCluster:
+    """One worker pinned to each GPU of a system."""
+
+    def __init__(self, system: GpuSystem | None = None,
+                 n_workers: int | None = None) -> None:
+        self.system = system or default_system()
+        available = len(self.system)
+        if available == 0:
+            raise SchedulerError("system has no GPUs to pin workers to")
+        n = n_workers if n_workers is not None else available
+        if not 1 <= n <= available:
+            raise SchedulerError(
+                f"n_workers={n} out of range for a {available}-GPU system")
+        self.workers = [
+            Worker(name=f"worker-{i}", system=self.system,
+                   device=self.system.device(i))
+            for i in range(n)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def utilization_report(self) -> dict[str, float]:
+        """Per-worker busy fraction (the chart students make when
+        comparing METIS vs random partitions)."""
+        by_dev = self.system.utilization_report()
+        return {w.name: by_dev[w.device.device_id] for w in self.workers}
+
+
+def cluster_from_instances(cloud: "CloudSession",
+                           instances: list["Ec2Instance"],
+                           gpus_per_instance: int | None = None
+                           ) -> LocalCudaCluster:
+    """Form a cluster from bootstrap-provisioned EC2 instances.
+
+    Validates all-pairs reachability on the Dask scheduler port first;
+    instances launched without shared VPC placement fail here with the
+    same symptom (scheduler timeouts) the paper's students debugged.
+
+    The returned cluster models the multi-node machine as one
+    :class:`GpuSystem` whose device count is the total GPU count — P2P
+    between instances is still PCIe-class bandwidth, which is the right
+    order for intra-AZ 25-Gb networking.
+    """
+    if not instances:
+        raise SchedulerError("need at least one instance")
+    if not all(i.itype.is_gpu for i in instances):
+        raise SchedulerError("every cluster node needs a GPU instance type")
+    if len(instances) > 1:
+        ok = cloud.vpc.cluster_ready(
+            [i.subnet.subnet_id for i in instances],
+            [i.private_ip for i in instances],
+            instances[0].security_group,
+        )
+        if not ok:
+            raise SchedulerError(
+                "dask scheduler unreachable between instances: check that "
+                "all nodes share a VPC/subnet and the security group opens "
+                "port 8786 (the Fig 4b configuration lesson)")
+    per = gpus_per_instance
+    total = sum(per if per is not None else i.itype.gpu_count
+                for i in instances)
+    part = instances[0].itype.gpu_part
+    system = make_system(total, part)
+    return LocalCudaCluster(system)

@@ -1,0 +1,119 @@
+"""The task scheduler: dependency-aware placement over GPU workers.
+
+Tasks run in topological order; each is placed on the worker whose device
+drains earliest (greedy earliest-finish, dask's default heuristic in
+spirit).  When a task consumes a dependency produced on a *different*
+worker, the scheduler charges a peer-to-peer transfer for the result's
+bytes — the data-movement term that makes naive graph partitions slow and
+METIS partitions fast in the Algorithm 1 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.distributed.taskgraph import TaskGraph, TaskRef
+from repro.distributed.worker import Worker
+from repro.errors import SchedulerError
+
+
+def result_nbytes(value: Any) -> int:
+    """Best-effort size of a task result for transfer costing."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    if isinstance(value, (list, tuple)):
+        return sum(result_nbytes(v) for v in value)
+    if isinstance(value, (int, float, bool, np.generic)):
+        return 8
+    return 64  # opaque objects: a pickled-header guess
+
+
+@dataclass
+class ScheduleReport:
+    """Execution record: placements, transfers, retries, makespan."""
+
+    placements: dict[str, str] = field(default_factory=dict)  # task -> worker
+    transfers: int = 0
+    transfer_bytes: int = 0
+    retries: int = 0
+    start_ns: int = 0
+    end_ns: int = 0
+
+    @property
+    def makespan_ms(self) -> float:
+        return (self.end_ns - self.start_ns) / 1e6
+
+
+class Scheduler:
+    """Runs a :class:`TaskGraph` over a set of workers."""
+
+    def __init__(self, workers: list[Worker]) -> None:
+        if not workers:
+            raise SchedulerError("scheduler needs at least one worker")
+        self.workers = workers
+        system = workers[0].system
+        if any(w.system is not system for w in workers):
+            raise SchedulerError("all workers must share one GpuSystem")
+        self.system = system
+
+    def run(self, graph: TaskGraph, max_retries: int = 0
+            ) -> tuple[dict[str, Any], ScheduleReport]:
+        """Execute the graph; returns (results by key, schedule report).
+
+        ``max_retries`` re-runs a failed task on a *different* worker (the
+        Dask resilience model): a :class:`~repro.distributed.worker
+        .WorkerDied` crash is retried up to the budget, then surfaces as
+        :class:`SchedulerError`.
+        """
+        order = graph.topological_order()
+        results: dict[str, Any] = {}
+        owner: dict[str, Worker] = {}
+        report = ScheduleReport(start_ns=self.system.clock.now_ns)
+
+        for task in order:
+            attempts = 0
+            excluded: set[str] = set()
+            while True:
+                candidates = [w for w in self.workers
+                              if w.name not in excluded] or self.workers
+                worker = min(candidates, key=lambda w: (w.ready_at_ns,
+                                                        w.name))
+
+                # Move remote deps to this worker's device (P2P cost).
+                for dep in task.dependencies():
+                    src = owner[dep]
+                    if src is not worker:
+                        nbytes = result_nbytes(results[dep])
+                        if src.device is not worker.device:
+                            src.device.copy_p2p(worker.device, nbytes,
+                                                name=f"fetch {dep}")
+                        report.transfers += 1
+                        report.transfer_bytes += nbytes
+
+                args = tuple(results[a.key] if isinstance(a, TaskRef) else a
+                             for a in task.args)
+                kwargs = {k: results[v.key] if isinstance(v, TaskRef) else v
+                          for k, v in task.kwargs.items()}
+                try:
+                    results[task.key] = worker.run(task.fn, *args, **kwargs)
+                    break
+                except Exception as exc:
+                    attempts += 1
+                    if attempts > max_retries:
+                        raise SchedulerError(
+                            f"task {task.key!r} failed on {worker.name} "
+                            f"after {attempts} attempt(s): {exc}"
+                        ) from exc
+                    report.retries += 1
+                    excluded.add(worker.name)
+            owner[task.key] = worker
+            report.placements[task.key] = worker.name
+
+        report.end_ns = self.system.synchronize()
+        return results, report

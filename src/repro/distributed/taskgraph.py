@@ -1,0 +1,88 @@
+"""Explicit task graphs (the ``dask.delayed`` layer).
+
+A :class:`Task` names a function application whose arguments may reference
+other tasks by key; a :class:`TaskGraph` validates the dependency structure
+(missing keys, cycles) and yields a deterministic topological order for
+the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """A reference to another task's output, usable as an argument."""
+
+    key: str
+
+
+@dataclass
+class Task:
+    """One node: ``fn(*args, **kwargs)`` with :class:`TaskRef` arguments
+    resolved to upstream results at execution time."""
+
+    key: str
+    fn: Callable
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def dependencies(self) -> list[str]:
+        deps = [a.key for a in self.args if isinstance(a, TaskRef)]
+        deps += [v.key for v in self.kwargs.values() if isinstance(v, TaskRef)]
+        return deps
+
+
+class TaskGraph:
+    """A DAG of tasks with validation and deterministic topological order."""
+
+    def __init__(self) -> None:
+        self.tasks: dict[str, Task] = {}
+
+    def add(self, key: str, fn: Callable, *args: Any, **kwargs: Any) -> TaskRef:
+        """Add a task; returns a :class:`TaskRef` for downstream use."""
+        if key in self.tasks:
+            raise SchedulerError(f"duplicate task key {key!r}")
+        self.tasks[key] = Task(key=key, fn=fn, args=args, kwargs=kwargs)
+        return TaskRef(key)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def validate(self) -> None:
+        """Check every reference resolves; raise on dangling keys."""
+        for task in self.tasks.values():
+            for dep in task.dependencies():
+                if dep not in self.tasks:
+                    raise SchedulerError(
+                        f"task {task.key!r} depends on unknown key {dep!r}")
+
+    def topological_order(self) -> list[Task]:
+        """Kahn's algorithm with sorted tie-breaking (determinism), raising
+        :class:`SchedulerError` on cycles."""
+        self.validate()
+        indegree = {k: 0 for k in self.tasks}
+        children: dict[str, list[str]] = {k: [] for k in self.tasks}
+        for task in self.tasks.values():
+            for dep in task.dependencies():
+                indegree[task.key] += 1
+                children[dep].append(task.key)
+        ready = sorted(k for k, d in indegree.items() if d == 0)
+        order: list[Task] = []
+        while ready:
+            key = ready.pop(0)
+            order.append(self.tasks[key])
+            newly = []
+            for child in children[key]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    newly.append(child)
+            ready = sorted(ready + newly)
+        if len(order) != len(self.tasks):
+            cyclic = sorted(k for k, d in indegree.items() if d > 0)
+            raise SchedulerError(f"task graph has a cycle through {cyclic}")
+        return order

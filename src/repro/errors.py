@@ -1,0 +1,82 @@
+"""Exception hierarchy shared across all ``repro`` subsystems.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller can guard an entire lab or benchmark with one ``except`` clause while
+still being able to distinguish device faults from cloud-control-plane
+faults or scheduler faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DeviceError(ReproError):
+    """A virtual-GPU operation was invalid (bad launch config, bad stream,
+    use-after-free of a device buffer, ...)."""
+
+
+class OutOfMemoryError(DeviceError):
+    """A device-memory allocation exceeded the virtual GPU's capacity.
+
+    Mirrors ``cudaErrorMemoryAllocation``: the allocation that failed is
+    reported together with the pool's live/peak statistics so students (and
+    tests) can see exactly how far over budget the request was.
+    """
+
+    def __init__(self, requested: int, free: int, total: int) -> None:
+        self.requested = int(requested)
+        self.free = int(free)
+        self.total = int(total)
+        super().__init__(
+            f"out of device memory: requested {requested} B, "
+            f"free {free} B of {total} B"
+        )
+
+
+class CrossDeviceError(DeviceError):
+    """An operation mixed arrays resident on different devices (or mixed
+    host and device data) without an explicit transfer."""
+
+
+class CloudError(ReproError):
+    """Base class for simulated-AWS control-plane errors."""
+
+
+class AccessDeniedError(CloudError):
+    """The IAM role attached to the caller does not allow the action."""
+
+
+class BudgetExceededError(CloudError):
+    """An action would push a student's spend past their budget cap."""
+
+
+class ResourceNotFoundError(CloudError):
+    """A cloud resource id does not exist (terminated instance, missing
+    subnet, unknown notebook...)."""
+
+
+class InvalidStateError(CloudError):
+    """A cloud resource is in the wrong lifecycle state for the request
+    (e.g. stopping an already-terminated instance)."""
+
+
+class SchedulerError(ReproError):
+    """The distributed task scheduler hit an invalid task graph, a missing
+    dependency, or a failed worker."""
+
+
+class GraphError(ReproError):
+    """A graph-structure operation was invalid (non-square adjacency,
+    unsorted CSR, partition count out of range...)."""
+
+
+class ShapeError(ReproError):
+    """Tensor/array shapes are incompatible for the requested op."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to reach its tolerance within the
+    allowed iteration budget."""

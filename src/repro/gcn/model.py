@@ -1,0 +1,92 @@
+"""The GCN model: Â·X·W layers over the autograd engine.
+
+The normalized adjacency is a *constant* of the layer (Kipf-Welling
+semi-supervised setting), so aggregation is a custom autograd op whose
+backward multiplies by Â's transpose; with symmetric normalization
+Âᵀ = Â, but the implementation stays general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.graph.csr import CSRGraph, normalized_adjacency, spmm
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class AdjacencyCOO:
+    """A frozen normalized adjacency in COO form, pinned to one size."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    n: int
+
+    @classmethod
+    def from_graph(cls, graph: CSRGraph) -> "AdjacencyCOO":
+        rows, cols, vals = normalized_adjacency(graph)
+        return cls(rows=rows, cols=cols, vals=vals, n=graph.n_nodes)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.vals)
+
+
+def gcn_aggregate(adj: AdjacencyCOO, x: Tensor) -> Tensor:
+    """Sparse aggregation ``Â @ x`` as an autograd op.
+
+    Forward and backward are each one SpMM of 2·nnz·d FLOPs, charged to
+    the tensor's device (bandwidth-bound: sparse kernels live left of the
+    roofline ridge, which is why GCNs scale worse than CNNs on GPUs — a
+    lecture point of Week 8).
+    """
+    if x.ndim != 2 or x.shape[0] != adj.n:
+        raise ShapeError(
+            f"aggregate expects ({adj.n}, d) features, got {x.shape}")
+    d = x.shape[1]
+    out_data = spmm(adj.rows, adj.cols, adj.vals, x.data, adj.n)
+    traffic = 4.0 * (adj.nnz * (2 + d))  # indices + gathered rows
+    x._charge(2.0 * adj.nnz * d, traffic, "spmm_aggregate")
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._charge(2.0 * adj.nnz * d, traffic, "spmm_aggregate_bwd")
+            x._accumulate(spmm(adj.cols, adj.rows, adj.vals, g, adj.n))
+
+    return x._make(out_data, (x,), backward, "gcn_aggregate")
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``relu?(Â · X · W + b)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, seed: int = 0) -> None:
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, seed=seed)
+
+    def forward(self, adj: AdjacencyCOO, x: Tensor) -> Tensor:
+        return gcn_aggregate(adj, self.linear(x))
+
+
+class GCN(Module):
+    """The standard two-layer Kipf-Welling GCN.
+
+    ``forward(adj, x)`` returns logits; dropout sits between the layers
+    in training mode, as in the reference implementation.
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, n_classes: int,
+                 dropout: float = 0.1, seed: int = 0) -> None:
+        super().__init__()
+        self.layer1 = GCNLayer(in_dim, hidden_dim, seed=seed)
+        self.layer2 = GCNLayer(hidden_dim, n_classes, seed=seed + 1)
+        self.dropout = Dropout(dropout, seed=seed + 2)
+
+    def forward(self, adj: AdjacencyCOO, x: Tensor) -> Tensor:
+        h = self.layer1(adj, x).relu()
+        h = self.dropout(h)
+        return self.layer2(adj, h)

@@ -1,0 +1,89 @@
+"""Sequential (single-GPU) GCN training — the Algorithm 1 baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gcn.model import GCN, AdjacencyCOO
+from repro.graph.generators import GraphDataset
+from repro.gpu.system import GpuSystem, default_system
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run (sequential baseline)."""
+
+    losses: list[float]
+    train_accuracy: float
+    test_accuracy: float
+    elapsed_ms: float            # simulated wall time
+    epochs: int
+    mode: str = "sequential"
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+
+def evaluate_accuracy(model: GCN, adj: AdjacencyCOO, features: np.ndarray,
+                      labels: np.ndarray, mask: np.ndarray,
+                      device: str = "cuda:0") -> float:
+    """Masked node-classification accuracy with full-graph aggregation."""
+    model.eval()
+    with no_grad():
+        logits = model(adj, Tensor(features, device=device))
+    model.train()
+    pred = logits.numpy().argmax(axis=1)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.sum() == 0:
+        return 0.0
+    return float((pred[mask] == labels[mask]).mean())
+
+
+def train_sequential(dataset: GraphDataset, epochs: int = 60,
+                     hidden_dim: int = 32, lr: float = 0.01,
+                     dropout: float = 0.1, seed: int = 0,
+                     system: GpuSystem | None = None,
+                     device: str = "cuda:0") -> TrainResult:
+    """Full-graph GCN training on one GPU.
+
+    Every epoch is one full-batch forward/backward over the whole
+    normalized adjacency — the configuration Algorithm 1 calls the
+    sequential approach.
+    """
+    system = system or default_system()
+    adj = AdjacencyCOO.from_graph(dataset.graph)
+    model = GCN(dataset.feature_dim, hidden_dim, dataset.n_classes,
+                dropout=dropout, seed=seed).to(device)
+    opt = Adam(model.parameters(), lr=lr)
+    x = Tensor(dataset.features, device=device)
+    train_idx = np.flatnonzero(dataset.train_mask)
+
+    t0 = system.clock.now_ns
+    losses: list[float] = []
+    for _epoch in range(epochs):
+        opt.zero_grad()
+        logits = model(adj, x)
+        loss = cross_entropy(logits[train_idx], dataset.labels[train_idx])
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    system.synchronize()
+    elapsed_ms = (system.clock.now_ns - t0) / 1e6
+
+    return TrainResult(
+        losses=losses,
+        train_accuracy=evaluate_accuracy(model, adj, dataset.features,
+                                         dataset.labels, dataset.train_mask,
+                                         device),
+        test_accuracy=evaluate_accuracy(model, adj, dataset.features,
+                                        dataset.labels, dataset.test_mask,
+                                        device),
+        elapsed_ms=elapsed_ms,
+        epochs=epochs,
+    )

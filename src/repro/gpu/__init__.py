@@ -1,0 +1,63 @@
+"""Virtual GPU substrate.
+
+The paper's labs run on AWS GPU instances (T4/V100-class parts).  We have no
+physical GPU here, so this package provides a *virtual* GPU: a deterministic
+device model with
+
+* a catalog of device specifications mirroring the parts behind the AWS
+  instance types the course used (:mod:`repro.gpu.specs`),
+* a simulated nanosecond clock (:mod:`repro.gpu.clock`) — no wall-clock
+  dependence, so every timing result is exactly reproducible,
+* a device-memory pool with OOM semantics (:mod:`repro.gpu.memory`),
+* an analytic roofline kernel-cost model (:mod:`repro.gpu.kernelmodel`),
+* CUDA-like streams and events (:mod:`repro.gpu.stream`),
+* the device itself plus PCIe/NVLink transfer modeling
+  (:mod:`repro.gpu.device`), and
+* a multi-GPU system container with utilization accounting
+  (:mod:`repro.gpu.system`).
+
+Everything higher in the stack (the CuPy-like arrays of :mod:`repro.xp`,
+the kernel simulator of :mod:`repro.jit`, the Dask-like cluster of
+:mod:`repro.distributed`) issues its work through these devices, so the
+profiles, bottleneck analyses, and scaling curves the benchmarks report are
+produced by one shared, consistent hardware model.
+"""
+
+from repro.gpu.clock import SimClock
+from repro.gpu.specs import DeviceSpec, HostSpec, GPU_CATALOG, get_spec
+from repro.gpu.memory import DeviceBuffer, MemoryPool
+from repro.gpu.kernelmodel import KernelCost, LaunchConfig, kernel_duration_ns, occupancy
+from repro.gpu.stream import Stream, Event
+from repro.gpu.device import VirtualGpu, Host
+from repro.gpu.system import (
+    GpuSystem,
+    make_system,
+    default_system,
+    reset_default_system,
+    current_device,
+    use_device,
+)
+
+__all__ = [
+    "SimClock",
+    "DeviceSpec",
+    "HostSpec",
+    "GPU_CATALOG",
+    "get_spec",
+    "DeviceBuffer",
+    "MemoryPool",
+    "KernelCost",
+    "LaunchConfig",
+    "kernel_duration_ns",
+    "occupancy",
+    "Stream",
+    "Event",
+    "VirtualGpu",
+    "Host",
+    "GpuSystem",
+    "make_system",
+    "default_system",
+    "reset_default_system",
+    "current_device",
+    "use_device",
+]

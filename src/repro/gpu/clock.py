@@ -1,0 +1,85 @@
+"""A simulated nanosecond-resolution clock.
+
+All timing in the virtual GPU stack is *simulated*: kernels, memory copies,
+and collectives advance this clock according to the analytic cost model, not
+the host's wall clock.  That makes every profiler trace, utilization figure,
+and speedup factor in the benchmark suite bit-for-bit reproducible across
+machines — which is what lets the benches assert on the *shape* of the
+paper's results.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated clock counting integer nanoseconds.
+
+    The clock only moves forward.  Asynchronous device work does not advance
+    it directly; synchronization points (``stream.synchronize()``,
+    ``device.synchronize()``) advance it to the completion time of the
+    awaited work, mirroring how a host thread experiences CUDA.
+    """
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_ns = int(start_ns)
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ns / 1e9
+
+    def advance(self, delta_ns: int) -> int:
+        """Advance the clock by ``delta_ns`` nanoseconds and return the new
+        time.  Negative deltas are rejected — simulated time is monotonic."""
+        delta_ns = int(delta_ns)
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by negative {delta_ns} ns")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def advance_to(self, t_ns: int) -> int:
+        """Advance the clock to absolute time ``t_ns`` if that is in the
+        future; otherwise leave it unchanged (a no-op wait)."""
+        t_ns = int(t_ns)
+        if t_ns > self._now_ns:
+            self._now_ns = t_ns
+        return self._now_ns
+
+    def _rewind(self, t_ns: int) -> int:
+        """Set the clock back to ``t_ns`` (internal).
+
+        Only the distributed Worker uses this, to model worker *processes*
+        whose blocking waits do not stall the driver thread: the worker's
+        device keeps its scheduled spans (stream cursors stay put), but
+        the shared host clock returns to where the driver observed it.
+        User code never rewinds time.
+        """
+        t_ns = int(t_ns)
+        if t_ns > self._now_ns:
+            raise ValueError("_rewind cannot move time forward")
+        self._now_ns = t_ns
+        return self._now_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now_ns} ns)"
+
+
+def ns_from_s(seconds: float) -> int:
+    """Convert seconds to integer nanoseconds, rounding half-up.
+
+    A tiny helper used throughout the cost model; durations below one
+    nanosecond round to at least 1 ns so that no operation is ever free
+    (free operations would produce zero-width profiler spans and division
+    by zero in utilization math).
+    """
+    ns = int(round(seconds * 1e9))
+    return max(ns, 1)

@@ -1,0 +1,152 @@
+"""Device memory pool and buffers.
+
+Week 3 of the course ("Memory Management & GPU Optimization") is entirely
+about the host/device memory boundary: students must learn that device
+memory is finite, that allocations fail loudly, and that transfers cost
+time.  This module models the *capacity* side; the *time* side lives in
+:mod:`repro.gpu.device`.
+
+The pool is a simple counting allocator (no fragmentation model): CUDA's
+caching allocators make fragmentation largely invisible at lab scale, and a
+counting model keeps OOM behaviour exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import DeviceError, OutOfMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.device import VirtualGpu
+
+
+_buffer_ids = itertools.count(1)
+
+
+class DeviceBuffer:
+    """A block of virtual device memory backed by a host numpy array.
+
+    The backing array *is* the storage — computation on the virtual GPU is
+    real numpy computation — but access is mediated so that code cannot
+    accidentally treat device data as host data: :mod:`repro.xp` only hands
+    out copies via explicit ``.get()`` transfers, mirroring CuPy.
+    """
+
+    __slots__ = ("buffer_id", "device", "array", "nbytes", "freed", "tag")
+
+    def __init__(self, device: "VirtualGpu", array: np.ndarray, tag: str = "") -> None:
+        self.buffer_id = next(_buffer_ids)
+        self.device = device
+        self.array = array
+        self.nbytes = int(array.nbytes)
+        self.freed = False
+        self.tag = tag
+
+    def data(self) -> np.ndarray:
+        """Return the backing array, guarding against use-after-free."""
+        if self.freed:
+            raise DeviceError(
+                f"use of freed device buffer #{self.buffer_id} "
+                f"({self.tag or 'untagged'}) on {self.device.name}"
+            )
+        return self.array
+
+    def free(self) -> None:
+        """Release the buffer back to its pool (idempotent)."""
+        if not self.freed:
+            self.freed = True
+            self.device.memory.release(self.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "freed" if self.freed else f"{self.nbytes} B"
+        return f"DeviceBuffer(#{self.buffer_id}, dev={self.device.device_id}, {state})"
+
+
+@dataclass
+class PoolStats:
+    """Snapshot of a memory pool's accounting."""
+
+    total_bytes: int
+    used_bytes: int
+    peak_bytes: int
+    alloc_count: int
+    free_count: int
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of device memory currently in use."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.total_bytes
+
+
+class MemoryPool:
+    """Counting allocator for one device's global memory.
+
+    ``reserve_fraction`` holds back a slice of capacity for the driver and
+    context (real CUDA contexts eat a few hundred MB), so a "16 GB" card
+    never actually grants 16 GB — an effect students discover in Lab 1.
+    """
+
+    def __init__(self, total_bytes: int, reserve_fraction: float = 0.03) -> None:
+        if total_bytes <= 0:
+            raise ValueError("pool must have positive capacity")
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        self.total_bytes = int(total_bytes * (1.0 - reserve_fraction))
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    def can_allocate(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return self.used_bytes + int(nbytes) <= self.total_bytes
+
+    def reserve(self, nbytes: int) -> None:
+        """Account for an allocation, raising :class:`OutOfMemoryError`
+        exactly the way ``cudaMalloc`` would."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if not self.can_allocate(nbytes):
+            raise OutOfMemoryError(
+                requested=nbytes,
+                free=self.total_bytes - self.used_bytes,
+                total=self.total_bytes,
+            )
+        self.used_bytes += nbytes
+        self.alloc_count += 1
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot free negative bytes")
+        if nbytes > self.used_bytes:
+            raise DeviceError(
+                f"double free detected: releasing {nbytes} B with only "
+                f"{self.used_bytes} B outstanding"
+            )
+        self.used_bytes -= nbytes
+        self.free_count += 1
+
+    def stats(self) -> PoolStats:
+        """Current accounting snapshot."""
+        return PoolStats(
+            total_bytes=self.total_bytes,
+            used_bytes=self.used_bytes,
+            peak_bytes=self.peak_bytes,
+            alloc_count=self.alloc_count,
+            free_count=self.free_count,
+        )

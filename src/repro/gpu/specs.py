@@ -1,0 +1,184 @@
+"""Device specification catalog.
+
+The course (§III-A) provisions AWS GPU instances in us-east-1: single-GPU
+instances at ≈$1.262/h and multi-GPU instances at ≈$2.314/h.  Those price
+points correspond to the NVIDIA parts modeled here (T4 on ``g4dn``, V100 on
+``p3``, A10G on ``g5``, plus the older K80 on ``p2`` for contrast).  The
+numbers below are the public datasheet figures; the cost model in
+:mod:`repro.gpu.kernelmodel` uses them to produce realistic relative
+behaviour (e.g. a T4 is bandwidth-starved relative to a V100, so
+memory-bound labs show smaller T4→V100 gains than compute-bound ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one virtual GPU part.
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the part ("T4", "V100-SXM2-16GB", ...).
+    sm_count:
+        Number of streaming multiprocessors.
+    max_threads_per_sm:
+        Resident-thread limit per SM (2048 on Volta/Turing era parts, 1024
+        on A10G/Ampere consumer-derived parts).
+    warp_size:
+        Threads per warp; 32 on every NVIDIA part the course touched.
+    clock_ghz:
+        Boost clock used for the peak-FLOPs calculation.
+    fp32_tflops:
+        Peak single-precision throughput in TFLOP/s.
+    mem_gib:
+        Device memory capacity in GiB.
+    mem_bandwidth_gbps:
+        Peak global-memory bandwidth in GB/s.
+    pcie_gbps:
+        Effective host<->device link bandwidth in GB/s (PCIe gen3 x16 ≈ 12
+        GB/s effective, gen4 x16 ≈ 24 GB/s effective).
+    nvlink_gbps:
+        Peer-to-peer bandwidth when NVLink is present, else 0 and P2P goes
+        over PCIe.
+    launch_overhead_us:
+        Fixed kernel-launch overhead in microseconds (the dominant cost of
+        tiny kernels — the effect Lab 3 asks students to discover).
+    transfer_latency_us:
+        Fixed per-transfer latency (driver + DMA setup).
+    """
+
+    name: str
+    sm_count: int
+    max_threads_per_sm: int = 2048
+    warp_size: int = 32
+    clock_ghz: float = 1.5
+    fp32_tflops: float = 8.0
+    mem_gib: float = 16.0
+    mem_bandwidth_gbps: float = 320.0
+    pcie_gbps: float = 12.0
+    nvlink_gbps: float = 0.0
+    launch_overhead_us: float = 5.0
+    transfer_latency_us: float = 10.0
+
+    @property
+    def mem_bytes(self) -> int:
+        """Device memory capacity in bytes."""
+        return int(self.mem_gib * (1 << 30))
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s."""
+        return self.fp32_tflops * 1e12
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak global-memory bandwidth in B/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def machine_balance(self) -> float:
+        """Roofline ridge point in FLOP/byte: arithmetic intensity above
+        which kernels on this part are compute-bound."""
+        return self.peak_flops / self.peak_bandwidth
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of the host CPU side of an instance.
+
+    Used for the CPU baselines the course compares against (sequential
+    matmul, CPU FAISS retrieval, CPU data pipelines).  The default models a
+    modern 8-vCPU cloud host: ~0.4 TFLOP/s usable FP32 with ~40 GB/s of
+    memory bandwidth.
+    """
+
+    name: str = "cloud-host-8vcpu"
+    cores: int = 8
+    fp32_gflops: float = 400.0
+    mem_bandwidth_gbps: float = 40.0
+    dispatch_overhead_us: float = 0.5
+
+    @property
+    def peak_flops(self) -> float:
+        return self.fp32_gflops * 1e9
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9
+
+
+# Datasheet-derived catalog.  `aws_instance` records which instance family
+# the course would have used to obtain the part; prices live in
+# repro.cloud.pricing (the cloud layer owns money, the gpu layer owns time).
+GPU_CATALOG: dict[str, DeviceSpec] = {
+    "T4": DeviceSpec(
+        name="T4",
+        sm_count=40,
+        max_threads_per_sm=1024,
+        clock_ghz=1.59,
+        fp32_tflops=8.1,
+        mem_gib=16.0,
+        mem_bandwidth_gbps=320.0,
+        pcie_gbps=12.0,
+    ),
+    "V100": DeviceSpec(
+        name="V100-SXM2-16GB",
+        sm_count=80,
+        max_threads_per_sm=2048,
+        clock_ghz=1.53,
+        fp32_tflops=15.7,
+        mem_gib=16.0,
+        mem_bandwidth_gbps=900.0,
+        pcie_gbps=12.0,
+        nvlink_gbps=300.0,
+    ),
+    "A10G": DeviceSpec(
+        name="A10G",
+        sm_count=80,
+        max_threads_per_sm=1536,
+        clock_ghz=1.71,
+        fp32_tflops=31.2,
+        mem_gib=24.0,
+        mem_bandwidth_gbps=600.0,
+        pcie_gbps=24.0,
+    ),
+    "A100": DeviceSpec(
+        name="A100-SXM4-40GB",
+        sm_count=108,
+        max_threads_per_sm=2048,
+        clock_ghz=1.41,
+        fp32_tflops=19.5,
+        mem_gib=40.0,
+        mem_bandwidth_gbps=1555.0,
+        pcie_gbps=24.0,
+        nvlink_gbps=600.0,
+    ),
+    "K80": DeviceSpec(
+        name="K80 (one GK210)",
+        sm_count=13,
+        max_threads_per_sm=2048,
+        clock_ghz=0.875,
+        fp32_tflops=4.37,
+        mem_gib=12.0,
+        mem_bandwidth_gbps=240.0,
+        pcie_gbps=12.0,
+    ),
+}
+
+
+def get_spec(name: str) -> DeviceSpec:
+    """Look up a device spec by catalog key (case-insensitive).
+
+    Raises ``KeyError`` with the list of known parts on a miss, which is the
+    error students hit when they typo an instance's GPU in lab scripts.
+    """
+    key = name.upper()
+    try:
+        return GPU_CATALOG[key]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU part {name!r}; known parts: {known}") from None

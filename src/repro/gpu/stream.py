@@ -1,0 +1,100 @@
+"""CUDA-like streams and events on the simulated clock.
+
+A stream is an in-order queue of device work.  Work on different streams
+(or different devices) overlaps; the host only experiences time when it
+synchronizes.  This is the minimal machinery needed for the Week 3-4 labs
+on overlapping transfers with compute, and for multi-GPU timelines where
+each worker's device progresses independently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.device import Span, VirtualGpu
+
+_stream_ids = itertools.count(1)
+
+
+class Stream:
+    """An in-order lane of device work.
+
+    ``ready_at`` is the simulated time at which the stream's last enqueued
+    operation completes; new work starts at ``max(host_now, ready_at)``.
+    """
+
+    __slots__ = ("stream_id", "device", "ready_at", "name")
+
+    def __init__(self, device: "VirtualGpu", name: str = "") -> None:
+        self.stream_id = next(_stream_ids)
+        self.device = device
+        self.ready_at = device.clock.now_ns
+        self.name = name or f"stream-{self.stream_id}"
+
+    def enqueue(self, duration_ns: int, name: str, kind: str,
+                flops: float = 0.0, nbytes: float = 0.0) -> "Span":
+        """Schedule ``duration_ns`` of work on this stream.
+
+        Returns the recorded :class:`~repro.gpu.device.Span`.  The host
+        clock does not move — the work is asynchronous until a sync point.
+        ``flops``/``nbytes`` annotate the span for roofline analysis.
+        """
+        if duration_ns < 0:
+            raise DeviceError("cannot enqueue negative-duration work")
+        start = max(self.device.clock.now_ns, self.ready_at)
+        end = start + int(duration_ns)
+        self.ready_at = end
+        return self.device._record_span(start, end, name, kind,
+                                        self.stream_id, flops, nbytes)
+
+    def wait_for(self, event: "Event") -> None:
+        """Make all future work on this stream wait for ``event``
+        (cross-stream dependency, as ``cudaStreamWaitEvent``)."""
+        if event.timestamp_ns is None:
+            raise DeviceError("cannot wait on an unrecorded event")
+        self.ready_at = max(self.ready_at, event.timestamp_ns)
+
+    def synchronize(self) -> int:
+        """Block the host until the stream drains; returns host time."""
+        return self.device.clock.advance_to(self.ready_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stream({self.name}, dev={self.device.device_id}, ready_at={self.ready_at})"
+
+
+class Event:
+    """A timestamp marker, as ``cudaEvent_t``.
+
+    ``record`` captures the completion time of the work enqueued so far on
+    a stream; ``elapsed_ms`` between two recorded events is how the labs
+    time kernels without host synchronization noise.
+    """
+
+    __slots__ = ("timestamp_ns", "name")
+
+    def __init__(self, name: str = "event") -> None:
+        self.timestamp_ns: int | None = None
+        self.name = name
+
+    def record(self, stream: Stream) -> "Event":
+        self.timestamp_ns = stream.ready_at
+        return self
+
+    def synchronize(self, stream: Stream) -> int:
+        """Block the host until this event's timestamp has passed."""
+        if self.timestamp_ns is None:
+            raise DeviceError("cannot synchronize an unrecorded event")
+        return stream.device.clock.advance_to(self.timestamp_ns)
+
+    def elapsed_ms(self, later: "Event") -> float:
+        """Milliseconds between this event and a later one."""
+        if self.timestamp_ns is None or later.timestamp_ns is None:
+            raise DeviceError("both events must be recorded before timing")
+        delta = later.timestamp_ns - self.timestamp_ns
+        if delta < 0:
+            raise DeviceError("events are ordered backwards")
+        return delta / 1e6

@@ -1,0 +1,152 @@
+"""Multi-GPU system container and current-device management.
+
+A :class:`GpuSystem` is one simulated instance: a host CPU plus ``n`` GPUs
+sharing a :class:`~repro.gpu.clock.SimClock`.  The module keeps a default
+system (created on first use) so that library code — like the CuPy-style
+array constructors of :mod:`repro.xp` — can resolve "the current device"
+without threading a system object through every call, exactly as CuPy's
+``cupy.cuda.Device`` context does.
+
+Tests call :func:`reset_default_system` to get a pristine machine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.errors import DeviceError
+from repro.gpu.clock import SimClock
+from repro.gpu.device import Host, VirtualGpu
+from repro.gpu.specs import DeviceSpec, GPU_CATALOG, HostSpec, get_spec
+
+
+class GpuSystem:
+    """One simulated machine: a host and ``num_devices`` identical GPUs.
+
+    Parameters
+    ----------
+    num_devices:
+        GPU count; the course's multi-GPU instances carried up to 3-4.
+    part:
+        Catalog key or :class:`DeviceSpec` for the GPUs.
+    host_spec:
+        CPU-side description; defaults to an 8-vCPU cloud host.
+    """
+
+    def __init__(self, num_devices: int = 1, part: str | DeviceSpec = "T4",
+                 host_spec: HostSpec | None = None) -> None:
+        if num_devices < 0:
+            raise DeviceError("num_devices must be non-negative")
+        spec = part if isinstance(part, DeviceSpec) else get_spec(part)
+        self.clock = SimClock()
+        self.host = Host(host_spec or HostSpec(), self.clock)
+        self.devices: list[VirtualGpu] = [
+            VirtualGpu(i, spec, self.clock) for i in range(num_devices)
+        ]
+        self._device_stack: list[int] = [0] if num_devices else []
+
+    # -- lookup -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device(self, device_id: int) -> VirtualGpu:
+        """The device with ordinal ``device_id``."""
+        try:
+            return self.devices[device_id]
+        except IndexError:
+            raise DeviceError(
+                f"no such device cuda:{device_id} "
+                f"(system has {len(self.devices)} GPUs)"
+            ) from None
+
+    @property
+    def current(self) -> VirtualGpu:
+        """The device selected by the innermost :meth:`use` context."""
+        if not self._device_stack:
+            raise DeviceError("system has no GPUs")
+        return self.devices[self._device_stack[-1]]
+
+    @contextlib.contextmanager
+    def use(self, device_id: int) -> Iterator[VirtualGpu]:
+        """Select ``device_id`` as current within a ``with`` block, as
+        ``with cupy.cuda.Device(i):``."""
+        dev = self.device(device_id)  # validates
+        self._device_stack.append(device_id)
+        try:
+            yield dev
+        finally:
+            self._device_stack.pop()
+
+    # -- whole-system operations -------------------------------------------
+
+    def synchronize(self) -> int:
+        """Drain every device; returns the new host time."""
+        t = self.clock.now_ns
+        for dev in self.devices:
+            t = max(t, dev.synchronize())
+        return t
+
+    def utilization_report(self, window: tuple[int, int] | None = None) -> dict[int, float]:
+        """Per-device busy fractions over a shared window.
+
+        With no explicit window, the span from the earliest op on *any*
+        device to "now" is used for *all* devices, so an idle GPU reports
+        low utilization rather than an empty denominator — this is the
+        number the partition-balance lab charts.
+        """
+        if window is None:
+            starts = [min((s.start_ns for s in d.spans), default=None)
+                      for d in self.devices]
+            starts = [s for s in starts if s is not None]
+            if not starts:
+                return {d.device_id: 0.0 for d in self.devices}
+            window = (min(starts), self.clock.now_ns)
+        return {d.device_id: d.utilization(window) for d in self.devices}
+
+
+# --------------------------------------------------------------------------
+# Default-system plumbing
+# --------------------------------------------------------------------------
+
+_default: GpuSystem | None = None
+
+
+def make_system(num_devices: int = 1, part: str | DeviceSpec = "T4",
+                host_spec: HostSpec | None = None, *,
+                set_default: bool = True) -> GpuSystem:
+    """Create a :class:`GpuSystem`; by default it becomes the process-wide
+    default that :func:`current_device` and :mod:`repro.xp` resolve."""
+    global _default
+    system = GpuSystem(num_devices=num_devices, part=part, host_spec=host_spec)
+    if set_default:
+        _default = system
+    return system
+
+
+def default_system() -> GpuSystem:
+    """The process-wide default system (a 1×T4 machine on first use)."""
+    global _default
+    if _default is None:
+        _default = GpuSystem(num_devices=1, part="T4")
+    return _default
+
+
+def reset_default_system() -> None:
+    """Drop the default system so the next use creates a fresh machine.
+    Test fixtures call this to isolate simulated time and memory."""
+    global _default
+    _default = None
+
+
+def current_device() -> VirtualGpu:
+    """The current device of the default system."""
+    return default_system().current
+
+
+@contextlib.contextmanager
+def use_device(device_id: int) -> Iterator[VirtualGpu]:
+    """Select a device on the default system (``with use_device(1): ...``)."""
+    with default_system().use(device_id) as dev:
+        yield dev

@@ -1,0 +1,43 @@
+"""``repro.graph`` — graphs, generators, and partitioning.
+
+Algorithm 1 partitions "large-scale, real-world networks such as PubMed
+and Reddit" with METIS before distributing GCN training.  We have neither
+dataset offline, so :mod:`repro.graph.generators` produces seeded
+stochastic-block-model surrogates with the same statistical role —
+community structure plus class-correlated node features — at laptop scale
+(see DESIGN.md's substitution table).  :mod:`repro.graph.partition`
+implements a real multilevel k-way partitioner (heavy-edge-matching
+coarsening, greedy region growing, boundary Kernighan-Lin refinement —
+the METIS recipe) and the random baseline the paper asks students to
+compare against.
+"""
+
+from repro.graph.csr import CSRGraph, normalized_adjacency, spmm
+from repro.graph.generators import (
+    stochastic_block_model,
+    pubmed_like,
+    reddit_like,
+    noisy_citation,
+    GraphDataset,
+)
+from repro.graph.partition import (
+    metis_partition,
+    random_partition,
+    partition_report,
+    PartitionReport,
+)
+
+__all__ = [
+    "CSRGraph",
+    "normalized_adjacency",
+    "spmm",
+    "stochastic_block_model",
+    "pubmed_like",
+    "reddit_like",
+    "noisy_citation",
+    "GraphDataset",
+    "metis_partition",
+    "random_partition",
+    "partition_report",
+    "PartitionReport",
+]

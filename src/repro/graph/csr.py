@@ -1,0 +1,188 @@
+"""Compressed-sparse-row graphs and the GCN adjacency kernels.
+
+Undirected graphs store both edge directions, so ``n_edges`` counts
+undirected edges while ``indices`` has ``2·n_edges`` entries — the METIS
+convention, which keeps degree and cut computations simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass
+class CSRGraph:
+    """An undirected graph in CSR form with optional edge weights.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n+1,)`` int64 row pointers.
+    indices:
+        ``(2m,)`` int64 neighbour lists (both directions of each edge).
+    weights:
+        ``(2m,)`` float32 edge weights (1.0 when unweighted).
+    node_weights:
+        ``(n,)`` float32 vertex weights (coarsening accumulates these).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+    node_weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise GraphError("indptr must be 1-D starting at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise GraphError(
+                f"indptr[-1]={self.indptr[-1]} != len(indices)="
+                f"{len(self.indices)}")
+        if len(self.indices) and (self.indices.min() < 0
+                                  or self.indices.max() >= self.n_nodes):
+            raise GraphError("edge endpoint out of range")
+        if self.weights is None:
+            self.weights = np.ones(len(self.indices), dtype=np.float32)
+        else:
+            self.weights = np.asarray(self.weights, dtype=np.float32)
+            if len(self.weights) != len(self.indices):
+                raise GraphError("one weight per directed edge required")
+        if self.node_weights is None:
+            self.node_weights = np.ones(self.n_nodes, dtype=np.float32)
+        else:
+            self.node_weights = np.asarray(self.node_weights,
+                                           dtype=np.float32)
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def n_directed_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count (directed entries / 2)."""
+        return len(self.indices) // 2
+
+    def degree(self, u: int | None = None) -> np.ndarray | int:
+        degs = np.diff(self.indptr)
+        return degs if u is None else int(degs[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+    def edge_weights_of(self, u: int) -> np.ndarray:
+        return self.weights[self.indptr[u]:self.indptr[u + 1]]
+
+    def row_of_edge(self) -> np.ndarray:
+        """Source node of each directed-edge slot (repeats by degree)."""
+        return np.repeat(np.arange(self.n_nodes), np.diff(self.indptr))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n_nodes}, m={self.n_edges})"
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n_nodes: int,
+                   edges: Iterable[tuple[int, int]],
+                   weights: Sequence[float] | None = None) -> "CSRGraph":
+        """Build from an undirected edge list (self-loops and duplicate
+        edges are rejected — both break METIS-style coarsening)."""
+        edges = list(edges)
+        if weights is not None and len(weights) != len(edges):
+            raise GraphError("one weight per undirected edge required")
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop at node {u}")
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                raise GraphError(f"duplicate edge {key}")
+            seen.add(key)
+            if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+                raise GraphError(f"edge ({u},{v}) out of range")
+
+        src = np.empty(2 * len(edges), dtype=np.int64)
+        dst = np.empty(2 * len(edges), dtype=np.int64)
+        w = np.empty(2 * len(edges), dtype=np.float32)
+        for i, (u, v) in enumerate(edges):
+            wt = 1.0 if weights is None else float(weights[i])
+            src[2 * i], dst[2 * i], w[2 * i] = u, v, wt
+            src[2 * i + 1], dst[2 * i + 1], w[2 * i + 1] = v, u, wt
+        order = np.lexsort((dst, src))
+        src, dst, w = src[order], dst[order], w[order]
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indptr=indptr, indices=dst, weights=w)
+
+    def subgraph(self, nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph over ``nodes``; returns (graph, original ids).
+
+        Edges with one endpoint outside are dropped — the "cut edges are
+        lost" effect that drives the partition-quality accuracy results.
+        """
+        nodes = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
+        remap = -np.ones(self.n_nodes, dtype=np.int64)
+        remap[nodes] = np.arange(len(nodes))
+        edges = []
+        weights = []
+        for new_u, u in enumerate(nodes):
+            for slot in range(self.indptr[u], self.indptr[u + 1]):
+                v = self.indices[slot]
+                nv = remap[v]
+                if nv >= 0 and new_u < nv:  # each undirected edge once
+                    edges.append((new_u, int(nv)))
+                    weights.append(float(self.weights[slot]))
+        sub = CSRGraph.from_edges(len(nodes), edges, weights)
+        sub.node_weights = self.node_weights[nodes].copy()
+        return sub, nodes
+
+
+def normalized_adjacency(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray]:
+    """GCN-normalized adjacency  Â = D̃^{-1/2} (A + I) D̃^{-1/2}.
+
+    Returned as COO triplets ``(rows, cols, vals)`` including the
+    self-loop diagonal — the form :func:`spmm` consumes.
+    """
+    n = graph.n_nodes
+    rows = graph.row_of_edge()
+    cols = graph.indices
+    vals = graph.weights.astype(np.float64)
+    # append self-loops
+    rows = np.concatenate([rows, np.arange(n)])
+    cols = np.concatenate([cols, np.arange(n)])
+    vals = np.concatenate([vals, np.ones(n)])
+    deg = np.zeros(n)
+    np.add.at(deg, rows, vals)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+    vals = vals * d_inv_sqrt[rows] * d_inv_sqrt[cols]
+    return rows, cols, vals.astype(np.float32)
+
+
+def spmm(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
+         x: np.ndarray, n_rows: int) -> np.ndarray:
+    """Sparse (COO) × dense multiply: ``out[r] += vals * x[c]``.
+
+    The aggregation kernel of every GCN layer; O(nnz · d).
+    """
+    if x.ndim != 2:
+        raise GraphError(f"spmm expects 2-D features, got {x.shape}")
+    out = np.zeros((n_rows, x.shape[1]), dtype=np.float32)
+    np.add.at(out, rows, vals[:, None] * x[cols])
+    return out

@@ -1,0 +1,348 @@
+"""Graph partitioning: a multilevel METIS-like k-way partitioner plus the
+random baseline.
+
+Algorithm 1 line 3: "Partition G into {G_1, ..., G_k} using METIS"; the
+paper also has students "experiment with random graph partitioning as an
+alternative to METIS and thoroughly analyze the resulting GPU utilization
+patterns".  This module provides both sides of that comparison:
+
+* :func:`metis_partition` — the classic three-phase multilevel scheme
+  (Karypis & Kumar):
+
+  1. **Coarsening** by heavy-edge matching until the graph is small;
+  2. **Initial partitioning** by greedy BFS region growing on the
+     coarsest graph;
+  3. **Uncoarsening** with boundary Kernighan-Lin/FM refinement under a
+     balance constraint at every level.
+
+* :func:`random_partition` — uniform assignment (balanced in expectation,
+  terrible cut).
+
+* :func:`partition_report` — edge cut, balance, and per-part statistics,
+  the numbers behind the utilization-pattern lab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+DEFAULT_IMBALANCE = 0.05  # METIS's default load-imbalance tolerance (1.05)
+
+
+# ---------------------------------------------------------------------------
+# Quality metrics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Quality summary of one k-way partition."""
+
+    k: int
+    edge_cut: float               # total weight of cross-part edges
+    cut_fraction: float           # edge_cut / total edge weight
+    balance: float                # max part weight / ideal part weight
+    part_weights: tuple[float, ...]
+    internal_edge_fraction: tuple[float, ...]  # per part
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"k={self.k} cut={self.edge_cut:.0f} "
+                f"({100 * self.cut_fraction:.1f}%) balance={self.balance:.3f}")
+
+
+def _validate_parts(graph: CSRGraph, parts: np.ndarray, k: int) -> None:
+    parts = np.asarray(parts)
+    if parts.shape != (graph.n_nodes,):
+        raise GraphError(
+            f"parts shape {parts.shape} != ({graph.n_nodes},)")
+    if len(parts) and (parts.min() < 0 or parts.max() >= k):
+        raise GraphError(f"part ids must be in [0, {k})")
+
+
+def edge_cut(graph: CSRGraph, parts: np.ndarray) -> float:
+    """Total weight of undirected edges crossing parts."""
+    rows = graph.row_of_edge()
+    crossing = parts[rows] != parts[graph.indices]
+    return float(graph.weights[crossing].sum()) / 2.0  # both directions
+
+
+def partition_report(graph: CSRGraph, parts: np.ndarray) -> PartitionReport:
+    """Compute the full quality report for a partition labelling."""
+    parts = np.asarray(parts, dtype=np.int64)
+    k = int(parts.max()) + 1 if len(parts) else 1
+    _validate_parts(graph, parts, k)
+    cut = edge_cut(graph, parts)
+    total_w = float(graph.weights.sum()) / 2.0
+    node_w = graph.node_weights
+    part_weights = np.zeros(k)
+    np.add.at(part_weights, parts, node_w)
+    ideal = node_w.sum() / k
+
+    rows = graph.row_of_edge()
+    internal = []
+    for p in range(k):
+        touching = (parts[rows] == p) | (parts[graph.indices] == p)
+        inside = (parts[rows] == p) & (parts[graph.indices] == p)
+        denom = float(graph.weights[touching].sum())
+        internal.append(float(graph.weights[inside].sum()) / denom
+                        if denom else 1.0)
+
+    return PartitionReport(
+        k=k,
+        edge_cut=cut,
+        cut_fraction=cut / total_w if total_w else 0.0,
+        balance=float(part_weights.max() / ideal) if ideal else 1.0,
+        part_weights=tuple(float(w) for w in part_weights),
+        internal_edge_fraction=tuple(internal),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random baseline
+# ---------------------------------------------------------------------------
+
+def random_partition(graph: CSRGraph, k: int, seed: int = 0) -> np.ndarray:
+    """Uniformly random balanced assignment (the student baseline)."""
+    if k <= 0:
+        raise GraphError("k must be positive")
+    if k > graph.n_nodes:
+        raise GraphError(f"k={k} exceeds node count {graph.n_nodes}")
+    rng = np.random.default_rng(seed)
+    # round-robin over a random permutation: balanced to within one node
+    parts = np.empty(graph.n_nodes, dtype=np.int64)
+    parts[rng.permutation(graph.n_nodes)] = (
+        np.arange(graph.n_nodes) % k)
+    return parts
+
+
+# ---------------------------------------------------------------------------
+# Multilevel METIS-like partitioner
+# ---------------------------------------------------------------------------
+
+def _heavy_edge_matching(graph: CSRGraph,
+                         rng: np.random.Generator,
+                         use_common_neighbors: bool = True
+                         ) -> tuple[np.ndarray, int]:
+    """Match each node with its best unmatched neighbour.
+
+    The matching score is edge weight *plus common-neighbour count*.  On
+    the first level every edge weighs 1, so plain heavy-edge matching
+    degenerates to random matching and merges across communities; the
+    common-neighbour term (a triangle count, i.e. local clustering) keeps
+    matchings inside dense regions — the "2-hop aware" matching refinement
+    used by modern METIS derivatives.  At coarser levels accumulated edge
+    weights dominate the score naturally.
+
+    Returns (coarse id per node, number of coarse nodes).
+    """
+    n = graph.n_nodes
+    match = -np.ones(n, dtype=np.int64)
+    nbr_sets = ([set(graph.neighbors(u).tolist()) for u in range(n)]
+                if use_common_neighbors else None)
+    for u in rng.permutation(n):
+        if match[u] >= 0:
+            continue
+        nbrs = graph.neighbors(u)
+        wts = graph.edge_weights_of(u)
+        su = nbr_sets[u] if nbr_sets is not None else None
+        best, best_score = -1, -1.0
+        for v, w in zip(nbrs, wts):
+            if match[v] < 0 and v != u:
+                score = float(w)
+                if su is not None:
+                    score += len(su & nbr_sets[v])
+                if score > best_score:
+                    best, best_score = int(v), score
+        if best >= 0:
+            match[u] = best
+            match[best] = u
+        else:
+            match[u] = u  # stays single
+    coarse_id = -np.ones(n, dtype=np.int64)
+    next_id = 0
+    for u in range(n):
+        if coarse_id[u] >= 0:
+            continue
+        coarse_id[u] = next_id
+        coarse_id[match[u]] = next_id
+        next_id += 1
+    return coarse_id, next_id
+
+
+def _contract(graph: CSRGraph, coarse_id: np.ndarray,
+              n_coarse: int) -> CSRGraph:
+    """Build the coarse graph: merged nodes, accumulated edge/node weights."""
+    agg: dict[tuple[int, int], float] = {}
+    rows = graph.row_of_edge()
+    for slot in range(len(graph.indices)):
+        cu = int(coarse_id[rows[slot]])
+        cv = int(coarse_id[graph.indices[slot]])
+        if cu == cv:
+            continue  # matched edge collapses
+        if cu < cv:
+            agg[(cu, cv)] = agg.get((cu, cv), 0.0) + float(graph.weights[slot])
+    # each undirected edge was visited from both directions -> halve
+    edges = list(agg.keys())
+    weights = [w / 2.0 for w in agg.values()]
+    coarse = CSRGraph.from_edges(n_coarse, edges, weights)
+    node_w = np.zeros(n_coarse, dtype=np.float32)
+    np.add.at(node_w, coarse_id, graph.node_weights)
+    coarse.node_weights = node_w
+    return coarse
+
+
+def _initial_partition(graph: CSRGraph, k: int,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Greedy BFS region growing on the coarsest graph."""
+    n = graph.n_nodes
+    node_w = graph.node_weights
+    target = node_w.sum() / k
+    parts = -np.ones(n, dtype=np.int64)
+    degrees = graph.degree()
+
+    for p in range(k - 1):
+        unassigned = np.flatnonzero(parts < 0)
+        if len(unassigned) == 0:
+            break
+        # seed: a random high-degree unassigned node (good frontier
+        # growth; randomized so multiple attempts explore differently)
+        top = unassigned[np.argsort(degrees[unassigned])][-8:]
+        seed_node = int(rng.choice(top))
+        frontier = [seed_node]
+        weight = 0.0
+        while frontier and weight < target:
+            u = frontier.pop(0)
+            if parts[u] >= 0:
+                continue
+            parts[u] = p
+            weight += float(node_w[u])
+            for v in graph.neighbors(u):
+                if parts[v] < 0:
+                    frontier.append(int(v))
+        # region ran out of connected nodes: top up with arbitrary ones
+        while weight < target:
+            rest = np.flatnonzero(parts < 0)
+            if len(rest) == 0:
+                break
+            u = int(rest[0])
+            parts[u] = p
+            weight += float(node_w[u])
+    parts[parts < 0] = k - 1
+    return parts
+
+
+def _boundary_refine(graph: CSRGraph, parts: np.ndarray, k: int,
+                     imbalance: float, passes: int = 4) -> np.ndarray:
+    """Boundary Kernighan-Lin/FM: greedily move boundary nodes to the
+    neighbouring part with the largest positive gain, keeping balance."""
+    parts = parts.copy()
+    node_w = graph.node_weights
+    part_w = np.zeros(k)
+    np.add.at(part_w, parts, node_w)
+    max_w = node_w.sum() / k * (1.0 + imbalance)
+
+    for _sweep in range(passes):
+        moved = 0
+        rows = graph.row_of_edge()
+        boundary_mask = parts[rows] != parts[graph.indices]
+        boundary_nodes = np.unique(rows[boundary_mask])
+        for u in boundary_nodes:
+            pu = parts[u]
+            nbrs = graph.neighbors(u)
+            wts = graph.edge_weights_of(u)
+            # connectivity of u to each part
+            conn = np.zeros(k)
+            np.add.at(conn, parts[nbrs], wts)
+            internal = conn[pu]
+            conn[pu] = -np.inf
+            # respect balance: target part must have room
+            room = part_w + node_w[u] <= max_w
+            conn[~room] = -np.inf
+            best = int(np.argmax(conn))
+            gain = conn[best] - internal
+            if gain > 1e-9:
+                parts[u] = best
+                part_w[pu] -= node_w[u]
+                part_w[best] += node_w[u]
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def metis_partition(graph: CSRGraph, k: int, seed: int = 0,
+                    imbalance: float = DEFAULT_IMBALANCE,
+                    coarsen_threshold: int | None = None,
+                    refine: bool = True,
+                    common_neighbor_matching: bool = True) -> np.ndarray:
+    """Multilevel k-way partition (the METIS recipe).
+
+    Parameters
+    ----------
+    graph:
+        The graph to split.
+    k:
+        Number of parts (one per GPU in Algorithm 1).
+    seed:
+        Randomness of matching order and tie-breaks.
+    imbalance:
+        Allowed load imbalance (METIS default 5%).
+    coarsen_threshold:
+        Stop coarsening below this many nodes (default ``max(30·k, 60)``).
+    refine:
+        Disable to skip the boundary Kernighan-Lin passes (ablation knob:
+        quantifies how much of the cut quality comes from refinement).
+    common_neighbor_matching:
+        Disable to fall back to plain heavy-edge matching (ablation knob:
+        on unit-weight graphs plain HEM degenerates to random matching
+        and mixes communities during coarsening).
+
+    Returns the per-node part labels.
+    """
+    if k <= 0:
+        raise GraphError("k must be positive")
+    if k > graph.n_nodes:
+        raise GraphError(f"k={k} exceeds node count {graph.n_nodes}")
+    if k == 1:
+        return np.zeros(graph.n_nodes, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    threshold = coarsen_threshold or max(30 * k, 60)
+
+    # Phase 1: coarsen
+    levels: list[tuple[CSRGraph, np.ndarray]] = []  # (fine graph, coarse map)
+    g = graph
+    while g.n_nodes > threshold:
+        coarse_id, n_coarse = _heavy_edge_matching(
+            g, rng, use_common_neighbors=common_neighbor_matching)
+        if n_coarse >= g.n_nodes * 0.95:  # matching stalled
+            break
+        coarse = _contract(g, coarse_id, n_coarse)
+        levels.append((g, coarse_id))
+        g = coarse
+
+    # Phase 2: initial partition on the coarsest graph.  The coarsest
+    # graph is tiny, so run several seeded attempts (region growing is
+    # seed-sensitive) and keep the best refined cut — METIS's own
+    # "multiple initial partitions" option.
+    best_parts: np.ndarray | None = None
+    best_cut = np.inf
+    for _attempt in range(4):
+        cand = _initial_partition(g, k, rng)
+        if refine:
+            cand = _boundary_refine(g, cand, k, imbalance, passes=8)
+        cut = edge_cut(g, cand)
+        if cut < best_cut:
+            best_cut, best_parts = cut, cand
+    parts = best_parts
+
+    # Phase 3: uncoarsen + refine
+    for fine, coarse_id in reversed(levels):
+        parts = parts[coarse_id]          # project to the finer graph
+        if refine:
+            parts = _boundary_refine(fine, parts, k, imbalance, passes=8)
+
+    return parts

@@ -1,0 +1,34 @@
+"""``repro.jit`` — Numba-like JIT facades for the virtual GPU.
+
+The course's students write *Python-interface* GPU code (§I: "they all
+utilized Python JIT libraries such as Numba and CuPy").  This package is
+the Numba stand-in:
+
+* :mod:`repro.jit.cuda` — a ``numba.cuda``-style kernel simulator.  Kernels
+  are plain Python functions executed once per CUDA thread with real
+  ``threadIdx``/``blockIdx`` semantics, block-shared memory, barriers, and
+  atomics; each launch is also *costed* on the virtual GPU so profiler
+  timelines and speedups come out of the same hardware model as
+  :mod:`repro.xp`.  (Numba itself ships the same idea as
+  ``numba.cuda.simulator``.)
+* :mod:`repro.jit.cpu` — ``@jit`` / ``@vectorize`` / ``prange`` facades
+  that model compile-on-first-call latency and a compile cache, so the
+  "cold vs warm JIT" measurement of Lab 5 reproduces.
+
+Example (Lab 5's saxpy)::
+
+    from repro.jit import cuda
+
+    @cuda.jit
+    def saxpy(a, x, y, out):
+        i = cuda.grid(1)
+        if i < out.size:
+            out[i] = a * x[i] + y[i]
+
+    saxpy[blocks, 256](2.0, x_dev, y_dev, out_dev)
+"""
+
+from repro.jit import cuda
+from repro.jit.cpu import jit, njit, vectorize, prange
+
+__all__ = ["cuda", "jit", "njit", "vectorize", "prange"]

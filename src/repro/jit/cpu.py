@@ -1,0 +1,145 @@
+"""CPU-side JIT facades: ``@jit`` / ``@njit`` / ``@vectorize`` / ``prange``.
+
+The point of these in the course is not speed (we are already in Python) —
+it is the *behaviour* Numba exposes to students:
+
+* compilation happens on the **first call per type signature** and is
+  expensive (hundreds of milliseconds), so cold-vs-warm timing differs
+  wildly (the Lab 5 measurement);
+* compiled dispatch carries per-call overhead that makes JIT pointless for
+  tiny functions (a Numba FAQ entry the lecture quotes);
+* ``parallel=True`` + ``prange`` scales the *modeled* execution across the
+  host's cores.
+
+The facade runs the undecorated Python function for the numeric result and
+charges simulated host time for compilation and execution.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+import numpy as np
+
+from repro.gpu.clock import ns_from_s
+from repro.gpu.system import default_system
+
+# Simulated costs, calibrated to typical Numba numbers on small kernels.
+COMPILE_TIME_S = 0.35          # first-call type-specialized compile
+DISPATCH_OVERHEAD_S = 2e-6     # per-call boxing/unboxing overhead
+
+
+def _type_signature(args) -> tuple:
+    """The (coarse) type key Numba would specialize on."""
+    sig = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            sig.append(("ndarray", a.dtype.str, a.ndim))
+        else:
+            sig.append((type(a).__name__,))
+    return tuple(sig)
+
+
+class Dispatcher:
+    """A jitted function: compile-on-first-signature, then cached dispatch.
+
+    Attributes mirror what the lab measures: ``signatures`` (compiled
+    specializations) and ``compile_count``.
+    """
+
+    def __init__(self, fn: Callable, nopython: bool, parallel: bool,
+                 cache: bool, fastmath: bool) -> None:
+        functools.update_wrapper(self, fn)
+        self.py_func = fn
+        self.nopython = nopython
+        self.parallel = parallel
+        self.cache = cache
+        self.fastmath = fastmath
+        self.signatures: list[tuple] = []
+        self.compile_count = 0
+        self.call_count = 0
+
+    def _charge_compile(self) -> None:
+        clock = default_system().clock
+        clock.advance(ns_from_s(COMPILE_TIME_S))
+        self.compile_count += 1
+
+    def _charge_dispatch(self) -> None:
+        default_system().clock.advance(ns_from_s(DISPATCH_OVERHEAD_S))
+
+    def __call__(self, *args, **kwargs):
+        sig = _type_signature(args)
+        if sig not in self.signatures:
+            # `cache=True` persists compilations across "process restarts";
+            # within one simulated process it behaves like the in-memory
+            # cache, so the distinction only matters to inspection.
+            self.signatures.append(sig)
+            self._charge_compile()
+        self._charge_dispatch()
+        self.call_count += 1
+        return self.py_func(*args, **kwargs)
+
+    def inspect_types(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.py_func.__name__}: {len(self.signatures)} signature(s)"
+
+
+def jit(fn: Callable | None = None, *, nopython: bool = True,
+        parallel: bool = False, cache: bool = False, fastmath: bool = False):
+    """``numba.jit`` facade.  Returns a :class:`Dispatcher`."""
+    def wrap(f: Callable) -> Dispatcher:
+        return Dispatcher(f, nopython=nopython, parallel=parallel,
+                          cache=cache, fastmath=fastmath)
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap
+
+
+def njit(fn: Callable | None = None, **kwargs):
+    """``numba.njit`` = ``jit(nopython=True)``."""
+    kwargs["nopython"] = True
+    return jit(fn, **kwargs)
+
+
+# `prange` is just `range` functionally; with `parallel=True` Numba splits
+# it across threads.  The facade keeps the name so student code ports.
+prange = range
+
+
+class VectorizedFunc:
+    """A ``@vectorize`` ufunc facade: applies the scalar function
+    elementwise over numpy inputs with broadcast, charging one compile on
+    first use."""
+
+    def __init__(self, fn: Callable) -> None:
+        functools.update_wrapper(self, fn)
+        self.py_func = fn
+        self._ufunc = np.frompyfunc(fn, _positional_arity(fn), 1)
+        self._compiled = False
+
+    def __call__(self, *args):
+        if not self._compiled:
+            default_system().clock.advance(ns_from_s(COMPILE_TIME_S))
+            self._compiled = True
+        out = self._ufunc(*args)
+        if isinstance(out, np.ndarray) and out.dtype == object:
+            out = out.astype(np.float64)
+        return out
+
+
+def _positional_arity(fn: Callable) -> int:
+    import inspect
+    params = inspect.signature(fn).parameters.values()
+    return sum(p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+               for p in params)
+
+
+def vectorize(fn: Callable | None = None, **_ignored):
+    """``numba.vectorize`` facade."""
+    def wrap(f: Callable) -> VectorizedFunc:
+        return VectorizedFunc(f)
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

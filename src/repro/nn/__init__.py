@@ -1,0 +1,67 @@
+"""``repro.nn`` — a PyTorch-like deep-learning stack on the virtual GPU.
+
+Weeks 8-10 of the course train CNNs, GCNs, and DQNs with PyTorch and scale
+them with DistributedDataParallel.  No torch ships in this environment, so
+this package implements the needed subset from scratch:
+
+* :class:`~repro.nn.tensor.Tensor` — reverse-mode autograd over numpy
+  storage, with every op *costed* on a compute device (GPU timeline or
+  host), so training-step timings come from the same roofline model as
+  the rest of the stack while gradients are numerically exact;
+* :mod:`~repro.nn.layers` — ``Module``, ``Linear``, ``Conv2d``,
+  ``MaxPool2d``, ``ReLU``, ``Dropout``, ``LayerNorm``, ``Embedding``,
+  ``Sequential``;
+* :mod:`~repro.nn.losses` — cross-entropy, MSE, Huber;
+* :mod:`~repro.nn.optim` — SGD (momentum/weight-decay) and Adam;
+* :mod:`~repro.nn.data` — ``TensorDataset`` / ``DataLoader``;
+* :mod:`~repro.nn.ddp` — ``DistributedDataParallel`` with ring-all-reduce
+  gradient averaging across virtual GPUs (Lab 9).
+
+Quick start::
+
+    import repro.nn as nn
+    model = nn.Sequential(nn.Linear(784, 128), nn.ReLU(), nn.Linear(128, 10))
+    model.to("cuda:0")
+    opt = nn.SGD(model.parameters(), lr=0.1)
+    loss = nn.cross_entropy(model(x), y)
+    loss.backward()
+    opt.step()
+"""
+
+from repro.nn.device import ComputeDevice, resolve_device
+from repro.nn.tensor import Tensor, tensor, no_grad, concatenate, stack
+from repro.nn.layers import (
+    Module,
+    Linear,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    Dropout,
+    Flatten,
+    LayerNorm,
+    Embedding,
+    Conv2d,
+    MaxPool2d,
+    Sequential,
+    num_parameters,
+)
+from repro.nn.losses import cross_entropy, mse_loss, huber_loss, softmax, log_softmax
+from repro.nn.optim import SGD, Adam, clip_grad_norm_
+from repro.nn.data import TensorDataset, DataLoader
+from repro.nn.ddp import DistributedDataParallel
+from repro.nn.schedulers import StepLR, CosineAnnealingLR, WarmupLR
+from repro.nn import checkpoint
+
+__all__ = [
+    "ComputeDevice", "resolve_device",
+    "Tensor", "tensor", "no_grad", "concatenate", "stack",
+    "Module", "Linear", "ReLU", "Tanh", "Sigmoid", "Dropout", "Flatten",
+    "LayerNorm", "Embedding", "Conv2d", "MaxPool2d", "Sequential",
+    "num_parameters",
+    "cross_entropy", "mse_loss", "huber_loss", "softmax", "log_softmax",
+    "SGD", "Adam", "clip_grad_norm_",
+    "TensorDataset", "DataLoader",
+    "DistributedDataParallel",
+    "StepLR", "CosineAnnealingLR", "WarmupLR",
+    "checkpoint",
+]

@@ -1,0 +1,51 @@
+"""Model checkpoints: ``save``/``load`` over ``.npz`` archives.
+
+Students checkpoint models across spot-instance interruptions (the
+failure-recovery pattern the spot ablation exercises): parameters go to
+one compressed archive, metadata (epoch, optimizer step count) rides in
+a side channel of the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.layers import Module
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save(model: Module, path: str | Path,
+         metadata: dict | None = None) -> Path:
+    """Write the model's state dict (plus optional JSON metadata)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ReproError(f"parameter name {_META_KEY!r} is reserved")
+    meta_blob = np.frombuffer(
+        json.dumps(metadata or {}).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **state, **{_META_KEY: meta_blob})
+    return path
+
+
+def load(model: Module, path: str | Path) -> dict:
+    """Restore parameters in place; returns the saved metadata."""
+    path = Path(path)
+    if not path.exists():
+        alt = path.with_suffix(".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise ReproError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode()) \
+            if _META_KEY in archive else {}
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    model.load_state_dict(state)
+    return meta

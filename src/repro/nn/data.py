@@ -1,0 +1,80 @@
+"""Datasets and loaders (the ``torch.utils.data`` subset).
+
+``DataLoader`` yields numpy batches with seeded shuffling; the
+``DistributedSampler``-style sharding used by DDP lives in
+:func:`shard_indices`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class TensorDataset:
+    """Aligned arrays indexed together (features, labels, ...)."""
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        n = len(arrays[0])
+        if any(len(a) != n for a in arrays):
+            raise ShapeError(
+                f"arrays have mismatched lengths {[len(a) for a in arrays]}")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, idx) -> tuple[np.ndarray, ...]:
+        return tuple(a[idx] for a in self.arrays)
+
+
+class DataLoader:
+    """Mini-batch iterator with deterministic shuffling.
+
+    Each full iteration reshuffles (epoch semantics); the shuffle stream
+    is seeded so two loaders with the same seed yield identical batches.
+    """
+
+    def __init__(self, dataset: TensorDataset, batch_size: int = 32,
+                 shuffle: bool = False, seed: int = 0,
+                 drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = (self._rng.permutation(n) if self.shuffle
+                 else np.arange(n))
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.dataset[idx]
+
+
+def shard_indices(n: int, rank: int, world_size: int,
+                  seed: int = 0, shuffle: bool = True) -> np.ndarray:
+    """DistributedSampler-style split: a seeded permutation of [0, n) cut
+    into ``world_size`` contiguous shards; every rank sees a disjoint
+    subset and the union covers the dataset."""
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world {world_size}")
+    order = (np.random.default_rng(seed).permutation(n) if shuffle
+             else np.arange(n))
+    return order[rank::world_size]

@@ -1,0 +1,89 @@
+"""Compute-device abstraction for the nn stack.
+
+A :class:`ComputeDevice` is where tensor math "runs": either a virtual GPU
+(kernels land on its timeline) or the host CPU (synchronous roofline
+time).  The nn layer charges costs through this one interface so a model
+can be moved between CPU and any GPU with ``.to(...)`` and every benchmark
+comparison (CPU vs GPU training, 1 vs 2 GPUs) uses consistent physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.gpu.device import Host, VirtualGpu
+from repro.gpu.kernelmodel import KernelCost
+from repro.gpu.system import default_system
+
+# Efficiency assumptions for framework-generated kernels.
+GEMM_EFF = 0.85
+ELEMENTWISE_EFF = 0.35
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """One place tensors can live: ``cpu`` or ``cuda:<i>``."""
+
+    kind: str                 # "cpu" | "cuda"
+    index: int = 0
+    _gpu: VirtualGpu | None = None
+    _host: Host | None = None
+
+    @property
+    def name(self) -> str:
+        return "cpu" if self.kind == "cpu" else f"cuda:{self.index}"
+
+    @property
+    def is_cuda(self) -> bool:
+        return self.kind == "cuda"
+
+    def charge(self, flops: float, nbytes: float, name: str,
+               gemm: bool = False) -> None:
+        """Account for one op's work on this device's timeline."""
+        if self.kind == "cuda":
+            assert self._gpu is not None
+            eff = GEMM_EFF if gemm else ELEMENTWISE_EFF
+            n = max(int(nbytes // 4), 1)
+            self._gpu.launch_auto(
+                KernelCost(flops=flops, bytes_read=nbytes * 2 / 3,
+                           bytes_written=nbytes / 3, name=name,
+                           compute_efficiency=eff),
+                n_elements=min(n, 1 << 24),
+            )
+        else:
+            assert self._host is not None
+            self._host.compute(flops=flops, nbytes=nbytes, name=name)
+
+    def synchronize(self) -> None:
+        if self.kind == "cuda" and self._gpu is not None:
+            self._gpu.synchronize()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComputeDevice({self.name})"
+
+
+def resolve_device(spec: "str | ComputeDevice | VirtualGpu | None"
+                   ) -> ComputeDevice:
+    """Resolve torch-style device specs against the default GPU system.
+
+    Accepts ``"cpu"``, ``"cuda"``, ``"cuda:1"``, an existing
+    :class:`ComputeDevice`, or a raw :class:`VirtualGpu`.
+    ``None`` means CPU (torch's default placement).
+    """
+    if spec is None or spec == "cpu":
+        return ComputeDevice(kind="cpu", _host=default_system().host)
+    if isinstance(spec, ComputeDevice):
+        return spec
+    if isinstance(spec, VirtualGpu):
+        return ComputeDevice(kind="cuda", index=spec.device_id, _gpu=spec)
+    if isinstance(spec, str):
+        if spec == "cuda":
+            spec = "cuda:0"
+        if spec.startswith("cuda:"):
+            idx = int(spec.split(":", 1)[1])
+            system = default_system()
+            return ComputeDevice(kind="cuda", index=idx,
+                                 _gpu=system.device(idx))
+        raise DeviceError(f"unknown device spec {spec!r}")
+    raise DeviceError(f"cannot resolve device from {type(spec).__name__}")

@@ -1,0 +1,327 @@
+"""Neural-network modules (the ``torch.nn`` subset the course uses).
+
+Initialization follows torch defaults (Kaiming-uniform for Linear/Conv)
+with explicit seeds, so runs are reproducible across machines.  ``Conv2d``
+uses im2col + GEMM — both the standard real implementation strategy and
+the one whose cost lands naturally on the roofline model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.device import resolve_device
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class: parameter registry, train/eval mode, device movement."""
+
+    def __init__(self) -> None:
+        self._params: dict[str, Tensor] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration (attribute magic, as torch) ------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_params", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> list[Tensor]:
+        out = list(self._params.values())
+        for m in self._modules.values():
+            out.extend(m.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, p in self._params.items():
+            yield f"{prefix}{name}", p
+        for mod_name, m in self._modules.items():
+            yield from m.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def to(self, device) -> "Module":
+        """Move every parameter to ``device`` (in place, returns self)."""
+        dev = resolve_device(device)
+        for name, p in list(self._params.items()):
+            moved = Tensor(p.data, requires_grad=True, device=dev, name=p.name)
+            self._params[name] = moved
+            object.__setattr__(self, name, moved)
+        for m in self._modules.values():
+            m.to(dev)
+        return self
+
+    @property
+    def device(self):
+        params = self.parameters()
+        return params[0].device if params else resolve_device("cpu")
+
+    # -- state dict (DDP sync + checkpoints) --------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing keys: {sorted(missing)}")
+        for name, p in own.items():
+            if state[name].shape != p.data.shape:
+                raise ShapeError(
+                    f"{name}: checkpoint shape {state[name].shape} != "
+                    f"parameter shape {p.data.shape}")
+            p.data[...] = state[name]
+
+    # -- call protocol ----------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+def _kaiming_uniform(rng: np.random.Generator, fan_in: int,
+                     shape: tuple[int, ...]) -> np.ndarray:
+    bound = math.sqrt(1.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+class Linear(Module):
+    """``y = x @ W.T + b`` with torch-default init."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            _kaiming_uniform(rng, in_features, (out_features, in_features)),
+            requires_grad=True, name="weight")
+        self.bias = (Tensor(_kaiming_uniform(rng, in_features,
+                                             (out_features,)),
+                            requires_grad=True, name="bias")
+                     if bias else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expects last dim {self.in_features}, got {x.shape}")
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    """Inverted dropout with its own seeded stream (reproducible)."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0,1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p).astype(np.float32)
+        mask /= (1.0 - self.p)
+        return x * Tensor(mask, device=x.device)
+
+
+class LayerNorm(Module):
+    """Normalize over the last dimension with learnable affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Tensor(np.ones(dim, dtype=np.float32),
+                            requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros(dim, dtype=np.float32),
+                           requires_grad=True, name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        inv = (var + self.eps) ** -0.5
+        return centered * inv * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Index-lookup table (the RAG generator's token embeddings)."""
+
+    def __init__(self, num_embeddings: int, dim: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weight = Tensor(
+            rng.standard_normal((num_embeddings, dim)).astype(np.float32),
+            requires_grad=True, name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        idx = np.asarray(indices)
+        return self.weight[idx]
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+            pad: int) -> tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N, out_h*out_w, C*kh*kw)."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols = np.empty((n, out_h * out_w, c * kh * kw), dtype=x.dtype)
+    idx = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x[:, :, i * stride:i * stride + kh,
+                      j * stride:j * stride + kw]
+            cols[:, idx, :] = patch.reshape(n, -1)
+            idx += 1
+    return cols, out_h, out_w
+
+
+class Conv2d(Module):
+    """2-D convolution via im2col + GEMM (NCHW layout)."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: int, stride: int = 1, padding: int = 0,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            _kaiming_uniform(rng, fan_in,
+                             (out_channels, fan_in)),
+            requires_grad=True, name="conv_weight")
+        self.bias = Tensor(_kaiming_uniform(rng, fan_in, (out_channels,)),
+                           requires_grad=True, name="conv_bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2d expects (N,{self.in_channels},H,W), got {x.shape}")
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols_np, out_h, out_w = _im2col(x.data, k, k, s, p)
+        n = x.shape[0]
+        # Lowered conv: cols (N, P, CKK) @ W.T (CKK, O) -> (N, P, O)
+        cols = Tensor(cols_np, requires_grad=x.requires_grad, device=x.device,
+                      _parents=(x,), _backward=self._col_backward(x, k, s, p),
+                      name="im2col")
+        out = cols @ self.weight.T + self.bias
+        out = out.transpose(0, 2, 1).reshape(n, self.out_channels,
+                                             out_h, out_w)
+        return out
+
+    def _col_backward(self, x: Tensor, k: int, s: int, p: int):
+        def backward(g_cols: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            n, c, h, w = x.shape
+            padded = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=np.float32)
+            out_h = (h + 2 * p - k) // s + 1
+            out_w = (w + 2 * p - k) // s + 1
+            idx = 0
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = g_cols[:, idx, :].reshape(n, c, k, k)
+                    padded[:, :, i * s:i * s + k, j * s:j * s + k] += patch
+                    idx += 1
+            grad = padded[:, :, p:p + h, p:p + w] if p else padded
+            x._accumulate(grad)
+
+        return backward
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.k = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ShapeError(
+                f"MaxPool2d({k}) needs H,W divisible by {k}, got {h}x{w}")
+        view = x.reshape(n, c, h // k, k, w // k, k)
+        return view.max(axis=5).max(axis=3)
+
+
+class Sequential(Module):
+    """Chain of modules."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+        for i, m in enumerate(modules):
+            setattr(self, f"layer{i}", m)
+
+    def forward(self, x):
+        for m in self.layers:
+            x = m(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+def num_parameters(module: Module) -> int:
+    """Total trainable parameter count of a module tree."""
+    return sum(p.size for p in module.parameters())

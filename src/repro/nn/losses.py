@@ -1,0 +1,86 @@
+"""Loss functions and the softmax family.
+
+``cross_entropy`` fuses log-softmax + NLL with the max-subtraction trick,
+matching torch's numerics; its gradient is the classic ``softmax - onehot``
+(charged as one fused kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax built from autograd primitives."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(N, C)`` logits and ``(N,)`` integer
+    class targets — fused forward/backward, as ``F.cross_entropy``."""
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+    n, c = logits.shape
+    if targets.shape != (n,):
+        raise ShapeError(
+            f"targets shape {targets.shape} != ({n},) for {n} samples")
+    if targets.min() < 0 or targets.max() >= c:
+        raise ValueError(f"targets out of range [0, {c})")
+
+    z = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_probs = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+    loss_val = -log_probs[np.arange(n), targets].mean()
+    logits._charge(10.0 * logits.size, 2.0 * logits.nbytes, "cross_entropy")
+
+    probs = np.exp(log_probs)
+
+    def backward(g):
+        if logits.requires_grad:
+            grad = probs.copy()
+            grad[np.arange(n), targets] -= 1.0
+            grad *= np.asarray(g, dtype=np.float32).reshape(()) / n
+            logits._charge(4.0 * logits.size, 2.0 * logits.nbytes,
+                           "cross_entropy_bwd")
+            logits._accumulate(grad.astype(np.float32))
+
+    return logits._make(np.asarray(loss_val, dtype=np.float32),
+                        (logits,), backward, "cross_entropy")
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float32),
+                        device=pred.device)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor | np.ndarray,
+               delta: float = 1.0) -> Tensor:
+    """Huber (smooth-L1) loss — the DQN training objective of Lab 8.
+
+    Implemented with the |x| <= delta quadratic / linear split using
+    autograd primitives, so its gradient clips automatically.
+    """
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float32),
+                        device=pred.device)
+    diff = pred - target
+    a = diff.abs()
+    quad_mask = Tensor((a.data <= delta).astype(np.float32),
+                       device=pred.device)
+    quadratic = diff * diff * 0.5
+    linear = a * delta - (0.5 * delta * delta)
+    return (quadratic * quad_mask + linear * (1.0 - quad_mask)).mean()

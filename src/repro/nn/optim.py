@@ -1,0 +1,122 @@
+"""Optimizers: SGD (momentum / weight decay) and Adam.
+
+Updates are in-place on parameter storage and charge one elementwise pass
+per parameter tensor on the parameter's device — the "optimizer step" bar
+of the training-step profile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Shared bookkeeping: parameter list, step counter, zero_grad."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _charge(self, p: Tensor, passes: float, name: str) -> None:
+        p.device.charge(flops=passes * p.size,
+                        nbytes=passes * 2.0 * p.nbytes, name=name)
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and decoupled
+    L2 weight decay (torch's ``SGD`` semantics)."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0,1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+            self._charge(p, passes=3.0, name="sgd_step")
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (torch defaults)."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0,1), got {betas}")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * (g * g)
+            m_hat = m / (1 - self.b1 ** t)
+            v_hat = v / (1 - self.b2 ** t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._charge(p, passes=8.0, name="adam_step")
+
+
+def clip_grad_norm_(params, max_norm: float) -> float:
+    """Clip gradients in place to a global L2 norm (torch's
+    ``clip_grad_norm_``); returns the pre-clip norm.
+
+    The DQN/REINFORCE stability knob: exploding TD targets otherwise
+    blow up the Q-network in exactly the way Lab 8's first attempt did.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total

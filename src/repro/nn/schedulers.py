@@ -1,0 +1,84 @@
+"""Learning-rate schedulers (the ``torch.optim.lr_scheduler`` subset).
+
+The deep-learning labs tune schedules when loss plateaus; these mirror
+the three the course touches: step decay, cosine annealing, and linear
+warmup.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base: wraps an optimizer and rewrites ``opt.lr`` on ``step()``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        if lr < 0:
+            raise ReproError(f"scheduler produced negative lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ReproError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ReproError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max``
+    epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 1e-6) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ReproError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        cos = (1 + math.cos(math.pi * t / self.t_max)) / 2
+        return self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class WarmupLR(LRScheduler):
+    """Linear ramp from ~0 to the base lr over ``warmup_epochs``, then
+    constant — the DDP large-batch recipe."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ReproError("warmup_epochs must be positive")
+        self.warmup_epochs = warmup_epochs
+
+    def get_lr(self) -> float:
+        frac = min(self.epoch / self.warmup_epochs, 1.0)
+        return self.base_lr * max(frac, 1e-8)

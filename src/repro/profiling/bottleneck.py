@@ -1,0 +1,141 @@
+"""Roofline bottleneck analysis.
+
+§I: the course "strengthened students' problem-solving and critical
+thinking skills through tools such as TensorBoard and HPC profilers, which
+exposed performance bottlenecks and scaling issues".  The concrete skill is
+reading a profile and answering *what do I fix first?* — this module is
+that answer, automated:
+
+* per-kernel: compute-bound / memory-bound / latency-bound verdicts from
+  arithmetic intensity vs the device's ridge point;
+* per-profile: is the workload dominated by kernels, transfers, or idle
+  gaps, with the corresponding standard remediation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import merge_busy_ns
+from repro.gpu.kernelmodel import KernelCost
+from repro.gpu.specs import DeviceSpec
+from repro.profiling.timeline import Profiler
+
+# A kernel whose duration is mostly fixed launch overhead is neither
+# compute- nor memory-bound; below this useful-work fraction we call it
+# latency-bound (the "your kernel is too small" verdict).
+LATENCY_BOUND_THRESHOLD = 0.3
+
+
+@dataclass(frozen=True)
+class KernelVerdict:
+    """Classification of one kernel (or kernel aggregate)."""
+
+    name: str
+    bound: str                   # "compute" | "memory" | "latency"
+    arithmetic_intensity: float  # flop / byte
+    ridge_point: float           # device flop / byte at the roofline ridge
+    advice: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.name}: {self.bound}-bound "
+                f"(AI={self.arithmetic_intensity:.2f} vs ridge "
+                f"{self.ridge_point:.2f}) — {self.advice}")
+
+
+@dataclass(frozen=True)
+class ProfileDiagnosis:
+    """Whole-profile verdict: where the time went and what to do."""
+
+    kernel_ms: float
+    transfer_ms: float
+    idle_ms: float
+    dominant: str        # "kernels" | "transfers" | "idle"
+    advice: str
+    verdicts: tuple[KernelVerdict, ...]
+
+    @property
+    def total_ms(self) -> float:
+        return self.kernel_ms + self.transfer_ms + self.idle_ms
+
+
+_ADVICE = {
+    "compute": ("already compute-limited: use a faster algorithm, lower "
+                "precision, or a bigger GPU"),
+    "memory": ("memory-bandwidth-limited: fuse kernels, improve coalescing, "
+               "reuse data through shared memory"),
+    "latency": ("launch-overhead-limited: the kernel is too small — batch "
+                "work into fewer, larger launches"),
+    "kernels": "device compute dominates; optimize the top kernels first",
+    "transfers": ("PCIe transfers dominate: keep data resident on the "
+                  "device, batch copies, use pinned/async transfers"),
+    "idle": ("the GPU is mostly idle: the host is the bottleneck — "
+             "overlap CPU work with device work or pipeline the input"),
+}
+
+
+class BottleneckAnalyzer:
+    """Classifies kernels and whole profiles against a device roofline."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+
+    # -- single kernels ------------------------------------------------------
+
+    def classify_cost(self, cost: KernelCost,
+                      measured_ns: int | None = None) -> KernelVerdict:
+        """Verdict for one kernel work-description.
+
+        If ``measured_ns`` is given and launch overhead accounts for most of
+        it, the kernel is latency-bound regardless of its intensity.
+        """
+        ai = cost.arithmetic_intensity
+        ridge = self.spec.machine_balance
+        overhead_ns = self.spec.launch_overhead_us * 1e3
+        if measured_ns is not None and measured_ns > 0:
+            useful = 1.0 - overhead_ns / measured_ns
+            if useful < LATENCY_BOUND_THRESHOLD:
+                return KernelVerdict(cost.name, "latency", ai, ridge,
+                                     _ADVICE["latency"])
+        bound = "compute" if ai >= ridge else "memory"
+        return KernelVerdict(cost.name, bound, ai, ridge, _ADVICE[bound])
+
+    def classify_span(self, name: str, flops: float, nbytes: float,
+                      duration_ns: int) -> KernelVerdict:
+        """Verdict from profiled span annotations."""
+        cost = KernelCost(flops=flops, bytes_read=nbytes, name=name)
+        return self.classify_cost(cost, measured_ns=duration_ns)
+
+    # -- whole profiles --------------------------------------------------------
+
+    def diagnose(self, profiler: Profiler) -> ProfileDiagnosis:
+        """Break the profiled window into kernel / transfer / idle time and
+        name the dominant component.
+
+        Kernel and transfer busy-time are merged-union measures, so
+        overlapped copies don't double-count; idle is whatever remains of
+        the window.
+        """
+        window_ns = int(profiler.elapsed_ms * 1e6)
+        kernel_ns = merge_busy_ns(profiler.spans_of_kind("kernel"))
+        transfer_ns = merge_busy_ns(
+            profiler.spans_of_kind("memcpy_h2d", "memcpy_d2h", "memcpy_p2p"))
+        idle_ns = max(window_ns - kernel_ns - transfer_ns, 0)
+        parts = {"kernels": kernel_ns, "transfers": transfer_ns, "idle": idle_ns}
+        dominant = max(parts, key=parts.get)  # type: ignore[arg-type]
+
+        verdicts = []
+        for row in profiler.summary(kind="kernel")[:10]:
+            avg_ns = row.total_ns // row.count if row.count else 0
+            verdicts.append(self.classify_span(
+                row.name, row.flops / max(row.count, 1),
+                row.bytes / max(row.count, 1), avg_ns))
+
+        return ProfileDiagnosis(
+            kernel_ms=kernel_ns / 1e6,
+            transfer_ms=transfer_ns / 1e6,
+            idle_ms=idle_ns / 1e6,
+            dominant=dominant,
+            advice=_ADVICE[dominant],
+            verdicts=tuple(verdicts),
+        )

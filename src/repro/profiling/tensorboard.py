@@ -1,0 +1,128 @@
+"""A TensorBoard-like scalar logger with terminal rendering.
+
+The abstract credits "tools such as TensorBoard and HPC profilers" with
+exposing bottlenecks and scaling issues.  This module is the TensorBoard
+side: a ``SummaryWriter`` that records scalar time-series (loss curves,
+utilization, throughput) tagged by step, persists them as JSON event
+files, and renders terminal sparklines/summaries so training dynamics
+are inspectable offline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class ScalarEvent:
+    """One logged point."""
+
+    tag: str
+    step: int
+    value: float
+    wall_time_s: float = 0.0
+
+
+class SummaryWriter:
+    """Record scalar series; optionally persist to an event file.
+
+    Mirrors the ``torch.utils.tensorboard.SummaryWriter`` surface the
+    course's notebooks use (``add_scalar`` / ``close``), plus readback
+    and rendering that the real one delegates to the web UI.
+    """
+
+    def __init__(self, log_dir: str | Path | None = None) -> None:
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+        self._events: dict[str, list[ScalarEvent]] = {}
+        self._closed = False
+
+    # -- writing -----------------------------------------------------------
+
+    def add_scalar(self, tag: str, value: float, step: int,
+                   wall_time_s: float = 0.0) -> None:
+        """Append one point to a series."""
+        if self._closed:
+            raise ReproError("writer is closed")
+        if not math.isfinite(value):
+            raise ReproError(f"non-finite value for {tag!r} at step {step}")
+        self._events.setdefault(tag, []).append(
+            ScalarEvent(tag=tag, step=int(step), value=float(value),
+                        wall_time_s=wall_time_s))
+
+    def add_scalars(self, main_tag: str, values: dict[str, float],
+                    step: int) -> None:
+        """Log several related series at once (``loss/train`` etc.)."""
+        for sub, v in values.items():
+            self.add_scalar(f"{main_tag}/{sub}", v, step)
+
+    def flush(self) -> None:
+        """Persist all events to ``<log_dir>/events.json``."""
+        if self.log_dir is None:
+            return
+        payload = {tag: [[e.step, e.value] for e in evs]
+                   for tag, evs in self._events.items()}
+        (self.log_dir / "events.json").write_text(json.dumps(payload))
+
+    def close(self) -> None:
+        self.flush()
+        self._closed = True
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def tags(self) -> list[str]:
+        return sorted(self._events)
+
+    def series(self, tag: str) -> list[ScalarEvent]:
+        try:
+            return list(self._events[tag])
+        except KeyError:
+            raise ReproError(
+                f"no scalar series {tag!r}; have {self.tags}") from None
+
+    def values(self, tag: str) -> list[float]:
+        return [e.value for e in self.series(tag)]
+
+    def last(self, tag: str) -> float:
+        return self.series(tag)[-1].value
+
+    # -- rendering -----------------------------------------------------------
+
+    def sparkline(self, tag: str, width: int = 40) -> str:
+        """A one-line unicode sparkline of the series (the terminal's
+        answer to the TensorBoard scalar chart)."""
+        vals = self.values(tag)
+        if len(vals) > width:  # downsample by striding
+            stride = len(vals) / width
+            vals = [vals[int(i * stride)] for i in range(width)]
+        lo, hi = min(vals), max(vals)
+        span = hi - lo or 1.0
+        chars = "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))]
+                        for v in vals)
+        return (f"{tag:<24} {chars} "
+                f"[{lo:.4g} .. {hi:.4g}] last={vals[-1]:.4g}")
+
+    def dashboard(self, width: int = 40) -> str:
+        """All series as sparklines."""
+        if not self._events:
+            raise ReproError("nothing logged yet")
+        return "\n".join(self.sparkline(t, width) for t in self.tags)
+
+
+def load_events(log_dir: str | Path) -> dict[str, list[tuple[int, float]]]:
+    """Read back a persisted event file."""
+    path = Path(log_dir) / "events.json"
+    if not path.exists():
+        raise ReproError(f"no event file under {log_dir}")
+    raw = json.loads(path.read_text())
+    return {tag: [(int(s), float(v)) for s, v in pts]
+            for tag, pts in raw.items()}

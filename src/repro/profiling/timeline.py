@@ -1,0 +1,217 @@
+"""Nsight-Systems-like timeline collection.
+
+A :class:`Profiler` subscribes to every device (and the host) of a
+:class:`~repro.gpu.system.GpuSystem` for the duration of a ``with`` block
+and keeps the spans that were recorded while it was active.  Because the
+clock is simulated, re-running the same workload yields the identical
+timeline — the tables in ``EXPERIMENTS.md`` are produced this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import Span, merge_busy_ns
+from repro.gpu.system import GpuSystem, default_system
+
+
+@dataclass
+class SpanAggregate:
+    """Per-kernel-name aggregate row of a profile summary."""
+
+    name: str
+    kind: str
+    count: int = 0
+    total_ns: int = 0
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+    @property
+    def avg_us(self) -> float:
+        return self.total_ns / self.count / 1e3 if self.count else 0.0
+
+
+class Profiler:
+    """Collects device/host spans while active.
+
+    Parameters
+    ----------
+    system:
+        The machine to observe; defaults to the process default system.
+    """
+
+    def __init__(self, system: GpuSystem | None = None) -> None:
+        self.system = system or default_system()
+        self.spans: list[Span] = []
+        self.start_ns: int | None = None
+        self.stop_ns: int | None = None
+        self._attached = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "Profiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._attached:
+            return
+        self.start_ns = self.system.clock.now_ns
+        for dev in self.system.devices:
+            dev.add_span_listener(self._on_span)
+        self.system.host.add_span_listener(self._on_span)
+        from repro.profiling import nvtx
+        nvtx._profiler_stack.append(self)
+        self._attached = True
+
+    def stop(self) -> None:
+        if not self._attached:
+            return
+        # Drain in-flight async work so trailing kernels are observed.
+        self.system.synchronize()
+        self.stop_ns = self.system.clock.now_ns
+        for dev in self.system.devices:
+            dev.remove_span_listener(self._on_span)
+        self.system.host.remove_span_listener(self._on_span)
+        from repro.profiling import nvtx
+        nvtx._profiler_stack.remove(self)
+        self._attached = False
+
+    def _on_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def record_range(self, span: Span) -> None:
+        """Entry point for NVTX host ranges."""
+        self.spans.append(span)
+
+    # -- queries ---------------------------------------------------------------
+
+    def spans_of_kind(self, *kinds: str) -> list[Span]:
+        return [s for s in self.spans if s.kind in kinds]
+
+    @property
+    def kernel_spans(self) -> list[Span]:
+        return self.spans_of_kind("kernel")
+
+    @property
+    def transfer_spans(self) -> list[Span]:
+        return self.spans_of_kind("memcpy_h2d", "memcpy_d2h", "memcpy_p2p")
+
+    def total_ns(self, *kinds: str) -> int:
+        """Merged busy nanoseconds of the given kinds (overlaps collapse)."""
+        return merge_busy_ns(self.spans_of_kind(*kinds))
+
+    def kind_breakdown_ms(self) -> dict[str, float]:
+        """Milliseconds per span kind — the stacked bar Nsight shows."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.kind] = out.get(s.kind, 0.0) + s.duration_ms
+        return out
+
+    def summary(self, kind: str | None = None) -> list[SpanAggregate]:
+        """Aggregate rows by span name, sorted by total time descending —
+        the view that tells students where the time goes."""
+        rows: dict[tuple[str, str], SpanAggregate] = {}
+        for s in self.spans:
+            if kind is not None and s.kind != kind:
+                continue
+            key = (s.name, s.kind)
+            row = rows.setdefault(key, SpanAggregate(name=s.name, kind=s.kind))
+            row.count += 1
+            row.total_ns += s.duration_ns
+            row.flops += s.flops
+            row.bytes += s.bytes
+        return sorted(rows.values(), key=lambda r: -r.total_ns)
+
+    def gpu_utilization(self) -> dict[int, float]:
+        """Per-device busy fraction over the profiled window."""
+        if self.start_ns is None:
+            return {}
+        end = self.stop_ns if self.stop_ns is not None else self.system.clock.now_ns
+        window = (self.start_ns, end)
+        out: dict[int, float] = {}
+        for dev in self.system.devices:
+            dev_spans = [s for s in self.spans
+                         if s.device_id == dev.device_id and s.kind != "nvtx"]
+            busy = merge_busy_ns(dev_spans, window)
+            span_len = end - self.start_ns
+            out[dev.device_id] = busy / span_len if span_len > 0 else 0.0
+        return out
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Wall(-simulated)-clock length of the profiled region."""
+        if self.start_ns is None:
+            return 0.0
+        end = self.stop_ns if self.stop_ns is not None else self.system.clock.now_ns
+        return (end - self.start_ns) / 1e6
+
+    # -- rendering ---------------------------------------------------------------
+
+    def table(self, limit: int = 15) -> str:
+        """A plain-text summary table (the ``nsys stats``-style view)."""
+        rows = self.summary()[:limit]
+        total = sum(r.total_ns for r in self.summary()) or 1
+        lines = [
+            f"{'Name':<36} {'Kind':<12} {'Count':>6} {'Total ms':>10} "
+            f"{'Avg us':>9} {'%':>6}",
+            "-" * 84,
+        ]
+        for r in rows:
+            lines.append(
+                f"{r.name[:36]:<36} {r.kind:<12} {r.count:>6} "
+                f"{r.total_ms:>10.3f} {r.avg_us:>9.1f} "
+                f"{100.0 * r.total_ns / total:>5.1f}%"
+            )
+        return "\n".join(lines)
+
+    def chrome_trace(self) -> list[dict]:
+        """Chrome ``about:tracing`` / Perfetto event list (the export format
+        Nsight and the PyTorch profiler both speak)."""
+        events = []
+        for s in self.spans:
+            events.append({
+                "name": s.name,
+                "cat": s.kind,
+                "ph": "X",
+                "ts": s.start_ns / 1e3,   # chrome wants microseconds
+                "dur": s.duration_ns / 1e3,
+                "pid": max(s.device_id, 0) if s.kind != "host" else "host",
+                "tid": s.stream_id,
+            })
+        return events
+
+
+def compare_profiles(before: "Profiler", after: "Profiler"
+                     ) -> dict[str, dict[str, float]]:
+    """A/B comparison of two profiled runs — the before/after artifact of
+    every optimization lab.
+
+    Returns, per span kind present in either run: ``before_ms``,
+    ``after_ms``, and ``speedup`` (before/after; inf when the kind
+    vanished), plus an ``"(elapsed)"`` row for the whole window.
+    """
+    b = before.kind_breakdown_ms()
+    a = after.kind_breakdown_ms()
+    out: dict[str, dict[str, float]] = {}
+    for kind in sorted(set(b) | set(a)):
+        bv, av = b.get(kind, 0.0), a.get(kind, 0.0)
+        out[kind] = {
+            "before_ms": bv,
+            "after_ms": av,
+            "speedup": (bv / av) if av > 0 else float("inf"),
+        }
+    bt, at = before.elapsed_ms, after.elapsed_ms
+    out["(elapsed)"] = {
+        "before_ms": bt,
+        "after_ms": at,
+        "speedup": (bt / at) if at > 0 else float("inf"),
+    }
+    return out

@@ -1,0 +1,119 @@
+"""Terminal renderers for profiler artifacts: the timeline lane view and
+the roofline chart.
+
+``render_timeline`` draws the Nsight "lanes" view — one row per
+(device, stream), time flowing left to right, glyphs keyed by span kind
+— so a profiled region is visually inspectable in a terminal.
+``render_roofline`` draws the log-log roofline with each kernel placed
+at its arithmetic intensity and achieved throughput.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.gpu.specs import DeviceSpec
+from repro.profiling.timeline import Profiler
+
+_KIND_GLYPH = {
+    "kernel": "█",
+    "memcpy_h2d": "▲",
+    "memcpy_d2h": "▼",
+    "memcpy_p2p": "◆",
+    "collective": "◆",
+    "task": "·",
+    "host": "░",
+    "nvtx": "‾",
+}
+
+
+def render_timeline(profiler: Profiler, width: int = 72) -> str:
+    """One row per (device, stream), glyphs per span kind.
+
+    Spans shorter than one column still print one glyph (the Nsight
+    behaviour of clamping to minimum pixel width), so launch-overhead
+    dominated kernels remain visible.
+    """
+    spans = [s for s in profiler.spans if s.kind != "nvtx"]
+    if not spans:
+        raise ReproError("nothing profiled")
+    t0 = min(s.start_ns for s in spans)
+    t1 = max(s.end_ns for s in spans)
+    span_ns = max(t1 - t0, 1)
+
+    lanes: dict[tuple[int, int], list] = {}
+    for s in spans:
+        lanes.setdefault((s.device_id, s.stream_id), []).append(s)
+
+    lines = [f"timeline: {span_ns / 1e6:.3f} ms "
+             f"({len(spans)} spans)  "
+             + "  ".join(f"{g}={k}" for k, g in _KIND_GLYPH.items()
+                         if any(s.kind == k for s in spans))]
+    for (dev, stream) in sorted(lanes):
+        row = [" "] * width
+        for s in sorted(lanes[(dev, stream)], key=lambda s: s.start_ns):
+            lo = int((s.start_ns - t0) / span_ns * (width - 1))
+            hi = max(int((s.end_ns - t0) / span_ns * (width - 1)), lo)
+            glyph = _KIND_GLYPH.get(s.kind, "?")
+            for i in range(lo, hi + 1):
+                row[i] = glyph
+        label = ("host" if dev < 0 else f"gpu{dev}/s{stream}")
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_roofline(profiler: Profiler, spec: DeviceSpec,
+                    width: int = 60, height: int = 14) -> str:
+    """Log-log roofline: the bandwidth slope, the compute roof, and one
+    marker per kernel aggregate at (arithmetic intensity, achieved
+    FLOP/s).  Kernels hugging the slope are bandwidth-bound; kernels
+    under the flat roof are compute-bound — Lab 4's summary picture.
+    """
+    rows = [r for r in profiler.summary(kind="kernel")
+            if r.flops > 0 and r.bytes > 0 and r.total_ns > 0]
+    if not rows:
+        raise ReproError("no kernels with flop/byte annotations")
+
+    points = []
+    for r in rows:
+        ai = r.flops / r.bytes
+        achieved = r.flops / (r.total_ns / 1e9)
+        points.append((ai, achieved, r.name))
+
+    ai_min = min(p[0] for p in points) / 4
+    ai_max = max(max(p[0] for p in points) * 4, spec.machine_balance * 4)
+    f_max = spec.peak_flops * 2
+    f_min = min(p[1] for p in points) / 4
+
+    def x_of(ai: float) -> int:
+        frac = (math.log10(ai) - math.log10(ai_min)) / (
+            math.log10(ai_max) - math.log10(ai_min))
+        return min(max(int(frac * (width - 1)), 0), width - 1)
+
+    def y_of(f: float) -> int:
+        frac = (math.log10(f) - math.log10(f_min)) / (
+            math.log10(f_max) - math.log10(f_min))
+        return min(max(int((1 - frac) * (height - 1)), 0), height - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    # the roof: min(bw * ai, peak)
+    for col in range(width):
+        ai = 10 ** (math.log10(ai_min) + col / (width - 1)
+                    * (math.log10(ai_max) - math.log10(ai_min)))
+        roof = min(spec.peak_bandwidth * ai, spec.peak_flops)
+        grid[y_of(roof)][col] = "_" if roof >= spec.peak_flops else "/"
+    # kernels
+    labels = []
+    for i, (ai, achieved, name) in enumerate(points[:9]):
+        marker = str(i + 1)
+        grid[y_of(achieved)][x_of(ai)] = marker
+        labels.append(f"  {marker}: {name} (AI={ai:.2f})")
+
+    lines = [f"roofline: {spec.name} "
+             f"(peak {spec.fp32_tflops:.1f} TFLOP/s, "
+             f"{spec.mem_bandwidth_gbps:.0f} GB/s, "
+             f"ridge {spec.machine_balance:.1f} flop/B)"]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines += labels
+    return "\n".join(lines)

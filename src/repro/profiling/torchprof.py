@@ -1,0 +1,80 @@
+"""A PyTorch-profiler-like front end over the timeline collector.
+
+The course uses ``torch.profiler`` for the deep-learning weeks; its
+signature artifact is the ``prof.key_averages().table(sort_by=...)``
+operator table.  This module reproduces that surface on top of
+:class:`~repro.profiling.timeline.Profiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.system import GpuSystem
+from repro.profiling.timeline import Profiler, SpanAggregate
+
+
+@dataclass
+class KeyAverages:
+    """The result of :meth:`profile.key_averages`: aggregated operator rows
+    with a :meth:`table` renderer."""
+
+    rows: list[SpanAggregate]
+
+    def table(self, sort_by: str = "cuda_time_total", row_limit: int = 12) -> str:
+        """Render the familiar profiler table.
+
+        ``sort_by`` accepts ``"cuda_time_total"`` (default), ``"count"`` or
+        ``"flops"``.
+        """
+        keys = {
+            "cuda_time_total": lambda r: -r.total_ns,
+            "count": lambda r: -r.count,
+            "flops": lambda r: -r.flops,
+        }
+        if sort_by not in keys:
+            raise ValueError(f"sort_by must be one of {sorted(keys)}")
+        rows = sorted(self.rows, key=keys[sort_by])[:row_limit]
+        total_ns = sum(r.total_ns for r in self.rows) or 1
+        header = (f"{'Name':<34} {'Self CUDA %':>12} {'CUDA total':>12} "
+                  f"{'# Calls':>8} {'FLOPs':>12}")
+        lines = [header, "-" * len(header)]
+        for r in rows:
+            lines.append(
+                f"{r.name[:34]:<34} {100.0 * r.total_ns / total_ns:>11.2f}% "
+                f"{r.total_ms:>10.3f}ms {r.count:>8} {r.flops:>12.3g}"
+            )
+        return "\n".join(lines)
+
+    def total_cuda_time_ms(self) -> float:
+        return sum(r.total_ms for r in self.rows)
+
+
+class profile:
+    """``with profile(system) as prof: ...`` — PyTorch-profiler-flavored.
+
+    Only device activity is aggregated into :meth:`key_averages` (matching
+    ``ProfilerActivity.CUDA``); the full span list remains available via
+    ``prof.profiler`` for timeline export.
+    """
+
+    def __init__(self, system: GpuSystem | None = None) -> None:
+        self.profiler = Profiler(system)
+
+    def __enter__(self) -> "profile":
+        self.profiler.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.profiler.stop()
+
+    def key_averages(self) -> KeyAverages:
+        rows = [r for r in self.profiler.summary()
+                if r.kind in ("kernel", "memcpy_h2d", "memcpy_d2h", "memcpy_p2p")]
+        return KeyAverages(rows=rows)
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write the Perfetto-compatible JSON trace to ``path``."""
+        import json
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": self.profiler.chrome_trace()}, fh)

@@ -1,0 +1,92 @@
+"""Text embedders: feature hashing and TF-IDF.
+
+Both produce L2-normalized dense vectors so inner product = cosine
+similarity, the convention the FAISS-like indexes assume.  Hashing is
+stateless (any text, fixed dim); TF-IDF is fitted and sharper on topical
+corpora — the two retriever options Lab 11 compares.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.rag.text import Vocabulary, tokenize
+
+
+def _l2_normalize(x: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norms, 1e-12)
+
+
+class HashingEmbedder:
+    """Feature hashing ("hashing trick"): token -> crc32 bucket, with a
+    sign hash to de-bias collisions.  Deterministic across processes."""
+
+    def __init__(self, dim: int = 256) -> None:
+        if dim <= 0:
+            raise ReproError("dim must be positive")
+        self.dim = dim
+
+    def embed(self, texts: Sequence[str]) -> np.ndarray:
+        out = np.zeros((len(texts), self.dim), dtype=np.float32)
+        for i, text in enumerate(texts):
+            for tok in tokenize(text):
+                h = zlib.crc32(tok.encode())
+                bucket = h % self.dim
+                sign = 1.0 if (h >> 31) & 1 else -1.0
+                out[i, bucket] += sign
+        return _l2_normalize(out)
+
+    def embed_one(self, text: str) -> np.ndarray:
+        return self.embed([text])[0]
+
+
+class TfidfEmbedder:
+    """Classic TF-IDF over a fitted vocabulary, projected to dense.
+
+    ``fit`` learns idf from the corpus; ``embed`` produces
+    tf·idf-weighted, L2-normalized vectors in vocabulary space (optionally
+    truncated to ``max_features`` most frequent tokens).
+    """
+
+    def __init__(self, max_features: int = 512) -> None:
+        self.max_features = max_features
+        self.vocab: Vocabulary | None = None
+        self.idf: np.ndarray | None = None
+
+    @property
+    def dim(self) -> int:
+        if self.vocab is None:
+            raise ReproError("embedder not fitted")
+        return len(self.vocab)
+
+    def fit(self, corpus: Sequence[str]) -> "TfidfEmbedder":
+        if not corpus:
+            raise ReproError("cannot fit on an empty corpus")
+        self.vocab = Vocabulary(corpus, max_size=self.max_features)
+        df = np.zeros(len(self.vocab), dtype=np.float64)
+        for text in corpus:
+            for tid in set(self.vocab.encode(text)):
+                df[tid] += 1
+        n = len(corpus)
+        self.idf = np.log((1 + n) / (1 + df)) + 1.0  # smoothed idf
+        return self
+
+    def embed(self, texts: Sequence[str]) -> np.ndarray:
+        if self.vocab is None or self.idf is None:
+            raise ReproError("call fit() before embed()")
+        out = np.zeros((len(texts), len(self.vocab)), dtype=np.float32)
+        for i, text in enumerate(texts):
+            ids = self.vocab.encode(text)
+            if not ids:
+                continue
+            tf = np.bincount(ids, minlength=len(self.vocab))
+            out[i] = tf * self.idf
+        return _l2_normalize(out)
+
+    def embed_one(self, text: str) -> np.ndarray:
+        return self.embed([text])[0]

@@ -1,0 +1,249 @@
+"""FAISS-like vector indexes with CPU and virtual-GPU backends.
+
+``FlatIndex`` is exact brute force (``IndexFlatIP``): one big
+query×corpus GEMM, the op GPUs crush.  ``IVFFlatIndex`` clusters the
+corpus with k-means and probes only the ``nprobe`` nearest lists
+(``IndexIVFFlat``): less work, slight recall loss — the accuracy/latency
+dial Lab 13 sweeps.
+
+The ``device`` argument selects where search *time* is charged ("cpu" or
+"cuda:i"); numerics are identical, which is exactly FAISS's own
+CPU-vs-GPU contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.device import ComputeDevice, resolve_device
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Top-k ids and scores for a batch of queries."""
+
+    ids: np.ndarray      # (nq, k) int64, -1 padding when not enough docs
+    scores: np.ndarray   # (nq, k) float32
+
+    @property
+    def k(self) -> int:
+        return self.ids.shape[1]
+
+
+def _topk(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise top-k by score descending (deterministic ties by id)."""
+    nq, n = scores.shape
+    k_eff = min(k, n)
+    part = np.argpartition(-scores, k_eff - 1, axis=1)[:, :k_eff]
+    part_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.argsort(-part_scores, kind="stable", axis=1)
+    ids = np.take_along_axis(part, order, axis=1).astype(np.int64)
+    top_scores = np.take_along_axis(part_scores, order, axis=1)
+    if k_eff < k:
+        pad_ids = -np.ones((nq, k - k_eff), dtype=np.int64)
+        pad_sc = np.full((nq, k - k_eff), -np.inf, dtype=scores.dtype)
+        ids = np.concatenate([ids, pad_ids], axis=1)
+        top_scores = np.concatenate([top_scores, pad_sc], axis=1)
+    return ids, top_scores.astype(np.float32)
+
+
+class FlatIndex:
+    """Exact inner-product search (``faiss.IndexFlatIP``)."""
+
+    def __init__(self, dim: int, device: str = "cpu") -> None:
+        if dim <= 0:
+            raise ReproError("dim must be positive")
+        self.dim = dim
+        self.device: ComputeDevice = resolve_device(device)
+        self._vectors = np.zeros((0, dim), dtype=np.float32)
+
+    @property
+    def ntotal(self) -> int:
+        return len(self._vectors)
+
+    def add(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ReproError(
+                f"expected (n, {self.dim}) vectors, got {vectors.shape}")
+        self._vectors = np.concatenate([self._vectors, vectors])
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if queries.shape[1] != self.dim:
+            raise ReproError(
+                f"query dim {queries.shape[1]} != index dim {self.dim}")
+        if self.ntotal == 0:
+            raise ReproError("search on an empty index")
+        nq = len(queries)
+        # one (nq x dim) @ (dim x n) GEMM + top-k pass
+        flops = 2.0 * nq * self.dim * self.ntotal
+        nbytes = 4.0 * (nq * self.dim + self.ntotal * self.dim
+                        + nq * self.ntotal)
+        self.device.charge(flops, nbytes, "flat_search", gemm=True)
+        scores = queries @ self._vectors.T
+        self.device.charge(2.0 * nq * self.ntotal, 4.0 * nq * self.ntotal,
+                           "topk_select")
+        ids, top = _topk(scores, k)
+        return SearchResult(ids=ids, scores=top)
+
+
+def _kmeans(x: np.ndarray, k: int, iters: int, seed: int) -> np.ndarray:
+    """Plain seeded Lloyd's k-means; returns (k, dim) centroids."""
+    rng = np.random.default_rng(seed)
+    centroids = x[rng.choice(len(x), size=k, replace=False)].copy()
+    for _ in range(iters):
+        d = x @ centroids.T  # cosine similarity (inputs normalized)
+        assign = d.argmax(axis=1)
+        for c in range(k):
+            members = x[assign == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+        norms = np.linalg.norm(centroids, axis=1, keepdims=True)
+        centroids = centroids / np.maximum(norms, 1e-12)
+    return centroids
+
+
+class IVFFlatIndex:
+    """Inverted-file index: coarse k-means quantizer + probed lists."""
+
+    def __init__(self, dim: int, nlist: int = 16, nprobe: int = 2,
+                 device: str = "cpu", seed: int = 0) -> None:
+        if nlist <= 0 or nprobe <= 0:
+            raise ReproError("nlist and nprobe must be positive")
+        if nprobe > nlist:
+            raise ReproError(f"nprobe {nprobe} > nlist {nlist}")
+        self.dim = dim
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.seed = seed
+        self.device: ComputeDevice = resolve_device(device)
+        self.centroids: np.ndarray | None = None
+        self._lists: list[list[int]] = [[] for _ in range(nlist)]
+        self._vectors = np.zeros((0, dim), dtype=np.float32)
+
+    @property
+    def ntotal(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None
+
+    def train(self, sample: np.ndarray, iters: int = 8) -> None:
+        sample = np.asarray(sample, dtype=np.float32)
+        if len(sample) < self.nlist:
+            raise ReproError(
+                f"need ≥ nlist={self.nlist} training vectors, "
+                f"got {len(sample)}")
+        flops = 2.0 * iters * len(sample) * self.dim * self.nlist
+        self.device.charge(flops, 4.0 * sample.size * iters,
+                           "ivf_train_kmeans", gemm=True)
+        self.centroids = _kmeans(sample, self.nlist, iters, self.seed)
+
+    def add(self, vectors: np.ndarray) -> None:
+        if not self.is_trained:
+            raise ReproError("train() the coarse quantizer before add()")
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ReproError(
+                f"expected (n, {self.dim}) vectors, got {vectors.shape}")
+        start = self.ntotal
+        assign = (vectors @ self.centroids.T).argmax(axis=1)
+        self.device.charge(2.0 * len(vectors) * self.dim * self.nlist,
+                           4.0 * vectors.size, "ivf_assign", gemm=True)
+        for i, c in enumerate(assign):
+            self._lists[int(c)].append(start + i)
+        self._vectors = np.concatenate([self._vectors, vectors])
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        if not self.is_trained or self.ntotal == 0:
+            raise ReproError("index is untrained or empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        nq = len(queries)
+        # stage 1: route each query to nprobe lists
+        sims = queries @ self.centroids.T
+        self.device.charge(2.0 * nq * self.dim * self.nlist,
+                           4.0 * nq * self.nlist, "ivf_route", gemm=True)
+        probe = np.argsort(-sims, axis=1)[:, :self.nprobe]
+
+        ids_out = -np.ones((nq, k), dtype=np.int64)
+        scores_out = np.full((nq, k), -np.inf, dtype=np.float32)
+        scanned = 0
+        for qi in range(nq):
+            cand: list[int] = []
+            for c in probe[qi]:
+                cand.extend(self._lists[int(c)])
+            if not cand:
+                continue
+            cand_arr = np.asarray(cand, dtype=np.int64)
+            scores = self._vectors[cand_arr] @ queries[qi]
+            scanned += len(cand)
+            ids, top = _topk(scores[None, :], k)
+            keep = ids[0] >= 0
+            ids_out[qi, keep] = cand_arr[ids[0][keep]]
+            scores_out[qi] = top[0]
+        # stage 2 cost: only the scanned fraction of the corpus
+        self.device.charge(2.0 * scanned * self.dim,
+                           4.0 * scanned * self.dim, "ivf_scan", gemm=True)
+        return SearchResult(ids=ids_out, scores=scores_out)
+
+
+def save_index(index: "FlatIndex | IVFFlatIndex", s3, bucket: str,
+               key: str) -> None:
+    """Persist an index's vectors (and IVF structure) to the S3-like
+    store — how Lab 13's corpus survives between notebook sessions.
+
+    The payload is a compressed npz archive serialized to bytes; the S3
+    service charges the upload's transfer time.
+    """
+    import io
+
+    arrays: dict[str, np.ndarray] = {"vectors": index._vectors}
+    meta = {"dim": index.dim, "kind": type(index).__name__}
+    if isinstance(index, IVFFlatIndex):
+        if not index.is_trained:
+            raise ReproError("train the index before saving it")
+        arrays["centroids"] = index.centroids
+        arrays["list_lengths"] = np.array(
+            [len(l) for l in index._lists], dtype=np.int64)
+        arrays["list_entries"] = np.array(
+            [i for l in index._lists for i in l], dtype=np.int64)
+        meta.update(nlist=index.nlist, nprobe=index.nprobe, seed=index.seed)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, __meta__=np.frombuffer(
+        repr(meta).encode(), dtype=np.uint8), **arrays)
+    s3.put_object(bucket, key, buf.getvalue())
+
+
+def load_index(s3, bucket: str, key: str,
+               device: str = "cpu") -> "FlatIndex | IVFFlatIndex":
+    """Restore an index saved with :func:`save_index`."""
+    import ast
+    import io
+
+    blob = s3.get_object(bucket, key)
+    with np.load(io.BytesIO(blob)) as archive:
+        meta = ast.literal_eval(bytes(archive["__meta__"]).decode())
+        vectors = archive["vectors"]
+        if meta["kind"] == "FlatIndex":
+            index = FlatIndex(meta["dim"], device=device)
+            if len(vectors):
+                index.add(vectors)
+            return index
+        index = IVFFlatIndex(meta["dim"], nlist=meta["nlist"],
+                             nprobe=meta["nprobe"], device=device,
+                             seed=meta["seed"])
+        index.centroids = archive["centroids"]
+        index._vectors = vectors
+        lengths = archive["list_lengths"]
+        entries = archive["list_entries"].tolist()
+        lists, offset = [], 0
+        for n in lengths:
+            lists.append(entries[offset:offset + int(n)])
+            offset += int(n)
+        index._lists = lists
+        return index

@@ -1,0 +1,98 @@
+"""Real-time RAG serving: batching, latency percentiles, throughput.
+
+Lab 14: "Deploy real-time RAG inference pipeline ... optimize end-to-end
+RAG pipelines for efficient real-time GPU inference".  The classic
+deployment trade-off is **batching**: grouping queries amortizes the
+per-launch overhead (higher throughput) at the cost of queueing delay
+(higher tail latency).  :class:`RagServer` models exactly that on the
+simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gpu.system import default_system
+from repro.rag.pipeline import RagPipeline
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Latency/throughput summary of one serving run."""
+
+    n_queries: int
+    batch_size: int
+    total_ms: float
+    throughput_qps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_mean_ms: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"B={self.batch_size}: {self.throughput_qps:.0f} qps, "
+                f"p50={self.latency_p50_ms:.2f} ms, "
+                f"p95={self.latency_p95_ms:.2f} ms")
+
+
+class RagServer:
+    """Closed-loop batched server over a :class:`RagPipeline`.
+
+    Queries arrive back-to-back; the server processes them in batches of
+    ``batch_size``: one batched embed, one batched index search, then
+    per-query generation.  A query's latency spans from its batch's start
+    to its own generation finish — so later members of a big batch wait,
+    the queueing effect that bends the latency curve upward.
+    """
+
+    def __init__(self, pipeline: RagPipeline, batch_size: int = 8) -> None:
+        if batch_size <= 0:
+            raise ReproError("batch_size must be positive")
+        self.pipeline = pipeline
+        self.batch_size = batch_size
+        self._clock = default_system().clock
+
+    def _now_ms(self) -> float:
+        default_system().synchronize()
+        return self._clock.now_ns / 1e6
+
+    def serve(self, queries: list[str],
+              max_new_tokens: int = 16) -> ServingStats:
+        """Process all queries; returns the aggregate statistics."""
+        if not queries:
+            raise ReproError("no queries to serve")
+        latencies: list[float] = []
+        run_start = self._now_ms()
+        for lo in range(0, len(queries), self.batch_size):
+            batch = queries[lo:lo + self.batch_size]
+            batch_start = self._now_ms()
+            vecs = self.pipeline.embed_queries(batch)
+            result = self.pipeline.index.search(vecs, self.pipeline.k)
+            for qi, query in enumerate(batch):
+                doc_ids = result.ids[qi]
+                context = [self.pipeline.corpus.documents[i]
+                           for i in doc_ids if i >= 0]
+                self.pipeline.generator.generate(
+                    query, context=context, max_new_tokens=max_new_tokens)
+                latencies.append(self._now_ms() - batch_start)
+        total_ms = self._now_ms() - run_start
+        lat = np.asarray(latencies)
+        return ServingStats(
+            n_queries=len(queries),
+            batch_size=self.batch_size,
+            total_ms=total_ms,
+            throughput_qps=len(queries) / (total_ms / 1e3) if total_ms else 0.0,
+            latency_p50_ms=float(np.percentile(lat, 50)),
+            latency_p95_ms=float(np.percentile(lat, 95)),
+            latency_mean_ms=float(lat.mean()),
+        )
+
+
+def sweep_batch_sizes(pipeline: RagPipeline, queries: list[str],
+                      batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16),
+                      max_new_tokens: int = 16) -> list[ServingStats]:
+    """The Lab 14 experiment: throughput/latency across batch sizes."""
+    return [RagServer(pipeline, b).serve(queries, max_new_tokens)
+            for b in batch_sizes]

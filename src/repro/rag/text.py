@@ -1,0 +1,52 @@
+"""Tokenization and vocabulary — the text plumbing under the embedders."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokenizer (alphanumeric runs)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """A frozen token↔id mapping built from a corpus pass."""
+
+    def __init__(self, texts: Iterable[str], min_count: int = 1,
+                 max_size: int | None = None) -> None:
+        counts: dict[str, int] = {}
+        for text in texts:
+            for tok in tokenize(text):
+                counts[tok] = counts.get(tok, 0) + 1
+        items = [(t, c) for t, c in counts.items() if c >= min_count]
+        items.sort(key=lambda tc: (-tc[1], tc[0]))  # frequent first, stable
+        if max_size is not None:
+            items = items[:max_size]
+        self._token_to_id = {t: i for i, (t, _) in enumerate(items)}
+        self._id_to_token = [t for t, _ in items]
+        self.counts = dict(items)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int | None:
+        return self._token_to_id.get(token)
+
+    def token_of(self, idx: int) -> str:
+        return self._id_to_token[idx]
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids, dropping out-of-vocabulary tokens."""
+        out = []
+        for tok in tokenize(text):
+            i = self._token_to_id.get(tok)
+            if i is not None:
+                out.append(i)
+        return out

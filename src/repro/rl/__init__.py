@@ -1,0 +1,35 @@
+"""``repro.rl`` — reinforcement learning on the virtual GPU.
+
+Weeks 9-11 of the course: "Develop reinforcement learning agents
+accelerated by GPUs" (Lab 8: DQN with CUDA-enabled PyTorch; Lab 10: a
+simple agent with CuPy/Numba).  This package provides:
+
+* :class:`~repro.rl.env.GridWorld` — a deterministic shortest-path task
+  (the Lab 10 starter environment);
+* :class:`~repro.rl.env.CartPole` — the classic control dynamics (same
+  constants as Gym's ``CartPole-v1``);
+* :class:`~repro.rl.replay.ReplayBuffer` — uniform experience replay;
+* :class:`~repro.rl.dqn.DQNAgent` — Q-network + target network,
+  epsilon-greedy exploration, Huber loss, and a training loop whose
+  compute lands on the virtual GPU (the batch-size scaling study of the
+  Lab 8 benchmark).
+"""
+
+from repro.rl.env import CartPole, Env, GridWorld
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.dqn import DQNAgent, EpsilonSchedule, QNetwork, TrainingHistory
+from repro.rl.reinforce import ReinforceAgent, PolicyNetwork
+
+__all__ = [
+    "Env",
+    "GridWorld",
+    "CartPole",
+    "ReplayBuffer",
+    "Transition",
+    "DQNAgent",
+    "EpsilonSchedule",
+    "QNetwork",
+    "TrainingHistory",
+    "ReinforceAgent",
+    "PolicyNetwork",
+]

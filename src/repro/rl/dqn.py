@@ -1,0 +1,172 @@
+"""Deep Q-Network agent (Lab 8).
+
+The textbook DQN recipe: Q-network + frozen target network, epsilon-greedy
+exploration with linear decay, uniform replay, Huber loss on the TD
+target, periodic target sync.  All tensor math runs through
+:mod:`repro.nn` on the chosen device, so the batch-size scaling study of
+``benchmarks/test_bench_lab8_dqn.py`` reflects the GPU cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.losses import huber_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.env import Env
+from repro.rl.replay import ReplayBuffer, Transition
+
+
+class QNetwork(Module):
+    """A small MLP mapping observations to per-action Q-values."""
+
+    def __init__(self, obs_dim: int, n_actions: int, hidden: int = 64,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.net = Sequential(
+            Linear(obs_dim, hidden, seed=seed),
+            ReLU(),
+            Linear(hidden, hidden, seed=seed + 1),
+            ReLU(),
+            Linear(hidden, n_actions, seed=seed + 2),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Linear decay from ``start`` to ``end`` over ``decay_steps``."""
+
+    start: float = 1.0
+    end: float = 0.05
+    decay_steps: int = 2000
+
+    def value(self, step: int) -> float:
+        if self.decay_steps <= 0:
+            return self.end
+        frac = min(step / self.decay_steps, 1.0)
+        return self.start + frac * (self.end - self.start)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode records of one training run."""
+
+    episode_rewards: list[float] = field(default_factory=list)
+    episode_lengths: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    def moving_average(self, window: int = 10) -> np.ndarray:
+        r = np.asarray(self.episode_rewards, dtype=np.float64)
+        if len(r) < window:
+            return r
+        kernel = np.ones(window) / window
+        return np.convolve(r, kernel, mode="valid")
+
+
+class DQNAgent:
+    """The Lab 8 agent."""
+
+    def __init__(self, env: Env, device: str = "cuda:0", hidden: int = 64,
+                 gamma: float = 0.99, lr: float = 1e-3,
+                 batch_size: int = 64, buffer_capacity: int = 10_000,
+                 target_sync_every: int = 200,
+                 epsilon: EpsilonSchedule | None = None,
+                 seed: int = 0) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ReproError(f"gamma must be in (0, 1], got {gamma}")
+        self.env = env
+        self.device = device
+        self.gamma = gamma
+        self.batch_size = batch_size
+        self.target_sync_every = target_sync_every
+        self.epsilon = epsilon or EpsilonSchedule()
+        self.q = QNetwork(env.obs_dim, env.n_actions, hidden, seed=seed)
+        self.q.to(device)
+        self.target = QNetwork(env.obs_dim, env.n_actions, hidden, seed=seed)
+        self.target.to(device)
+        self.target.load_state_dict(self.q.state_dict())
+        self.opt = Adam(self.q.parameters(), lr=lr)
+        self.buffer = ReplayBuffer(buffer_capacity, env.obs_dim, seed=seed)
+        self._rng = np.random.default_rng(seed)
+        self.total_steps = 0
+
+    # -- policy --------------------------------------------------------------
+
+    def q_values(self, states: np.ndarray) -> np.ndarray:
+        with no_grad():
+            out = self.q(Tensor(np.atleast_2d(states), device=self.device))
+        return out.numpy()
+
+    def act(self, state: np.ndarray, greedy: bool = False) -> int:
+        """Epsilon-greedy action (or pure greedy for evaluation)."""
+        eps = 0.0 if greedy else self.epsilon.value(self.total_steps)
+        if self._rng.random() < eps:
+            return int(self._rng.integers(self.env.n_actions))
+        return int(self.q_values(state)[0].argmax())
+
+    # -- learning --------------------------------------------------------------
+
+    def train_step(self) -> float:
+        """One gradient step on a replay batch; returns the loss."""
+        states, actions, rewards, next_states, dones = self.buffer.sample(
+            self.batch_size)
+        with no_grad():
+            next_q = self.target(Tensor(next_states, device=self.device))
+        targets = rewards + self.gamma * next_q.numpy().max(axis=1) * (~dones)
+
+        q_all = self.q(Tensor(states, device=self.device))
+        idx = np.arange(len(actions))
+        q_taken = q_all[(idx, actions)]
+        loss = huber_loss(q_taken, targets.astype(np.float32))
+        self.opt.zero_grad()
+        loss.backward()
+        self.opt.step()
+        return loss.item()
+
+    def sync_target(self) -> None:
+        self.target.load_state_dict(self.q.state_dict())
+
+    def train(self, episodes: int = 50, warmup: int = 200,
+              train_every: int = 1) -> TrainingHistory:
+        """The standard DQN loop: act, store, learn, sync."""
+        history = TrainingHistory()
+        for _ep in range(episodes):
+            state = self.env.reset()
+            ep_reward, ep_len, done = 0.0, 0, False
+            while not done:
+                action = self.act(state)
+                next_state, reward, done, _ = self.env.step(action)
+                self.buffer.push(Transition(state, action, reward,
+                                            next_state, done))
+                state = next_state
+                ep_reward += reward
+                ep_len += 1
+                self.total_steps += 1
+                if (len(self.buffer) >= max(warmup, self.batch_size)
+                        and self.total_steps % train_every == 0):
+                    history.losses.append(self.train_step())
+                if self.total_steps % self.target_sync_every == 0:
+                    self.sync_target()
+            history.episode_rewards.append(ep_reward)
+            history.episode_lengths.append(ep_len)
+        return history
+
+    def evaluate(self, episodes: int = 5) -> float:
+        """Mean greedy-policy episode reward."""
+        total = 0.0
+        for _ in range(episodes):
+            state = self.env.reset()
+            done = False
+            while not done:
+                state, reward, done, _ = self.env.step(
+                    self.act(state, greedy=True))
+                total += reward
+        return total / episodes

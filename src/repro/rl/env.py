@@ -1,0 +1,140 @@
+"""RL environments: GridWorld and a CartPole dynamics clone.
+
+Both expose the classic Gym step API: ``reset() -> obs`` and
+``step(action) -> (obs, reward, done, info)``; both are fully seeded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Env:
+    """Minimal Gym-style environment interface."""
+
+    n_actions: int
+    obs_dim: int
+
+    def reset(self) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class GridWorld(Env):
+    """An n×n grid: start at (0,0), reach the goal at (n-1,n-1).
+
+    Rewards: -0.01 per step (encourages short paths), +1 at the goal,
+    -1 and episode end when stepping into an obstacle.  Observations are
+    the (row, col) pair normalized to [0, 1] — tiny, so DQN learns it in
+    seconds even in pure Python.
+    """
+
+    ACTIONS = ((-1, 0), (1, 0), (0, -1), (0, 1))  # up, down, left, right
+
+    def __init__(self, size: int = 5, obstacles: tuple[tuple[int, int], ...] = (),
+                 max_steps: int = 100) -> None:
+        if size < 2:
+            raise ReproError("grid must be at least 2x2")
+        goal = (size - 1, size - 1)
+        if (0, 0) in obstacles or goal in obstacles:
+            raise ReproError("obstacle blocks start or goal")
+        self.size = size
+        self.obstacles = set(obstacles)
+        self.goal = goal
+        self.max_steps = max_steps
+        self.n_actions = 4
+        self.obs_dim = 2
+        self._pos = (0, 0)
+        self._steps = 0
+
+    def _obs(self) -> np.ndarray:
+        return np.array([self._pos[0] / (self.size - 1),
+                         self._pos[1] / (self.size - 1)], dtype=np.float32)
+
+    def reset(self) -> np.ndarray:
+        self._pos = (0, 0)
+        self._steps = 0
+        return self._obs()
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        if not 0 <= action < 4:
+            raise ReproError(f"action {action} out of range")
+        self._steps += 1
+        dr, dc = self.ACTIONS[action]
+        r = min(max(self._pos[0] + dr, 0), self.size - 1)
+        c = min(max(self._pos[1] + dc, 0), self.size - 1)
+        self._pos = (r, c)
+        if self._pos in self.obstacles:
+            return self._obs(), -1.0, True, {"reason": "obstacle"}
+        if self._pos == self.goal:
+            return self._obs(), 1.0, True, {"reason": "goal"}
+        done = self._steps >= self.max_steps
+        return self._obs(), -0.01, done, {"reason": "timeout" if done else ""}
+
+    def shortest_path_steps(self) -> int:
+        """Manhattan lower bound (exact with no obstacles)."""
+        return 2 * (self.size - 1)
+
+
+class CartPole(Env):
+    """The classic cart-pole balancing task (Gym ``CartPole-v1`` physics).
+
+    Euler integration at 0.02 s; episode ends when |x| > 2.4,
+    |θ| > 12°, or 500 steps elapse; reward is +1 per surviving step.
+    """
+
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    POLE_HALF_LENGTH = 0.5
+    FORCE = 10.0
+    DT = 0.02
+    X_LIMIT = 2.4
+    THETA_LIMIT = 12 * math.pi / 180
+
+    def __init__(self, seed: int = 0, max_steps: int = 500) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self.n_actions = 2
+        self.obs_dim = 4
+        self.state = np.zeros(4, dtype=np.float64)
+        self._steps = 0
+
+    def reset(self) -> np.ndarray:
+        self.state = self._rng.uniform(-0.05, 0.05, size=4)
+        self._steps = 0
+        return self.state.astype(np.float32)
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]:
+        if action not in (0, 1):
+            raise ReproError(f"action {action} out of range")
+        x, x_dot, theta, theta_dot = self.state
+        force = self.FORCE if action == 1 else -self.FORCE
+        total_mass = self.CART_MASS + self.POLE_MASS
+        pole_ml = self.POLE_MASS * self.POLE_HALF_LENGTH
+        cos_t, sin_t = math.cos(theta), math.sin(theta)
+
+        temp = (force + pole_ml * theta_dot ** 2 * sin_t) / total_mass
+        theta_acc = (self.GRAVITY * sin_t - cos_t * temp) / (
+            self.POLE_HALF_LENGTH
+            * (4.0 / 3.0 - self.POLE_MASS * cos_t ** 2 / total_mass))
+        x_acc = temp - pole_ml * theta_acc * cos_t / total_mass
+
+        x += self.DT * x_dot
+        x_dot += self.DT * x_acc
+        theta += self.DT * theta_dot
+        theta_dot += self.DT * theta_acc
+        self.state = np.array([x, x_dot, theta, theta_dot])
+        self._steps += 1
+
+        failed = abs(x) > self.X_LIMIT or abs(theta) > self.THETA_LIMIT
+        done = failed or self._steps >= self.max_steps
+        reward = 0.0 if failed else 1.0
+        return self.state.astype(np.float32), reward, done, {}

@@ -1,0 +1,141 @@
+"""REINFORCE: the policy-gradient counterpart to DQN.
+
+Week 11's "AI Agent Foundations" contrasts value-based and policy-based
+agents; this is the policy side — Monte-Carlo policy gradient with a
+learned baseline (return normalization), trained on the same
+environments and device model as :class:`~repro.rl.dqn.DQNAgent`, so the
+two families are directly comparable in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.losses import log_softmax
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.rl.env import Env
+
+
+class PolicyNetwork(Module):
+    """MLP producing action logits."""
+
+    def __init__(self, obs_dim: int, n_actions: int, hidden: int = 64,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.net = Sequential(
+            Linear(obs_dim, hidden, seed=seed), ReLU(),
+            Linear(hidden, n_actions, seed=seed + 1),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+@dataclass
+class EpisodeRollout:
+    """One trajectory's tensors."""
+
+    states: list[np.ndarray] = field(default_factory=list)
+    actions: list[int] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(self.rewards))
+
+
+class ReinforceAgent:
+    """Monte-Carlo policy gradient with normalized returns."""
+
+    def __init__(self, env: Env, device: str = "cuda:0", hidden: int = 64,
+                 gamma: float = 0.99, lr: float = 5e-3, seed: int = 0) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ReproError(f"gamma must be in (0, 1], got {gamma}")
+        self.env = env
+        self.device = device
+        self.gamma = gamma
+        self.policy = PolicyNetwork(env.obs_dim, env.n_actions, hidden,
+                                    seed=seed).to(device)
+        self.opt = Adam(self.policy.parameters(), lr=lr)
+        self._rng = np.random.default_rng(seed)
+
+    # -- acting -----------------------------------------------------------
+
+    def action_probs(self, state: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.policy(Tensor(np.atleast_2d(state),
+                                        device=self.device))
+        z = logits.numpy()[0]
+        z -= z.max()
+        e = np.exp(z)
+        return e / e.sum()
+
+    def act(self, state: np.ndarray, greedy: bool = False) -> int:
+        p = self.action_probs(state)
+        if greedy:
+            return int(p.argmax())
+        return int(self._rng.choice(len(p), p=p))
+
+    # -- learning -----------------------------------------------------------
+
+    def rollout(self) -> EpisodeRollout:
+        ep = EpisodeRollout()
+        state = self.env.reset()
+        done = False
+        while not done:
+            action = self.act(state)
+            nxt, reward, done, _ = self.env.step(action)
+            ep.states.append(state)
+            ep.actions.append(action)
+            ep.rewards.append(reward)
+            state = nxt
+        return ep
+
+    def returns(self, rewards: list[float]) -> np.ndarray:
+        """Discounted returns-to-go, normalized (the variance-reduction
+        baseline)."""
+        g = np.zeros(len(rewards), dtype=np.float32)
+        acc = 0.0
+        for t in reversed(range(len(rewards))):
+            acc = rewards[t] + self.gamma * acc
+            g[t] = acc
+        if len(g) > 1 and g.std() > 1e-8:
+            g = (g - g.mean()) / g.std()
+        return g
+
+    def train_episode(self) -> float:
+        """One rollout + one policy-gradient step; returns the episode
+        reward."""
+        ep = self.rollout()
+        g = self.returns(ep.rewards)
+        states = Tensor(np.asarray(ep.states, dtype=np.float32),
+                        device=self.device)
+        logits = self.policy(states)
+        logp = log_softmax(logits, axis=-1)
+        idx = np.arange(len(ep.actions))
+        chosen = logp[(idx, np.asarray(ep.actions))]
+        loss = -(chosen * Tensor(g, device=self.device)).sum() \
+            * (1.0 / max(len(ep.actions), 1))
+        self.opt.zero_grad()
+        loss.backward()
+        self.opt.step()
+        return ep.total_reward
+
+    def train(self, episodes: int = 200) -> list[float]:
+        return [self.train_episode() for _ in range(episodes)]
+
+    def evaluate(self, episodes: int = 5) -> float:
+        total = 0.0
+        for _ in range(episodes):
+            state = self.env.reset()
+            done = False
+            while not done:
+                state, reward, done, _ = self.env.step(
+                    self.act(state, greedy=True))
+                total += reward
+        return total / episodes

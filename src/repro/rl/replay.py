@@ -1,0 +1,65 @@
+"""Uniform experience replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform batch sampling.
+
+    Stored column-wise so sampling returns ready-to-batch arrays (the
+    layout that makes GPU batching cheap — the Lab 8 optimization).
+    """
+
+    def __init__(self, capacity: int, obs_dim: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ReproError("capacity must be positive")
+        self.capacity = capacity
+        self._states = np.zeros((capacity, obs_dim), dtype=np.float32)
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity, dtype=np.float32)
+        self._next_states = np.zeros((capacity, obs_dim), dtype=np.float32)
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._size = 0
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, t: Transition) -> None:
+        i = self._cursor
+        self._states[i] = t.state
+        self._actions[i] = t.action
+        self._rewards[i] = t.reward
+        self._next_states[i] = t.next_state
+        self._dones[i] = t.done
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray,
+                                               np.ndarray]:
+        """Uniform batch of (states, actions, rewards, next_states, dones)."""
+        if batch_size > self._size:
+            raise ReproError(
+                f"cannot sample {batch_size} from buffer of {self._size}")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return (self._states[idx], self._actions[idx], self._rewards[idx],
+                self._next_states[idx], self._dones[idx])

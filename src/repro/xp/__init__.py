@@ -1,0 +1,95 @@
+"""``repro.xp`` — a CuPy-like ndarray library on the virtual GPU.
+
+The course's prerequisite is Python-only (§I), so every lab uses CuPy or
+Numba rather than native CUDA.  This package is the CuPy stand-in: the same
+surface the Week 2-3 labs use (``xp.asarray`` to move data onto the device,
+arithmetic that launches kernels, ``.get()`` to bring results back), but
+executing on the deterministic virtual GPU of :mod:`repro.gpu` so that
+every transfer and kernel shows up in the profiler with a modeled cost.
+
+Typical lab code::
+
+    import repro.xp as xp
+    a = xp.asarray(host_a)            # H2D transfer (costed)
+    b = xp.asarray(host_b)
+    c = xp.matmul(a, b)               # kernel launch (roofline-costed)
+    result = c.get()                  # D2H transfer (costed)
+
+Device placement follows CuPy: arrays are created on the *current device*
+(see :func:`repro.gpu.use_device`), binary ops require both operands on the
+same device and raise :class:`~repro.errors.CrossDeviceError` otherwise.
+"""
+
+import numpy as _np
+
+from repro.xp.ndarray import ndarray
+from repro.xp.creation import (
+    array,
+    asarray,
+    asnumpy,
+    empty,
+    empty_like,
+    zeros,
+    zeros_like,
+    ones,
+    ones_like,
+    full,
+    arange,
+    linspace,
+    eye,
+    copy,
+    concatenate,
+    stack,
+    get_default_memory_pool,
+)
+from repro.xp.math import (
+    add,
+    subtract,
+    multiply,
+    divide,
+    power,
+    negative,
+    exp,
+    log,
+    sqrt,
+    tanh,
+    sin,
+    cos,
+    abs,  # noqa: A004 - mirrors numpy/cupy namespace
+    sign,
+    maximum,
+    minimum,
+    clip,
+    where,
+    isclose,
+    allclose,
+)
+from repro.xp.reduction import (  # noqa: A004
+    sum, mean, max, min, argmax, argmin, prod, var, std,
+)
+from repro.xp.linalg import matmul, dot, tensordot, norm, einsum_2d
+from repro.xp import random
+
+# dtype aliases, mirroring the cupy/numpy namespace
+float32 = _np.float32
+float64 = _np.float64
+int32 = _np.int32
+int64 = _np.int64
+bool_ = _np.bool_
+newaxis = _np.newaxis
+pi = _np.pi
+inf = _np.inf
+
+__all__ = [
+    "ndarray",
+    "array", "asarray", "asnumpy", "empty", "empty_like", "zeros",
+    "zeros_like", "ones", "ones_like", "full", "arange", "linspace", "eye",
+    "copy", "concatenate", "stack", "get_default_memory_pool",
+    "add", "subtract", "multiply", "divide", "power", "negative", "exp",
+    "log", "sqrt", "tanh", "sin", "cos", "abs", "sign", "maximum", "minimum",
+    "clip", "where", "isclose", "allclose",
+    "sum", "mean", "max", "min", "argmax", "argmin", "prod", "var", "std",
+    "matmul", "dot", "tensordot", "norm", "einsum_2d",
+    "random",
+    "float32", "float64", "int32", "int64", "bool_", "newaxis", "pi", "inf",
+]

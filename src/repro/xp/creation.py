@@ -1,0 +1,156 @@
+"""Array creation and host<->device movement (the ``cupy.*`` constructors).
+
+``asarray`` of host data is where the H2D transfer happens — the cost the
+Week 3 lab on memory bottlenecks is built around.  On-device constructors
+(``zeros``/``ones``/``arange``...) only launch a fill/iota kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CrossDeviceError
+from repro.gpu.device import VirtualGpu
+from repro.gpu.system import current_device
+from repro.xp.ndarray import launch_elementwise, ndarray, result_device
+
+
+def _resolve(device: VirtualGpu | None) -> VirtualGpu:
+    return device if device is not None else current_device()
+
+
+def array(obj, dtype=None, device: VirtualGpu | None = None) -> ndarray:
+    """Create a device array from host data (lists, numpy arrays, scalars),
+    charging the H2D transfer."""
+    device = _resolve(device)
+    if isinstance(obj, ndarray):
+        return copy(obj) if dtype is None else obj.astype(dtype)
+    host = np.array(obj, dtype=dtype)
+    if host.dtype == np.float16:  # keep the model simple: fp32 minimum
+        host = host.astype(np.float32)
+    device.copy_h2d(host.nbytes or 1)
+    return ndarray(host, device)
+
+
+def asarray(obj, dtype=None, device: VirtualGpu | None = None) -> ndarray:
+    """Like :func:`array` but a no-op for device arrays already in place."""
+    if isinstance(obj, ndarray):
+        if device is not None and obj.device is not device:
+            raise CrossDeviceError(
+                f"array already on {obj.device.name}; use copy_to() semantics "
+                "via .get() + asarray for cross-device moves"
+            )
+        if dtype is not None and np.dtype(dtype) != obj.dtype:
+            return obj.astype(dtype)
+        return obj
+    return array(obj, dtype=dtype, device=device)
+
+
+def asnumpy(obj) -> np.ndarray:
+    """Copy a device array back to host (``cupy.asnumpy``); host data is
+    passed through unchanged."""
+    if isinstance(obj, ndarray):
+        return obj.get()
+    return np.asarray(obj)
+
+
+def copy(a: ndarray) -> ndarray:
+    """On-device copy."""
+    return a.copy()
+
+
+def _fill(shape, value, dtype, device: VirtualGpu | None, name: str) -> ndarray:
+    device = _resolve(device)
+    host = np.full(shape, value, dtype=dtype or np.float64)
+    out = ndarray(host, device)
+    launch_elementwise(device, name, out.size, 0, out.nbytes, flops_per_elem=0.0)
+    return out
+
+
+def empty(shape, dtype=np.float32, device: VirtualGpu | None = None) -> ndarray:
+    """Uninitialized device allocation (we zero it — determinism beats
+    realism for uninitialized reads)."""
+    return _fill(shape, 0, dtype, device, "empty")
+
+
+def zeros(shape, dtype=np.float32, device: VirtualGpu | None = None) -> ndarray:
+    return _fill(shape, 0, dtype, device, "fill_zeros")
+
+
+def ones(shape, dtype=np.float32, device: VirtualGpu | None = None) -> ndarray:
+    return _fill(shape, 1, dtype, device, "fill_ones")
+
+
+def full(shape, fill_value, dtype=None, device: VirtualGpu | None = None) -> ndarray:
+    return _fill(shape, fill_value, dtype, device, "fill")
+
+
+def empty_like(a: ndarray) -> ndarray:
+    return empty(a.shape, dtype=a.dtype, device=a.device)
+
+
+def zeros_like(a: ndarray) -> ndarray:
+    return zeros(a.shape, dtype=a.dtype, device=a.device)
+
+
+def ones_like(a: ndarray) -> ndarray:
+    return ones(a.shape, dtype=a.dtype, device=a.device)
+
+
+def arange(start, stop=None, step=1, dtype=None,
+           device: VirtualGpu | None = None) -> ndarray:
+    device = _resolve(device)
+    host = np.arange(start, stop, step, dtype=dtype)
+    out = ndarray(host, device)
+    launch_elementwise(device, "iota", out.size, 0, out.nbytes, flops_per_elem=0.0)
+    return out
+
+
+def linspace(start, stop, num=50, dtype=None,
+             device: VirtualGpu | None = None) -> ndarray:
+    device = _resolve(device)
+    host = np.linspace(start, stop, num, dtype=dtype)
+    out = ndarray(host, device)
+    launch_elementwise(device, "linspace", out.size, 0, out.nbytes)
+    return out
+
+
+def eye(n, m=None, dtype=np.float32, device: VirtualGpu | None = None) -> ndarray:
+    device = _resolve(device)
+    host = np.eye(n, m, dtype=dtype)
+    out = ndarray(host, device)
+    launch_elementwise(device, "eye", out.size, 0, out.nbytes, flops_per_elem=0.0)
+    return out
+
+
+def concatenate(arrays: Sequence[ndarray], axis: int = 0) -> ndarray:
+    """Concatenate device arrays (one copy kernel over the output)."""
+    if not arrays:
+        raise ValueError("need at least one array to concatenate")
+    device = result_device(*arrays)
+    host = np.concatenate([a._unwrap() for a in arrays], axis=axis)
+    out = ndarray(host, device)
+    launch_elementwise(device, "concat", out.size, out.nbytes, out.nbytes,
+                       flops_per_elem=0.0)
+    return out
+
+
+def stack(arrays: Sequence[ndarray], axis: int = 0) -> ndarray:
+    """Stack device arrays along a new axis."""
+    if not arrays:
+        raise ValueError("need at least one array to stack")
+    device = result_device(*arrays)
+    host = np.stack([a._unwrap() for a in arrays], axis=axis)
+    out = ndarray(host, device)
+    launch_elementwise(device, "stack", out.size, out.nbytes, out.nbytes,
+                       flops_per_elem=0.0)
+    return out
+
+
+def get_default_memory_pool(device: VirtualGpu | None = None):
+    """The (current) device's memory-pool statistics, CuPy-style:
+    ``xp.get_default_memory_pool().stats()`` is how Lab 1 inspects how
+    much of the "16 GB" card a context actually grants."""
+    return _resolve(device).memory

@@ -1,0 +1,102 @@
+"""Dense linear algebra on the virtual GPU.
+
+Matmul is the course's canonical compute-bound kernel: 2·m·n·k FLOPs over
+(m·k + k·n + m·n) elements of traffic puts large matmuls far right of the
+roofline ridge, while skinny ones stay bandwidth-bound — the crossover the
+Lab 3 / Assignment 1 profiling exercise asks students to find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.gpu.kernelmodel import KernelCost
+from repro.xp.ndarray import MATMUL_EFF, ndarray, result_device
+
+
+def _matmul_cost(m: int, n: int, k: int, itemsize: int) -> KernelCost:
+    return KernelCost(
+        flops=2.0 * m * n * k,
+        bytes_read=float((m * k + k * n) * itemsize),
+        bytes_written=float(m * n * itemsize),
+        name=f"gemm_{m}x{k}x{n}",
+        compute_efficiency=MATMUL_EFF,
+    )
+
+
+def matmul(a: ndarray, b: ndarray) -> ndarray:
+    """Matrix product with cuBLAS-like costing (supports 1-D promotion and
+    batched leading dims, as ``numpy.matmul`` does)."""
+    device = result_device(a, b)
+    av, bv = a._unwrap(), b._unwrap()
+    try:
+        out = np.matmul(av, bv)
+    except ValueError as exc:
+        raise ShapeError(f"matmul: {exc}") from None
+    # Effective GEMM dims (treat batched dims as part of m).
+    k = av.shape[-1]
+    n = bv.shape[-1] if bv.ndim > 1 else 1
+    m = out.size // max(n, 1)
+    cost = _matmul_cost(max(m, 1), max(n, 1), max(k, 1), av.dtype.itemsize)
+    tile = 16 * 16  # classic tiled-GEMM block
+    blocks = max((m * n + tile - 1) // tile, 1)
+    device.launch(cost, blocks, tile)
+    return ndarray(np.asarray(out), device)
+
+
+def dot(a: ndarray, b: ndarray) -> ndarray:
+    """``cupy.dot``: inner product for 1-D, matmul otherwise."""
+    if a.ndim == 1 and b.ndim == 1:
+        device = result_device(a, b)
+        av, bv = a._unwrap(), b._unwrap()
+        if av.shape != bv.shape:
+            raise ShapeError(f"dot: shapes {av.shape} and {bv.shape} differ")
+        out = np.asarray(np.dot(av, bv))
+        cost = KernelCost(flops=2.0 * av.size,
+                          bytes_read=float(av.nbytes + bv.nbytes),
+                          bytes_written=float(out.nbytes), name="dot",
+                          compute_efficiency=0.5)
+        device.launch_auto(cost, av.size)
+        return ndarray(out, device)
+    return matmul(a, b)
+
+
+def tensordot(a: ndarray, b: ndarray, axes=2) -> ndarray:
+    """Minimal tensordot (sufficient for the GCN feature aggregations)."""
+    device = result_device(a, b)
+    out = np.tensordot(a._unwrap(), b._unwrap(), axes=axes)
+    out = np.asarray(out)
+    flops = 2.0 * max(a.size, b.size) * max(out.size, 1) ** 0.5
+    cost = KernelCost(flops=flops, bytes_read=float(a.nbytes + b.nbytes),
+                      bytes_written=float(out.nbytes), name="tensordot",
+                      compute_efficiency=MATMUL_EFF)
+    device.launch_auto(cost, max(out.size, 1))
+    return ndarray(out, device)
+
+
+def norm(a: ndarray, ord=None) -> ndarray:  # noqa: A002 - numpy signature
+    """Vector/Frobenius norm as a fused square-reduce-sqrt kernel."""
+    out = np.asarray(np.linalg.norm(a._unwrap(), ord=ord))
+    cost = KernelCost(flops=3.0 * a.size, bytes_read=float(a.nbytes),
+                      bytes_written=float(out.nbytes), name="norm",
+                      compute_efficiency=0.5)
+    a.device.launch_auto(cost, max(a.size, 1))
+    return ndarray(out, a.device)
+
+
+def einsum_2d(subscripts: str, a: ndarray, b: ndarray) -> ndarray:
+    """A two-operand einsum, costed like the equivalent GEMM.
+
+    Covers the contractions the GCN and attention labs need without
+    implementing a full einsum parser.
+    """
+    device = result_device(a, b)
+    out = np.asarray(np.einsum(subscripts, a._unwrap(), b._unwrap()))
+    flops = 2.0 * (a.size * b.size) / max(min(a.size, b.size), 1)
+    cost = KernelCost(flops=flops, bytes_read=float(a.nbytes + b.nbytes),
+                      bytes_written=float(out.nbytes),
+                      name=f"einsum[{subscripts}]",
+                      compute_efficiency=MATMUL_EFF)
+    device.launch_auto(cost, max(out.size, 1))
+    return ndarray(out, device)

@@ -1,0 +1,112 @@
+"""Unary/binary math ufuncs of the CuPy-like namespace.
+
+Each function launches one elementwise kernel; transcendental ops charge
+more FLOPs per element than adds, matching the SFU-vs-ALU throughput gap
+students see when profiling ``exp``-heavy code in Week 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xp.ndarray import launch_elementwise, ndarray, result_device
+
+
+def _unary(a: ndarray, np_op, name: str, flops: float) -> ndarray:
+    out = np_op(a._unwrap())
+    launch_elementwise(a.device, name, out.size, a.nbytes, out.nbytes, flops)
+    return ndarray(out, a.device)
+
+
+def add(a: ndarray, b) -> ndarray:
+    return a + b
+
+
+def subtract(a: ndarray, b) -> ndarray:
+    return a - b
+
+
+def multiply(a: ndarray, b) -> ndarray:
+    return a * b
+
+
+def divide(a: ndarray, b) -> ndarray:
+    return a / b
+
+
+def power(a: ndarray, b) -> ndarray:
+    return a ** b
+
+
+def negative(a: ndarray) -> ndarray:
+    return -a
+
+
+def exp(a: ndarray) -> ndarray:
+    return _unary(a, np.exp, "exp", flops=16.0)
+
+
+def log(a: ndarray) -> ndarray:
+    return _unary(a, np.log, "log", flops=16.0)
+
+
+def sqrt(a: ndarray) -> ndarray:
+    return _unary(a, np.sqrt, "sqrt", flops=8.0)
+
+
+def tanh(a: ndarray) -> ndarray:
+    return _unary(a, np.tanh, "tanh", flops=20.0)
+
+
+def sin(a: ndarray) -> ndarray:
+    return _unary(a, np.sin, "sin", flops=12.0)
+
+
+def cos(a: ndarray) -> ndarray:
+    return _unary(a, np.cos, "cos", flops=12.0)
+
+
+def abs(a: ndarray) -> ndarray:  # noqa: A001 - mirrors numpy namespace
+    return _unary(a, np.abs, "abs", flops=1.0)
+
+
+def sign(a: ndarray) -> ndarray:
+    return _unary(a, np.sign, "sign", flops=1.0)
+
+
+def maximum(a: ndarray, b) -> ndarray:
+    return a._binary(b, np.maximum, "maximum")
+
+
+def minimum(a: ndarray, b) -> ndarray:
+    return a._binary(b, np.minimum, "minimum")
+
+
+def clip(a: ndarray, a_min, a_max) -> ndarray:
+    out = np.clip(a._unwrap(), a_min, a_max)
+    launch_elementwise(a.device, "clip", out.size, a.nbytes, out.nbytes, 2.0)
+    return ndarray(out, a.device)
+
+
+def where(cond: ndarray, x, y) -> ndarray:
+    """Elementwise select; all device operands must share a device."""
+    device = result_device(cond, *(v for v in (x, y) if isinstance(v, ndarray)))
+    xv = x._unwrap() if isinstance(x, ndarray) else x
+    yv = y._unwrap() if isinstance(y, ndarray) else y
+    out = np.where(cond._unwrap(), xv, yv)
+    launch_elementwise(device, "where", out.size, cond.nbytes + out.nbytes,
+                       out.nbytes)
+    return ndarray(out, device)
+
+
+def isclose(a: ndarray, b, rtol: float = 1e-5, atol: float = 1e-8) -> ndarray:
+    bv = b._unwrap() if isinstance(b, ndarray) else b
+    out = np.isclose(a._unwrap(), bv, rtol=rtol, atol=atol)
+    launch_elementwise(a.device, "isclose", out.size, a.nbytes * 2, out.nbytes, 4.0)
+    return ndarray(out, a.device)
+
+
+def allclose(a: ndarray, b, rtol: float = 1e-5, atol: float = 1e-8) -> bool:
+    """Host-returning comparison (synchronizes, like ``cupy.allclose``
+    followed by a transfer)."""
+    return bool(isclose(a, b, rtol=rtol, atol=atol)._unwrap().all())

@@ -1,0 +1,58 @@
+"""Device random number generation (the ``cupy.random`` stand-in).
+
+Generation is seeded and deterministic; each draw launches one
+philox-style kernel on the owning device.  Labs use this for synthetic
+matrices and the RL exploration noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import VirtualGpu
+from repro.gpu.system import current_device
+from repro.xp.ndarray import launch_elementwise, ndarray
+
+
+class Generator:
+    """A seeded device RNG mirroring ``numpy.random.Generator``'s surface
+    for the handful of distributions the labs draw from."""
+
+    def __init__(self, seed: int, device: VirtualGpu | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.device = device if device is not None else current_device()
+
+    def _emit(self, host: np.ndarray, name: str) -> ndarray:
+        out = ndarray(host, self.device)
+        launch_elementwise(self.device, name, out.size, 0, out.nbytes,
+                           flops_per_elem=10.0)
+        return out
+
+    def standard_normal(self, size=None, dtype=np.float32) -> ndarray:
+        host = self._rng.standard_normal(size=size).astype(dtype)
+        return self._emit(np.asarray(host), "rng_normal")
+
+    def normal(self, loc=0.0, scale=1.0, size=None, dtype=np.float32) -> ndarray:
+        host = self._rng.normal(loc, scale, size=size).astype(dtype)
+        return self._emit(np.asarray(host), "rng_normal")
+
+    def random(self, size=None, dtype=np.float32) -> ndarray:
+        host = self._rng.random(size=size).astype(dtype)
+        return self._emit(np.asarray(host), "rng_uniform")
+
+    def uniform(self, low=0.0, high=1.0, size=None, dtype=np.float32) -> ndarray:
+        host = self._rng.uniform(low, high, size=size).astype(dtype)
+        return self._emit(np.asarray(host), "rng_uniform")
+
+    def integers(self, low, high=None, size=None, dtype=np.int64) -> ndarray:
+        host = self._rng.integers(low, high, size=size, dtype=dtype)
+        return self._emit(np.asarray(host), "rng_integers")
+
+    def permutation(self, n: int) -> ndarray:
+        host = self._rng.permutation(n)
+        return self._emit(host, "rng_permutation")
+
+
+def default_rng(seed: int = 0, device: VirtualGpu | None = None) -> Generator:
+    """Create a seeded device RNG (mirrors ``numpy.random.default_rng``)."""
+    return Generator(seed, device=device)

@@ -1,0 +1,98 @@
+"""Reductions (sum/mean/max/min/arg*) with tree-reduction costing.
+
+A reduction reads the whole input once and writes a small output; on the
+roofline model that makes reductions bandwidth-bound — exactly what the
+profiling lab shows when students compare ``sum`` against ``matmul``.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import numpy as np
+
+from repro.gpu.kernelmodel import KernelCost
+from repro.xp.ndarray import DEFAULT_TPB, ELEMENTWISE_EFF, ndarray
+
+
+def _reduce(a: ndarray, np_op, name: str, axis, keepdims: bool,
+            flops_per_elem: float = 1.0) -> ndarray:
+    data = a._unwrap()
+    out = np_op(data, axis=axis, keepdims=keepdims)
+    out = np.asarray(out)
+    cost = KernelCost(
+        flops=flops_per_elem * data.size,
+        bytes_read=float(data.nbytes),
+        bytes_written=float(out.nbytes),
+        name=name,
+        compute_efficiency=ELEMENTWISE_EFF,
+    )
+    a.device.launch_auto(cost, builtins.max(data.size, 1),
+                         threads_per_block=DEFAULT_TPB)
+    return ndarray(out, a.device)
+
+
+def sum(a: ndarray, axis=None, keepdims: bool = False) -> ndarray:  # noqa: A001
+    return _reduce(a, np.sum, "reduce_sum", axis, keepdims)
+
+
+def mean(a: ndarray, axis=None, keepdims: bool = False) -> ndarray:
+    return _reduce(a, np.mean, "reduce_mean", axis, keepdims)
+
+
+def max(a: ndarray, axis=None, keepdims: bool = False) -> ndarray:  # noqa: A001
+    return _reduce(a, np.max, "reduce_max", axis, keepdims)
+
+
+def min(a: ndarray, axis=None, keepdims: bool = False) -> ndarray:  # noqa: A001
+    return _reduce(a, np.min, "reduce_min", axis, keepdims)
+
+
+def prod(a: ndarray, axis=None, keepdims: bool = False) -> ndarray:
+    return _reduce(a, np.prod, "reduce_prod", axis, keepdims)
+
+
+def argmax(a: ndarray, axis=None) -> ndarray:
+    data = a._unwrap()
+    out = np.asarray(np.argmax(data, axis=axis))
+    cost = KernelCost(flops=float(data.size), bytes_read=float(data.nbytes),
+                      bytes_written=float(out.nbytes), name="argmax",
+                      compute_efficiency=ELEMENTWISE_EFF)
+    a.device.launch_auto(cost, builtins.max(data.size, 1))
+    return ndarray(out, a.device)
+
+
+def argmin(a: ndarray, axis=None) -> ndarray:
+    data = a._unwrap()
+    out = np.asarray(np.argmin(data, axis=axis))
+    cost = KernelCost(flops=float(data.size), bytes_read=float(data.nbytes),
+                      bytes_written=float(out.nbytes), name="argmin",
+                      compute_efficiency=ELEMENTWISE_EFF)
+    a.device.launch_auto(cost, builtins.max(data.size, 1))
+    return ndarray(out, a.device)
+
+
+def var(a: ndarray, axis=None, keepdims: bool = False,
+        ddof: int = 0) -> ndarray:
+    """Variance (two-pass, fused as one kernel on the device)."""
+    data = a._unwrap()
+    out = np.asarray(np.var(data, axis=axis, keepdims=keepdims, ddof=ddof))
+    cost = KernelCost(flops=3.0 * data.size, bytes_read=float(data.nbytes),
+                      bytes_written=float(out.nbytes), name="reduce_var",
+                      compute_efficiency=ELEMENTWISE_EFF)
+    a.device.launch_auto(cost, builtins.max(data.size, 1),
+                         threads_per_block=DEFAULT_TPB)
+    return ndarray(out, a.device)
+
+
+def std(a: ndarray, axis=None, keepdims: bool = False,
+        ddof: int = 0) -> ndarray:
+    """Standard deviation (var + sqrt in one fused kernel)."""
+    data = a._unwrap()
+    out = np.asarray(np.std(data, axis=axis, keepdims=keepdims, ddof=ddof))
+    cost = KernelCost(flops=4.0 * data.size, bytes_read=float(data.nbytes),
+                      bytes_written=float(out.nbytes), name="reduce_std",
+                      compute_efficiency=ELEMENTWISE_EFF)
+    a.device.launch_auto(cost, builtins.max(data.size, 1),
+                         threads_per_block=DEFAULT_TPB)
+    return ndarray(out, a.device)

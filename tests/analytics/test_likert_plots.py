@@ -1,0 +1,134 @@
+"""Tests for Likert tooling, plot-data computations, and ASCII charts."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    LIKERT_AGREEMENT,
+    LIKERT_SATISFACTION,
+    LikertCounts,
+    bar_chart,
+    boxplot_stats,
+    histogram_chart,
+    histogram_data,
+    likert_from_responses,
+    qq_plot_data,
+    series_table,
+    stacked_bar_chart,
+)
+from repro.analytics.plots import qq_correlation
+from repro.errors import ReproError
+
+
+class TestLikert:
+    def test_counts_and_percentages(self):
+        lc = LikertCounts(LIKERT_AGREEMENT, [1, 1, 2, 4, 2])
+        assert lc.total == 10
+        assert lc.percentages()[3] == pytest.approx(40.0)
+
+    def test_top_and_bottom_box(self):
+        lc = LikertCounts(LIKERT_AGREEMENT, [1, 1, 2, 4, 2])
+        assert lc.top_box() == pytest.approx(0.6)
+        assert lc.bottom_box() == pytest.approx(0.2)
+
+    def test_mean_score(self):
+        lc = LikertCounts(LIKERT_AGREEMENT, [0, 0, 0, 0, 4])
+        assert lc.mean_score() == 5.0
+
+    def test_count_of_named_option(self):
+        lc = LikertCounts(LIKERT_SATISFACTION, [1, 0, 0, 0, 7])
+        assert lc.count_of("Very High") == 7
+        with pytest.raises(ReproError):
+            lc.count_of("Meh")
+
+    def test_from_responses(self):
+        lc = likert_from_responses([5, 5, 4, 3, 1])
+        assert lc.counts == [1, 0, 1, 1, 2]
+        with pytest.raises(ReproError):
+            likert_from_responses([0])
+
+    def test_shifted(self):
+        lc = LikertCounts(LIKERT_AGREEMENT, [0, 0, 5, 3, 2])
+        moved = lc.shifted({"Neutral": -2, "Agree": 2})
+        assert moved.counts == [0, 0, 3, 5, 2]
+        assert lc.counts == [0, 0, 5, 3, 2]  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LikertCounts(LIKERT_AGREEMENT, [1, 2, 3])
+        with pytest.raises(ReproError):
+            LikertCounts(LIKERT_AGREEMENT, [1, 2, 3, 4, -1])
+
+
+class TestPlotData:
+    def test_histogram(self):
+        counts, edges = histogram_data(np.arange(100), bins=10)
+        assert counts.sum() == 100
+        assert len(edges) == 11
+
+    def test_qq_normal_sample_is_linear(self):
+        rng = np.random.default_rng(0)
+        assert qq_correlation(rng.standard_normal(100)) > 0.99
+
+    def test_qq_skewed_sample_deviates(self):
+        rng = np.random.default_rng(0)
+        skewed = 99 - rng.exponential(3.0, 100)
+        assert qq_correlation(skewed) < qq_correlation(
+            rng.standard_normal(100))
+
+    def test_qq_shapes(self):
+        theo, ordered = qq_plot_data(np.arange(20, dtype=float))
+        assert len(theo) == len(ordered) == 20
+        assert (np.diff(ordered) >= 0).all()
+        assert (np.diff(theo) > 0).all()
+
+    def test_boxplot_stats(self):
+        x = np.concatenate([np.arange(1, 21, dtype=float), [100.0]])
+        bs = boxplot_stats(x)
+        assert bs.q1 < bs.median < bs.q3
+        assert 100.0 in bs.outliers
+        assert bs.whisker_high <= bs.q3 + 1.5 * bs.iqr
+
+    def test_boxplot_no_outliers(self):
+        bs = boxplot_stats(np.arange(10, dtype=float))
+        assert bs.outliers == ()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            histogram_data(np.arange(5), bins=0)
+        with pytest.raises(ReproError):
+            qq_plot_data(np.array([1.0, 2.0]))
+        with pytest.raises(ReproError):
+            boxplot_stats(np.array([1.0]))
+
+
+class TestAsciiCharts:
+    def test_bar_chart(self):
+        out = bar_chart({"Fall 2024": 19, "Spring 2025": 20},
+                        title="Enrollment")
+        assert "Enrollment" in out and "Fall 2024" in out
+        assert "█" in out
+
+    def test_stacked_bar(self):
+        out = stacked_bar_chart(
+            {"F24": [1, 0, 0, 0, 7], "S25": [0, 0, 0, 4, 6]},
+            segment_labels=["VL", "L", "N", "H", "VH"])
+        assert "F24" in out and "VH" in out
+
+    def test_histogram_chart(self):
+        out = histogram_chart(np.random.default_rng(0).normal(80, 10, 50),
+                              bins=5, title="Scores")
+        assert out.count("\n") >= 5
+
+    def test_series_table(self):
+        out = series_table(["Group", "Mean"],
+                           [["Graduate", 94.36], ["Undergraduate", 83.51]])
+        assert "Graduate" in out and "94.36" in out
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+        with pytest.raises(ReproError):
+            series_table(["a"], [])
+        with pytest.raises(ReproError):
+            series_table(["a"], [["x", "y"]])

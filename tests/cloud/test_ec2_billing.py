@@ -1,0 +1,278 @@
+"""Tests for EC2 lifecycle, billing accrual, budget caps, and the reaper."""
+
+import pytest
+
+from repro.cloud import CloudSession
+from repro.cloud.ec2 import InstanceState
+from repro.errors import (
+    AccessDeniedError,
+    BudgetExceededError,
+    CloudError,
+    InvalidStateError,
+    ResourceNotFoundError,
+)
+
+
+@pytest.fixture
+def cloud():
+    c = CloudSession()
+    c.set_term("Fall 2024")
+    return c
+
+
+@pytest.fixture
+def alice(cloud):
+    return cloud.register_student("alice")
+
+
+class TestLifecycle:
+    def test_launch_defaults_to_running(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice",
+                                      credentials=alice)
+        assert inst.state is InstanceState.RUNNING
+        assert inst.private_ip.startswith("10.")
+
+    def test_stop_start_terminate(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice",
+                                      credentials=alice)
+        cloud.ec2.stop(inst.instance_id, credentials=alice)
+        assert inst.state is InstanceState.STOPPED
+        cloud.ec2.start(inst.instance_id, credentials=alice)
+        assert inst.state is InstanceState.RUNNING
+        cloud.ec2.terminate(inst.instance_id, credentials=alice)
+        assert inst.state is InstanceState.TERMINATED
+
+    def test_terminate_is_idempotent(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.ec2.terminate(inst.instance_id)
+        cloud.ec2.terminate(inst.instance_id)  # no raise, as AWS
+
+    def test_start_requires_stopped(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        with pytest.raises(InvalidStateError):
+            cloud.ec2.start(inst.instance_id)
+
+    def test_stop_terminated_rejected(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.ec2.terminate(inst.instance_id)
+        with pytest.raises(InvalidStateError):
+            cloud.ec2.stop(inst.instance_id)
+
+    def test_unknown_instance(self, cloud):
+        with pytest.raises(ResourceNotFoundError):
+            cloud.ec2.terminate("i-000000000000")
+
+    def test_sagemaker_sku_rejected_on_ec2(self, cloud, alice):
+        with pytest.raises(CloudError, match="SageMaker"):
+            cloud.ec2.run_instance("ml.g4dn.xlarge", owner="alice")
+
+    def test_describe_filters(self, cloud, alice):
+        i1 = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.ec2.run_instance("g5.xlarge", owner="bob")
+        cloud.ec2.stop(i1.instance_id)
+        assert len(cloud.ec2.describe(owner="alice")) == 1
+        assert len(cloud.ec2.describe(states=(InstanceState.RUNNING,))) == 1
+
+
+class TestIamEnforcement:
+    def test_student_cannot_terminate_others(self, cloud, alice):
+        bob = cloud.register_student("bob")
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="bob",
+                                      credentials=bob)
+        with pytest.raises(AccessDeniedError):
+            cloud.ec2.terminate(inst.instance_id, credentials=alice)
+
+    def test_instructor_can_terminate_anything(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice",
+                                      credentials=alice)
+        cloud.ec2.terminate(inst.instance_id, credentials=cloud.instructor)
+        assert inst.state is InstanceState.TERMINATED
+
+
+class TestBilling:
+    def test_accrual_matches_hours_times_rate(self, cloud, alice):
+        cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(3.0)
+        assert cloud.billing.explorer.spend_by_owner()["alice"] == (
+            pytest.approx(3 * 0.526))
+
+    def test_stopped_instance_stops_billing(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(1.0)
+        cloud.ec2.stop(inst.instance_id)
+        cloud.advance_hours(5.0)
+        assert cloud.billing.explorer.spend_by_owner()["alice"] == (
+            pytest.approx(0.526))
+
+    def test_budget_cap_enforced(self, cloud, alice):
+        cloud.ec2.run_instance("p3.8xlarge", owner="alice")  # $12.24/h
+        with pytest.raises(BudgetExceededError, match="alice"):
+            cloud.advance_hours(10.0)  # $122 > $100 cap
+
+    def test_extension_raises_cap(self, cloud, alice):
+        cloud.billing.request_extension("alice", 100.0)
+        cloud.ec2.run_instance("p3.8xlarge", owner="alice")
+        cloud.advance_hours(10.0)  # $122 < $200 — fine now
+        assert cloud.billing.budget_for("alice").extension_requests == 1
+
+    def test_per_term_aggregation(self, cloud, alice):
+        cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(2.0)
+        per_term = cloud.billing.explorer.by_term()
+        assert per_term["Fall 2024"]["hours"] == pytest.approx(2.0)
+        assert per_term["Fall 2024"]["avg_cost_per_student"] == (
+            pytest.approx(2 * 0.526))
+
+    def test_educate_hours_free_and_invisible(self, cloud):
+        from repro.cloud.billing import UsageRecord
+        cloud.billing.accrue(UsageRecord(
+            owner="carol", instance_id="i-x", instance_type="g4dn.xlarge",
+            hours=10.0, rate_usd=0.526, service="educate", term="Fall 2024"))
+        assert cloud.billing.explorer.total_spend() == 0.0
+        assert "carol" not in cloud.billing.explorer.hours_by_owner()
+
+    def test_clock_is_monotonic(self, cloud):
+        with pytest.raises(CloudError):
+            cloud.advance_hours(-1.0)
+
+
+class TestGpuAttachment:
+    def test_gpu_system_matches_sku(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.12xlarge", owner="alice")
+        sys_ = inst.gpu_system()
+        assert len(sys_) == 4
+        assert sys_.device(0).spec.name == "T4"
+
+    def test_cpu_sku_has_no_gpus(self, cloud, alice):
+        inst = cloud.ec2.run_instance("t3.medium", owner="alice")
+        with pytest.raises(CloudError, match="no GPUs"):
+            inst.gpu_system()
+
+    def test_stopped_instance_refuses_gpu(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.ec2.stop(inst.instance_id)
+        with pytest.raises(InvalidStateError):
+            inst.gpu_system()
+
+
+class TestReaper:
+    def test_idle_instance_reaped(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(3.0)  # > 2h idle threshold
+        report = cloud.reaper.sweep()
+        assert inst.instance_id in report.reaped_instances
+        assert inst.state is InstanceState.STOPPED
+
+    def test_active_instance_spared(self, cloud, alice):
+        inst = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(1.9)
+        inst.touch(cloud.now_h)
+        cloud.advance_hours(1.0)
+        report = cloud.reaper.sweep()
+        assert inst.instance_id not in report.reaped_instances
+
+    def test_keep_alive_tag_spared_but_logged(self, cloud, alice):
+        inst = cloud.ec2.run_instance(
+            "g4dn.xlarge", owner="alice", tags={"keep-alive": "training"})
+        cloud.advance_hours(10.0)
+        report = cloud.reaper.sweep()
+        assert inst.instance_id in report.spared_keep_alive
+        assert inst.state is InstanceState.RUNNING
+
+    def test_reaper_saves_money(self, cloud, alice):
+        """The §III-A cost-control claim, end to end: with the reaper,
+        forgotten instances stop costing money."""
+        cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(3.0)
+        cloud.reaper.sweep()
+        spend_after_reap = cloud.billing.explorer.total_spend()
+        cloud.advance_hours(40.0)  # a forgotten weekend
+        assert cloud.billing.explorer.total_spend() == spend_after_reap
+
+
+class TestSageMaker:
+    def test_notebook_lifecycle_and_billing(self, cloud, alice):
+        nb = cloud.sagemaker.create_notebook_instance("alice", "ml.t3.medium")
+        cloud.advance_hours(4.0)
+        cloud.sagemaker.stop_notebook_instance(nb.name)
+        assert cloud.billing.explorer.spend_by_owner()["alice"] == (
+            pytest.approx(4 * 0.05))
+        cloud.sagemaker.delete_notebook_instance(nb.name)
+
+    def test_execute_cell_marks_activity(self, cloud, alice):
+        nb = cloud.sagemaker.create_notebook_instance("alice", "ml.t3.medium")
+        cloud.advance_hours(1.0)
+        out = cloud.sagemaker.execute_cell(nb.name, lambda: 21 * 2)
+        assert out == 42
+        assert nb.last_activity_h == pytest.approx(1.0)
+        assert nb.executed_cells == 1
+
+    def test_gpu_notebook(self, cloud, alice):
+        nb = cloud.sagemaker.create_notebook_instance("alice", "ml.g4dn.xlarge")
+        sys_ = nb.gpu_system()
+        assert sys_.device(0).spec.name == "T4"
+
+    def test_delete_requires_stop(self, cloud, alice):
+        nb = cloud.sagemaker.create_notebook_instance("alice")
+        with pytest.raises(InvalidStateError):
+            cloud.sagemaker.delete_notebook_instance(nb.name)
+
+    def test_ec2_sku_rejected(self, cloud, alice):
+        with pytest.raises(CloudError, match="ml"):
+            cloud.sagemaker.create_notebook_instance("alice", "g4dn.xlarge")
+
+
+class TestBootstrap:
+    def test_cluster_instances_can_talk(self, cloud, alice):
+        from repro.cloud import BootstrapScript
+        bs = BootstrapScript(instance_count=3, assessment="a3")
+        insts = bs.run(cloud, alice)
+        assert len(insts) == 3
+        assert bs.cluster_ready(cloud)
+
+    def test_manual_launches_cannot_talk(self, cloud, alice):
+        """Without the bootstrap, each launch lands in its own VPC — the
+        pre-automation Fig 4b pain."""
+        i1 = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        i2 = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        ok = cloud.vpc.cluster_ready(
+            [i1.subnet.subnet_id, i2.subnet.subnet_id],
+            [i1.private_ip, i2.private_ip],
+            i1.security_group)
+        assert not ok
+
+    def test_run_is_idempotent(self, cloud, alice):
+        from repro.cloud import BootstrapScript
+        bs = BootstrapScript(instance_count=2)
+        first = bs.run(cloud, alice)
+        second = bs.run(cloud, alice)
+        assert first == second
+
+    def test_teardown_terminates(self, cloud, alice):
+        from repro.cloud import BootstrapScript
+        bs = BootstrapScript(instance_count=2)
+        bs.run(cloud, alice)
+        bs.teardown(cloud, alice)
+        assert all(i.state is InstanceState.TERMINATED for i in bs.instances)
+
+    def test_render_text(self):
+        from repro.cloud import BootstrapScript, render_bootstrap
+        text = render_bootstrap(BootstrapScript(instance_count=2,
+                                                assessment="lab-9"))
+        assert "run-instances" in text and "lab-9" in text
+        assert "terminate" in text.lower()
+
+
+class TestSession:
+    def test_region_pinned(self):
+        with pytest.raises(CloudError, match="UnsupportedRegion"):
+            CloudSession(region="eu-west-1")
+
+    def test_educate_grant(self, cloud):
+        grant = cloud.grant_educate("dave", free_hours=20.0)
+        assert grant.free_hours == 20.0
+        assert cloud.educate_grants["dave"] is grant
+
+    def test_duplicate_student_rejected(self, cloud, alice):
+        with pytest.raises(CloudError):
+            cloud.register_student("alice")

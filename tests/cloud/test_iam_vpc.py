@@ -1,0 +1,141 @@
+"""Tests for IAM policy evaluation and VPC reachability."""
+
+import pytest
+
+from repro.cloud.iam import (
+    IamService,
+    Role,
+    Statement,
+    instructor_role,
+    student_role,
+)
+from repro.cloud.vpc import DASK_SCHEDULER_PORT, VpcService
+from repro.errors import AccessDeniedError, CloudError, ResourceNotFoundError
+
+
+class TestPolicyEvaluation:
+    def test_allow_matches_glob(self):
+        role = Role("r", [Statement("Allow", ("ec2:*",), ("*",))])
+        assert role.evaluate("ec2:RunInstances", "arn:x")
+
+    def test_implicit_deny(self):
+        role = Role("r", [Statement("Allow", ("ec2:*",), ("*",))])
+        assert not role.evaluate("iam:CreateRole", "arn:x")
+
+    def test_explicit_deny_beats_allow(self):
+        role = Role("r", [
+            Statement("Allow", ("*",), ("*",)),
+            Statement("Deny", ("iam:*",), ("*",)),
+        ])
+        assert not role.evaluate("iam:CreateRole", "arn:x")
+        assert role.evaluate("ec2:RunInstances", "arn:x")
+
+    def test_resource_scoping(self):
+        role = student_role("alice")
+        assert role.evaluate("ec2:RunInstances", "arn:student/alice/instance/i-1")
+        assert not role.evaluate("ec2:RunInstances", "arn:student/bob/instance/i-2")
+
+    def test_student_cannot_touch_iam(self):
+        assert not student_role("alice").evaluate("iam:CreateRole", "*")
+
+    def test_instructor_allows_everything(self):
+        assert instructor_role().evaluate("ec2:TerminateInstances",
+                                          "arn:student/bob/instance/i-9")
+
+    def test_invalid_effect_rejected(self):
+        with pytest.raises(CloudError):
+            Statement("Maybe", ("x",))
+
+
+class TestIamService:
+    def test_issue_and_authorize(self):
+        iam = IamService()
+        iam.create_role(student_role("alice"))
+        creds = iam.issue_credentials("alice", "alice")
+        iam.authorize(creds, "ec2:RunInstances",
+                      "arn:student/alice/instance/i-1")  # no raise
+
+    def test_denied_action_raises(self):
+        iam = IamService()
+        iam.create_role(student_role("alice"))
+        creds = iam.issue_credentials("alice", "alice")
+        with pytest.raises(AccessDeniedError, match="not authorized"):
+            iam.authorize(creds, "iam:CreateRole", "*")
+
+    def test_duplicate_role_rejected(self):
+        iam = IamService()
+        iam.create_role(student_role("alice"))
+        with pytest.raises(CloudError, match="EntityAlreadyExists"):
+            iam.create_role(student_role("alice"))
+
+    def test_missing_role_rejected(self):
+        iam = IamService()
+        with pytest.raises(CloudError, match="NoSuchEntity"):
+            iam.issue_credentials("alice", "ghost")
+
+
+class TestVpc:
+    def test_subnet_must_be_inside_vpc(self):
+        svc = VpcService()
+        vpc = svc.create_vpc("10.0.0.0/16")
+        with pytest.raises(CloudError, match="Fig 4b"):
+            svc.create_subnet(vpc.vpc_id, "192.168.1.0/24")
+
+    def test_overlapping_subnets_rejected(self):
+        svc = VpcService()
+        vpc = svc.create_vpc("10.0.0.0/16")
+        svc.create_subnet(vpc.vpc_id, "10.0.1.0/24")
+        with pytest.raises(CloudError, match="Conflict"):
+            svc.create_subnet(vpc.vpc_id, "10.0.1.128/25")
+
+    def test_ip_allocation_within_subnet(self):
+        svc = VpcService()
+        vpc = svc.create_vpc("10.0.0.0/16")
+        subnet = svc.create_subnet(vpc.vpc_id, "10.0.1.0/28")
+        ip = subnet.allocate_ip()
+        assert ip.startswith("10.0.1.")
+
+    def test_subnet_exhaustion(self):
+        svc = VpcService()
+        vpc = svc.create_vpc("10.0.0.0/16")
+        subnet = svc.create_subnet(vpc.vpc_id, "10.0.1.0/29")  # 6 hosts
+        for _ in range(2):  # first 4 reserved
+            subnet.allocate_ip()
+        with pytest.raises(CloudError, match="Insufficient"):
+            subnet.allocate_ip()
+
+    def test_cross_vpc_unreachable(self):
+        """The Fig 4b failure mode: two instances in different VPCs can
+        never form a cluster."""
+        svc = VpcService()
+        v1 = svc.create_vpc("10.0.0.0/16")
+        v2 = svc.create_vpc("10.1.0.0/16")
+        s1 = svc.create_subnet(v1.vpc_id, "10.0.1.0/24")
+        s2 = svc.create_subnet(v2.vpc_id, "10.1.1.0/24")
+        sg = svc.create_security_group("open")
+        sg.authorize_ingress(DASK_SCHEDULER_PORT, "0.0.0.0/0")
+        assert not svc.can_connect(s1.subnet_id, "10.0.1.5",
+                                   s2.subnet_id, sg, DASK_SCHEDULER_PORT)
+
+    def test_same_vpc_with_rule_reachable(self):
+        svc = VpcService()
+        v = svc.create_vpc("10.0.0.0/16")
+        s1 = svc.create_subnet(v.vpc_id, "10.0.1.0/24")
+        s2 = svc.create_subnet(v.vpc_id, "10.0.2.0/24")
+        sg = svc.create_security_group("dask")
+        sg.authorize_ingress(DASK_SCHEDULER_PORT, "10.0.0.0/16")
+        assert svc.can_connect(s1.subnet_id, "10.0.1.5",
+                               s2.subnet_id, sg, DASK_SCHEDULER_PORT)
+
+    def test_closed_port_blocks(self):
+        svc = VpcService()
+        v = svc.create_vpc("10.0.0.0/16")
+        s1 = svc.create_subnet(v.vpc_id, "10.0.1.0/24")
+        sg = svc.create_security_group("closed")
+        assert not svc.can_connect(s1.subnet_id, "10.0.1.5",
+                                   s1.subnet_id, sg, DASK_SCHEDULER_PORT)
+
+    def test_missing_vpc_raises(self):
+        svc = VpcService()
+        with pytest.raises(ResourceNotFoundError):
+            svc.create_subnet("vpc-nope", "10.0.0.0/24")

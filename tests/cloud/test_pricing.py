@@ -1,0 +1,67 @@
+"""Tests for the instance catalog and §III-A1 price calibration."""
+
+import pytest
+
+from repro.cloud.pricing import (
+    INSTANCE_CATALOG,
+    MULTI_GPU_COURSE_MIX,
+    SINGLE_GPU_COURSE_MIX,
+    course_mix_rate,
+    get_instance_type,
+)
+from repro.errors import CloudError
+
+
+class TestCatalog:
+    def test_known_types_resolve(self):
+        t = get_instance_type("g4dn.xlarge")
+        assert t.gpu_part == "T4" and t.gpu_count == 1
+
+    def test_unknown_type_raises_aws_style(self):
+        with pytest.raises(CloudError, match="InvalidParameterValue"):
+            get_instance_type("g6.xlarge")
+
+    def test_cpu_skus_have_no_gpu(self):
+        assert not get_instance_type("t3.medium").is_gpu
+
+    def test_sagemaker_skus_marked(self):
+        assert get_instance_type("ml.g4dn.xlarge").family == "sagemaker"
+        assert get_instance_type("g4dn.xlarge").family == "ec2"
+
+    def test_multi_gpu_skus(self):
+        assert get_instance_type("g4dn.12xlarge").gpu_count == 4
+
+    def test_prices_positive_and_ordered(self):
+        # more GPUs of the same part must cost more
+        assert (get_instance_type("g4dn.12xlarge").hourly_usd
+                > get_instance_type("g4dn.xlarge").hourly_usd)
+        assert all(t.hourly_usd > 0 for t in INSTANCE_CATALOG.values())
+
+
+class TestCourseMixCalibration:
+    def test_single_gpu_average_matches_paper(self):
+        """§III-A1: single-GPU ≈ $1.262 per student-hour."""
+        assert course_mix_rate(SINGLE_GPU_COURSE_MIX) == pytest.approx(
+            1.262, abs=0.002)
+
+    def test_multi_gpu_average_matches_paper(self):
+        """§III-A1: multi-GPU (up to 3) ≈ $2.314 per student-hour."""
+        assert course_mix_rate(MULTI_GPU_COURSE_MIX) == pytest.approx(
+            2.314, abs=0.002)
+
+    def test_semester_cost_in_published_band(self):
+        """40-45 h at the blended rate lands in the $50-60 band."""
+        # The published split: most hours single-GPU, a few multi-GPU.
+        single_rate = course_mix_rate(SINGLE_GPU_COURSE_MIX)
+        multi_rate = course_mix_rate(MULTI_GPU_COURSE_MIX)
+        for total_h in (40.0, 45.0):
+            cost = 0.9 * total_h * single_rate + 0.1 * total_h * multi_rate
+            assert 50.0 <= cost <= 62.0
+
+    def test_mix_weights_must_sum_to_one(self):
+        with pytest.raises(CloudError):
+            course_mix_rate({"g4dn.xlarge": 0.5})
+
+    def test_cluster_key_expansion(self):
+        rate = course_mix_rate({"cluster:3x g4dn.xlarge": 1.0})
+        assert rate == pytest.approx(3 * 0.526)

@@ -1,0 +1,37 @@
+"""Shared fixtures: every test gets a pristine simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import make_system, reset_default_system
+
+
+@pytest.fixture(autouse=True)
+def fresh_gpu_state():
+    """Isolate simulated time, device memory, and span records per test."""
+    reset_default_system()
+    yield
+    reset_default_system()
+
+
+@pytest.fixture
+def system1():
+    """A single-T4 machine, set as the process default."""
+    return make_system(1, "T4")
+
+
+@pytest.fixture
+def system2():
+    """A dual-T4 machine, set as the process default."""
+    return make_system(2, "T4")
+
+
+@pytest.fixture
+def system4():
+    """A quad-V100 machine (NVLink-capable), set as the process default."""
+    return make_system(4, "V100")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,202 @@
+"""Tests for the cuDF-like DataFrame (Lab 6 substrate)."""
+
+import numpy as np
+import pytest
+
+import repro.dataframe as cudf
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def df(system1):
+    return cudf.from_host({
+        "key": np.array([1, 2, 1, 3, 2, 1]),
+        "value": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+        "weight": np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0]),
+    })
+
+
+class TestColumn:
+    def test_arithmetic(self, df):
+        out = (df["value"] * 2 + df["weight"]).to_numpy()
+        np.testing.assert_allclose(out, [21, 41, 62, 82, 103, 123])
+
+    def test_comparison_makes_bool(self, df):
+        mask = df["value"] > 25.0
+        np.testing.assert_array_equal(
+            mask.to_numpy(), [False, False, True, True, True, True])
+
+    def test_logical_ops(self, df):
+        m = (df["value"] > 25.0) & (df["key"] == 1)
+        np.testing.assert_array_equal(
+            m.to_numpy(), [False, False, True, False, False, True])
+        inv = ~m
+        assert inv.to_numpy().sum() == 4
+
+    def test_reductions(self, df):
+        assert df["value"].sum() == pytest.approx(210.0)
+        assert df["value"].mean() == pytest.approx(35.0)
+        assert df["value"].min() == 10.0
+        assert df["value"].max() == 60.0
+        assert df["value"].count() == 6
+
+    def test_unique(self, df):
+        np.testing.assert_array_equal(df["key"].unique().to_numpy(), [1, 2, 3])
+
+    def test_2d_rejected(self, system1):
+        with pytest.raises(ShapeError):
+            cudf.Column(np.zeros((2, 2)))
+
+
+class TestDataFrame:
+    def test_len_and_columns(self, df):
+        assert len(df) == 6
+        assert df.columns == ["key", "value", "weight"]
+
+    def test_mismatched_lengths_rejected(self, system1):
+        with pytest.raises(ShapeError):
+            cudf.DataFrame({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_getitem_missing_column(self, df):
+        with pytest.raises(KeyError, match="no column"):
+            df["nope"]
+
+    def test_column_subset(self, df):
+        sub = df[["key", "value"]]
+        assert sub.columns == ["key", "value"]
+
+    def test_setitem_adds_column(self, df):
+        df["double"] = df["value"] * 2
+        assert "double" in df
+
+    def test_head(self, df):
+        assert len(df.head(2)) == 2
+
+    def test_to_host_roundtrip(self, df):
+        host = df.to_host()
+        np.testing.assert_array_equal(host["key"], [1, 2, 1, 3, 2, 1])
+
+
+class TestFilter:
+    def test_mask_filter(self, df):
+        out = df[df["key"] == 1]
+        np.testing.assert_allclose(out["value"].to_numpy(), [10, 30, 60])
+
+    def test_filter_charges_gather(self, df, system1):
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        df.filter(df["key"] == 1)
+        assert dev.kernel_count > k0
+
+    def test_mask_length_checked(self, df, system1):
+        short = cudf.Column(np.array([True, False]))
+        with pytest.raises(ShapeError):
+            df.filter(short)
+
+
+class TestSort:
+    def test_sort_ascending(self, df):
+        out = df.sort_values("value", ascending=False)
+        np.testing.assert_allclose(out["value"].to_numpy(),
+                                   [60, 50, 40, 30, 20, 10])
+
+    def test_sort_moves_all_columns(self, df):
+        out = df.sort_values("value")
+        np.testing.assert_array_equal(out["key"].to_numpy(),
+                                      [1, 2, 1, 3, 2, 1])
+
+
+class TestGroupBy:
+    def test_sum_and_mean(self, df):
+        out = df.groupby("key").agg({"value": "sum", "weight": "mean"})
+        host = out.to_host()
+        np.testing.assert_array_equal(host["key"], [1, 2, 3])
+        np.testing.assert_allclose(host["value_sum"], [100.0, 70.0, 40.0])
+        np.testing.assert_allclose(host["weight_mean"], [2.0, 2.0, 2.0])
+
+    def test_count_min_max(self, df):
+        out = df.groupby("key").agg({"value": "count"}).to_host()
+        np.testing.assert_array_equal(out["value_count"], [3, 2, 1])
+        mn = df.groupby("key").agg({"value": "min"}).to_host()
+        np.testing.assert_allclose(mn["value_min"], [10.0, 20.0, 40.0])
+
+    def test_unknown_agg_rejected(self, df):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            df.groupby("key").agg({"value": "median"})
+
+    def test_unknown_column_rejected(self, df):
+        with pytest.raises(KeyError):
+            df.groupby("key").agg({"ghost": "sum"})
+        with pytest.raises(KeyError):
+            df.groupby("ghost")
+
+
+class TestMerge:
+    def test_inner_join(self, df, system1):
+        labels = cudf.from_host({
+            "key": np.array([1, 2]),
+            "name_code": np.array([100.0, 200.0]),
+        })
+        out = df.merge(labels, on="key", how="inner")
+        assert len(out) == 5  # key 3 dropped
+        host = out.to_host()
+        assert set(host["key"].tolist()) == {1, 2}
+
+    def test_left_join_fills_nan(self, df, system1):
+        labels = cudf.from_host({
+            "key": np.array([1]),
+            "name_code": np.array([100.0]),
+        })
+        out = df.merge(labels, on="key", how="left")
+        host = out.to_host()
+        assert len(out) == 6
+        missing = host["name_code"][host["key"] != 1]
+        assert np.isnan(missing).all()
+
+    def test_join_key_required_both_sides(self, df, system1):
+        other = cudf.from_host({"k2": np.array([1])})
+        with pytest.raises(KeyError):
+            df.merge(other, on="key")
+
+    def test_bad_how_rejected(self, df):
+        with pytest.raises(ValueError):
+            df.merge(df, on="key", how="outer")
+
+    def test_duplicate_names_suffixed(self, df, system1):
+        other = cudf.from_host({
+            "key": np.array([1, 2, 3]),
+            "value": np.array([7.0, 8.0, 9.0]),
+        })
+        out = df.merge(other, on="key")
+        assert "value_right" in out.columns
+
+
+class TestGpuCosting:
+    def test_pipeline_runs_on_device(self, system1):
+        rng = np.random.default_rng(0)
+        df = cudf.from_host({
+            "key": rng.integers(0, 50, 10_000),
+            "value": rng.standard_normal(10_000),
+        })
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        out = df[df["value"] > 0].groupby("key").agg({"value": "mean"})
+        assert dev.kernel_count > k0
+        assert len(out) <= 50
+
+    def test_gpu_pipeline_faster_than_host_model(self, system1):
+        """The Lab 6 punchline: the same pipeline costed on the host CPU
+        takes longer than on the T4."""
+        rng = np.random.default_rng(0)
+        n = 1_000_000
+        keys = rng.integers(0, 64, n)
+        vals = rng.standard_normal(n)
+        df = cudf.from_host({"key": keys, "value": vals})
+        t0 = system1.clock.now_ns
+        df.groupby("key").agg({"value": "sum"})
+        system1.synchronize()
+        gpu_ns = system1.clock.now_ns - t0
+        host_span = system1.host.compute(
+            flops=8.0 * n, nbytes=2.0 * (keys.nbytes + vals.nbytes),
+            name="cpu groupby")
+        assert host_span.duration_ns > gpu_ns * 0.5  # host is not faster

@@ -1,0 +1,88 @@
+"""Tests for the four graded assignments and the worker-process timing
+semantics they depend on."""
+
+import numpy as np
+import pytest
+
+from repro.course import ASSIGNMENT_RUNNERS, run_assignment
+from repro.course.cli import main as cli_main
+from repro.errors import ReproError
+
+
+@pytest.mark.parametrize("name", sorted(ASSIGNMENT_RUNNERS))
+def test_every_assignment_passes_its_rubric(name):
+    result = run_assignment(name)
+    assert result.passed, result.rubric
+    assert result.metrics
+    assert all(np.isfinite(v) for v in result.metrics.values())
+
+
+class TestAssignmentDetails:
+    def test_a1_crossover_location(self):
+        r = run_assignment("Assignment 1")
+        # transfer-bound below 1024, compute-bound at/above
+        assert r.metrics["crossover_n"] in (1024.0, 4096.0)
+
+    def test_a2_parallel_speedup_near_two(self):
+        r = run_assignment("Assignment 2")
+        assert 1.5 < r.metrics["speedup"] <= 2.05
+
+    def test_a3_agent_quality(self):
+        r = run_assignment("Assignment 3")
+        assert r.metrics["greedy_reward"] > 0.5
+
+    def test_a4_slos(self):
+        r = run_assignment("Assignment 4")
+        assert r.metrics["recall_at_5"] >= 0.8
+        assert r.metrics["answer_support"] > 0.5
+
+    def test_unknown_assignment(self):
+        with pytest.raises(ReproError):
+            run_assignment("Assignment 9")
+
+    def test_cli_run_assignment(self, capsys):
+        assert cli_main(["run-assignment", "Assignment 4"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "recall_at_5" in out
+
+
+class TestWorkerProcessSemantics:
+    """The clock-rewind model behind Assignment 2's speedup."""
+
+    def test_blocking_sync_inside_task_does_not_stall_driver(self, system2):
+        import repro.xp as xp
+        from repro.distributed import Client, LocalCudaCluster
+        client = Client(LocalCudaCluster(system2))
+
+        def work(seed):
+            a = xp.random.default_rng(seed).standard_normal((64, 64))
+            return float(xp.matmul(a, a).sum().item())  # blocking D2H
+
+        t0 = system2.clock.now_ns
+        futs = [client.submit(work, i, workers=i % 2) for i in range(2)]
+        client.gather(futs)
+        elapsed = system2.clock.now_ns - t0
+        busy = [system2.device(i).busy_ns() for i in range(2)]
+        # elapsed ≈ max(busy), not sum(busy): workers overlapped
+        assert elapsed < 0.75 * sum(busy)
+
+    def test_same_worker_tasks_still_serialize(self, system1):
+        import repro.xp as xp
+        from repro.distributed import Client, LocalCudaCluster
+        client = Client(LocalCudaCluster(system1))
+
+        def work(seed):
+            a = xp.random.default_rng(seed).standard_normal((64, 64))
+            return float(xp.matmul(a, a).sum().item())
+
+        t0 = system1.clock.now_ns
+        client.gather([client.submit(work, i, workers=0)
+                       for i in range(3)])
+        elapsed = system1.clock.now_ns - t0
+        busy = system1.device(0).busy_ns()
+        # one device: elapsed covers (almost) all of its busy time
+        assert elapsed >= 0.9 * busy
+
+    def test_clock_rewind_is_private_and_guarded(self, system1):
+        with pytest.raises(ValueError):
+            system1.clock._rewind(system1.clock.now_ns + 100)

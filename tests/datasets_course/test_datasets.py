@@ -1,0 +1,197 @@
+"""Tests for the reconstructed paper data (Tables III/IV, Figs 1-11)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.stats import describe, levene, mann_whitney_u, shapiro_wilk
+from repro.datasets import (
+    AWS_USAGE_TARGETS,
+    ENROLLMENT,
+    course_content_feedback,
+    grade_distribution,
+    graduate_scores,
+    letter_grade,
+    sample_cohort,
+    satisfaction_counts,
+    survey_fig4,
+    undergraduate_scores,
+)
+from repro.datasets.enrollment import combined_fall_spring_total
+from repro.datasets.surveys import FIG3_QUESTIONS
+from repro.errors import ReproError
+
+
+class TestAppendixCReconstruction:
+    """The calibrated cohorts must hit the published statistics."""
+
+    def test_table4_graduate_row(self):
+        d = describe(graduate_scores())
+        assert d.mean == pytest.approx(94.36, abs=0.2)
+        assert d.std == pytest.approx(6.91, abs=0.2)
+        assert d.min == pytest.approx(74.38)
+        assert d.median == pytest.approx(97.92, abs=0.1)
+        assert d.max == pytest.approx(99.17)
+        assert d.count == 20
+
+    def test_table4_undergraduate_row(self):
+        d = describe(undergraduate_scores())
+        assert d.mean == pytest.approx(83.51, abs=0.3)
+        assert d.std == pytest.approx(11.33, abs=0.2)
+        assert d.min == pytest.approx(53.75)
+        assert d.median == pytest.approx(85.94, abs=0.15)
+        assert d.max == pytest.approx(98.54)
+
+    def test_table3_shapiro_graduate(self):
+        r = shapiro_wilk(graduate_scores())
+        assert r.statistic == pytest.approx(0.722, abs=0.02)
+        assert r.p_value < 0.001
+
+    def test_table3_shapiro_undergraduate(self):
+        r = shapiro_wilk(undergraduate_scores())
+        assert r.statistic == pytest.approx(0.898, abs=0.01)
+        assert 0.01 < r.p_value < 0.06   # paper: .037
+
+    def test_table3_levene(self):
+        r = levene(graduate_scores(), undergraduate_scores())
+        assert r.statistic == pytest.approx(2.437, abs=0.35)
+        assert r.p_value > 0.05           # homogeneity holds, paper: .127
+
+    def test_mann_whitney_matches_appendix(self):
+        r = mann_whitney_u(graduate_scores(), undergraduate_scores())
+        assert r.statistic == pytest.approx(332, abs=8)
+        assert r.p_value < 0.001          # paper: .0004
+
+    def test_jitter_is_seeded(self):
+        a = graduate_scores(jitter=0.5, seed=1)
+        b = graduate_scores(jitter=0.5, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, graduate_scores())
+
+
+class TestGrades:
+    def test_fig2_fall_mode_is_B(self):
+        counts = grade_distribution("Fall 2024")
+        assert max(counts, key=counts.get) == "B"
+        assert sum(counts.values()) == 19
+
+    def test_fig2_spring_majority_A(self):
+        counts = grade_distribution("Spring 2025")
+        assert counts["A"] / sum(counts.values()) > 0.6
+
+    def test_letter_bands(self):
+        assert letter_grade(95) == "A"
+        assert letter_grade(85) == "B"
+        assert letter_grade(75) == "C"
+        assert letter_grade(65) == "D"
+        assert letter_grade(10) == "F"
+        with pytest.raises(ReproError):
+            letter_grade(150)
+
+    def test_unknown_term(self):
+        with pytest.raises(ReproError):
+            grade_distribution("Winter 2030")
+
+    def test_cohort_matches_distribution_and_roles(self):
+        cohort = sample_cohort("Spring 2025", seed=0)
+        assert len(cohort) == 20
+        assert sum(1 for s in cohort if s.role == "graduate") == 15
+        letters = {}
+        for s in cohort:
+            letters[s.letter] = letters.get(s.letter, 0) + 1
+        expected = {k: v for k, v in
+                    grade_distribution("Spring 2025").items() if v}
+        assert letters == expected
+
+    def test_cohort_exam_band(self):
+        cohort = sample_cohort("Fall 2024", seed=0)
+        for s in cohort:
+            assert 75.0 <= s.exam_average <= 80.0
+
+
+class TestEnrollment:
+    def test_fig1_counts(self):
+        by_term = {e.term: e for e in ENROLLMENT}
+        assert by_term["Spring 2025"].graduate == 15
+        assert by_term["Fall 2024"].graduate == 5
+        assert combined_fall_spring_total() == 39
+
+    def test_summer_flagged_estimated(self):
+        summer = next(e for e in ENROLLMENT if e.term == "Summer 2025")
+        assert summer.estimated
+
+
+class TestSurveys:
+    def test_fig4a_fall_counts_verbatim(self):
+        snap = survey_fig4("4a", "Fall 2024")
+        assert snap.counts.counts == [2, 2, 1, 2, 2]
+        assert not snap.inferred
+
+    def test_fig4a_spring_neutral_heavy(self):
+        snap = survey_fig4("4a", "Spring 2025")
+        assert snap.counts.counts[2] == 9  # neutral largest group
+        assert snap.counts.counts[3] == 7
+        assert snap.counts.counts[4] == 5
+
+    def test_fig4b_confidence_improves_mid_to_final(self):
+        for term in ("Fall 2024", "Spring 2025"):
+            mid = survey_fig4("4b", term, "mid").counts
+            final = survey_fig4("4b", term, "final").counts
+            assert final.top_box() > mid.top_box()
+
+    def test_fig4c_confidence_declines_and_spring_dip_smaller(self):
+        drops = {}
+        for term in ("Fall 2024", "Spring 2025"):
+            mid = survey_fig4("4c", term, "mid").counts
+            final = survey_fig4("4c", term, "final").counts
+            drops[term] = mid.top_box() - final.top_box()
+            assert drops[term] > 0  # decline in both terms
+        assert drops["Spring 2025"] < drops["Fall 2024"]
+
+    def test_fig4d_spring_disagreement(self):
+        snap = survey_fig4("4d", "Spring 2025")
+        assert snap.counts.counts[0] + snap.counts.counts[1] == 10
+        # "most reported neutral or higher"
+        assert sum(snap.counts.counts[2:]) > sum(snap.counts.counts[:2])
+
+    def test_unknown_survey(self):
+        with pytest.raises(ReproError):
+            survey_fig4("9z", "Fall 2024")
+
+    def test_fig3_lab_items_have_lower_always(self):
+        for cohort in ("undergraduate", "graduate"):
+            content_always = np.mean([
+                course_content_feedback(q, cohort).percentages()[-1]
+                for q in FIG3_QUESTIONS[:2]])
+            lab_always = np.mean([
+                course_content_feedback(q, cohort).percentages()[-1]
+                for q in FIG3_QUESTIONS[4:]])
+            assert lab_always < content_always
+
+    def test_fig3_negative_responses_rare(self):
+        for q in FIG3_QUESTIONS:
+            for cohort in ("undergraduate", "graduate"):
+                lc = course_content_feedback(q, cohort)
+                assert lc.bottom_box() <= 0.2
+
+    def test_satisfaction_verbatim(self):
+        f24 = satisfaction_counts("Fall 2024")
+        assert f24.count_of("Very High") == 7
+        assert f24.count_of("Very Low") == 1
+        assert f24.total == 8
+        s25 = satisfaction_counts("Spring 2025")
+        assert s25.count_of("Very High") == 6
+        assert s25.count_of("High") == 4
+        assert s25.total == 10
+        assert f24.total + s25.total == 18  # Appendix D's n
+
+
+class TestAwsTargets:
+    def test_bands(self):
+        for t in AWS_USAGE_TARGETS.values():
+            assert 40.0 <= t.avg_hours_per_student <= 45.0
+            assert 50.0 <= t.avg_cost_per_student_usd <= 60.0
+
+    def test_spring_has_more_labs_and_hours(self):
+        f, s = AWS_USAGE_TARGETS["Fall 2024"], AWS_USAGE_TARGETS["Spring 2025"]
+        assert s.n_labs == f.n_labs + 2
+        assert s.avg_hours_per_student > f.avg_hours_per_student

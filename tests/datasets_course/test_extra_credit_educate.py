@@ -1,0 +1,89 @@
+"""Tests for Appendix B extra-credit data and AWS Educate enforcement."""
+
+import pytest
+
+from repro.cloud import CloudSession
+from repro.datasets import EXTRA_CREDIT, extra_credit_outcomes
+from repro.errors import CloudError, ReproError
+
+
+class TestExtraCredit:
+    def test_fall_no_byol_attempts(self):
+        rows = extra_credit_outcomes("Fall 2024")
+        byol = next(r for r in rows
+                    if r.opportunity == "Build Your Own Lab")
+        assert byol.submissions == 0
+
+    def test_spring_byol_three_attempts_none_met(self):
+        rows = extra_credit_outcomes("Spring 2025")
+        byol = next(r for r in rows
+                    if r.opportunity == "Build Your Own Lab")
+        assert byol.submissions == 3
+        assert byol.met_outcomes == 0
+
+    def test_paper_review_spring_only_at_60pct(self):
+        fall = next(r for r in extra_credit_outcomes("Fall 2024")
+                    if r.opportunity == "Academic Paper Review")
+        assert not fall.offered
+        spring = next(r for r in extra_credit_outcomes("Spring 2025")
+                      if r.opportunity == "Academic Paper Review")
+        assert spring.offered
+        assert spring.completion_rate == pytest.approx(0.60)
+        # ~60% of the 20-student Spring cohort
+        assert spring.submissions == 12
+
+    def test_unknown_term(self):
+        with pytest.raises(ReproError):
+            extra_credit_outcomes("Summer 2030")
+
+    def test_met_never_exceeds_submissions(self):
+        for row in EXTRA_CREDIT:
+            assert 0 <= row.met_outcomes <= row.submissions
+
+
+class TestEducateEnforcement:
+    @pytest.fixture
+    def cloud(self):
+        c = CloudSession()
+        c.set_term("Fall 2024")
+        c.register_student("erin")
+        return c
+
+    def test_grant_and_consume(self, cloud):
+        grant = cloud.grant_educate("erin", free_hours=10.0)
+        cloud.use_educate("erin", 4.0)
+        assert grant.remaining_hours == pytest.approx(6.0)
+
+    def test_quota_enforced(self, cloud):
+        cloud.grant_educate("erin", free_hours=5.0)
+        cloud.use_educate("erin", 5.0)
+        with pytest.raises(CloudError, match="EducateQuotaExceeded"):
+            cloud.use_educate("erin", 0.1)
+
+    def test_no_grant_rejected(self, cloud):
+        with pytest.raises(CloudError, match="no Educate grant"):
+            cloud.use_educate("erin", 1.0)
+
+    def test_educate_usage_free_and_invisible(self, cloud):
+        """Appendix A: free of charge, and the instructor's explorer
+        cannot see the hours."""
+        cloud.grant_educate("erin", free_hours=20.0)
+        cloud.use_educate("erin", 8.0)
+        explorer = cloud.billing.explorer
+        assert explorer.total_spend() == 0.0
+        assert "erin" not in explorer.hours_by_owner()
+        # but the raw record exists for the platform's own books
+        educate_records = [r for r in cloud.billing.records
+                           if r.service == "educate"]
+        assert len(educate_records) == 1
+        assert educate_records[0].hours == 8.0
+
+    def test_budget_cap_unaffected_by_educate(self, cloud):
+        cloud.grant_educate("erin", free_hours=100.0)
+        cloud.use_educate("erin", 100.0)  # "free" hours at any volume
+        assert cloud.billing.budget_for("erin").spent_usd == 0.0
+
+    def test_invalid_hours(self, cloud):
+        cloud.grant_educate("erin")
+        with pytest.raises(CloudError):
+            cloud.use_educate("erin", -1.0)

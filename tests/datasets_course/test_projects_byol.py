@@ -1,0 +1,113 @@
+"""Tests for capstone teams, the project rubric, and the BYOL validator."""
+
+import pytest
+
+from repro.course.projects import (
+    ByolSubmission,
+    CapstoneRubric,
+    MAX_TEAM_SIZE,
+    ProjectTeam,
+    form_teams,
+    validate_byol,
+)
+from repro.datasets import sample_cohort
+from repro.errors import ReproError
+
+
+class TestTeams:
+    def test_cap_enforced(self):
+        with pytest.raises(ReproError, match="capped"):
+            ProjectTeam(members=("a", "b", "c"), title="x")
+
+    def test_solo_allowed(self):
+        assert len(ProjectTeam(members=("a",), title="x").members) == 1
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ReproError):
+            ProjectTeam(members=("a", "a"), title="x")
+
+    def test_title_required(self):
+        with pytest.raises(ReproError):
+            ProjectTeam(members=("a",), title="  ")
+
+    def test_form_teams_covers_cohort(self):
+        cohort = sample_cohort("Spring 2025", seed=0)  # 20 students
+        teams = form_teams(cohort, seed=0)
+        assert len(teams) == 10
+        everyone = [m for t in teams for m in t.members]
+        assert sorted(everyone) == sorted(s.name for s in cohort)
+        assert all(len(t.members) <= MAX_TEAM_SIZE for t in teams)
+
+    def test_odd_cohort_leaves_one_solo(self):
+        cohort = sample_cohort("Fall 2024", seed=0)  # 19 students
+        teams = form_teams(cohort, seed=0)
+        sizes = sorted(len(t.members) for t in teams)
+        assert sizes.count(1) == 1 and sizes.count(2) == 9
+
+
+class TestRubric:
+    def test_full_marks(self):
+        r = CapstoneRubric(uses_gpu_acceleration=True,
+                           includes_agent_or_rag=True,
+                           gpu_hours_used=1.5, presented=True)
+        assert r.score() == 100.0
+
+    def test_budget_overrun_costs_points(self):
+        r = CapstoneRubric(uses_gpu_acceleration=True,
+                           includes_agent_or_rag=True,
+                           gpu_hours_used=5.0, presented=True)
+        assert r.score() == 90.0
+
+    def test_no_gpu_fails_hard(self):
+        r = CapstoneRubric(uses_gpu_acceleration=False,
+                           includes_agent_or_rag=True,
+                           gpu_hours_used=1.0, presented=True)
+        assert r.score() == 60.0
+
+
+class TestByolValidator:
+    def _ok(self, **overrides):
+        base = dict(title="Profiling a Graph Partitioner",
+                    topic_week=4,
+                    slo_verbs=("Analyze", "Evaluate"),
+                    deliverable="notebook with roofline verdicts",
+                    has_measurable_outcome=True)
+        base.update(overrides)
+        return ByolSubmission(**base)
+
+    def test_good_submission_passes(self):
+        assert validate_byol(self._ok()) == []
+
+    def test_replica_rejected(self):
+        sub = self._ok(title="CuPy vector/matrix operations & parallel "
+                             "processing")
+        assert "replicates an existing lab" in validate_byol(sub)
+
+    def test_unknown_week(self):
+        assert any("unknown module week" in p
+                   for p in validate_byol(self._ok(topic_week=42)))
+
+    def test_bad_slo_verbs(self):
+        probs = validate_byol(self._ok(slo_verbs=("Vibe",)))
+        assert any("unrecognized SLO" in p for p in probs)
+        probs = validate_byol(self._ok(slo_verbs=()))
+        assert any("learning outcome" in p for p in probs)
+
+    def test_missing_deliverable_and_outcome(self):
+        probs = validate_byol(self._ok(deliverable=" ",
+                                       has_measurable_outcome=False))
+        assert "no deliverable" in probs
+        assert "deliverable has no measurable outcome" in probs
+
+    def test_appendix_b_story(self):
+        """The three Spring submissions, reconstructed as the validator
+        would have flagged them: plausible titles, missing measurable
+        outcomes (the paper: 'none ... fully met the student learning
+        outcomes')."""
+        submissions = [
+            self._ok(title=f"student lab {i}", has_measurable_outcome=False)
+            for i in range(3)
+        ]
+        verdicts = [validate_byol(s) for s in submissions]
+        assert all(v for v in verdicts)  # every one has problems
+        assert sum(1 for v in verdicts if not v) == 0  # none fully met

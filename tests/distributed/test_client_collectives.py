@@ -1,0 +1,214 @@
+"""Tests for the Client API, clusters, and collectives."""
+
+import numpy as np
+import pytest
+
+import repro.xp as xp
+from repro.distributed import (
+    Client,
+    LocalCudaCluster,
+    allgather,
+    broadcast,
+    cluster_from_instances,
+    gather,
+    ring_allreduce,
+    scatter,
+)
+from repro.errors import SchedulerError
+
+
+class TestCluster:
+    def test_one_worker_per_gpu(self, system4):
+        cluster = LocalCudaCluster(system4)
+        assert len(cluster) == 4
+        assert {w.device.device_id for w in cluster.workers} == {0, 1, 2, 3}
+
+    def test_n_workers_subset(self, system4):
+        assert len(LocalCudaCluster(system4, n_workers=2)) == 2
+
+    def test_too_many_workers_rejected(self, system2):
+        with pytest.raises(SchedulerError):
+            LocalCudaCluster(system2, n_workers=5)
+
+    def test_gpuless_system_rejected(self):
+        from repro.gpu import make_system
+        empty = make_system(0, "T4")
+        with pytest.raises(SchedulerError):
+            LocalCudaCluster(empty)
+
+
+class TestClient:
+    def test_submit_result(self, system2):
+        client = Client(LocalCudaCluster(system2))
+        fut = client.submit(lambda a, b: a + b, 2, 3)
+        assert fut.result() == 5
+        assert fut.status == "finished"
+
+    def test_submit_error_surfaces_at_result(self, system1):
+        client = Client(LocalCudaCluster(system1))
+        fut = client.submit(lambda: 1 / 0)
+        assert fut.status == "error"
+        with pytest.raises(ZeroDivisionError):
+            fut.result()
+
+    def test_map_gather_roundtrip(self, system2):
+        client = Client(LocalCudaCluster(system2))
+        futs = client.map(lambda x: x * x, range(6))
+        assert client.gather(futs) == [0, 1, 4, 9, 16, 25]
+
+    def test_map_spreads_across_workers(self, system2):
+        cluster = LocalCudaCluster(system2)
+        client = Client(cluster)
+        client.map(lambda x: x, range(6))
+        assert all(w.tasks_run == 3 for w in cluster.workers)
+
+    def test_explicit_worker_placement(self, system2):
+        cluster = LocalCudaCluster(system2)
+        client = Client(cluster)
+        fut = client.submit(lambda: 1, workers=1)
+        assert fut.worker == "worker-1"
+
+    def test_run_on_all(self, system2):
+        cluster = LocalCudaCluster(system2)
+        client = Client(cluster)
+        out = client.run_on_all(lambda: "pong")
+        assert out == {"worker-0": "pong", "worker-1": "pong"}
+
+    def test_gpu_work_overlaps_in_simulated_time(self, system2):
+        """Two workers' device kernels should overlap: elapsed < 2x serial."""
+        cluster = LocalCudaCluster(system2)
+        client = Client(cluster)
+
+        def heavy():
+            a = xp.ones((512, 512))
+            for _ in range(4):
+                a = xp.matmul(a, a) * 1e-3
+            return a.shape
+
+        t0 = system2.clock.now_ns
+        futs = [client.submit(heavy, workers=i) for i in range(2)]
+        client.gather(futs)
+        elapsed = system2.clock.now_ns - t0
+        d0_busy = system2.device(0).busy_ns((t0, system2.clock.now_ns))
+        d1_busy = system2.device(1).busy_ns((t0, system2.clock.now_ns))
+        assert elapsed < 0.8 * (d0_busy + d1_busy)
+
+
+class TestClusterFromInstances:
+    def test_bootstrap_cluster_forms(self):
+        from repro.cloud import BootstrapScript, CloudSession
+        cloud = CloudSession()
+        creds = cloud.register_student("alice")
+        bs = BootstrapScript(instance_type="g4dn.xlarge", instance_count=3)
+        insts = bs.run(cloud, creds)
+        cluster = cluster_from_instances(cloud, insts)
+        assert len(cluster) == 3
+
+    def test_misconfigured_vpc_refuses(self):
+        from repro.cloud import CloudSession
+        cloud = CloudSession()
+        cloud.register_student("alice")
+        i1 = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        i2 = cloud.ec2.run_instance("g4dn.xlarge", owner="alice")
+        with pytest.raises(SchedulerError, match="VPC"):
+            cluster_from_instances(cloud, [i1, i2])
+
+    def test_cpu_instances_rejected(self):
+        from repro.cloud import CloudSession
+        cloud = CloudSession()
+        cloud.register_student("alice")
+        inst = cloud.ec2.run_instance("t3.medium", owner="alice")
+        with pytest.raises(SchedulerError, match="GPU"):
+            cluster_from_instances(cloud, [inst])
+
+
+class TestCollectives:
+    def _devs(self, system):
+        return [system.device(i) for i in range(len(system))]
+
+    def test_allreduce_sum(self, system4):
+        devs = self._devs(system4)
+        arrays = [np.full(64, float(i + 1)) for i in range(4)]
+        out = ring_allreduce(arrays, devs)
+        for o in out:
+            np.testing.assert_allclose(o, np.full(64, 10.0))
+
+    def test_allreduce_average(self, system4):
+        devs = self._devs(system4)
+        arrays = [np.full(8, float(i)) for i in range(4)]
+        out = ring_allreduce(arrays, devs, average=True)
+        np.testing.assert_allclose(out[0], np.full(8, 1.5))
+
+    def test_allreduce_charges_ring_traffic(self, system4):
+        devs = self._devs(system4)
+        arrays = [np.zeros(1024) for _ in range(4)]
+        spans0 = len(devs[0].spans)
+        ring_allreduce(arrays, devs)
+        p2p = [s for s in devs[0].spans[spans0:] if s.kind == "memcpy_p2p"]
+        # 2(k-1)=6 steps; device 0 participates in send+recv each step
+        assert len(p2p) >= 6
+
+    def test_allreduce_preserves_dtype(self, system2):
+        devs = self._devs(system2)
+        arrays = [np.ones(4, dtype=np.float32) for _ in range(2)]
+        out = ring_allreduce(arrays, devs)
+        assert out[0].dtype == np.float32
+
+    def test_allreduce_shape_mismatch_rejected(self, system2):
+        devs = self._devs(system2)
+        with pytest.raises(SchedulerError, match="same-shape"):
+            ring_allreduce([np.ones(3), np.ones(4)], devs)
+
+    def test_single_device_allreduce_is_identity(self, system1):
+        out = ring_allreduce([np.arange(4.0)], [system1.device(0)])
+        np.testing.assert_array_equal(out[0], np.arange(4.0))
+
+    def test_broadcast(self, system4):
+        devs = self._devs(system4)
+        out = broadcast(np.arange(8.0), devs, root=0)
+        assert len(out) == 4
+        for o in out:
+            np.testing.assert_array_equal(o, np.arange(8.0))
+
+    def test_broadcast_bad_root(self, system2):
+        with pytest.raises(SchedulerError):
+            broadcast(np.ones(2), self._devs(system2), root=9)
+
+    def test_scatter_gather_roundtrip(self, system4):
+        devs = self._devs(system4)
+        chunks = [np.full(4, float(i)) for i in range(4)]
+        scattered = scatter(chunks, devs)
+        gathered = gather(scattered, devs)
+        for i in range(4):
+            np.testing.assert_array_equal(gathered[i], chunks[i])
+
+    def test_scatter_count_mismatch(self, system2):
+        with pytest.raises(SchedulerError):
+            scatter([np.ones(2)], self._devs(system2))
+
+    def test_allgather_everyone_gets_everything(self, system2):
+        devs = self._devs(system2)
+        out = allgather([np.full(2, 1.0), np.full(2, 2.0)], devs)
+        assert len(out) == 2
+        for per_device in out:
+            np.testing.assert_array_equal(per_device[0], [1.0, 1.0])
+            np.testing.assert_array_equal(per_device[1], [2.0, 2.0])
+
+    def test_allreduce_scales_with_devices(self):
+        """More participants -> more communication time (fixed total size).
+
+        With per-device traffic ~2n(k-1)/k the *bandwidth* term saturates,
+        but each of the 2(k-1) ring steps pays the transfer latency floor,
+        so wall time grows with k — the "communication overhead eats your
+        speedup" effect Algorithm 1's evaluation reports.
+        """
+        from repro.gpu import make_system
+        times = {}
+        for k in (2, 4):
+            sys_ = make_system(k, "T4")
+            devs = [sys_.device(i) for i in range(k)]
+            t0 = sys_.clock.now_ns
+            ring_allreduce([np.zeros(1 << 18) for _ in range(k)], devs)
+            sys_.synchronize()
+            times[k] = sys_.clock.now_ns - t0
+        assert times[4] > times[2]

@@ -1,0 +1,123 @@
+"""Tests for task graphs, the scheduler, and placement/transfer costing."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCudaCluster, Scheduler, TaskGraph
+from repro.distributed.scheduler import result_nbytes
+from repro.errors import SchedulerError
+
+
+class TestTaskGraph:
+    def test_topological_order_respects_deps(self):
+        g = TaskGraph()
+        a = g.add("a", lambda: 1)
+        b = g.add("b", lambda x: x + 1, a)
+        g.add("c", lambda x, y: x + y, a, b)
+        order = [t.key for t in g.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_duplicate_key_rejected(self):
+        g = TaskGraph()
+        g.add("a", lambda: 1)
+        with pytest.raises(SchedulerError, match="duplicate"):
+            g.add("a", lambda: 2)
+
+    def test_dangling_reference_rejected(self):
+        from repro.distributed.taskgraph import TaskRef
+        g = TaskGraph()
+        g.add("b", lambda x: x, TaskRef("ghost"))
+        with pytest.raises(SchedulerError, match="unknown key"):
+            g.topological_order()
+
+    def test_cycle_detected(self):
+        from repro.distributed.taskgraph import TaskRef
+        g = TaskGraph()
+        g.add("a", lambda x: x, TaskRef("b"))
+        g.add("b", lambda x: x, TaskRef("a"))
+        with pytest.raises(SchedulerError, match="cycle"):
+            g.topological_order()
+
+    def test_kwarg_dependencies_counted(self):
+        g = TaskGraph()
+        a = g.add("a", lambda: 5)
+        g.add("b", lambda *, x: x, x=a)
+        assert g.tasks["b"].dependencies() == ["a"]
+
+    def test_deterministic_order(self):
+        def build():
+            g = TaskGraph()
+            for name in ("z", "m", "a"):
+                g.add(name, lambda: 0)
+            return [t.key for t in g.topological_order()]
+
+        assert build() == build() == ["a", "m", "z"]
+
+
+class TestScheduler:
+    def test_results_correct(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        a = g.add("a", lambda: np.ones(10))
+        b = g.add("b", lambda x: x * 3, a)
+        g.add("c", lambda x: float(x.sum()), b)
+        results, _ = Scheduler(cluster.workers).run(g)
+        assert results["c"] == 30.0
+
+    def test_parallel_chains_spread_across_workers(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        for i in range(4):
+            g.add(f"leaf{i}", lambda i=i: np.full(100, i))
+        _, report = Scheduler(cluster.workers).run(g)
+        assert set(report.placements.values()) == {"worker-0", "worker-1"}
+
+    def test_cross_worker_dependency_charges_transfer(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        a = g.add("a", lambda: np.ones(1000))
+        b = g.add("b", lambda: np.ones(1000))
+        g.add("c", lambda x, y: x + y, a, b)
+        _, report = Scheduler(cluster.workers).run(g)
+        assert report.transfers >= 1
+        assert report.transfer_bytes >= 8000
+
+    def test_failed_task_raises_with_key(self, system1):
+        cluster = LocalCudaCluster(system1)
+        g = TaskGraph()
+        g.add("boom", lambda: 1 / 0)
+        with pytest.raises(SchedulerError, match="boom"):
+            Scheduler(cluster.workers).run(g)
+
+    def test_makespan_positive(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        g.add("a", lambda: np.ones(10))
+        _, report = Scheduler(cluster.workers).run(g)
+        assert report.makespan_ms > 0
+
+    def test_empty_worker_list_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler([])
+
+    def test_mixed_systems_rejected(self, system2):
+        from repro.gpu import make_system
+        other = make_system(1, "T4", set_default=False)
+        c1 = LocalCudaCluster(system2)
+        c2 = LocalCudaCluster(other)
+        with pytest.raises(SchedulerError, match="one GpuSystem"):
+            Scheduler([c1.workers[0], c2.workers[0]])
+
+
+class TestResultNbytes:
+    def test_numpy(self):
+        assert result_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_scalar(self):
+        assert result_nbytes(3.14) == 8
+
+    def test_nested_list(self):
+        assert result_nbytes([np.zeros(2), np.zeros(3)]) == 40
+
+    def test_opaque(self):
+        assert result_nbytes(object()) == 64

@@ -1,0 +1,101 @@
+"""Coverage for exported-but-lightly-tested APIs: einsum_2d, tensordot,
+multi-op agg, memory-pool accessor, response rates, event sync."""
+
+import numpy as np
+import pytest
+
+import repro.dataframe as cudf
+import repro.xp as xp
+from repro.datasets.surveys import (
+    EVALUATION_RESPONSE_RATE,
+    evaluation_respondents,
+)
+from repro.errors import ReproError
+from repro.gpu.stream import Event
+
+
+class TestXpLinalgExtras:
+    def test_einsum_matmul_form(self, system1, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        out = xp.einsum_2d("ij,jk->ik", xp.asarray(a), xp.asarray(b))
+        np.testing.assert_allclose(out.get(), a @ b, rtol=1e-4)
+
+    def test_einsum_elementwise_contract(self, system1, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 4)).astype(np.float32)
+        out = xp.einsum_2d("ij,ij->", xp.asarray(a), xp.asarray(b))
+        assert out.item() == pytest.approx(float((a * b).sum()), rel=1e-4)
+
+    def test_tensordot(self, system1, rng):
+        a = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        out = xp.tensordot(xp.asarray(a), xp.asarray(b), axes=2)
+        np.testing.assert_allclose(out.get(), np.tensordot(a, b, axes=2),
+                                   rtol=1e-4)
+
+    def test_norm_ord(self, system1):
+        a = xp.asarray(np.array([-3.0, 4.0]))
+        assert xp.norm(a, ord=1).item() == pytest.approx(7.0)
+
+
+class TestMemoryPoolAccessor:
+    def test_stats_track_allocations(self, system1):
+        pool = xp.get_default_memory_pool()
+        used0 = pool.stats().used_bytes
+        a = xp.zeros((256,), dtype=np.float32)
+        assert pool.stats().used_bytes == used0 + 1024
+        del a
+        assert pool.stats().used_bytes == used0
+
+    def test_driver_reserve_visible(self, system1):
+        # a "16 GiB" T4 grants less than 16 GiB (3% context reserve)
+        pool = xp.get_default_memory_pool()
+        assert pool.total_bytes < 16 * (1 << 30)
+        assert pool.total_bytes > 15 * (1 << 30)
+
+
+class TestMultiAgg:
+    def test_list_of_ops(self, system1):
+        df = cudf.from_host({"k": np.array([1, 1, 2]),
+                             "v": np.array([1.0, 3.0, 5.0])})
+        out = df.groupby("k").agg({"v": ["sum", "mean", "min"]}).to_host()
+        np.testing.assert_array_equal(out["v_sum"], [4.0, 5.0])
+        np.testing.assert_array_equal(out["v_mean"], [2.0, 5.0])
+        np.testing.assert_array_equal(out["v_min"], [1.0, 5.0])
+
+    def test_groupby_matches_manual_on_large_input(self, system1, rng):
+        keys = rng.integers(0, 40, 20_000)
+        vals = rng.standard_normal(20_000)
+        df = cudf.from_host({"k": keys, "v": vals})
+        out = df.groupby("k").agg({"v": "sum"}).to_host()
+        for i, key in enumerate(out["k"]):
+            assert out["v_sum"][i] == pytest.approx(
+                vals[keys == key].sum(), rel=1e-9)
+
+
+class TestResponseRates:
+    def test_published_ns(self):
+        assert evaluation_respondents("Fall 2024") == 8
+        assert evaluation_respondents("Spring 2025") == 10
+        assert EVALUATION_RESPONSE_RATE == 0.85
+
+    def test_total_matches_appendix_d(self):
+        assert (evaluation_respondents("Fall 2024")
+                + evaluation_respondents("Spring 2025")) == 18
+
+    def test_unknown_term(self):
+        with pytest.raises(ReproError):
+            evaluation_respondents("Summer 2025")  # estimated term
+
+
+class TestEventSync:
+    def test_event_synchronize_advances_host(self, system1):
+        from repro.gpu import KernelCost
+        dev = system1.device(0)
+        dev.launch(KernelCost(flops=1e9, bytes_read=1e6, name="k"),
+                   1024, 256)
+        ev = Event().record(dev.default_stream)
+        t = ev.synchronize(dev.default_stream)
+        assert t == ev.timestamp_ns
+        assert system1.clock.now_ns >= ev.timestamp_ns

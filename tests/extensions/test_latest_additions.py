@@ -1,0 +1,112 @@
+"""Tests for the latest additions: A100/p4d catalog rows, pipeline-level
+reranking, num_parameters, and kernel-model properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.nn as nn
+from repro.cloud import get_instance_type
+from repro.gpu import (
+    KernelCost,
+    get_spec,
+    make_system,
+)
+from repro.gpu.kernelmodel import kernel_duration_ns, normalize_launch
+from repro.rag import RagPipeline, make_corpus
+
+
+class TestA100Catalog:
+    def test_spec_plausible(self):
+        a100 = get_spec("A100")
+        assert a100.mem_gib == 40.0
+        assert a100.nvlink_gbps > get_spec("V100").nvlink_gbps
+        assert a100.peak_bandwidth > get_spec("V100").peak_bandwidth
+
+    def test_p4d_sku(self):
+        p4d = get_instance_type("p4d.24xlarge")
+        assert p4d.gpu_part == "A100" and p4d.gpu_count == 8
+        assert p4d.hourly_usd > 30
+
+    def test_eight_gpu_system(self):
+        system = make_system(8, "A100")
+        assert len(system) == 8
+
+    def test_a100_fastest_memory_bound(self):
+        """On a memory-bound kernel the A100's bandwidth wins across the
+        whole catalog."""
+        cfg_cost = KernelCost(flops=1e6, bytes_read=1e9, name="axpy")
+        cfg = normalize_launch(8192, 256)
+        times = {part: kernel_duration_ns(cfg_cost, cfg, get_spec(part))
+                 for part in ("T4", "V100", "A10G", "A100", "K80")}
+        assert times["A100"] == min(times.values())
+
+
+class TestPipelineRerank:
+    def test_rerank_flag_adds_stage(self, system1):
+        corpus = make_corpus(n_docs=80, n_queries=8, seed=0)
+        pipe = RagPipeline(corpus, device="cuda:0", k=3, seed=0)
+        plain = pipe.answer("gpu kernel threads", max_new_tokens=4)
+        reranked = pipe.answer("gpu kernel threads", rerank=True,
+                               max_new_tokens=4)
+        assert "rerank" not in plain.timings_ms
+        assert reranked.timings_ms["rerank"] > 0
+        assert len(reranked.doc_ids) == 3
+
+    def test_rerank_keeps_topical_docs(self, system1):
+        corpus = make_corpus(n_docs=120, n_queries=8, seed=1)
+        pipe = RagPipeline(corpus, device="cuda:0", k=3, seed=0)
+        r = pipe.answer("dask worker scheduler cluster", rerank=True,
+                        max_new_tokens=4)
+        topics = pipe.corpus.doc_topics[r.doc_ids[r.doc_ids >= 0]]
+        assert (topics == 7).mean() >= 0.6  # topic 7 = dask bank
+
+    def test_reranker_built_once(self, system1):
+        corpus = make_corpus(n_docs=60, n_queries=4, seed=0)
+        pipe = RagPipeline(corpus, device="cuda:0", seed=0)
+        pipe.answer("q gpu", rerank=True, max_new_tokens=2)
+        first = pipe._reranker
+        pipe.answer("q cloud", rerank=True, max_new_tokens=2)
+        assert pipe._reranker is first
+
+
+class TestNumParameters:
+    def test_counts_whole_tree(self, system1):
+        m = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        # (4*8 + 8) + (8*2 + 2) = 58
+        assert nn.num_parameters(m) == 58
+
+    def test_bias_free(self, system1):
+        assert nn.num_parameters(nn.Linear(4, 8, bias=False)) == 32
+
+
+# -- kernel-model properties --------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(flops=st.floats(1e3, 1e12), nbytes=st.floats(1e3, 1e10),
+       blocks=st.integers(1, 65536),
+       tpb=st.sampled_from([32, 64, 128, 256, 512, 1024]))
+def test_duration_positive_and_monotone_in_work(flops, nbytes, blocks, tpb):
+    """Properties: durations are positive; adding work never makes a
+    kernel faster."""
+    spec = get_spec("T4")
+    cfg = normalize_launch(blocks, tpb)
+    base = kernel_duration_ns(
+        KernelCost(flops=flops, bytes_read=nbytes, name="k"), cfg, spec)
+    more_flops = kernel_duration_ns(
+        KernelCost(flops=flops * 2, bytes_read=nbytes, name="k"), cfg, spec)
+    more_bytes = kernel_duration_ns(
+        KernelCost(flops=flops, bytes_read=nbytes * 2, name="k"), cfg, spec)
+    assert base > 0
+    assert more_flops >= base
+    assert more_bytes >= base
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=st.integers(1, 100_000),
+       tpb=st.sampled_from([32, 64, 128, 256, 512, 1024]))
+def test_occupancy_bounded(blocks, tpb):
+    from repro.gpu.kernelmodel import occupancy
+    for part in ("T4", "V100", "A100"):
+        occ = occupancy(normalize_launch(blocks, tpb), get_spec(part))
+        assert 0.0 < occ <= 1.0

@@ -1,0 +1,117 @@
+"""Tests for the prerequisite DAG, profile comparison, and the xp chaos
+oracle test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.xp as xp
+from repro.course import (
+    critical_path,
+    dependents_of,
+    transitive_prerequisites,
+    validate_prerequisites,
+)
+from repro.errors import ReproError
+from repro.gpu import make_system
+from repro.profiling import Profiler, compare_profiles
+
+
+class TestPrerequisites:
+    def test_published_schedule_is_coherent(self):
+        validate_prerequisites()  # raises if Table I teaches out of order
+
+    def test_transitive_closure(self):
+        # week 14 (RAG serving) transitively needs the cloud setup of wk 1
+        assert 1 in transitive_prerequisites(14)
+        # and multi-GPU training (wk 10)
+        assert 10 in transitive_prerequisites(14)
+
+    def test_dependents_of_profiling_week(self):
+        """Week 4 (profiling) underpins most of the back half — the
+        curricular reason Fig 4c's confidence dip matters."""
+        deps = dependents_of(4)
+        assert {5, 8, 13}.issubset(deps)
+        assert len(deps) >= 8
+
+    def test_critical_path_shape(self):
+        path = critical_path()
+        assert path[0] == 1
+        assert path == sorted(path)
+        # the chain is most of the semester: the curriculum is deep, not
+        # wide — why the summer version needs four intensive weeks
+        assert len(path) >= 6
+
+    def test_unknown_week(self):
+        with pytest.raises(ReproError):
+            transitive_prerequisites(99)
+        with pytest.raises(ReproError):
+            dependents_of(0)
+
+
+class TestCompareProfiles:
+    def test_before_after_speedup(self):
+        system = make_system(1, "T4")
+        host = np.ones((512, 512), dtype=np.float32)
+        with Profiler(system) as before:
+            for r in range(0, 512, 32):
+                xp.asarray(host[r:r + 32])       # 16 chunked copies
+        with Profiler(system) as after:
+            xp.asarray(host)                      # 1 batched copy
+        diff = compare_profiles(before, after)
+        assert diff["memcpy_h2d"]["speedup"] > 2.0
+        assert diff["(elapsed)"]["speedup"] > 1.0
+
+    def test_vanished_kind_is_inf(self):
+        system = make_system(1, "T4")
+        with Profiler(system) as before:
+            xp.ones(10).get()
+        with Profiler(system) as after:
+            xp.ones(10)  # no D2H this time
+        diff = compare_profiles(before, after)
+        assert diff["memcpy_d2h"]["speedup"] == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Chaos test: random op sequences, numpy as the oracle
+# ---------------------------------------------------------------------------
+
+_OPS = ("add", "mul", "sub", "relu_like", "scale", "tanh")
+
+
+def _apply(op: str, dev_acc, np_acc, dev_b, np_b):
+    if op == "add":
+        return dev_acc + dev_b, np_acc + np_b
+    if op == "mul":
+        return dev_acc * dev_b, np_acc * np_b
+    if op == "sub":
+        return dev_acc - dev_b, np_acc - np_b
+    if op == "relu_like":
+        return xp.maximum(dev_acc, 0.0), np.maximum(np_acc, 0.0)
+    if op == "scale":
+        return dev_acc * 0.5, np_acc * np.float32(0.5)
+    if op == "tanh":
+        return xp.tanh(dev_acc), np.tanh(np_acc)
+    raise AssertionError(op)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ops=st.lists(st.sampled_from(_OPS), min_size=1, max_size=8),
+)
+def test_xp_chaos_matches_numpy_oracle(seed, ops):
+    """Property: any sequence of xp ops equals the same numpy sequence.
+
+    The accumulator passes through tanh/relu periodically, keeping values
+    bounded so float32 drift stays within tolerance.
+    """
+    make_system(1, "T4")
+    rng = np.random.default_rng(seed)
+    np_acc = rng.standard_normal((4, 5)).astype(np.float32)
+    np_b = rng.standard_normal((4, 5)).astype(np.float32)
+    dev_acc = xp.asarray(np_acc.copy())
+    dev_b = xp.asarray(np_b.copy())
+    for op in ops:
+        dev_acc, np_acc = _apply(op, dev_acc, np_acc, dev_b, np_b)
+    np.testing.assert_allclose(dev_acc.get(), np_acc, rtol=1e-4, atol=1e-5)

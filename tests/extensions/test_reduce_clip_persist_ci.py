@@ -1,0 +1,216 @@
+"""Tests for cuda.reduce, gradient clipping, index persistence to S3,
+dataframe describe/value_counts, and the bootstrap CI."""
+
+import numpy as np
+import pytest
+
+import repro.dataframe as cudf
+import repro.nn as nn
+from repro.analytics import bootstrap_ci
+from repro.cloud import CloudSession
+from repro.errors import DeviceError, ReproError
+from repro.jit import cuda
+from repro.nn.tensor import Tensor
+from repro.rag import FlatIndex, IVFFlatIndex, load_index, save_index
+
+
+class TestCudaReduce:
+    def test_sum_reduction(self, system1):
+        @cuda.reduce
+        def add(a, b):
+            return a + b
+
+        arr = cuda.to_device(np.arange(100, dtype=np.float64))
+        assert add(arr) == pytest.approx(4950.0)
+
+    def test_max_reduction_with_init(self, system1):
+        @cuda.reduce
+        def biggest(a, b):
+            return a if a > b else b
+
+        arr = cuda.to_device(np.array([3.0, 9.0, 1.0]))
+        assert biggest(arr) == 9.0
+        assert biggest(arr, init=100.0) == 100.0
+
+    def test_numpy_input_roundtrips(self, system1):
+        @cuda.reduce
+        def add(a, b):
+            return a + b
+
+        assert add(np.ones(16)) == 16.0
+
+    def test_empty_needs_init(self, system1):
+        @cuda.reduce
+        def add(a, b):
+            return a + b
+
+        with pytest.raises(DeviceError):
+            add(np.array([]))
+        assert add(np.array([]), init=7.0) == 7.0
+
+    def test_charges_log_depth_launches(self, system1):
+        @cuda.reduce
+        def add(a, b):
+            return a + b
+
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        add(cuda.to_device(np.ones(1024, dtype=np.float32)))
+        launched = dev.kernel_count - k0
+        assert 8 <= launched <= 12  # ~log2(1024) tree levels
+
+
+class TestGradClipping:
+    def test_norm_returned_and_clipped(self, system1):
+        t = Tensor(np.ones(4), requires_grad=True)
+        (t * 10.0).sum().backward()   # grad = 10s, norm = 20
+        norm = nn.clip_grad_norm_([t], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(t.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self, system1):
+        t = Tensor(np.ones(4), requires_grad=True)
+        (t * 0.1).sum().backward()
+        before = t.grad.copy()
+        nn.clip_grad_norm_([t], max_norm=10.0)
+        np.testing.assert_array_equal(t.grad, before)
+
+    def test_no_grads_is_zero(self, system1):
+        t = Tensor(np.ones(4), requires_grad=True)
+        assert nn.clip_grad_norm_([t], 1.0) == 0.0
+
+    def test_validation(self, system1):
+        with pytest.raises(ValueError):
+            nn.clip_grad_norm_([], 0.0)
+
+    def test_stabilizes_training(self, system1):
+        """With absurd targets, clipping keeps the step bounded."""
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        opt = nn.SGD([t], lr=0.1)
+        (t * 1e6).sum().backward()
+        nn.clip_grad_norm_([t], max_norm=1.0)
+        opt.step()
+        assert abs(t.data[0] - 1.0) <= 0.1 + 1e-6  # f32 step of lr*1.0
+
+
+class TestIndexPersistence:
+    @pytest.fixture
+    def cloud(self):
+        c = CloudSession()
+        c.s3.create_bucket("indexes")
+        return c
+
+    def _vectors(self, n=60, dim=16, seed=0):
+        rng = np.random.default_rng(seed)
+        v = rng.standard_normal((n, dim)).astype(np.float32)
+        return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+    def test_flat_roundtrip(self, system1, cloud):
+        vecs = self._vectors()
+        idx = FlatIndex(16)
+        idx.add(vecs)
+        save_index(idx, cloud.s3, "indexes", "flat.npz")
+        restored = load_index(cloud.s3, "indexes", "flat.npz")
+        assert isinstance(restored, FlatIndex)
+        assert restored.ntotal == 60
+        q = vecs[:5]
+        np.testing.assert_array_equal(idx.search(q, 3).ids,
+                                      restored.search(q, 3).ids)
+
+    def test_ivf_roundtrip_preserves_lists(self, system1, cloud):
+        vecs = self._vectors(n=80)
+        idx = IVFFlatIndex(16, nlist=8, nprobe=2, seed=3)
+        idx.train(vecs)
+        idx.add(vecs)
+        save_index(idx, cloud.s3, "indexes", "ivf")
+        restored = load_index(cloud.s3, "indexes", "ivf")
+        assert isinstance(restored, IVFFlatIndex)
+        assert restored.nlist == 8 and restored.nprobe == 2
+        q = vecs[:5]
+        np.testing.assert_array_equal(idx.search(q, 3).ids,
+                                      restored.search(q, 3).ids)
+
+    def test_untrained_ivf_rejected(self, system1, cloud):
+        with pytest.raises(ReproError):
+            save_index(IVFFlatIndex(8, nlist=4), cloud.s3, "indexes", "x")
+
+
+class TestDataFrameExtras:
+    @pytest.fixture
+    def df(self, system1):
+        return cudf.from_host({
+            "key": np.array([1.0, 2.0, 2.0, 3.0, 3.0, 3.0]),
+            "value": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+        })
+
+    def test_describe(self, df):
+        stats = cudf.describe(df)
+        assert stats["value"]["mean"] == pytest.approx(35.0)
+        assert stats["value"]["count"] == 6
+        assert stats["key"]["min"] == 1.0
+
+    def test_describe_empty_rejected(self, system1):
+        with pytest.raises(ReproError):
+            cudf.describe(cudf.DataFrame())
+
+    def test_value_counts_descending(self, df):
+        counts = cudf.value_counts(df["key"])
+        assert list(counts.items())[0] == (3.0, 3)
+        assert counts[1.0] == 1
+
+    def test_extras_charge_kernels(self, df, system1):
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        cudf.describe(df)
+        cudf.value_counts(df["key"])
+        assert dev.kernel_count >= k0 + 2
+
+
+class TestBootstrapCi:
+    def test_contains_true_difference(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(200) + 2.0
+        y = rng.standard_normal(200)
+        point, lo, hi = bootstrap_ci(x, y, n_resamples=500)
+        assert lo < 2.0 < hi
+        assert lo < point < hi
+
+    def test_null_difference_straddles_zero(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.standard_normal(150), rng.standard_normal(150)
+        _, lo, hi = bootstrap_ci(x, y, n_resamples=500)
+        assert lo < 0.0 < hi
+
+    def test_median_statistic(self):
+        rng = np.random.default_rng(2)
+        x = rng.exponential(size=100) + 1.0
+        y = rng.exponential(size=100)
+        point, lo, hi = bootstrap_ci(x, y, statistic="median_diff",
+                                     n_resamples=400)
+        assert point > 0.5
+        assert lo <= point <= hi
+
+    def test_deterministic_by_seed(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.standard_normal(50) + 1, rng.standard_normal(50)
+        a = bootstrap_ci(x, y, n_resamples=300, seed=9)
+        b = bootstrap_ci(x, y, n_resamples=300, seed=9)
+        assert a == b
+
+    def test_appendix_c_interval_excludes_zero(self):
+        """The graduate advantage is not a fluke: its CI sits well above
+        zero (the inference Appendix C implies but never states)."""
+        from repro.datasets import graduate_scores, undergraduate_scores
+        point, lo, hi = bootstrap_ci(graduate_scores(),
+                                     undergraduate_scores(),
+                                     n_resamples=1000)
+        assert point == pytest.approx(10.7, abs=1.0)
+        assert lo > 4.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci(np.ones(1), np.ones(5))
+        with pytest.raises(ReproError):
+            bootstrap_ci(np.ones(5), np.ones(5), statistic="mode_diff")
+        with pytest.raises(ReproError):
+            bootstrap_ci(np.ones(5), np.ones(5), confidence=0.3)

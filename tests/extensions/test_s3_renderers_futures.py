@@ -1,0 +1,178 @@
+"""Tests for the S3 service, timeline/roofline renderers, futures
+utilities, and collectives properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.xp as xp
+from repro.cloud import CloudSession
+from repro.distributed import (
+    Client,
+    LocalCudaCluster,
+    as_completed,
+    ring_allreduce,
+    wait,
+)
+from repro.errors import CloudError, ReproError, ResourceNotFoundError
+from repro.gpu import get_spec, make_system
+from repro.profiling import Profiler, render_roofline, render_timeline
+
+
+@pytest.fixture
+def cloud():
+    c = CloudSession()
+    c.set_term("Fall 2024")
+    c.register_student("alice")
+    return c
+
+
+class TestS3:
+    def test_put_get_roundtrip(self, cloud):
+        cloud.s3.create_bucket("course-data")
+        cloud.s3.put_object("course-data", "datasets/pubmed.npz", b"abc123")
+        assert cloud.s3.get_object("course-data",
+                                   "datasets/pubmed.npz") == b"abc123"
+
+    def test_bucket_name_rules(self, cloud):
+        with pytest.raises(CloudError, match="InvalidBucketName"):
+            cloud.s3.create_bucket("Has_Caps")
+        cloud.s3.create_bucket("ok-name")
+        with pytest.raises(CloudError, match="BucketAlreadyExists"):
+            cloud.s3.create_bucket("ok-name")
+
+    def test_missing_key_and_bucket(self, cloud):
+        with pytest.raises(ResourceNotFoundError, match="NoSuchBucket"):
+            cloud.s3.get_object("ghost", "k")
+        cloud.s3.create_bucket("b")
+        with pytest.raises(ResourceNotFoundError, match="NoSuchKey"):
+            cloud.s3.get_object("b", "k")
+
+    def test_list_with_prefix(self, cloud):
+        cloud.s3.create_bucket("b")
+        for key in ("labs/1.ipynb", "labs/2.ipynb", "data/x.bin"):
+            cloud.s3.put_object("b", key, b"x")
+        assert cloud.s3.list_objects("b", prefix="labs/") == [
+            "labs/1.ipynb", "labs/2.ipynb"]
+
+    def test_versioning_on_overwrite(self, cloud):
+        cloud.s3.create_bucket("b")
+        v1 = cloud.s3.put_object("b", "k", b"one")
+        v2 = cloud.s3.put_object("b", "k", b"two")
+        assert v2.version > v1.version
+        assert cloud.s3.get_object("b", "k") == b"two"
+
+    def test_delete(self, cloud):
+        cloud.s3.create_bucket("b")
+        cloud.s3.put_object("b", "k", b"x")
+        cloud.s3.delete_object("b", "k")
+        with pytest.raises(ResourceNotFoundError):
+            cloud.s3.get_object("b", "k")
+
+    def test_storage_cost(self, cloud):
+        cloud.s3.create_bucket("b")
+        cloud.s3.put_object("b", "big", b"\0" * 10**9)  # 1 GB
+        assert cloud.s3.storage_cost_usd("b", months=1.0) == (
+            pytest.approx(0.023))
+
+    def test_cross_az_egress_billed(self, cloud):
+        cloud.s3.create_bucket("b")
+        cloud.s3.put_object("b", "big", b"\0" * 10**9)
+        cloud.s3.get_object("b", "big", owner="alice", cross_az=True)
+        spend = cloud.billing.explorer.spend_by_owner()["alice"]
+        assert spend == pytest.approx(0.02)
+        # egress GB must not pollute hour aggregates
+        assert cloud.billing.explorer.hours_by_owner().get("alice", 0) == 0
+
+    def test_transfer_time_charged(self):
+        from repro.cloud.s3 import S3Service
+        from repro.cloud.billing import BillingService
+        from repro.gpu.clock import SimClock
+        clock = SimClock()
+        s3 = S3Service(BillingService(), clock=clock)
+        s3.create_bucket("b")
+        s3.put_object("b", "k", b"\0" * (12 * 10**8))  # 1.2 GB at 1.2 GB/s
+        assert clock.now_s == pytest.approx(1.0, rel=0.01)
+
+
+class TestRenderers:
+    def _profiled_system(self):
+        system = make_system(2, "T4")
+        with Profiler(system) as prof:
+            a = xp.asarray(np.ones((256, 256), dtype=np.float32))
+            b = xp.matmul(a, a)
+            _ = (b * 2.0).sum().item()
+            with system.use(1):
+                _ = xp.ones(1000).sum().get()
+        return prof
+
+    def test_timeline_lanes(self):
+        prof = self._profiled_system()
+        out = render_timeline(prof, width=60)
+        assert "gpu0" in out and "gpu1" in out
+        assert "█" in out       # kernels
+        assert "▲" in out       # H2D
+        # lanes are equal width
+        lanes = [l for l in out.splitlines() if "|" in l]
+        widths = {len(l.split("|")[1]) for l in lanes}
+        assert len(widths) == 1
+
+    def test_timeline_empty_rejected(self, system1):
+        with Profiler(system1) as prof:
+            pass
+        with pytest.raises(ReproError):
+            render_timeline(prof)
+
+    def test_roofline_classifies(self):
+        prof = self._profiled_system()
+        out = render_roofline(prof, get_spec("T4"))
+        assert "ridge" in out
+        assert "gemm" in out
+        assert "/" in out and "_" in out  # slope and roof drawn
+
+    def test_roofline_needs_kernels(self, system1):
+        with Profiler(system1) as prof:
+            system1.device(0).copy_h2d(100)
+        with pytest.raises(ReproError):
+            render_roofline(prof, get_spec("T4"))
+
+
+class TestFuturesUtilities:
+    def test_wait_partitions(self, system2):
+        client = Client(LocalCudaCluster(system2))
+        futs = [client.submit(lambda: 1),
+                client.submit(lambda: 1 / 0),
+                client.submit(lambda: 2)]
+        done, errored = wait(futs)
+        assert len(done) == 2 and len(errored) == 1
+
+    def test_as_completed_yields_all(self, system2):
+        client = Client(LocalCudaCluster(system2))
+        futs = client.map(lambda x: x, range(6))
+        seen = [f.result() for f in as_completed(futs)]
+        assert sorted(seen) == list(range(6))
+
+    def test_as_completed_interleaves_workers(self, system2):
+        client = Client(LocalCudaCluster(system2))
+        futs = client.map(lambda x: x, range(6))
+        workers = [f.worker for f in as_completed(futs)]
+        # round-robin completion: no worker appears twice before the
+        # other appears once
+        assert workers[0] != workers[1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(k=st.integers(2, 4), size=st.integers(1, 64),
+       seed=st.integers(0, 1000))
+def test_ring_allreduce_equals_sum_property(k, size, seed):
+    """Property: ring all-reduce == elementwise sum for any k and size."""
+    from repro.gpu import make_system as _make
+    system = _make(k, "T4")
+    devices = [system.device(i) for i in range(k)]
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(size).astype(np.float32)
+              for _ in range(k)]
+    out = ring_allreduce([a.copy() for a in arrays], devices)
+    expected = np.sum(arrays, axis=0)
+    for o in out:
+        np.testing.assert_allclose(o, expected, rtol=1e-5, atol=1e-5)

@@ -1,0 +1,141 @@
+"""Tests for the spot market and CloudWatch extensions."""
+
+import pytest
+
+from repro.cloud import Alarm, AlarmState, CloudSession, CloudWatch, SpotService, spot_price
+from repro.cloud.ec2 import InstanceState
+from repro.errors import CloudError, ResourceNotFoundError
+
+
+@pytest.fixture
+def cloud():
+    c = CloudSession()
+    c.set_term("Fall 2024")
+    c.register_student("alice")
+    return c
+
+
+class TestSpotPricing:
+    def test_discount_band(self):
+        for h in (0.0, 5.0, 12.5, 100.0):
+            p = spot_price("g4dn.xlarge", h)
+            assert 0.10 * 0.526 < p < 0.50 * 0.526
+
+    def test_deterministic(self):
+        assert spot_price("g5.xlarge", 7.0) == spot_price("g5.xlarge", 7.0)
+
+    def test_varies_over_time(self):
+        prices = {spot_price("g4dn.xlarge", h) for h in range(12)}
+        assert len(prices) > 6
+
+
+class TestSpotService:
+    def test_request_bills_at_market_rate(self, cloud):
+        spot = SpotService(cloud.ec2, seed=0)
+        req = spot.request("g4dn.xlarge", owner="alice")
+        price = req.instance.hourly_rate
+        assert price < 0.526
+        cloud.advance_hours(2.0)
+        spend = cloud.billing.explorer.spend_by_owner()["alice"]
+        assert spend == pytest.approx(2.0 * price)
+
+    def test_low_bid_rejected(self, cloud):
+        spot = SpotService(cloud.ec2, seed=0)
+        with pytest.raises(CloudError, match="SpotMaxPriceTooLow"):
+            spot.request("g4dn.xlarge", owner="alice", max_price_usd=0.01)
+
+    def test_interruption_when_market_exceeds_bid(self, cloud):
+        spot = SpotService(cloud.ec2, seed=0)
+        # bid barely above the current price: a later market swing kills it
+        price_now = spot.current_price("g4dn.xlarge")
+        req = spot.request("g4dn.xlarge", owner="alice",
+                           max_price_usd=price_now * 1.0001)
+        interrupted = []
+        for _ in range(24):
+            cloud.advance_hours(1.0)
+            interrupted = spot.process_interruptions()
+            if interrupted:
+                break
+        assert req in interrupted
+        assert req.instance.state is InstanceState.TERMINATED
+        assert not req.active
+
+    def test_on_demand_bid_survives(self, cloud):
+        """The default bid (on-demand price) never gets interrupted —
+        the market tops out well below it."""
+        spot = SpotService(cloud.ec2, seed=0)
+        req = spot.request("g4dn.xlarge", owner="alice")
+        for _ in range(24):
+            cloud.advance_hours(1.0)
+            assert not spot.process_interruptions()
+        assert req.active
+
+    def test_savings_accounting(self, cloud):
+        spot = SpotService(cloud.ec2, seed=0)
+        spot.request("g4dn.xlarge", owner="alice")
+        cloud.advance_hours(10.0)
+        savings = spot.savings_vs_on_demand()
+        assert savings > 0.5 * 10 * 0.526  # > half the on-demand bill
+
+    def test_spot_tagged(self, cloud):
+        spot = SpotService(cloud.ec2, seed=0)
+        req = spot.request("g4dn.xlarge", owner="alice")
+        assert req.instance.tags["lifecycle"] == "spot"
+
+
+class TestCloudWatch:
+    def test_put_and_stats(self):
+        cw = CloudWatch()
+        for h, v in enumerate([10, 20, 30, 40]):
+            cw.put_metric("course", "GPUUtilization", "i-1", v, float(h))
+        stats = cw.get_statistics("course", "GPUUtilization", "i-1",
+                                  0.0, 10.0)
+        assert stats["avg"] == 25.0 and stats["max"] == 40.0
+        assert stats["count"] == 4
+
+    def test_window_filtering(self):
+        cw = CloudWatch()
+        cw.put_metric("c", "m", "d", 1.0, 0.0)
+        cw.put_metric("c", "m", "d", 99.0, 10.0)
+        stats = cw.get_statistics("c", "m", "d", 5.0, 20.0)
+        assert stats["avg"] == 99.0
+
+    def test_out_of_order_rejected(self):
+        cw = CloudWatch()
+        cw.put_metric("c", "m", "d", 1.0, 5.0)
+        with pytest.raises(CloudError):
+            cw.put_metric("c", "m", "d", 1.0, 4.0)
+
+    def test_missing_metric(self):
+        with pytest.raises(ResourceNotFoundError):
+            CloudWatch().get_statistics("c", "m", "d", 0, 1)
+
+    def test_alarm_lifecycle(self):
+        cw = CloudWatch()
+        cw.put_alarm(Alarm(name="idle-gpu", namespace="course",
+                           metric="GPUUtilization", dimension="i-1",
+                           threshold=5.0, comparison="less",
+                           evaluation_periods=2))
+        assert cw.evaluate_alarms()["idle-gpu"] is (
+            AlarmState.INSUFFICIENT_DATA)
+        cw.put_metric("course", "GPUUtilization", "i-1", 50.0, 0.0)
+        cw.put_metric("course", "GPUUtilization", "i-1", 60.0, 1.0)
+        assert cw.evaluate_alarms()["idle-gpu"] is AlarmState.OK
+        cw.put_metric("course", "GPUUtilization", "i-1", 1.0, 2.0)
+        cw.put_metric("course", "GPUUtilization", "i-1", 0.5, 3.0)
+        assert cw.evaluate_alarms()["idle-gpu"] is AlarmState.ALARM
+        assert cw.alarming()[0].name == "idle-gpu"
+
+    def test_greater_comparison(self):
+        cw = CloudWatch()
+        cw.put_alarm(Alarm(name="overspend", namespace="billing",
+                           metric="Spend", dimension="alice",
+                           threshold=90.0, comparison="greater"))
+        cw.put_metric("billing", "Spend", "alice", 95.0, 0.0)
+        assert cw.evaluate_alarms()["overspend"] is AlarmState.ALARM
+
+    def test_bad_comparison(self):
+        alarm = Alarm(name="x", namespace="n", metric="m", dimension="d",
+                      threshold=1.0, comparison="between")
+        with pytest.raises(CloudError):
+            alarm.evaluate([1.0])

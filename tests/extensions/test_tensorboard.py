@@ -1,0 +1,82 @@
+"""Tests for the TensorBoard-like scalar logger."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.profiling import SummaryWriter, load_events
+
+
+class TestSummaryWriter:
+    def test_add_and_read_back(self):
+        w = SummaryWriter()
+        for step in range(5):
+            w.add_scalar("loss", 1.0 / (step + 1), step)
+        assert w.values("loss") == [1.0, 0.5, 1 / 3, 0.25, 0.2]
+        assert w.last("loss") == 0.2
+        assert w.tags == ["loss"]
+
+    def test_add_scalars_namespacing(self):
+        w = SummaryWriter()
+        w.add_scalars("loss", {"train": 0.5, "val": 0.7}, step=0)
+        assert set(w.tags) == {"loss/train", "loss/val"}
+
+    def test_nonfinite_rejected(self):
+        w = SummaryWriter()
+        with pytest.raises(ReproError):
+            w.add_scalar("loss", float("nan"), 0)
+
+    def test_unknown_tag(self):
+        w = SummaryWriter()
+        with pytest.raises(ReproError, match="no scalar series"):
+            w.series("ghost")
+
+    def test_closed_writer_rejects(self):
+        w = SummaryWriter()
+        w.close()
+        with pytest.raises(ReproError):
+            w.add_scalar("x", 1.0, 0)
+
+    def test_persist_and_load(self, tmp_path):
+        w = SummaryWriter(log_dir=tmp_path)
+        w.add_scalar("acc", 0.5, 0)
+        w.add_scalar("acc", 0.9, 1)
+        w.close()
+        events = load_events(tmp_path)
+        assert events["acc"] == [(0, 0.5), (1, 0.9)]
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_events(tmp_path)
+
+    def test_sparkline_renders(self):
+        w = SummaryWriter()
+        for step in range(100):
+            w.add_scalar("loss", np.exp(-step / 20), step)
+        line = w.sparkline("loss", width=30)
+        assert "loss" in line and "last=" in line
+        # downsampled to the requested width
+        assert sum(c in "▁▂▃▄▅▆▇█" for c in line) == 30
+        # decreasing series: starts high, ends low
+        glyphs = [c for c in line if c in "▁▂▃▄▅▆▇█"]
+        assert glyphs[0] == "█" and glyphs[-1] == "▁"
+
+    def test_dashboard(self):
+        w = SummaryWriter()
+        w.add_scalar("a", 1.0, 0)
+        w.add_scalar("b", 2.0, 0)
+        assert w.dashboard().count("\n") == 1
+        with pytest.raises(ReproError):
+            SummaryWriter().dashboard()
+
+    def test_training_loop_integration(self, system1):
+        """The intended use: log a GCN loss curve and see it decrease."""
+        from repro.gcn import train_sequential
+        from repro.graph import pubmed_like
+        ds = pubmed_like(n=200, seed=0)
+        result = train_sequential(ds, epochs=10, seed=0, system=system1)
+        w = SummaryWriter()
+        for step, loss in enumerate(result.losses):
+            w.add_scalar("train/loss", loss, step)
+        assert w.values("train/loss")[-1] < w.values("train/loss")[0]
+        assert "train/loss" in w.sparkline("train/loss")

@@ -1,0 +1,138 @@
+"""Tests for the GCN model and both training paths (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.gcn import (
+    GCN,
+    AdjacencyCOO,
+    gcn_aggregate,
+    train_distributed,
+    train_sequential,
+)
+from repro.gpu import make_system
+from repro.graph import pubmed_like
+from repro.graph.csr import CSRGraph
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def small_ds():
+    return pubmed_like(n=240, seed=3)
+
+
+class TestAggregate:
+    def test_matches_dense(self, system1, rng):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        adj = AdjacencyCOO.from_graph(g)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        out = gcn_aggregate(adj, Tensor(x)).numpy()
+        dense = np.zeros((4, 4))
+        dense[adj.rows, adj.cols] = adj.vals
+        np.testing.assert_allclose(out, dense @ x, rtol=1e-4, atol=1e-5)
+
+    def test_backward_is_transpose_spmm(self, system1, rng):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        adj = AdjacencyCOO.from_graph(g)
+        x = Tensor(rng.standard_normal((4, 3)).astype(np.float32),
+                   requires_grad=True)
+        w = rng.standard_normal((4, 3)).astype(np.float32)
+        (gcn_aggregate(adj, x) * w).sum().backward()
+        dense = np.zeros((4, 4))
+        dense[adj.rows, adj.cols] = adj.vals
+        np.testing.assert_allclose(x.grad, dense.T @ w, rtol=1e-4, atol=1e-5)
+
+    def test_shape_validated(self, system1):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        adj = AdjacencyCOO.from_graph(g)
+        with pytest.raises(ShapeError):
+            gcn_aggregate(adj, Tensor(np.zeros((5, 2))))
+
+
+class TestSequentialTraining:
+    def test_learns_pubmed_like(self, small_ds):
+        make_system(1, "T4")
+        res = train_sequential(small_ds, epochs=40, seed=0)
+        assert res.losses[-1] < res.losses[0]
+        assert res.test_accuracy > 0.7  # far above the 1/3 chance level
+
+    def test_result_fields(self, small_ds):
+        make_system(1, "T4")
+        res = train_sequential(small_ds, epochs=5, seed=0)
+        assert res.epochs == 5 and len(res.losses) == 5
+        assert res.elapsed_ms > 0
+        assert res.mode == "sequential"
+
+    def test_deterministic(self, small_ds):
+        make_system(1, "T4")
+        r1 = train_sequential(small_ds, epochs=5, seed=0)
+        make_system(1, "T4")
+        r2 = train_sequential(small_ds, epochs=5, seed=0)
+        assert r1.losses == r2.losses
+        assert r1.elapsed_ms == r2.elapsed_ms
+
+
+class TestDistributedTraining:
+    def test_algorithm1_runs_and_learns(self, small_ds):
+        sys2 = make_system(2, "T4")
+        res = train_distributed(small_ds, k=2, epochs=40, seed=0,
+                                system=sys2)
+        assert res.k == 2
+        assert res.losses[-1] < res.losses[0]
+        assert res.test_accuracy > 0.65
+
+    def test_partition_report_attached(self, small_ds):
+        sys2 = make_system(2, "T4")
+        res = train_distributed(small_ds, k=2, epochs=3, system=sys2)
+        assert res.partition.k == 2
+        assert res.partitioner == "metis"
+
+    def test_random_partitioner_option(self, small_ds):
+        sys2 = make_system(2, "T4")
+        res = train_distributed(small_ds, k=2, epochs=3,
+                                partitioner="random", system=sys2)
+        assert res.partitioner == "random"
+
+    def test_unknown_partitioner(self, small_ds):
+        sys2 = make_system(2, "T4")
+        with pytest.raises(ValueError):
+            train_distributed(small_ds, k=2, epochs=1, partitioner="magic",
+                              system=sys2)
+
+    def test_needs_enough_gpus(self, small_ds):
+        sys1 = make_system(1, "T4")
+        with pytest.raises(GraphError, match="GPUs"):
+            train_distributed(small_ds, k=4, epochs=1, system=sys1)
+
+    def test_all_gpus_utilized(self, small_ds):
+        sys2 = make_system(2, "T4")
+        res = train_distributed(small_ds, k=2, epochs=10, system=sys2)
+        assert all(u > 0.2 for u in res.per_gpu_utilization.values())
+
+    def test_metis_beats_random_partition_accuracy(self):
+        """§III-B: partition quality shows up in accuracy.  Averaged over
+        seeds on the calibrated noisy dataset."""
+        from repro.graph import noisy_citation
+        metis_accs, random_accs = [], []
+        for seed in range(2):
+            ds = noisy_citation(n=600, seed=seed)
+            m = train_distributed(ds, k=3, epochs=40, seed=0,
+                                  partitioner="metis",
+                                  system=make_system(3, "T4"))
+            r = train_distributed(ds, k=3, epochs=40, seed=0,
+                                  partitioner="random",
+                                  system=make_system(3, "T4"))
+            metis_accs.append(m.test_accuracy)
+            random_accs.append(r.test_accuracy)
+        assert np.mean(metis_accs) > np.mean(random_accs)
+
+    def test_minimal_speedup_claim(self, small_ds):
+        """§III-B: "splitting the graph and distributing the training
+        yielded minimal performance improvement"."""
+        seq = train_sequential(small_ds, epochs=10, seed=0,
+                               system=make_system(1, "T4"))
+        dist = train_distributed(small_ds, k=2, epochs=10, seed=0,
+                                 system=make_system(2, "T4"))
+        speedup = seq.elapsed_ms / dist.elapsed_ms
+        assert speedup < 1.5  # no meaningful speedup at lab scale

@@ -1,0 +1,55 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.gpu.clock import SimClock, ns_from_s
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(10)
+        c.advance(5)
+        assert c.now_ns == 15
+
+    def test_advance_negative_rejected(self):
+        c = SimClock()
+        with pytest.raises(ValueError):
+            c.advance(-1)
+
+    def test_advance_to_future(self):
+        c = SimClock()
+        c.advance_to(100)
+        assert c.now_ns == 100
+
+    def test_advance_to_past_is_noop(self):
+        c = SimClock(100)
+        c.advance_to(50)
+        assert c.now_ns == 100
+
+    def test_now_s_conversion(self):
+        c = SimClock()
+        c.advance(2_500_000_000)
+        assert c.now_s == pytest.approx(2.5)
+
+
+class TestNsFromS:
+    def test_basic_conversion(self):
+        assert ns_from_s(1.0) == 1_000_000_000
+
+    def test_microsecond(self):
+        assert ns_from_s(1e-6) == 1000
+
+    def test_never_zero(self):
+        assert ns_from_s(0.0) == 1
+        assert ns_from_s(1e-12) == 1

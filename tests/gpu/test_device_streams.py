@@ -1,0 +1,169 @@
+"""Unit tests for devices, streams, events, transfers, and utilization."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import KernelCost, make_system
+from repro.gpu.device import merge_busy_ns, Span
+from repro.gpu.stream import Event
+
+
+def _cost(flops=1e9, nbytes=1e6, name="k"):
+    return KernelCost(flops=flops, bytes_read=nbytes, name=name)
+
+
+class TestKernelLaunch:
+    def test_launch_is_async(self, system1):
+        dev = system1.device(0)
+        t0 = system1.clock.now_ns
+        dev.launch(_cost(), 1024, 256)
+        assert system1.clock.now_ns == t0  # host not blocked
+
+    def test_synchronize_advances_clock(self, system1):
+        dev = system1.device(0)
+        span = dev.launch(_cost(), 1024, 256)
+        dev.synchronize()
+        assert system1.clock.now_ns == span.end_ns
+
+    def test_spans_accumulate_in_order_on_one_stream(self, system1):
+        dev = system1.device(0)
+        s1 = dev.launch(_cost(name="a"), 1024, 256)
+        s2 = dev.launch(_cost(name="b"), 1024, 256)
+        assert s2.start_ns >= s1.end_ns
+
+    def test_streams_overlap(self, system1):
+        dev = system1.device(0)
+        other = dev.create_stream("side")
+        s1 = dev.launch(_cost(name="a"), 1024, 256)
+        s2 = dev.launch(_cost(name="b"), 1024, 256, stream=other)
+        assert s2.start_ns < s1.end_ns  # concurrent
+
+    def test_wrong_device_stream_rejected(self, system2):
+        d0, d1 = system2.device(0), system2.device(1)
+        with pytest.raises(DeviceError, match="belongs to"):
+            d0.launch(_cost(), 32, 32, stream=d1.default_stream)
+
+    def test_launch_auto_grid_math(self, system1):
+        dev = system1.device(0)
+        dev.launch_auto(_cost(), n_elements=1000, threads_per_block=256)
+        assert dev.kernel_count == 1
+
+    def test_launch_auto_rejects_empty(self, system1):
+        with pytest.raises(DeviceError):
+            system1.device(0).launch_auto(_cost(), 0)
+
+
+class TestEvents:
+    def test_event_timing(self, system1):
+        dev = system1.device(0)
+        start, stop = Event("start"), Event("stop")
+        start.record(dev.default_stream)
+        dev.launch(_cost(flops=1e10), 4096, 256)
+        stop.record(dev.default_stream)
+        assert start.elapsed_ms(stop) > 0
+
+    def test_unrecorded_event_rejected(self, system1):
+        dev = system1.device(0)
+        with pytest.raises(DeviceError):
+            Event().elapsed_ms(Event())
+        with pytest.raises(DeviceError):
+            dev.default_stream.wait_for(Event())
+
+    def test_stream_wait_event_serializes(self, system1):
+        dev = system1.device(0)
+        side = dev.create_stream()
+        span = dev.launch(_cost(name="producer"), 1024, 256)
+        ev = Event().record(dev.default_stream)
+        side.wait_for(ev)
+        consumer = dev.launch(_cost(name="consumer"), 1024, 256, stream=side)
+        assert consumer.start_ns >= span.end_ns
+
+
+class TestTransfers:
+    def test_h2d_blocking_advances_clock(self, system1):
+        dev = system1.device(0)
+        t0 = system1.clock.now_ns
+        dev.copy_h2d(1 << 20)
+        assert system1.clock.now_ns > t0
+
+    def test_nonblocking_h2d_does_not_advance(self, system1):
+        dev = system1.device(0)
+        t0 = system1.clock.now_ns
+        dev.copy_h2d(1 << 20, blocking=False)
+        assert system1.clock.now_ns == t0
+
+    def test_p2p_occupies_both_devices(self, system2):
+        d0, d1 = system2.device(0), system2.device(1)
+        s1, s2 = d0.copy_p2p(d1, 1 << 20)
+        assert s1.start_ns == s2.start_ns and s1.end_ns == s2.end_ns
+        assert d0.spans and d1.spans
+
+    def test_p2p_to_self_rejected(self, system1):
+        dev = system1.device(0)
+        with pytest.raises(DeviceError):
+            dev.copy_p2p(dev, 100)
+
+    def test_nvlink_faster_than_pcie(self):
+        sys_v = make_system(2, "V100")
+        sys_t = make_system(2, "T4", set_default=False)
+        sv, _ = sys_v.device(0).copy_p2p(sys_v.device(1), 1 << 28)
+        st, _ = sys_t.device(0).copy_p2p(sys_t.device(1), 1 << 28)
+        assert sv.duration_ns < st.duration_ns
+
+
+class TestUtilization:
+    def test_busy_device_near_full_utilization(self, system1):
+        dev = system1.device(0)
+        for _ in range(10):
+            dev.launch(_cost(flops=1e10), 4096, 256)
+        system1.synchronize()
+        assert dev.utilization() > 0.95
+
+    def test_idle_device_zero(self, system2):
+        system2.device(0).launch(_cost(), 1024, 256)
+        system2.synchronize()
+        report = system2.utilization_report()
+        assert report[1] == 0.0
+        assert report[0] > 0.5
+
+    def test_merge_busy_handles_overlap(self):
+        spans = [Span(0, 100, "a", "kernel", 1, 0),
+                 Span(50, 150, "b", "kernel", 2, 0)]
+        assert merge_busy_ns(spans) == 150
+
+    def test_merge_busy_window_clips(self):
+        spans = [Span(0, 100, "a", "kernel", 1, 0)]
+        assert merge_busy_ns(spans, window=(50, 80)) == 30
+
+    def test_merge_busy_disjoint(self):
+        spans = [Span(0, 10, "a", "kernel", 1, 0),
+                 Span(20, 30, "b", "kernel", 1, 0)]
+        assert merge_busy_ns(spans) == 20
+
+
+class TestHost:
+    def test_host_compute_is_synchronous(self, system1):
+        t0 = system1.clock.now_ns
+        span = system1.host.compute(flops=1e9, nbytes=1e6, name="cpu matmul")
+        assert system1.clock.now_ns == span.end_ns > t0
+
+    def test_host_slower_than_gpu(self, system1):
+        dev = system1.device(0)
+        g = dev.launch(_cost(flops=1e10, nbytes=1e6), 8192, 256)
+        h = system1.host.compute(flops=1e10, nbytes=1e6)
+        assert h.duration_ns > g.duration_ns
+
+
+class TestSystem:
+    def test_bad_device_id(self, system1):
+        with pytest.raises(DeviceError, match="no such device"):
+            system1.device(7)
+
+    def test_use_device_context(self, system2):
+        assert system2.current.device_id == 0
+        with system2.use(1):
+            assert system2.current.device_id == 1
+        assert system2.current.device_id == 0
+
+    def test_len(self, system4):
+        assert len(system4) == 4

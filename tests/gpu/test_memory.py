@@ -1,0 +1,88 @@
+"""Unit tests for the device memory pool and buffers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, OutOfMemoryError
+from repro.gpu.memory import MemoryPool
+
+
+class TestMemoryPool:
+    def test_reserve_and_release(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.reserve(400)
+        assert pool.used_bytes == 400
+        pool.release(400)
+        assert pool.used_bytes == 0
+
+    def test_oom_raises_with_numbers(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.reserve(900)
+        with pytest.raises(OutOfMemoryError) as exc:
+            pool.reserve(200)
+        assert exc.value.requested == 200
+        assert exc.value.free == 100
+
+    def test_driver_reserve_shrinks_capacity(self):
+        pool = MemoryPool(1000, reserve_fraction=0.1)
+        assert pool.total_bytes == 900
+
+    def test_peak_tracking(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.reserve(600)
+        pool.release(600)
+        pool.reserve(100)
+        assert pool.stats().peak_bytes == 600
+
+    def test_double_free_detected(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.reserve(100)
+        pool.release(100)
+        with pytest.raises(DeviceError, match="double free"):
+            pool.release(1)
+
+    def test_stats_utilization(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.reserve(250)
+        assert pool.stats().utilization == pytest.approx(0.25)
+
+    def test_can_allocate(self):
+        pool = MemoryPool(100, reserve_fraction=0.0)
+        assert pool.can_allocate(100)
+        assert not pool.can_allocate(101)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+
+class TestDeviceBuffer:
+    def test_alloc_accounts_bytes(self, system1):
+        dev = system1.device(0)
+        arr = np.zeros(1024, dtype=np.float32)
+        buf = dev.alloc(arr)
+        assert dev.memory.used_bytes == arr.nbytes
+        buf.free()
+        assert dev.memory.used_bytes == 0
+
+    def test_use_after_free_raises(self, system1):
+        dev = system1.device(0)
+        buf = dev.alloc(np.zeros(4))
+        buf.free()
+        with pytest.raises(DeviceError, match="freed"):
+            buf.data()
+
+    def test_free_is_idempotent(self, system1):
+        dev = system1.device(0)
+        buf = dev.alloc(np.zeros(4))
+        buf.free()
+        buf.free()  # no error, no double-release
+        assert dev.memory.used_bytes == 0
+
+    def test_device_oom_on_huge_alloc(self, system1):
+        dev = system1.device(0)
+        # T4 has 16 GiB; a fake array object would be needed for real size,
+        # so shrink the pool instead.
+        dev.memory.total_bytes = 100
+        with pytest.raises(OutOfMemoryError):
+            dev.alloc(np.zeros(1000, dtype=np.float64))

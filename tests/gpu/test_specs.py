@@ -1,0 +1,51 @@
+"""Unit tests for the device-spec catalog."""
+
+import pytest
+
+from repro.gpu.specs import DeviceSpec, GPU_CATALOG, HostSpec, get_spec
+
+
+class TestCatalog:
+    def test_expected_parts_present(self):
+        for key in ("T4", "V100", "A10G", "K80"):
+            assert key in GPU_CATALOG
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("t4") is GPU_CATALOG["T4"]
+
+    def test_unknown_part_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known parts"):
+            get_spec("H100")
+
+    def test_v100_beats_t4_on_bandwidth_and_flops(self):
+        t4, v100 = get_spec("T4"), get_spec("V100")
+        assert v100.peak_flops > t4.peak_flops
+        assert v100.peak_bandwidth > t4.peak_bandwidth
+
+    def test_only_v100_has_nvlink(self):
+        assert get_spec("V100").nvlink_gbps > 0
+        assert get_spec("T4").nvlink_gbps == 0
+
+
+class TestDeviceSpec:
+    def test_mem_bytes(self):
+        spec = DeviceSpec(name="x", sm_count=1, mem_gib=2.0)
+        assert spec.mem_bytes == 2 * (1 << 30)
+
+    def test_machine_balance_positive(self):
+        for spec in GPU_CATALOG.values():
+            assert spec.machine_balance > 0
+
+    def test_t4_ridge_point_plausible(self):
+        # 8.1 TFLOP/s / 320 GB/s ≈ 25 flop/byte, the published T4 balance.
+        assert get_spec("T4").machine_balance == pytest.approx(25.3, abs=0.5)
+
+
+class TestHostSpec:
+    def test_defaults(self):
+        h = HostSpec()
+        assert h.peak_flops == pytest.approx(4e11)
+        assert h.peak_bandwidth == pytest.approx(4e10)
+
+    def test_gpu_dwarfs_host(self):
+        assert get_spec("T4").peak_flops > 10 * HostSpec().peak_flops

@@ -1,0 +1,124 @@
+"""Tests for CSR graphs, adjacency normalization, and SpMM."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph, normalized_adjacency, spmm
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    # 0-1-2 triangle, 2-3 tail
+    return CSRGraph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestConstruction:
+    def test_counts(self, triangle_plus_tail):
+        g = triangle_plus_tail
+        assert g.n_nodes == 4
+        assert g.n_edges == 4
+        assert g.n_directed_edges == 8
+
+    def test_degrees(self, triangle_plus_tail):
+        np.testing.assert_array_equal(triangle_plus_tail.degree(),
+                                      [2, 2, 3, 1])
+        assert triangle_plus_tail.degree(2) == 3
+
+    def test_neighbors_sorted_and_symmetric(self, triangle_plus_tail):
+        g = triangle_plus_tail
+        np.testing.assert_array_equal(g.neighbors(2), [0, 1, 3])
+        for u in range(4):
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            CSRGraph.from_edges(2, [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            CSRGraph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_weighted_edges(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], weights=[2.5])
+        assert g.edge_weights_of(0)[0] == pytest.approx(2.5)
+
+    def test_invalid_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 3]), indices=np.array([0]))
+
+    def test_matches_networkx_degrees(self, rng):
+        nxg = nx.gnp_random_graph(60, 0.1, seed=42)
+        g = CSRGraph.from_edges(60, list(nxg.edges()))
+        for u in range(60):
+            assert g.degree(u) == nxg.degree(u)
+
+
+class TestSubgraph:
+    def test_induced_subgraph_keeps_internal_edges(self, triangle_plus_tail):
+        sub, orig = triangle_plus_tail.subgraph(np.array([0, 1, 2]))
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 3  # the full triangle
+        np.testing.assert_array_equal(orig, [0, 1, 2])
+
+    def test_cut_edges_dropped(self, triangle_plus_tail):
+        sub, _ = triangle_plus_tail.subgraph(np.array([2, 3]))
+        assert sub.n_edges == 1  # only 2-3 survives
+
+    def test_node_weights_carried(self, triangle_plus_tail):
+        triangle_plus_tail.node_weights = np.array([1, 2, 3, 4],
+                                                   dtype=np.float32)
+        sub, _ = triangle_plus_tail.subgraph(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.node_weights, [2, 4])
+
+
+class TestNormalizedAdjacency:
+    def test_rows_sum_behaviour(self, triangle_plus_tail):
+        """Â of a regular graph has rows summing to 1; in general it is
+        symmetric with spectral radius ≤ 1."""
+        rows, cols, vals = normalized_adjacency(triangle_plus_tail)
+        n = triangle_plus_tail.n_nodes
+        dense = np.zeros((n, n))
+        dense[rows, cols] = vals
+        np.testing.assert_allclose(dense, dense.T, atol=1e-6)
+        eigvals = np.linalg.eigvalsh(dense)
+        assert eigvals.max() <= 1.0 + 1e-5
+
+    def test_self_loops_included(self, triangle_plus_tail):
+        rows, cols, vals = normalized_adjacency(triangle_plus_tail)
+        diag = vals[(rows == cols)]
+        assert len(diag) == 4
+        assert (diag > 0).all()
+
+    def test_matches_dense_formula(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        rows, cols, vals = normalized_adjacency(g)
+        a = np.zeros((3, 3))
+        a[rows, cols] = vals
+        adj = np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]], dtype=float)
+        d = adj.sum(1)
+        expect = adj / np.sqrt(np.outer(d, d))
+        np.testing.assert_allclose(a, expect, atol=1e-6)
+
+
+class TestSpmm:
+    def test_matches_dense_multiply(self, rng):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        rows, cols, vals = normalized_adjacency(g)
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        dense = np.zeros((5, 5))
+        dense[rows, cols] = vals
+        np.testing.assert_allclose(spmm(rows, cols, vals, x, 5),
+                                   dense @ x, rtol=1e-4, atol=1e-5)
+
+    def test_requires_2d(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        rows, cols, vals = normalized_adjacency(g)
+        with pytest.raises(GraphError):
+            spmm(rows, cols, vals, np.zeros(2), 2)

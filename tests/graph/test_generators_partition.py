@@ -1,0 +1,189 @@
+"""Tests for graph generators and the METIS-like partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    metis_partition,
+    noisy_citation,
+    partition_report,
+    pubmed_like,
+    random_partition,
+    reddit_like,
+    stochastic_block_model,
+)
+from repro.graph.partition import edge_cut
+
+
+class TestGenerators:
+    def test_sbm_structure(self):
+        g, labels = stochastic_block_model([50, 50], p_in=0.2, p_out=0.01,
+                                           seed=0)
+        assert g.n_nodes == 100
+        assert labels.sum() == 50
+        rows = g.row_of_edge()
+        intra = (labels[rows] == labels[g.indices]).mean()
+        assert intra > 0.8  # assortative
+
+    def test_sbm_seeded(self):
+        g1, _ = stochastic_block_model([30, 30], 0.2, 0.02, seed=5)
+        g2, _ = stochastic_block_model([30, 30], 0.2, 0.02, seed=5)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_sbm_validation(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([], 0.1, 0.01)
+        with pytest.raises(GraphError):
+            stochastic_block_model([10], p_in=0.1, p_out=0.5)
+
+    def test_pubmed_like_shape(self):
+        ds = pubmed_like(n=300, seed=0)
+        assert ds.n_nodes == 300
+        assert ds.n_classes == 3
+        assert ds.features.shape == (300, 64)
+        assert (ds.train_mask ^ ds.test_mask).all()
+        # sparse: mean degree well below reddit's
+        assert ds.graph.n_directed_edges / ds.n_nodes < 10
+
+    def test_reddit_like_denser(self):
+        pm = pubmed_like(n=400, seed=0)
+        rd = reddit_like(n=400, seed=0)
+        assert (rd.graph.n_directed_edges / rd.n_nodes
+                > 3 * pm.graph.n_directed_edges / pm.n_nodes)
+        assert rd.n_classes == 8
+
+    def test_features_carry_class_signal(self):
+        ds = pubmed_like(n=600, seed=0)
+        centroids = np.stack([
+            ds.features[ds.labels == c].mean(axis=0)
+            for c in range(ds.n_classes)])
+        spread = np.linalg.norm(centroids[0] - centroids[1])
+        assert spread > 0.5
+
+    def test_noisy_citation_regime(self):
+        ds = noisy_citation(n=600, seed=0)
+        # few labels, strong graph
+        assert ds.train_mask.mean() < 0.15
+        assert ds.graph.n_directed_edges / ds.n_nodes > 8
+
+
+class TestRandomPartition:
+    def test_balanced(self):
+        g, _ = stochastic_block_model([100, 100], 0.1, 0.01, seed=0)
+        parts = random_partition(g, 4, seed=0)
+        counts = np.bincount(parts)
+        assert counts.max() - counts.min() <= 1
+
+    def test_validation(self):
+        g, _ = stochastic_block_model([10], 0.3, 0.0, seed=0)
+        with pytest.raises(GraphError):
+            random_partition(g, 0)
+        with pytest.raises(GraphError):
+            random_partition(g, 100)
+
+
+class TestMetisPartition:
+    @pytest.fixture(scope="class")
+    def sbm(self):
+        return stochastic_block_model([200] * 3, p_in=10 / 200,
+                                      p_out=1.5 / 200, seed=7)
+
+    def test_recovers_planted_communities(self, sbm):
+        g, labels = sbm
+        parts = metis_partition(g, 3, seed=0)
+        # majority label agreement per part
+        agree = sum(
+            np.bincount(labels[parts == p]).max() for p in range(3))
+        assert agree / g.n_nodes > 0.85
+
+    def test_beats_random_cut_decisively(self, sbm):
+        g, _ = sbm
+        metis_cut = edge_cut(g, metis_partition(g, 3, seed=0))
+        random_cut = edge_cut(g, random_partition(g, 3, seed=0))
+        assert metis_cut < 0.55 * random_cut
+
+    def test_balance_constraint_respected(self, sbm):
+        g, _ = sbm
+        report = partition_report(g, metis_partition(g, 4, seed=0))
+        assert report.balance <= 1.10  # 5% target + rounding slack
+
+    def test_k1_trivial(self, sbm):
+        g, _ = sbm
+        parts = metis_partition(g, 1)
+        assert (parts == 0).all()
+
+    def test_all_parts_nonempty(self, sbm):
+        g, _ = sbm
+        for k in (2, 3, 4, 6):
+            parts = metis_partition(g, k, seed=1)
+            assert len(np.unique(parts)) == k
+
+    def test_deterministic_by_seed(self, sbm):
+        g, _ = sbm
+        p1 = metis_partition(g, 3, seed=3)
+        p2 = metis_partition(g, 3, seed=3)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_validation(self, sbm):
+        g, _ = sbm
+        with pytest.raises(GraphError):
+            metis_partition(g, 0)
+        with pytest.raises(GraphError):
+            metis_partition(g, g.n_nodes + 1)
+
+    def test_weighted_graph_cut_counts_weights(self):
+        # two cliques joined by one HEAVY edge: the cheap cut crosses the
+        # heavy edge anyway because everything else is heavier in bulk
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i, j) for i in range(5, 10) for j in range(i + 1, 10)]
+        edges += [(0, 5)]
+        weights = [1.0] * 20 + [3.0]
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(10, edges, weights)
+        parts = metis_partition(g, 2, seed=0)
+        assert edge_cut(g, parts) == pytest.approx(3.0)
+        assert parts[0] == parts[4] and parts[5] == parts[9]
+        assert parts[0] != parts[5]
+
+
+class TestPartitionReport:
+    def test_fields_consistent(self):
+        g, labels = stochastic_block_model([50, 50], 0.2, 0.02, seed=0)
+        report = partition_report(g, labels)
+        assert report.k == 2
+        assert 0 <= report.cut_fraction <= 1
+        assert len(report.part_weights) == 2
+        assert sum(report.part_weights) == pytest.approx(100)
+        assert all(0 <= f <= 1 for f in report.internal_edge_fraction)
+
+    def test_bad_labels_rejected(self):
+        g, _ = stochastic_block_model([20], 0.3, 0.0, seed=0)
+        with pytest.raises(GraphError):
+            partition_report(g, np.zeros(5, dtype=int))
+
+
+@settings(max_examples=15, deadline=None)
+@given(k=st.integers(2, 5), seed=st.integers(0, 100))
+def test_partition_is_always_complete_and_valid(k, seed):
+    """Property: every node gets a part in [0, k), all parts non-empty,
+    for arbitrary seeds and k."""
+    g, _ = stochastic_block_model([60, 60, 60], p_in=0.12, p_out=0.02,
+                                  seed=seed % 7)
+    parts = metis_partition(g, k, seed=seed)
+    assert parts.shape == (180,)
+    assert parts.min() >= 0 and parts.max() < k
+    assert len(np.unique(parts)) == k
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_metis_never_worse_than_random(seed):
+    """Property: the multilevel partitioner's cut is never (meaningfully)
+    worse than a random assignment's."""
+    g, _ = stochastic_block_model([80, 80], p_in=0.15, p_out=0.03,
+                                  seed=seed % 5)
+    mcut = edge_cut(g, metis_partition(g, 2, seed=seed))
+    rcut = edge_cut(g, random_partition(g, 2, seed=seed))
+    assert mcut <= rcut * 1.05

@@ -1,0 +1,263 @@
+"""Cross-layer integration scenarios: the flows a real course session
+would exercise end-to-end, spanning cloud → cluster → training → analysis."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.xp as xp
+from repro.cloud import BootstrapScript, CloudSession, SpotService
+from repro.distributed import Client, LocalCudaCluster, cluster_from_instances
+from repro.errors import OutOfMemoryError
+from repro.gpu import make_system
+from repro.nn.checkpoint import load, save
+from repro.nn.tensor import Tensor
+from repro.profiling import Profiler, SummaryWriter
+
+
+class TestCloudToTraining:
+    def test_assignment3_flow(self):
+        """Assignment 3 end-to-end: bootstrap a 2-node cluster, form a
+        Dask cluster over it, DDP-train, tear down, verify the bill."""
+        cloud = CloudSession()
+        cloud.set_term("Fall 2024")
+        creds = cloud.register_student("mallory")
+        script = BootstrapScript(instance_type="g4dn.xlarge",
+                                 instance_count=2, assessment="a3")
+        instances = script.run(cloud, creds)
+        cluster = cluster_from_instances(cloud, instances)
+        system = cluster.system
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 8)).astype(np.float32)
+        y = (x.sum(1) > 0).astype(np.int64)
+
+        def factory():
+            return nn.Sequential(nn.Linear(8, 16, seed=1), nn.ReLU(),
+                                 nn.Linear(16, 2, seed=2))
+
+        ddp = nn.DistributedDataParallel(
+            factory, lambda p: nn.SGD(p, lr=0.1), system=system)
+        losses = [ddp.train_step([(x[0::2], y[0::2]), (x[1::2], y[1::2])],
+                                 lambda m, s: nn.cross_entropy(
+                                     m(Tensor(s[0], device=m.device)), s[1]))
+                  for _ in range(8)]
+        assert losses[-1] < losses[0]
+        assert ddp.check_sync()
+
+        cloud.advance_hours(2.0)
+        script.teardown(cloud, creds)
+        spend = cloud.billing.explorer.spend_by_owner()["mallory"]
+        assert spend == pytest.approx(2 * 2.0 * 0.526)
+
+    def test_spot_interruption_checkpoint_recovery(self, tmp_path):
+        """The extension workflow: train on a cheap spot bid, get
+        interrupted, restore from checkpoint on a new instance, finish."""
+        cloud = CloudSession()
+        cloud.set_term("ext")
+        cloud.register_student("nina")
+        spot = SpotService(cloud.ec2, seed=0)
+
+        price = spot.current_price("g4dn.xlarge")
+        req = spot.request("g4dn.xlarge", owner="nina",
+                           max_price_usd=price * 1.0001)
+        system = req.instance.gpu_system()
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((48, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = nn.Sequential(nn.Linear(4, 8, seed=1), nn.ReLU(),
+                              nn.Linear(8, 2, seed=2)).to("cuda:0")
+        opt = nn.SGD(model.parameters(), lr=0.2)
+        epoch = 0
+        while True:
+            # train an epoch, checkpoint, advance the market
+            opt.zero_grad()
+            nn.cross_entropy(model(Tensor(x, device="cuda:0")), y).backward()
+            opt.step()
+            epoch += 1
+            save(model, tmp_path / "ckpt", metadata={"epoch": epoch})
+            cloud.advance_hours(1.0)
+            if spot.process_interruptions():
+                break
+            if epoch > 48:
+                pytest.fail("market never interrupted the minimal bid")
+
+        # recover on a fresh on-demand instance
+        inst2 = cloud.ec2.run_instance("g4dn.xlarge", owner="nina")
+        inst2.gpu_system()
+        model2 = nn.Sequential(nn.Linear(4, 8, seed=7), nn.ReLU(),
+                               nn.Linear(8, 2, seed=8)).to("cuda:0")
+        meta = load(model2, tmp_path / "ckpt")
+        assert meta["epoch"] == epoch
+        for (_, p1), (_, p2) in zip(model.named_parameters(),
+                                    model2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestOomHandling:
+    def test_training_oom_surfaces_cleanly(self):
+        """A too-big allocation raises OutOfMemoryError with accounting
+        intact (no leaked reservations)."""
+        system = make_system(1, "T4")
+        dev = system.device(0)
+        dev.memory.total_bytes = 1 << 20  # shrink to 1 MiB
+        used0 = dev.memory.used_bytes
+        with pytest.raises(OutOfMemoryError):
+            xp.zeros((1 << 20,), dtype=np.float32)  # 4 MiB
+        assert dev.memory.used_bytes == used0
+
+    def test_oom_recovery_with_smaller_batch(self):
+        """The classic student fix: halve the batch until it fits."""
+        system = make_system(1, "T4")
+        dev = system.device(0)
+        dev.memory.total_bytes = 1 << 22  # 4 MiB
+        batch = 1 << 21
+        placed = None
+        while placed is None:
+            try:
+                placed = xp.zeros((batch,), dtype=np.float32)
+            except OutOfMemoryError:
+                batch //= 2
+        assert batch < 1 << 21
+        assert placed.shape[0] == batch
+
+
+class TestMonitoredTraining:
+    def test_tensorboard_plus_profiler_on_gcn(self, system1):
+        """Log a training run into both observability tools at once."""
+        from repro.gcn import train_sequential
+        from repro.graph import pubmed_like
+        ds = pubmed_like(n=200, seed=0)
+        writer = SummaryWriter()
+        with Profiler(system1) as prof:
+            result = train_sequential(ds, epochs=8, seed=0, system=system1)
+        for step, loss in enumerate(result.losses):
+            writer.add_scalar("gcn/loss", loss, step)
+        assert writer.last("gcn/loss") < writer.values("gcn/loss")[0]
+        names = {s.name for s in prof.kernel_spans}
+        assert any("spmm" in n for n in names)          # aggregation ran
+        assert any("gemm" in n for n in names)          # linear layers ran
+        assert prof.gpu_utilization()[0] > 0.1
+
+    def test_dask_pipeline_under_profiler(self, system2):
+        """Lab 6's pipeline profiled: both devices visible in one trace."""
+        import repro.dataframe as cudf
+        cluster = LocalCudaCluster(system2)
+        client = Client(cluster)
+
+        def work(seed):
+            rng = np.random.default_rng(seed)
+            df = cudf.from_host({"k": rng.integers(0, 8, 2000),
+                                 "v": rng.standard_normal(2000)})
+            return df.groupby("k").agg({"v": "sum"}).to_host()["v_sum"].sum()
+
+        with Profiler(system2) as prof:
+            out = client.gather(client.map(work, range(4)))
+        assert len(out) == 4
+        devices_seen = {s.device_id for s in prof.kernel_spans}
+        assert devices_seen == {0, 1}
+
+
+class TestNewPrimitives:
+    def test_xp_var_std(self, system1, rng):
+        h = rng.standard_normal((6, 5)).astype(np.float32)
+        a = xp.asarray(h)
+        assert xp.var(a).item() == pytest.approx(h.var(), rel=1e-4)
+        assert xp.std(a, ddof=1).item() == pytest.approx(
+            h.std(ddof=1), rel=1e-4)
+        np.testing.assert_allclose(xp.std(a, axis=0).get(), h.std(axis=0),
+                                   rtol=1e-4)
+
+    def test_cuda_local_array_is_private(self, system1):
+        from repro.jit import cuda
+
+        @cuda.jit
+        def scratch(out):
+            tmp = cuda.local.array(4, np.float32)
+            i = cuda.grid(1)
+            tmp[0] = i
+            out[i] = tmp[0]
+
+        out = cuda.device_array(8)
+        scratch[2, 4](out)
+        np.testing.assert_array_equal(out.get(), np.arange(8))
+
+    def test_cuda_atomic_exch_and_cas(self, system1):
+        from repro.jit import cuda
+
+        @cuda.jit
+        def claim(flag, winner):
+            i = cuda.grid(1)
+            old = cuda.atomic.compare_and_swap(flag, 0, 1)
+            if old == 0:
+                winner[0] = i
+
+        flag = cuda.to_device(np.zeros(1, dtype=np.int64))
+        winner = cuda.to_device(np.full(1, -1, dtype=np.int64))
+        claim[1, 32](flag, winner)
+        assert flag.get()[0] == 1
+        assert 0 <= winner.get()[0] < 32
+
+        arr = np.array([5.0])
+        from repro.jit.cuda import atomic
+        old = atomic.exch(arr, 0, 9.0)
+        assert old == 5.0 and arr[0] == 9.0
+
+    def test_cuda_stream_launch(self, system1):
+        from repro.jit import cuda
+
+        @cuda.jit
+        def fill(out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] = 1.0
+
+        s = cuda.stream()
+        out = cuda.device_array(128)
+        fill[1, 128, s](out)
+        assert s.ready_at > 0
+        np.testing.assert_array_equal(out.get(), np.ones(128))
+
+    def test_syncwarp_requires_kernel(self, system1):
+        from repro.errors import DeviceError
+        from repro.jit import cuda
+        with pytest.raises(DeviceError):
+            cuda.syncwarp()
+
+
+class TestEffectSizes:
+    def test_rank_biserial_extremes(self, rng):
+        from repro.analytics import rank_biserial
+        x = np.arange(10, 20, dtype=float)
+        y = np.arange(0, 10, dtype=float)
+        assert rank_biserial(x, y) == pytest.approx(1.0)
+        assert rank_biserial(y, x) == pytest.approx(-1.0)
+
+    def test_rank_biserial_null(self, rng):
+        from repro.analytics import rank_biserial
+        x = rng.standard_normal(200)
+        y = rng.standard_normal(200)
+        assert abs(rank_biserial(x, y)) < 0.15
+
+    def test_cohens_d_known_value(self):
+        from repro.analytics import cohens_d
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0]) + 2.0
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        d = cohens_d(x, y)
+        assert d == pytest.approx(2.0 / np.std([1, 2, 3, 4, 5], ddof=1))
+
+    def test_appendix_c_effect_is_large(self):
+        from repro.analytics import cohens_d, rank_biserial
+        from repro.datasets import graduate_scores, undergraduate_scores
+        assert rank_biserial(graduate_scores(),
+                             undergraduate_scores()) > 0.6
+        assert cohens_d(graduate_scores(), undergraduate_scores()) > 1.0
+
+    def test_validation(self):
+        from repro.analytics import cohens_d, rank_biserial
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            rank_biserial(np.array([]), np.ones(3))
+        with pytest.raises(ReproError):
+            cohens_d(np.ones(1), np.ones(5))

@@ -1,0 +1,98 @@
+"""Tests for the CPU JIT facades (@jit / @njit / @vectorize / prange)."""
+
+import numpy as np
+import pytest
+
+from repro.jit import jit, njit, prange, vectorize
+from repro.jit.cpu import COMPILE_TIME_S
+from repro.gpu import default_system
+
+
+class TestDispatcher:
+    def test_result_unchanged(self, system1):
+        @njit
+        def f(x):
+            return x * x + 1
+
+        np.testing.assert_array_equal(f(np.arange(4.0)), np.arange(4.0) ** 2 + 1)
+
+    def test_compiles_once_per_signature(self, system1):
+        @njit
+        def f(x):
+            return x + 1
+
+        f(np.zeros(3))
+        f(np.ones(5))       # same (f64, 1d) signature: no recompile
+        f(np.zeros((2, 2)))  # new ndim: recompile
+        f(3)                 # int scalar: recompile
+        assert f.compile_count == 3
+        assert f.call_count == 4
+
+    def test_first_call_charges_compile_time(self, system1):
+        @njit
+        def f(x):
+            return x
+
+        t0 = default_system().clock.now_s
+        f(1.0)
+        t1 = default_system().clock.now_s
+        assert t1 - t0 >= COMPILE_TIME_S
+        f(2.0)
+        t2 = default_system().clock.now_s
+        assert t2 - t1 < COMPILE_TIME_S / 10  # warm call is ~free
+
+    def test_jit_flags_stored(self, system1):
+        @jit(nopython=True, parallel=True, fastmath=True, cache=True)
+        def f(x):
+            return x
+
+        assert f.parallel and f.fastmath and f.cache and f.nopython
+
+    def test_prange_is_range(self, system1):
+        @njit(parallel=True)
+        def total(n):
+            s = 0
+            for i in prange(n):
+                s += i
+            return s
+
+        assert total(10) == 45
+
+    def test_wraps_metadata(self, system1):
+        @njit
+        def documented(x):
+            """docstring survives"""
+            return x
+
+        assert documented.__doc__ == "docstring survives"
+
+
+class TestVectorize:
+    def test_broadcast_apply(self, system1):
+        @vectorize
+        def g(a, b):
+            return a + 2 * b
+
+        out = g(np.arange(3.0), np.ones(3))
+        np.testing.assert_array_equal(out, [2, 3, 4])
+
+    def test_scalar_broadcast(self, system1):
+        @vectorize
+        def g(a, b):
+            return a * b
+
+        out = g(np.arange(4.0), 2.0)
+        np.testing.assert_array_equal(out, [0, 2, 4, 6])
+
+    def test_compile_charged_once(self, system1):
+        @vectorize
+        def g(a):
+            return a + 1
+
+        t0 = default_system().clock.now_s
+        g(np.zeros(2))
+        t1 = default_system().clock.now_s
+        g(np.zeros(2))
+        t2 = default_system().clock.now_s
+        assert t1 - t0 >= COMPILE_TIME_S
+        assert t2 - t1 < COMPILE_TIME_S / 10

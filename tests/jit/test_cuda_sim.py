@@ -1,0 +1,189 @@
+"""Tests for the @cuda.jit kernel simulator (Lab 5 territory)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.jit import cuda
+
+
+class TestBasicKernels:
+    def test_saxpy(self, system1):
+        @cuda.jit
+        def saxpy(a, x, y, out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] = a * x[i] + y[i]
+
+        n = 1000
+        x = cuda.to_device(np.arange(n, dtype=np.float32))
+        y = cuda.to_device(np.ones(n, dtype=np.float32))
+        out = cuda.device_array(n)
+        saxpy[(n + 255) // 256, 256](2.0, x, y, out)
+        np.testing.assert_allclose(out.get(), 2 * np.arange(n) + 1)
+
+    def test_2d_grid(self, system1):
+        @cuda.jit
+        def fill2d(out):
+            i, j = cuda.grid(2)
+            if i < out.shape[0] and j < out.shape[1]:
+                out[i, j] = i * 10 + j
+
+        out = cuda.device_array((4, 6))
+        fill2d[(1, 1), (8, 8)](out)
+        expect = np.add.outer(np.arange(4) * 10, np.arange(6))
+        np.testing.assert_array_equal(out.get(), expect)
+
+    def test_gridsize_stride_loop(self, system1):
+        @cuda.jit
+        def strided_inc(out):
+            start = cuda.grid(1)
+            step = cuda.gridsize(1)
+            for i in range(start, out.size, step):
+                out[i] += 1.0
+
+        out = cuda.to_device(np.zeros(100, dtype=np.float32))
+        strided_inc[2, 16](out)  # 32 threads cover 100 elements
+        np.testing.assert_array_equal(out.get(), np.ones(100))
+
+    def test_thread_block_indices(self, system1):
+        @cuda.jit
+        def record(out):
+            i = cuda.blockIdx.x * cuda.blockDim.x + cuda.threadIdx.x
+            out[i] = cuda.blockIdx.x
+
+        out = cuda.device_array(8, dtype=np.float32)
+        record[4, 2](out)
+        np.testing.assert_array_equal(out.get(), [0, 0, 1, 1, 2, 2, 3, 3])
+
+
+class TestSharedMemoryAndSync:
+    def test_block_reduction_with_barrier(self, system1):
+        @cuda.jit
+        def block_sum(x, out):
+            tile = cuda.shared.array(32, np.float32)
+            tx = cuda.threadIdx.x
+            i = cuda.grid(1)
+            tile[tx] = x[i] if i < x.size else 0.0
+            cuda.syncthreads()
+            if tx == 0:
+                s = 0.0
+                for j in range(32):
+                    s += tile[j]
+                cuda.atomic.add(out, 0, s)
+
+        x = cuda.to_device(np.arange(128, dtype=np.float32))
+        out = cuda.to_device(np.zeros(1, dtype=np.float32))
+        block_sum[4, 32](x, out)
+        assert out.get()[0] == pytest.approx(np.arange(128).sum())
+        assert block_sum.uses_syncthreads
+
+    def test_shared_array_is_per_block(self, system1):
+        @cuda.jit
+        def leak_check(out):
+            tile = cuda.shared.array(4, np.float32)
+            tx = cuda.threadIdx.x
+            tile[tx] = cuda.blockIdx.x + 1.0
+            cuda.syncthreads()
+            out[cuda.grid(1)] = tile[tx]
+
+        out = cuda.device_array(8, dtype=np.float32)
+        leak_check[2, 4](out)
+        np.testing.assert_array_equal(out.get(), [1, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_sequential_kernels_skip_barrier_machinery(self, system1):
+        @cuda.jit
+        def plain(out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] = i
+
+        assert not plain.uses_syncthreads
+
+
+class TestAtomics:
+    def test_atomic_add_counts_all_threads(self, system1):
+        @cuda.jit
+        def count(out):
+            cuda.atomic.add(out, 0, 1.0)
+
+        out = cuda.to_device(np.zeros(1, dtype=np.float64))
+        count[8, 32](out)
+        assert out.get()[0] == 256
+
+    def test_atomic_max(self, system1):
+        @cuda.jit
+        def kmax(x, out):
+            i = cuda.grid(1)
+            if i < x.size:
+                cuda.atomic.max(out, 0, x[i])
+
+        x = cuda.to_device(np.array([3.0, 9.0, 1.0, 7.0], dtype=np.float32))
+        out = cuda.to_device(np.zeros(1, dtype=np.float32))
+        kmax[1, 4](x, out)
+        assert out.get()[0] == 9.0
+
+
+class TestLaunchMechanics:
+    def test_direct_call_rejected(self, system1):
+        @cuda.jit
+        def k(out):
+            pass
+
+        with pytest.raises(DeviceError, match="grid, block"):
+            k(np.zeros(1))
+
+    def test_bad_launch_syntax_rejected(self, system1):
+        @cuda.jit
+        def k(out):
+            pass
+
+        with pytest.raises(DeviceError):
+            k[32](np.zeros(1))  # missing block
+
+    def test_intrinsic_outside_kernel_rejected(self, system1):
+        with pytest.raises(DeviceError, match="outside a kernel"):
+            cuda.grid(1)
+
+    def test_launch_charges_device_time(self, system1):
+        @cuda.jit
+        def k(out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] = 1.0
+
+        out = cuda.device_array(1024)
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        k[4, 256](out)
+        assert dev.kernel_count == k0 + 1
+        assert k.launch_count == 1
+
+    def test_host_array_argument_roundtrips_with_warning(self, system1):
+        @cuda.jit
+        def inc(out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] += 1.0
+
+        host = np.zeros(16, dtype=np.float32)
+        inc[1, 16](host)
+        np.testing.assert_array_equal(host, np.ones(16))
+        assert inc.performance_warnings  # the teaching moment
+
+    def test_cost_hints_affect_duration(self, system1):
+        @cuda.jit(flops_per_thread=1.0)
+        def cheap(out):
+            pass
+
+        @cuda.jit(flops_per_thread=100000.0)
+        def pricey(out):
+            pass
+
+        dev = system1.device(0)
+        out = cuda.device_array(64)
+        cheap[512, 256](out)
+        t_cheap = dev.spans[-1].duration_ns
+        pricey[512, 256](out)
+        t_pricey = dev.spans[-1].duration_ns
+        assert t_pricey > t_cheap

@@ -1,0 +1,121 @@
+"""Tests for DistributedDataParallel (Lab 9)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.errors import SchedulerError
+from repro.nn.data import shard_indices
+
+
+def factory():
+    return nn.Sequential(nn.Linear(8, 16, seed=3), nn.ReLU(),
+                         nn.Linear(16, 2, seed=4))
+
+
+def make_data(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 8)).astype(np.float32)
+    y = (x.sum(axis=1) > 0).astype(np.int64)
+    return x, y
+
+
+def loss_fn(replica, shard):
+    xs, ys = shard
+    return nn.cross_entropy(replica(nn.Tensor(xs, device=replica.device)), ys)
+
+
+class TestDdp:
+    def test_replicas_start_identical(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        assert ddp.world_size == 2
+        assert ddp.check_sync()
+
+    def test_replicas_stay_synced_through_training(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        x, y = make_data()
+        for step in range(5):
+            shards = [(x[shard_indices(len(x), r, 2, seed=step)],
+                       y[shard_indices(len(x), r, 2, seed=step)])
+                      for r in range(2)]
+            ddp.train_step(shards, loss_fn)
+        assert ddp.check_sync()
+
+    def test_loss_decreases(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.2),
+                                         system=system2)
+        x, y = make_data(128)
+        losses = []
+        for step in range(15):
+            shards = [(x[r::2], y[r::2]) for r in range(2)]
+            losses.append(ddp.train_step(shards, loss_fn))
+        assert losses[-1] < losses[0]
+
+    def test_matches_single_gpu_large_batch(self, system2):
+        """DDP over k shards == single-model training on the union batch
+        (the mathematical identity that justifies DDP)."""
+        x, y = make_data(64)
+
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        shards = [(x[0::2], y[0::2]), (x[1::2], y[1::2])]
+        ddp.train_step(shards, loss_fn)
+
+        solo = factory().to("cuda:0")
+        opt = nn.SGD(solo.parameters(), lr=0.1)
+        # same averaging: mean of the two shard losses
+        l0 = nn.cross_entropy(solo(nn.Tensor(x[0::2], device="cuda:0")), y[0::2])
+        l1 = nn.cross_entropy(solo(nn.Tensor(x[1::2], device="cuda:0")), y[1::2])
+        ((l0 + l1) * 0.5).backward()
+        opt.step()
+
+        for (n1, p1), (n2, p2) in zip(ddp.module.named_parameters(),
+                                      solo.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-5,
+                                       err_msg=f"{n1} diverged from {n2}")
+
+    def test_both_devices_do_work(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        x, y = make_data()
+        ddp.train_step([(x[0::2], y[0::2]), (x[1::2], y[1::2])], loss_fn)
+        system2.synchronize()
+        assert system2.device(0).busy_ns() > 0
+        assert system2.device(1).busy_ns() > 0
+
+    def test_allreduce_traffic_recorded(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        x, y = make_data()
+        ddp.train_step([(x[0::2], y[0::2]), (x[1::2], y[1::2])], loss_fn)
+        p2p = [s for s in system2.device(0).spans if s.kind == "memcpy_p2p"]
+        assert p2p  # gradient all-reduce moved bytes
+
+    def test_shard_count_validated(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        x, y = make_data()
+        with pytest.raises(SchedulerError, match="shards"):
+            ddp.train_step([(x, y)], loss_fn)
+
+    def test_single_device_ddp_works(self, system1):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system1)
+        x, y = make_data()
+        loss = ddp.train_step([(x, y)], loss_fn)
+        assert np.isfinite(loss)
+
+    def test_eval_logits(self, system2):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system2)
+        x, _ = make_data(8)
+        out = ddp.eval_logits(x)
+        assert out.shape == (8, 2)
+
+    def test_device_subset(self, system4):
+        ddp = nn.DistributedDataParallel(factory, lambda p: nn.SGD(p, lr=0.1),
+                                         system=system4, devices=[1, 3])
+        assert ddp.world_size == 2
+        assert [d.device_id for d in ddp.devices] == [1, 3]

@@ -1,0 +1,191 @@
+"""Tests for the autograd engine: correctness against numerical gradients."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar f wrt x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        f1 = f()
+        x[i] = orig - eps
+        f0 = f()
+        x[i] = orig
+        g[i] = (f1 - f0) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(build, x_data, tol=2e-2):
+    """build(t) -> scalar Tensor; compares autograd vs numerical grad."""
+    t = Tensor(x_data.copy(), requires_grad=True)
+    out = build(t)
+    out.backward()
+    analytic = t.grad.copy()
+
+    def f():
+        return float(build(Tensor(t.data, requires_grad=False)).data)
+
+    num = numerical_grad(f, t.data)
+    np.testing.assert_allclose(analytic, num, atol=tol, rtol=tol)
+
+
+@pytest.fixture
+def x(rng, system1):
+    return rng.standard_normal((3, 4)).astype(np.float32)
+
+
+class TestGradCorrectness:
+    def test_add_mul(self, x, system1):
+        check_grad(lambda t: (t * 3.0 + 1.0).sum(), x)
+
+    def test_sub_div(self, x, system1):
+        check_grad(lambda t: ((t - 0.5) / 2.0).sum(), x)
+
+    def test_chain_tanh_square(self, x, system1):
+        check_grad(lambda t: (t.tanh() ** 2).sum(), x)
+
+    def test_exp_log(self, x, system1):
+        check_grad(lambda t: (t.exp() + 1.0).log().sum(), x)
+
+    def test_sigmoid(self, x, system1):
+        check_grad(lambda t: t.sigmoid().sum(), x)
+
+    def test_relu(self, x, system1):
+        # avoid kink at 0 for finite differences
+        safe = x + np.sign(x) * 0.1
+        check_grad(lambda t: t.relu().sum(), safe)
+
+    def test_matmul(self, rng, system1):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 2)).astype(np.float32)
+        wt = Tensor(w)
+        check_grad(lambda t: (t @ wt).sum(), a)
+
+    def test_matmul_right_operand(self, rng, system1):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        w = rng.standard_normal((4, 2)).astype(np.float32)
+        check_grad(lambda t: (a @ t).sum(), w)
+
+    def test_mean_axis(self, x, system1):
+        check_grad(lambda t: t.mean(axis=1).sum(), x)
+
+    def test_broadcast_add_bias(self, rng, system1):
+        """The _unbroadcast trap: (3,4) + (4,) bias."""
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        b = rng.standard_normal((4,)).astype(np.float32)
+        check_grad(lambda t: (a + t).sum(), b)
+
+    def test_broadcast_scalar_like(self, rng, system1):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        b = rng.standard_normal((1, 1)).astype(np.float32)
+        check_grad(lambda t: (a * t).sum(), b)
+
+    def test_getitem(self, x, system1):
+        check_grad(lambda t: t[1].sum(), x)
+
+    def test_reshape_transpose(self, x, system1):
+        check_grad(lambda t: (t.reshape(4, 3).T * 2.0).sum(), x)
+
+    def test_max_reduction(self, rng, system1):
+        # distinct values keep argmax stable under eps-perturbation
+        vals = np.arange(12, dtype=np.float32).reshape(3, 4)
+        rng.shuffle(vals.ravel())
+        check_grad(lambda t: t.max(axis=1).sum(), vals)
+
+    def test_grad_accumulates_on_reuse(self, system1):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = (t * 3.0 + t * 4.0).sum()  # d/dt = 7
+        out.backward()
+        assert t.grad[0] == pytest.approx(7.0)
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_scalar_or_seed(self, system1):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = t * 2.0
+        with pytest.raises(RuntimeError, match="scalar"):
+            out.backward()
+        out.backward(np.ones((2, 2)))
+        np.testing.assert_array_equal(t.grad, 2 * np.ones((2, 2)))
+
+    def test_backward_without_grad_rejected(self, system1):
+        t = Tensor(np.ones(1), requires_grad=False)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_suppresses_graph(self, system1):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach_cuts_graph(self, system1):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = (t.detach() * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_interior_grads_not_retained(self, system1):
+        t = Tensor(np.ones(3), requires_grad=True)
+        mid = t * 2.0
+        mid.sum().backward()
+        assert mid.grad is None
+        assert t.grad is not None
+
+    def test_zero_grad(self, system1):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_item_and_numpy(self, system1):
+        t = Tensor(np.array([3.5]))
+        assert t.item() == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).item()
+
+    def test_shape_error_on_bad_matmul(self, system1):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones((2, 3))) @ Tensor(np.ones((4, 5)))
+
+    def test_ops_charge_device_time(self, system1):
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        t = Tensor(np.ones((64, 64)), device="cuda:0", requires_grad=True)
+        ((t @ t).relu().sum()).backward()
+        assert dev.kernel_count > k0
+
+    def test_cpu_tensor_charges_host(self, system1):
+        t0 = system1.clock.now_ns
+        t = Tensor(np.ones((128, 128)))
+        _ = t @ t
+        assert system1.clock.now_ns > t0  # host compute is synchronous
+
+
+class TestConcatStack:
+    def test_concat_values_and_grads(self, system1):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(2 * np.ones((2, 3)), requires_grad=True)
+        out = nn.concatenate([a, b], axis=0)
+        assert out.shape == (4, 3)
+        (out * np.arange(12, dtype=np.float32).reshape(4, 3)).sum().backward()
+        np.testing.assert_array_equal(
+            a.grad, np.arange(6, dtype=np.float32).reshape(2, 3))
+        np.testing.assert_array_equal(
+            b.grad, np.arange(6, 12, dtype=np.float32).reshape(2, 3))
+
+    def test_stack(self, system1):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = nn.stack([a, a])
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, 2 * np.ones(3))

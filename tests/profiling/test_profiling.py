@@ -1,0 +1,200 @@
+"""Tests for the Week 4 profiling toolbox."""
+
+import numpy as np
+import pytest
+
+import repro.xp as xp
+from repro.gpu import KernelCost, get_spec
+from repro.profiling import (
+    BottleneckAnalyzer,
+    Profiler,
+    annotate,
+    cprofile_top,
+    profile,
+)
+
+
+def _workload():
+    a = xp.asarray(np.ones((64, 64), dtype=np.float32))
+    b = xp.matmul(a, a)
+    return b.get()
+
+
+class TestProfiler:
+    def test_collects_only_while_active(self, system1):
+        _workload()  # before: not collected
+        with Profiler(system1) as prof:
+            _workload()
+        _workload()  # after: not collected
+        names = {s.name for s in prof.spans}
+        assert any("gemm" in n for n in names)
+        # exactly one workload's worth of gemms
+        assert sum(1 for s in prof.kernel_spans if "gemm" in s.name) == 1
+
+    def test_kind_breakdown(self, system1):
+        with Profiler(system1) as prof:
+            _workload()
+        breakdown = prof.kind_breakdown_ms()
+        assert breakdown["kernel"] > 0
+        assert breakdown["memcpy_h2d"] > 0
+        assert breakdown["memcpy_d2h"] > 0
+
+    def test_summary_sorted_by_time(self, system1):
+        with Profiler(system1) as prof:
+            _workload()
+        rows = prof.summary()
+        totals = [r.total_ns for r in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_gpu_utilization_bounded(self, system1):
+        with Profiler(system1) as prof:
+            _workload()
+        util = prof.gpu_utilization()
+        assert 0.0 <= util[0] <= 1.0
+
+    def test_table_renders(self, system1):
+        with Profiler(system1) as prof:
+            _workload()
+        text = prof.table()
+        assert "gemm" in text and "Total ms" in text
+
+    def test_chrome_trace_schema(self, system1):
+        with Profiler(system1) as prof:
+            _workload()
+        events = prof.chrome_trace()
+        assert events and all(
+            {"name", "ph", "ts", "dur"} <= set(e) for e in events)
+
+    def test_stop_drains_async_work(self, system1):
+        dev = system1.device(0)
+        with Profiler(system1) as prof:
+            dev.launch(KernelCost(flops=1e10, bytes_read=1e6, name="tail"),
+                       4096, 256)
+        assert prof.stop_ns >= dev.spans[-1].end_ns
+
+    def test_deterministic_across_runs(self):
+        from repro.gpu import make_system
+        results = []
+        for _ in range(2):
+            sys_ = make_system(1, "T4")
+            with Profiler(sys_) as prof:
+                _workload()
+            results.append(prof.elapsed_ms)
+        assert results[0] == results[1]
+
+
+class TestNvtx:
+    def test_annotation_recorded(self, system1):
+        with Profiler(system1) as prof:
+            with annotate("phase-1"):
+                _workload()
+        nvtx = [s for s in prof.spans if s.kind == "nvtx"]
+        assert len(nvtx) == 1 and nvtx[0].name == "phase-1"
+
+    def test_range_covers_inner_work(self, system1):
+        with Profiler(system1) as prof:
+            with annotate("outer"):
+                _workload()
+        rng = next(s for s in prof.spans if s.kind == "nvtx")
+        inner = [s for s in prof.spans if s.kind == "memcpy_d2h"]
+        assert all(rng.start_ns <= s.start_ns for s in inner)
+
+    def test_no_profiler_no_error(self, system1):
+        with annotate("lonely"):
+            pass  # must not raise
+
+
+class TestTorchProfile:
+    def test_key_averages_table(self, system1):
+        with profile(system1) as prof:
+            _workload()
+        table = prof.key_averages().table(sort_by="cuda_time_total")
+        assert "gemm" in table and "CUDA total" in table
+
+    def test_sort_by_count(self, system1):
+        with profile(system1) as prof:
+            _workload()
+            _workload()
+        ka = prof.key_averages()
+        rows = ka.table(sort_by="count")
+        assert rows
+
+    def test_bad_sort_key(self, system1):
+        with profile(system1) as prof:
+            _workload()
+        with pytest.raises(ValueError):
+            prof.key_averages().table(sort_by="nope")
+
+    def test_export_chrome_trace(self, system1, tmp_path):
+        with profile(system1) as prof:
+            _workload()
+        path = tmp_path / "trace.json"
+        prof.export_chrome_trace(str(path))
+        import json
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+
+
+class TestBottleneckAnalyzer:
+    def test_gemm_is_compute_bound(self):
+        analyzer = BottleneckAnalyzer(get_spec("T4"))
+        gemm = KernelCost(flops=2 * 512**3, bytes_read=2 * 4 * 512**2,
+                          bytes_written=4 * 512**2, name="gemm")
+        assert analyzer.classify_cost(gemm).bound == "compute"
+
+    def test_axpy_is_memory_bound(self):
+        analyzer = BottleneckAnalyzer(get_spec("T4"))
+        axpy = KernelCost(flops=2 * 10**6, bytes_read=12 * 10**6, name="axpy")
+        assert analyzer.classify_cost(axpy).bound == "memory"
+
+    def test_tiny_kernel_is_latency_bound(self):
+        analyzer = BottleneckAnalyzer(get_spec("T4"))
+        tiny = KernelCost(flops=100, bytes_read=100, name="tiny")
+        verdict = analyzer.classify_cost(tiny, measured_ns=5200)
+        assert verdict.bound == "latency"
+
+    def test_diagnose_transfer_dominated(self, system1):
+        dev = system1.device(0)
+        with Profiler(system1) as prof:
+            for _ in range(20):
+                dev.copy_h2d(1 << 22)
+            dev.launch(KernelCost(flops=1e6, bytes_read=1e4, name="k"), 32, 32)
+            dev.synchronize()
+        diag = BottleneckAnalyzer(dev.spec).diagnose(prof)
+        assert diag.dominant == "transfers"
+        assert "batch" in diag.advice
+
+    def test_diagnose_kernel_dominated(self, system1):
+        dev = system1.device(0)
+        with Profiler(system1) as prof:
+            dev.launch(KernelCost(flops=1e12, bytes_read=1e6, name="big"),
+                       8192, 256)
+            dev.synchronize()
+        diag = BottleneckAnalyzer(dev.spec).diagnose(prof)
+        assert diag.dominant == "kernels"
+        assert diag.verdicts
+
+    def test_diagnose_idle_dominated(self, system1):
+        with Profiler(system1) as prof:
+            system1.host.compute(flops=1e11, nbytes=1e6, name="cpu hog")
+            system1.device(0).launch(
+                KernelCost(flops=1e6, bytes_read=1e4, name="k"), 32, 32)
+            system1.synchronize()
+        diag = BottleneckAnalyzer(system1.device(0).spec).diagnose(prof)
+        assert diag.dominant == "idle"
+        assert "host" in diag.advice
+
+
+class TestCprofileTop:
+    def test_returns_result_and_rows(self):
+        result, rows = cprofile_top(lambda: sum(range(1000)), limit=5)
+        assert result == sum(range(1000))
+        assert 0 < len(rows) <= 5
+
+    def test_sort_keys(self):
+        def work():
+            return [str(i) for i in range(100)]
+
+        _, by_tot = cprofile_top(work, sort="tottime")
+        _, by_calls = cprofile_top(work, sort="ncalls")
+        assert by_tot and by_calls

@@ -1,0 +1,112 @@
+"""Tests for xp array creation and host<->device movement."""
+
+import numpy as np
+import pytest
+
+import repro.xp as xp
+from repro.errors import CrossDeviceError
+
+
+class TestAsarray:
+    def test_roundtrip(self, system1):
+        host = np.arange(10, dtype=np.float32)
+        dev = xp.asarray(host)
+        np.testing.assert_array_equal(dev.get(), host)
+
+    def test_h2d_charged(self, system1):
+        before = len(system1.device(0).spans)
+        xp.asarray(np.zeros(1000, dtype=np.float32))
+        kinds = [s.kind for s in system1.device(0).spans[before:]]
+        assert "memcpy_h2d" in kinds
+
+    def test_get_charges_d2h(self, system1):
+        a = xp.asarray(np.zeros(1000, dtype=np.float32))
+        before = len(system1.device(0).spans)
+        a.get()
+        kinds = [s.kind for s in system1.device(0).spans[before:]]
+        assert "memcpy_d2h" in kinds
+
+    def test_asarray_passthrough(self, system1):
+        a = xp.asarray(np.zeros(3))
+        assert xp.asarray(a) is a
+
+    def test_asarray_dtype_cast(self, system1):
+        a = xp.asarray(np.zeros(3, dtype=np.float64))
+        b = xp.asarray(a, dtype=np.float32)
+        assert b.dtype == np.float32
+
+    def test_asnumpy(self, system1):
+        a = xp.ones((2, 2))
+        out = xp.asnumpy(a)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, np.ones((2, 2)))
+
+    def test_implicit_numpy_conversion_blocked(self, system1):
+        a = xp.ones(4)
+        with pytest.raises(TypeError, match="get"):
+            np.asarray(a)
+
+    def test_lists_accepted(self, system1):
+        a = xp.array([[1.0, 2.0], [3.0, 4.0]])
+        assert a.shape == (2, 2)
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self, system1):
+        np.testing.assert_array_equal(xp.zeros((2, 3)).get(), np.zeros((2, 3)))
+        np.testing.assert_array_equal(xp.ones(4).get(), np.ones(4))
+        np.testing.assert_array_equal(xp.full(3, 7.5).get(), np.full(3, 7.5))
+
+    def test_arange_linspace_eye(self, system1):
+        np.testing.assert_array_equal(xp.arange(5).get(), np.arange(5))
+        np.testing.assert_allclose(xp.linspace(0, 1, 5).get(), np.linspace(0, 1, 5))
+        np.testing.assert_array_equal(xp.eye(3).get(), np.eye(3))
+
+    def test_like_constructors(self, system1):
+        a = xp.ones((2, 2), dtype=np.float64)
+        assert xp.zeros_like(a).dtype == np.float64
+        assert xp.ones_like(a).shape == (2, 2)
+        assert xp.empty_like(a).shape == (2, 2)
+
+    def test_default_dtype_is_float32(self, system1):
+        assert xp.zeros(3).dtype == np.float32
+
+    def test_memory_accounted(self, system1):
+        dev = system1.device(0)
+        used0 = dev.memory.used_bytes
+        a = xp.zeros((1024,), dtype=np.float32)
+        assert dev.memory.used_bytes == used0 + 4096
+        del a
+        assert dev.memory.used_bytes == used0
+
+
+class TestConcatStack:
+    def test_concatenate(self, system1):
+        a, b = xp.ones((2, 2)), xp.zeros((2, 2))
+        out = xp.concatenate([a, b], axis=0)
+        assert out.shape == (4, 2)
+
+    def test_stack(self, system1):
+        out = xp.stack([xp.ones(3), xp.zeros(3)])
+        assert out.shape == (2, 3)
+
+    def test_empty_list_rejected(self, system1):
+        with pytest.raises(ValueError):
+            xp.concatenate([])
+
+    def test_cross_device_concat_rejected(self, system2):
+        a = xp.ones(3, device=system2.device(0))
+        b = xp.ones(3, device=system2.device(1))
+        with pytest.raises(CrossDeviceError):
+            xp.concatenate([a, b])
+
+
+class TestDevicePlacement:
+    def test_created_on_current_device(self, system2):
+        with system2.use(1):
+            a = xp.zeros(3)
+        assert a.device.device_id == 1
+
+    def test_explicit_device_kwarg(self, system2):
+        a = xp.zeros(3, device=system2.device(1))
+        assert a.device.device_id == 1

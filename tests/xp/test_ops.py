@@ -1,0 +1,252 @@
+"""Tests for xp arithmetic, math ufuncs, reductions, and linalg."""
+
+import numpy as np
+import pytest
+
+import repro.xp as xp
+from repro.errors import CrossDeviceError, ShapeError
+
+
+@pytest.fixture
+def pair(system1, rng):
+    a_h = rng.standard_normal((4, 5)).astype(np.float32)
+    b_h = rng.standard_normal((4, 5)).astype(np.float32) + 2.0
+    return xp.asarray(a_h), xp.asarray(b_h), a_h, b_h
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self, pair):
+        a, b, a_h, b_h = pair
+        np.testing.assert_allclose((a + b).get(), a_h + b_h, rtol=1e-6)
+        np.testing.assert_allclose((a - b).get(), a_h - b_h, rtol=1e-6)
+        np.testing.assert_allclose((a * b).get(), a_h * b_h, rtol=1e-6)
+        np.testing.assert_allclose((a / b).get(), a_h / b_h, rtol=1e-6)
+
+    def test_scalar_ops_and_reflected(self, pair):
+        a, _, a_h, _ = pair
+        np.testing.assert_allclose((2.0 + a).get(), 2.0 + a_h, rtol=1e-6)
+        np.testing.assert_allclose((2.0 - a).get(), 2.0 - a_h, rtol=1e-6)
+        np.testing.assert_allclose((2.0 * a).get(), 2.0 * a_h, rtol=1e-6)
+        np.testing.assert_allclose((1.0 / (a + 10)).get(), 1.0 / (a_h + 10), rtol=1e-6)
+
+    def test_neg_pow(self, pair):
+        a, _, a_h, _ = pair
+        np.testing.assert_allclose((-a).get(), -a_h)
+        np.testing.assert_allclose((a ** 2).get(), a_h ** 2, rtol=1e-6)
+
+    def test_numpy_operand_rejected(self, pair):
+        a, _, a_h, _ = pair
+        with pytest.raises(TypeError, match="asarray"):
+            a + a_h
+
+    def test_cross_device_rejected(self, system2):
+        a = xp.ones(3, device=system2.device(0))
+        b = xp.ones(3, device=system2.device(1))
+        with pytest.raises(CrossDeviceError):
+            a + b
+
+    def test_each_op_launches_kernel(self, system1):
+        a = xp.ones(8)
+        dev = system1.device(0)
+        n0 = dev.kernel_count
+        _ = a + a
+        _ = a * a
+        assert dev.kernel_count == n0 + 2
+
+
+class TestComparisons:
+    def test_eq_lt(self, system1):
+        a = xp.asarray(np.array([1.0, 2.0, 3.0]))
+        b = xp.asarray(np.array([1.0, 9.0, 0.0]))
+        np.testing.assert_array_equal((a == b).get(), [True, False, False])
+        np.testing.assert_array_equal((a < b).get(), [False, True, False])
+        np.testing.assert_array_equal((a >= b).get(), [True, False, True])
+
+
+class TestUfuncs:
+    def test_transcendentals(self, pair):
+        a, b, a_h, b_h = pair
+        np.testing.assert_allclose(xp.exp(a).get(), np.exp(a_h), rtol=1e-5)
+        np.testing.assert_allclose(xp.log(b).get(), np.log(b_h), rtol=1e-5)
+        np.testing.assert_allclose(xp.tanh(a).get(), np.tanh(a_h), rtol=1e-5)
+        np.testing.assert_allclose(xp.sqrt(b).get(), np.sqrt(b_h), rtol=1e-5)
+
+    def test_maximum_minimum_clip(self, pair):
+        a, b, a_h, b_h = pair
+        np.testing.assert_allclose(xp.maximum(a, b).get(), np.maximum(a_h, b_h))
+        np.testing.assert_allclose(xp.minimum(a, 0.0).get(), np.minimum(a_h, 0.0))
+        np.testing.assert_allclose(xp.clip(a, -1, 1).get(), np.clip(a_h, -1, 1))
+
+    def test_where(self, pair):
+        a, b, a_h, b_h = pair
+        out = xp.where(a > 0, a, b)
+        np.testing.assert_allclose(out.get(), np.where(a_h > 0, a_h, b_h))
+
+    def test_abs_sign(self, pair):
+        a, _, a_h, _ = pair
+        np.testing.assert_allclose(xp.abs(a).get(), np.abs(a_h))
+        np.testing.assert_allclose(xp.sign(a).get(), np.sign(a_h))
+
+    def test_allclose(self, system1):
+        a = xp.ones(5)
+        assert xp.allclose(a, a)
+        assert not xp.allclose(a, a * 2)
+
+
+class TestReductions:
+    def test_global_reductions(self, pair):
+        a, _, a_h, _ = pair
+        assert a.sum().item() == pytest.approx(a_h.sum(), rel=1e-5)
+        assert a.mean().item() == pytest.approx(a_h.mean(), rel=1e-5)
+        assert a.max().item() == pytest.approx(a_h.max())
+        assert a.min().item() == pytest.approx(a_h.min())
+
+    def test_axis_reductions(self, pair):
+        a, _, a_h, _ = pair
+        np.testing.assert_allclose(a.sum(axis=0).get(), a_h.sum(axis=0), rtol=1e-5)
+        np.testing.assert_allclose(
+            a.mean(axis=1, keepdims=True).get(), a_h.mean(axis=1, keepdims=True),
+            rtol=1e-5)
+
+    def test_argmax(self, pair):
+        a, _, a_h, _ = pair
+        assert a.argmax().item() == a_h.argmax()
+        np.testing.assert_array_equal(
+            xp.argmax(a, axis=1).get(), a_h.argmax(axis=1))
+
+    def test_prod(self, system1):
+        a = xp.asarray(np.array([1.0, 2.0, 3.0]))
+        assert xp.prod(a).item() == pytest.approx(6.0)
+
+
+class TestLinalg:
+    def test_matmul_correctness(self, system1, rng):
+        a_h = rng.standard_normal((8, 16)).astype(np.float32)
+        b_h = rng.standard_normal((16, 4)).astype(np.float32)
+        out = xp.matmul(xp.asarray(a_h), xp.asarray(b_h))
+        np.testing.assert_allclose(out.get(), a_h @ b_h, rtol=1e-4)
+
+    def test_matmul_operator(self, system1):
+        a = xp.eye(3)
+        b = xp.ones((3, 3))
+        np.testing.assert_allclose((a @ b).get(), np.ones((3, 3)))
+
+    def test_matmul_shape_error(self, system1):
+        with pytest.raises(ShapeError):
+            xp.matmul(xp.ones((2, 3)), xp.ones((4, 5)))
+
+    def test_dot_1d(self, system1):
+        a = xp.asarray(np.array([1.0, 2.0]))
+        b = xp.asarray(np.array([3.0, 4.0]))
+        assert xp.dot(a, b).item() == pytest.approx(11.0)
+
+    def test_dot_shape_mismatch(self, system1):
+        with pytest.raises(ShapeError):
+            xp.dot(xp.ones(3), xp.ones(4))
+
+    def test_norm(self, system1):
+        a = xp.asarray(np.array([3.0, 4.0]))
+        assert xp.norm(a).item() == pytest.approx(5.0)
+
+    def test_matmul_is_compute_heavy(self, system1):
+        """Large matmul should dwarf an equal-size elementwise add."""
+        a = xp.ones((1024, 1024))
+        dev = system1.device(0)
+        _ = xp.matmul(a, a)
+        gemm_span = dev.spans[-1]
+        _ = a + a
+        add_span = dev.spans[-1]
+        assert gemm_span.duration_ns > 3 * add_span.duration_ns
+
+
+class TestShapeManipulation:
+    def test_reshape_view_is_free(self, system1):
+        a = xp.arange(12, dtype=np.float32)
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        b = a.reshape(3, 4)
+        assert dev.kernel_count == k0  # metadata only
+        assert b.shape == (3, 4)
+
+    def test_reshape_bad_size(self, system1):
+        with pytest.raises(ShapeError):
+            xp.arange(10).reshape(3, 4)
+
+    def test_transpose(self, system1):
+        a = xp.ones((2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_view_shares_memory_accounting(self, system1):
+        dev = system1.device(0)
+        a = xp.zeros(100)
+        used = dev.memory.used_bytes
+        v = a.reshape(10, 10)
+        assert dev.memory.used_bytes == used  # no second buffer
+        del v
+        assert dev.memory.used_bytes == used
+
+    def test_astype(self, system1):
+        a = xp.ones(3, dtype=np.float32)
+        assert a.astype(np.float64).dtype == np.float64
+
+
+class TestIndexing:
+    def test_basic_slice_is_view(self, system1):
+        a = xp.arange(10, dtype=np.float32)
+        v = a[2:5]
+        assert v.shape == (3,)
+        np.testing.assert_array_equal(v.get(), [2, 3, 4])
+
+    def test_setitem(self, system1):
+        a = xp.zeros(5)
+        a[1:3] = 7.0
+        np.testing.assert_array_equal(a.get(), [0, 7, 7, 0, 0])
+
+    def test_setitem_from_device_array(self, system1):
+        a = xp.zeros(4)
+        a[:2] = xp.ones(2)
+        np.testing.assert_array_equal(a.get(), [1, 1, 0, 0])
+
+    def test_setitem_numpy_rejected(self, system1):
+        a = xp.zeros(4)
+        with pytest.raises(TypeError):
+            a[:2] = np.ones(2)
+
+    def test_fancy_index_launches_gather(self, system1):
+        a = xp.arange(10, dtype=np.float32)
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        out = a[[0, 5, 7]]
+        assert dev.kernel_count == k0 + 1
+        np.testing.assert_array_equal(out.get(), [0, 5, 7])
+
+    def test_item_requires_single_element(self, system1):
+        with pytest.raises(ValueError):
+            xp.ones(3).item()
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self, system1):
+        a = xp.random.default_rng(7).standard_normal((10,))
+        b = xp.random.default_rng(7).standard_normal((10,))
+        np.testing.assert_array_equal(a.get(), b.get())
+
+    def test_uniform_range(self, system1):
+        u = xp.random.default_rng(0).uniform(2.0, 3.0, size=100)
+        h = u.get()
+        assert h.min() >= 2.0 and h.max() <= 3.0
+
+    def test_integers(self, system1):
+        z = xp.random.default_rng(0).integers(0, 10, size=50)
+        h = z.get()
+        assert h.min() >= 0 and h.max() < 10
+
+    def test_permutation(self, system1):
+        p = xp.random.default_rng(0).permutation(10).get()
+        assert sorted(p.tolist()) == list(range(10))
+
+    def test_rng_launches_kernel(self, system1):
+        dev = system1.device(0)
+        k0 = dev.kernel_count
+        xp.random.default_rng(0).random(100)
+        assert dev.kernel_count == k0 + 1

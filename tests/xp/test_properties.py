@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for xp numerical semantics.
+
+The invariant under test everywhere: xp computes *exactly* what numpy
+computes (timing is simulated, math is not).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+import repro.xp as xp
+from repro.gpu import make_system, reset_default_system
+
+finite_f32 = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                       width=32)
+
+
+def small_arrays(max_dims: int = 2):
+    return arrays(np.float32,
+                  array_shapes(min_dims=1, max_dims=max_dims, max_side=6),
+                  elements=finite_f32)
+
+
+@pytest.fixture(autouse=True)
+def _system():
+    # hypothesis re-enters the test body many times; one system is fine —
+    # determinism of the clock is not under test here.
+    reset_default_system()
+    make_system(1, "T4")
+    yield
+    reset_default_system()
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=small_arrays())
+def test_roundtrip_identity(a):
+    np.testing.assert_array_equal(xp.asarray(a).get(), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=small_arrays())
+def test_addition_commutes_with_numpy(a):
+    d = xp.asarray(a)
+    np.testing.assert_allclose((d + d).get(), a + a, rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=small_arrays(), scalar=finite_f32)
+def test_scalar_mul_matches_numpy(a, scalar):
+    d = xp.asarray(a)
+    np.testing.assert_allclose((d * scalar).get(), a * np.float32(scalar),
+                               rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=small_arrays())
+def test_sum_matches_numpy(a):
+    d = xp.asarray(a)
+    assert d.sum().item() == pytest.approx(float(a.sum()), rel=1e-4, abs=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=small_arrays())
+def test_double_negation_is_identity(a):
+    d = xp.asarray(a)
+    np.testing.assert_array_equal((-(-d)).get(), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=small_arrays())
+def test_max_ge_mean_ge_min(a):
+    d = xp.asarray(a)
+    mx, mn, mean = d.max().item(), d.min().item(), d.mean().item()
+    # float32 accumulation can push the mean past max/min by an ulp or two
+    tol = 1e-4 * max(1.0, abs(mean))
+    assert mx >= mean - tol
+    assert mean >= mn - tol
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(1, 5), k=st.integers(1, 5), n=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_matmul_matches_numpy(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    out = xp.matmul(xp.asarray(a), xp.asarray(b)).get()
+    np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=small_arrays())
+def test_exp_log_inverse(a):
+    # Keep values small enough that exp() stays finite in float32.
+    vals = np.abs(a) % 10.0 + 1.0
+    d = xp.asarray(vals)
+    back = xp.log(xp.exp(d))
+    np.testing.assert_allclose(back.get(), vals, rtol=1e-2, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=small_arrays())
+def test_where_partition(a):
+    """where(c, x, y) picks each element from exactly one source."""
+    d = xp.asarray(a)
+    out = xp.where(d > 0, d, -d).get()
+    np.testing.assert_allclose(out, np.abs(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=small_arrays(max_dims=1), seed=st.integers(0, 2**16))
+def test_concat_preserves_content(a, seed):
+    d = xp.asarray(a)
+    out = xp.concatenate([d, d]).get()
+    np.testing.assert_array_equal(out, np.concatenate([a, a]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 200))
+def test_memory_conservation(n):
+    """Allocating then dropping arrays returns the pool to its start state."""
+    from repro.gpu import default_system
+    dev = default_system().device(0)
+    used0 = dev.memory.used_bytes
+    arrs = [xp.zeros(n) for _ in range(3)]
+    assert dev.memory.used_bytes > used0
+    del arrs
+    assert dev.memory.used_bytes == used0
