@@ -64,6 +64,7 @@ class Submission:
     score: float               # 0-100
     late: bool = False
     missing: bool = False
+    feedback: tuple[str, ...] = ()   # auto-feedback lines (sanitizer etc.)
 
     def effective_score(self, late_penalty: float = 10.0) -> float:
         if self.missing:
@@ -87,6 +88,46 @@ class GradeBook:
                 f"unknown category {submission.category!r}; use one of "
                 f"{self.CATEGORIES}")
         self._submissions.setdefault(submission.student, []).append(submission)
+
+    def record_kernel_lab(self, student: str, deliverable: str, kernel,
+                          *, base_score: float = 100.0,
+                          category: str = "labs", late: bool = False,
+                          error_penalty: float = 15.0,
+                          warning_penalty: float = 5.0,
+                          max_penalty: float = 50.0) -> Submission:
+        """Grade a kernel lab submission with sanitizer auto-feedback.
+
+        The instructional loop the course runs on real hardware — submit,
+        get ``compute-sanitizer`` output back, fix, resubmit — reproduced
+        on the simulator: ``kernel`` (a :class:`~repro.jit.cuda.CudaKernel`,
+        plain function, or source string) is linted, each finding becomes
+        a feedback line on the recorded :class:`Submission`, and the score
+        is ``base_score`` minus a capped per-finding penalty.
+        """
+        from repro.sanitize import Severity, lint_kernel
+
+        report = lint_kernel(kernel)
+        penalty = 0.0
+        feedback = []
+        for f in report.sorted():
+            penalty += (error_penalty if f.severity >= Severity.ERROR
+                        else warning_penalty)
+            feedback.append(
+                f"[{f.rule}] {f.location}: {f.message} — fix: {f.hint}")
+        score = max(base_score - min(penalty, max_penalty), 0.0)
+        submission = Submission(
+            student=student, deliverable=deliverable, category=category,
+            score=score, late=late, feedback=tuple(feedback))
+        self.record(submission)
+        return submission
+
+    def feedback_for(self, student: str, deliverable: str) -> tuple[str, ...]:
+        """Auto-feedback lines recorded with a student's submission."""
+        for s in self._submissions.get(student, ()):
+            if s.deliverable == deliverable:
+                return s.feedback
+        raise ReproError(
+            f"no submission {deliverable!r} for student {student!r}")
 
     def category_average(self, student: str, category: str) -> float:
         subs = [s for s in self._submissions.get(student, ())

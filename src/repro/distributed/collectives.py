@@ -22,31 +22,43 @@ from repro.errors import SchedulerError
 from repro.gpu.device import VirtualGpu
 
 
-def _check(arrays: Sequence[np.ndarray], devices: Sequence[VirtualGpu]) -> None:
+def _check(arrays: Sequence[np.ndarray], devices: Sequence[VirtualGpu],
+           same_shape: bool = True) -> None:
     if len(arrays) != len(devices):
         raise SchedulerError(
             f"{len(arrays)} arrays for {len(devices)} devices")
     if not arrays:
         raise SchedulerError("collective over zero participants")
-    shape = arrays[0].shape
-    if any(a.shape != shape for a in arrays):
-        raise SchedulerError("collective requires same-shape arrays")
+    if same_shape:
+        shape = arrays[0].shape
+        if any(a.shape != shape for a in arrays):
+            raise SchedulerError("collective requires same-shape arrays")
 
 
 def broadcast(value: np.ndarray, devices: Sequence[VirtualGpu],
               root: int = 0) -> list[np.ndarray]:
-    """Root sends its buffer to every peer (binomial-tree cost order, but
-    charged as sequential sends — fine at course scale of k ≤ 4)."""
+    """Root sends its buffer to every peer via a **binomial tree**: in
+    round r every device that already holds the data forwards it to one
+    that does not, so k devices are covered in ceil(log2(k)) rounds of
+    concurrent transfers.  Total charged traffic stays (k-1) sends of
+    ``value.nbytes`` — the tree reshapes *when* transfers happen (same-
+    round pairs are disjoint and overlap on the timeline), not how many.
+    """
     if not devices:
         raise SchedulerError("broadcast needs at least one device")
     if not 0 <= root < len(devices):
         raise SchedulerError(f"root {root} out of range")
-    out: list[np.ndarray] = []
-    for i, dev in enumerate(devices):
-        if i != root:
-            devices[root].copy_p2p(dev, value.nbytes, name="broadcast")
-        out.append(value.copy())
-    return out
+    # binomial dissemination over the device list, root first
+    order = [root] + [i for i in range(len(devices)) if i != root]
+    have = 1
+    while have < len(order):
+        senders = order[:have]
+        receivers = order[have:have + have]
+        for src, dst in zip(senders, receivers):
+            devices[src].copy_p2p(devices[dst], value.nbytes,
+                                  name="broadcast")
+        have += len(receivers)
+    return [value.copy() for _ in devices]
 
 
 def scatter(chunks: Sequence[np.ndarray], devices: Sequence[VirtualGpu],
@@ -66,7 +78,7 @@ def scatter(chunks: Sequence[np.ndarray], devices: Sequence[VirtualGpu],
 def gather(arrays: Sequence[np.ndarray], devices: Sequence[VirtualGpu],
            root: int = 0) -> list[np.ndarray]:
     """Every device ships its buffer to root; returns the list at root."""
-    _check_lengths(arrays, devices)
+    _check(arrays, devices, same_shape=False)
     for i, (arr, dev) in enumerate(zip(arrays, devices)):
         if i != root:
             dev.copy_p2p(devices[root], arr.nbytes, name="gather")
@@ -77,7 +89,7 @@ def allgather(arrays: Sequence[np.ndarray], devices: Sequence[VirtualGpu]
               ) -> list[list[np.ndarray]]:
     """Ring all-gather: k-1 steps, each device forwarding the chunk it
     just received.  Returns the full list for every device."""
-    _check_lengths(arrays, devices)
+    _check(arrays, devices, same_shape=False)
     k = len(devices)
     for _step in range(k - 1):
         for i, dev in enumerate(devices):
@@ -85,15 +97,6 @@ def allgather(arrays: Sequence[np.ndarray], devices: Sequence[VirtualGpu]
             dev.copy_p2p(nxt, arrays[i].nbytes, name="allgather")
     full = [np.asarray(a).copy() for a in arrays]
     return [list(full) for _ in range(k)]
-
-
-def _check_lengths(arrays: Sequence[np.ndarray],
-                   devices: Sequence[VirtualGpu]) -> None:
-    if len(arrays) != len(devices):
-        raise SchedulerError(
-            f"{len(arrays)} arrays for {len(devices)} devices")
-    if not arrays:
-        raise SchedulerError("collective over zero participants")
 
 
 def _ring_step(devices: Sequence[VirtualGpu], chunk_bytes: int) -> None:

@@ -33,9 +33,10 @@ from repro.gpu.stream import Stream
 class Span:
     """One interval of work on a device timeline.
 
-    ``kind`` is one of ``"kernel"``, ``"memcpy_h2d"``, ``"memcpy_d2h"``,
-    ``"memcpy_p2p"``, ``"collective"``, ``"host"`` — the categories Nsight
-    Systems colors differently, and the ones the profiler groups by.
+    ``kind`` is one of :data:`repro.gpu.stream.KNOWN_SPAN_KINDS`
+    (``"kernel"``, ``"memcpy_h2d"``, ``"memcpy_d2h"``, ``"memcpy_p2p"``,
+    ``"collective"``, ``"host"``, ``"task"``, ``"nvtx"``) — the categories
+    Nsight Systems colors differently, and the ones the profiler groups by.
     """
 
     start_ns: int
@@ -46,6 +47,7 @@ class Span:
     device_id: int
     flops: float = 0.0
     bytes: float = 0.0
+    buffers: tuple = ()        # ids of device buffers the work touches
 
     @property
     def duration_ns(self) -> int:
@@ -144,9 +146,9 @@ class VirtualGpu:
 
     def _record_span(self, start: int, end: int, name: str, kind: str,
                      stream_id: int, flops: float = 0.0,
-                     nbytes: float = 0.0) -> Span:
+                     nbytes: float = 0.0, buffers: tuple = ()) -> Span:
         span = Span(start, end, name, kind, stream_id, self.device_id,
-                    flops=flops, bytes=nbytes)
+                    flops=flops, bytes=nbytes, buffers=buffers)
         self.spans.append(span)
         for fn in self._span_listeners:
             fn(span)
@@ -163,11 +165,13 @@ class VirtualGpu:
 
     # -- kernels ----------------------------------------------------------
 
-    def launch(self, cost: KernelCost, grid, block, stream: Stream | None = None) -> Span:
+    def launch(self, cost: KernelCost, grid, block, stream: Stream | None = None,
+               buffers: tuple = ()) -> Span:
         """Launch a kernel described by ``cost`` with ``<<<grid, block>>>``.
 
         Asynchronous: the span lands on the stream's timeline and the host
-        continues immediately, as in CUDA.
+        continues immediately, as in CUDA.  ``buffers`` (opaque buffer
+        ids) let the sanitizer correlate same-buffer work across streams.
         """
         cfg = normalize_launch(grid, block)
         stream = stream or self.default_stream
@@ -179,7 +183,8 @@ class VirtualGpu:
         duration = kernel_duration_ns(cost, cfg, self.spec)
         self.kernel_count += 1
         return stream.enqueue(duration, cost.name, "kernel",
-                              flops=cost.flops, nbytes=cost.bytes_total)
+                              flops=cost.flops, nbytes=cost.bytes_total,
+                              buffers=buffers)
 
     def launch_auto(self, cost: KernelCost, n_elements: int,
                     threads_per_block: int = 256,

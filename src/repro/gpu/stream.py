@@ -19,6 +19,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 _stream_ids = itertools.count(1)
 
+# The span categories a stream may carry (the Nsight Systems timeline
+# rows plus the Dask worker's "task" lane).  Enqueueing any other kind is
+# a typo that would silently vanish from every profiler grouping.
+KNOWN_SPAN_KINDS = frozenset({
+    "kernel", "memcpy_h2d", "memcpy_d2h", "memcpy_p2p",
+    "collective", "host", "task", "nvtx",
+})
+
 
 class Stream:
     """An in-order lane of device work.
@@ -36,20 +44,28 @@ class Stream:
         self.name = name or f"stream-{self.stream_id}"
 
     def enqueue(self, duration_ns: int, name: str, kind: str,
-                flops: float = 0.0, nbytes: float = 0.0) -> "Span":
+                flops: float = 0.0, nbytes: float = 0.0,
+                buffers: tuple = ()) -> "Span":
         """Schedule ``duration_ns`` of work on this stream.
 
         Returns the recorded :class:`~repro.gpu.device.Span`.  The host
         clock does not move — the work is asynchronous until a sync point.
-        ``flops``/``nbytes`` annotate the span for roofline analysis.
+        ``flops``/``nbytes`` annotate the span for roofline analysis;
+        ``buffers`` are opaque ids of the device buffers the work touches
+        (the sanitizer's cross-stream hazard check keys on them).
         """
+        if kind not in KNOWN_SPAN_KINDS:
+            raise DeviceError(
+                f"unknown span kind {kind!r}; expected one of "
+                f"{sorted(KNOWN_SPAN_KINDS)}")
         if duration_ns < 0:
             raise DeviceError("cannot enqueue negative-duration work")
         start = max(self.device.clock.now_ns, self.ready_at)
         end = start + int(duration_ns)
         self.ready_at = end
         return self.device._record_span(start, end, name, kind,
-                                        self.stream_id, flops, nbytes)
+                                        self.stream_id, flops, nbytes,
+                                        buffers=buffers)
 
     def wait_for(self, event: "Event") -> None:
         """Make all future work on this stream wait for ``event``
@@ -62,8 +78,11 @@ class Stream:
         """Block the host until the stream drains; returns host time."""
         return self.device.clock.advance_to(self.ready_at)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Stream({self.name}, dev={self.device.device_id}, ready_at={self.ready_at})"
+    def __repr__(self) -> str:
+        # stable identity (no clock state): cross-stream timelines are
+        # debugged by comparing reprs across log lines
+        return (f"Stream(id={self.stream_id}, name={self.name!r}, "
+                f"device={self.device.device_id})")
 
 
 class Event:

@@ -67,9 +67,26 @@ class _ThreadCtx(threading.local):
         self.grid_dim = Dim3(1, 1, 1)
         self.block_state: "_BlockState | None" = None
         self.shared_call_index = 0
+        self.barrier_epoch = 0      # syncthreads barriers passed so far
+        self.in_atomic = False      # suppresses race tracking in atomics
 
 
 _ctx = _ThreadCtx()
+
+# Optional launch instrumentation (the sanitizer's race detector).  When
+# set, array arguments and shared allocations are wrapped in shadow-
+# tracking views; see repro.sanitize.dynamic.RaceDetector for the hooks.
+_instrumentation = None
+
+
+def set_instrumentation(obj) -> None:
+    """Install (or clear, with ``None``) the active launch instrumentation.
+
+    The object must provide ``begin_launch(name)``, ``wrap_global(arr,
+    name)``, and ``wrap_shared(arr, slot, block)``.
+    """
+    global _instrumentation
+    _instrumentation = obj
 
 
 def _require_kernel_context() -> _ThreadCtx:
@@ -157,6 +174,9 @@ def syncthreads() -> None:
     c = _require_kernel_context()
     if c.block_state and c.block_state.barrier is not None:
         c.block_state.barrier.wait()
+    # the epoch counts barrier intervals: accesses in different epochs of
+    # the same block are ordered, same-epoch ones are not (race detector)
+    c.barrier_epoch += 1
 
 
 class SharedMemory:
@@ -176,7 +196,11 @@ class SharedMemory:
         with state.lock:
             if idx >= len(state.shared_arrays):
                 state.shared_arrays.append(np.zeros(shape, dtype=dtype))
-            return state.shared_arrays[idx]
+            arr = state.shared_arrays[idx]
+        if _instrumentation is not None:
+            return _instrumentation.wrap_shared(
+                arr, idx, (c.block_idx.x, c.block_idx.y, c.block_idx.z))
+        return arr
 
 
 shared = SharedMemory()
@@ -204,20 +228,33 @@ def syncwarp(mask: int = 0xFFFFFFFF) -> None:
 _atomic_lock = threading.Lock()
 
 
+class _AtomicSection:
+    """Holds the global atomic lock and marks the thread as inside an
+    atomic op, so the race detector treats it as a serialization point."""
+
+    def __enter__(self):
+        _atomic_lock.acquire()
+        _ctx.in_atomic = True
+
+    def __exit__(self, *exc):
+        _ctx.in_atomic = False
+        _atomic_lock.release()
+
+
 class AtomicNamespace:
     """The ``cuda.atomic`` namespace: read-modify-write with a global lock
     (the simulator's serialization point, like Numba's)."""
 
     @staticmethod
     def add(ary: np.ndarray, idx, val):
-        with _atomic_lock:
+        with _AtomicSection():
             old = ary[idx]
             ary[idx] = old + val
             return old
 
     @staticmethod
     def max(ary: np.ndarray, idx, val):
-        with _atomic_lock:
+        with _AtomicSection():
             old = ary[idx]
             if val > old:
                 ary[idx] = val
@@ -225,7 +262,7 @@ class AtomicNamespace:
 
     @staticmethod
     def min(ary: np.ndarray, idx, val):
-        with _atomic_lock:
+        with _AtomicSection():
             old = ary[idx]
             if val < old:
                 ary[idx] = val
@@ -234,7 +271,7 @@ class AtomicNamespace:
     @staticmethod
     def exch(ary: np.ndarray, idx, val):
         """Atomic exchange: store ``val``, return the previous value."""
-        with _atomic_lock:
+        with _AtomicSection():
             old = ary[idx]
             ary[idx] = val
             return old
@@ -243,7 +280,7 @@ class AtomicNamespace:
     def compare_and_swap(ary: np.ndarray, expected, val):
         """CAS on element 0 (Numba's signature): store ``val`` iff the
         current value equals ``expected``; returns the old value."""
-        with _atomic_lock:
+        with _AtomicSection():
             old = ary[0]
             if old == expected:
                 ary[0] = val
@@ -334,10 +371,13 @@ class _Launcher:
 
     def __call__(self, *args) -> None:
         device = current_device()
-        run_args, writeback, traffic_bytes = self._prepare_args(args, device)
+        if _instrumentation is not None:
+            _instrumentation.begin_launch(self.kernel.name)
+        run_args, writeback, traffic_bytes, buffers = \
+            self._prepare_args(args, device)
         self._execute(run_args)
         self._writeback(writeback, device)
-        self._charge(device, traffic_bytes)
+        self._charge(device, traffic_bytes, buffers)
 
     # -- argument marshalling ------------------------------------------------
 
@@ -345,14 +385,17 @@ class _Launcher:
         run_args: list = []
         writeback: list[tuple[np.ndarray, np.ndarray]] = []
         traffic = 0.0
-        for a in args:
+        buffers: list[int] = []
+        for pos, a in enumerate(args):
             if isinstance(a, XpArray):
                 if a.device is not device:
                     raise DeviceError(
                         f"kernel argument lives on {a.device.name} but the "
                         f"current device is {device.name}"
                     )
-                run_args.append(a._unwrap())
+                raw = a._unwrap()
+                buffers.append(id(raw))
+                run_args.append(self._maybe_shadow(raw, pos))
                 traffic += a.nbytes
             elif isinstance(a, np.ndarray):
                 self.kernel.performance_warnings.append(
@@ -361,12 +404,19 @@ class _Launcher:
                 )
                 device.copy_h2d(a.nbytes)
                 staged = a.copy()
-                run_args.append(staged)
+                buffers.append(id(a))
+                run_args.append(self._maybe_shadow(staged, pos))
                 writeback.append((a, staged))
                 traffic += a.nbytes
             else:
                 run_args.append(a)
-        return run_args, writeback, traffic
+        return run_args, writeback, traffic, tuple(buffers)
+
+    def _maybe_shadow(self, arr: np.ndarray, pos: int) -> np.ndarray:
+        if _instrumentation is None:
+            return arr
+        return _instrumentation.wrap_global(
+            arr, f"{self.kernel.name}:arg{pos}")
 
     def _writeback(self, writeback, device: VirtualGpu) -> None:
         for host, staged in writeback:
@@ -413,6 +463,8 @@ class _Launcher:
         _ctx.grid_dim = Dim3(*self.grid3)
         _ctx.block_state = state
         _ctx.shared_call_index = 0
+        _ctx.barrier_epoch = 0
+        _ctx.in_atomic = False
         try:
             self.kernel.fn(*run_args)
         finally:
@@ -421,7 +473,8 @@ class _Launcher:
 
     # -- timing -----------------------------------------------------------------
 
-    def _charge(self, device: VirtualGpu, traffic_bytes: float) -> None:
+    def _charge(self, device: VirtualGpu, traffic_bytes: float,
+                buffers: tuple = ()) -> None:
         n = self.cfg.total_threads
         cost = KernelCost(
             flops=self.kernel.flops_per_thread * n,
@@ -431,7 +484,7 @@ class _Launcher:
             compute_efficiency=0.3,  # student scalar code, no tensor cores
         )
         device.launch(cost, self.cfg.grid, self.cfg.block,
-                      stream=self.stream)
+                      stream=self.stream, buffers=buffers)
         self.kernel.launch_count += 1
 
 

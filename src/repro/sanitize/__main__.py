@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.sanitize <paths>``."""
+
+import sys
+
+from repro.sanitize.cli import main
+
+sys.exit(main())

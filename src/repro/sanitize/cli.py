@@ -1,0 +1,54 @@
+"""``python -m repro.sanitize <paths>`` — lint kernels the way
+``compute-sanitizer`` would have caught them on real hardware.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (mirroring ruff/flake8 so
+the CI lint session can gate on it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.sanitize.astlint import lint_paths
+from repro.sanitize.findings import Severity
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="Static sanitizer for @cuda.jit kernels and stream "
+                    "usage (OOB guards, shared-memory races, barrier "
+                    "divergence, coalescing, bank conflicts, cross-stream "
+                    "hazards).")
+    parser.add_argument("paths", nargs="+",
+                        help="Python files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--errors-only", action="store_true",
+                        help="fail (and report) only on error-severity "
+                             "findings")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.sanitize: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths)
+    if args.errors_only:
+        report.findings = [f for f in report.findings
+                           if f.severity >= Severity.ERROR]
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The rule registry: ids, default severities, and fix hints.
+
+Rule ids are stable — tests, the grading hook, and `docs/sanitizer.md`
+refer to them by name.  Static rules come from the AST linter, ``DYN``
+rules from the shadow-memory race detector, ``STREAM``/``COLL`` rules
+from the stream and collective hazard checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sanitize.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    title: str
+    severity: Severity
+    hint: str
+
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule("SAN-OOB", "unguarded global index", Severity.ERROR,
+             "guard the access: `if i < arr.size:` (or bound the loop by "
+             "the array extent) before indexing with a grid-derived index"),
+        Rule("SAN-SHARED-RACE", "shared-memory read after write without "
+             "syncthreads", Severity.ERROR,
+             "insert cuda.syncthreads() between the write phase and the "
+             "read phase so every thread sees the finished writes"),
+        Rule("SAN-BARRIER-DIV", "syncthreads in thread-divergent branch",
+             Severity.ERROR,
+             "hoist cuda.syncthreads() out of the thread-dependent "
+             "branch; every thread of the block must reach the barrier"),
+        Rule("SAN-UNCOALESCED", "strided global memory access",
+             Severity.WARNING,
+             "make consecutive threads touch consecutive elements "
+             "(thread i -> arr[i]); restructure the index or transpose "
+             "the layout"),
+        Rule("SAN-BANK-CONFLICT", "shared-memory bank conflict stride",
+             Severity.WARNING,
+             "shared memory has 32 banks; use a stride that is odd "
+             "relative to 32 (pad rows by +1) so warp lanes hit distinct "
+             "banks"),
+        Rule("SAN-STREAM-HAZARD", "same buffer on two streams without a "
+             "dependency", Severity.ERROR,
+             "record an Event after the first launch and make the second "
+             "stream wait_for() it (or synchronize between them)"),
+        Rule("SAN-DYN-WW", "write/write race detected at runtime",
+             Severity.ERROR,
+             "two threads wrote the same cell in the same barrier "
+             "interval; separate the writes with cuda.syncthreads() or "
+             "use cuda.atomic"),
+        Rule("SAN-DYN-RW", "read/write race detected at runtime",
+             Severity.ERROR,
+             "a thread read a cell another thread wrote in the same "
+             "barrier interval; insert cuda.syncthreads() between the "
+             "producing and consuming phases"),
+        Rule("SAN-COLL-SHAPE", "collective precondition violated",
+             Severity.ERROR,
+             "all participants must pass same-shape, same-dtype buffers "
+             "and exactly one buffer per device"),
+        Rule("SAN-COLL-RING", "blocking ring schedule deadlocks",
+             Severity.ERROR,
+             "phase the ring (even ranks send first, odd ranks receive "
+             "first) or use buffered/async sends"),
+        Rule("SAN-SYNTAX", "file could not be parsed", Severity.ERROR,
+             "fix the Python syntax error; nothing in the file was "
+             "linted"),
+    ]
+}
+
+
+def make_finding(rule_id: str, message: str, *, file: str = "",
+                 line: int = 0, context: str = "",
+                 severity: Severity | None = None) -> Finding:
+    """Build a :class:`Finding` for a registered rule (hint filled in)."""
+    rule = RULES[rule_id]
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity if severity is None else severity,
+        message=message,
+        file=file,
+        line=line,
+        context=context,
+        hint=rule.hint,
+    )

@@ -174,6 +174,44 @@ class TestCollectives:
         with pytest.raises(SchedulerError):
             broadcast(np.ones(2), self._devs(system2), root=9)
 
+    def test_broadcast_charged_traffic_is_k_minus_1_sends(self, system4):
+        # regression pin: the binomial tree reshapes *when* transfers
+        # happen, not how many — total traffic stays (k-1) full-buffer
+        # sends (and matching receives), exactly as the docstring claims
+        devs = self._devs(system4)
+        value = np.arange(1 << 14, dtype=np.float64)
+        broadcast(value, devs, root=0)
+        sends = [s for d in devs for s in d.spans
+                 if s.name == "broadcast (send)"]
+        recvs = [s for d in devs for s in d.spans
+                 if s.name == "broadcast (recv)"]
+        assert len(sends) == len(recvs) == 3
+        assert all(s.bytes == value.nbytes for s in sends + recvs)
+
+    def test_broadcast_completes_in_log_rounds(self, system4):
+        # 4 devices: round 1 is 0->1, round 2 is {0->2, 1->3} overlapped,
+        # so the timeline shows 2 distinct start times and finishes in
+        # ~2 transfer durations, not 3 serialized ones
+        devs = self._devs(system4)
+        value = np.arange(1 << 20, dtype=np.float64)
+        broadcast(value, devs, root=0)
+        sends = [s for d in devs for s in d.spans
+                 if s.name == "broadcast (send)"]
+        assert len({s.start_ns for s in sends}) == 2
+        makespan = (max(s.end_ns for s in sends)
+                    - min(s.start_ns for s in sends))
+        one_transfer = sends[0].duration_ns
+        assert makespan < 3 * one_transfer
+
+    def test_broadcast_nonzero_root(self, system4):
+        devs = self._devs(system4)
+        out = broadcast(np.arange(4.0), devs, root=2)
+        for o in out:
+            np.testing.assert_array_equal(o, np.arange(4.0))
+        sends = [s for d in devs for s in d.spans
+                 if s.name == "broadcast (send)"]
+        assert len(sends) == 3
+
     def test_scatter_gather_roundtrip(self, system4):
         devs = self._devs(system4)
         chunks = [np.full(4, float(i)) for i in range(4)]

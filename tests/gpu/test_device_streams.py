@@ -167,3 +167,28 @@ class TestSystem:
 
     def test_len(self, system4):
         assert len(system4) == 4
+
+
+class TestStreamApi:
+    def test_enqueue_rejects_unknown_kind(self, system1):
+        dev = system1.device(0)
+        with pytest.raises(DeviceError, match="unknown span kind"):
+            dev.default_stream.enqueue(100, "oops", "teleport")
+
+    def test_enqueue_accepts_every_known_kind(self, system1):
+        from repro.gpu.stream import KNOWN_SPAN_KINDS
+
+        dev = system1.device(0)
+        for kind in sorted(KNOWN_SPAN_KINDS):
+            span = dev.default_stream.enqueue(10, f"op-{kind}", kind)
+            assert span.kind == kind
+
+    def test_repr_is_stable_and_names_device(self, system1):
+        dev = system1.device(0)
+        side = dev.create_stream("side")
+        r = repr(side)
+        assert r == f"Stream(id={side.stream_id}, name='side', device=0)"
+        # identity stays put as work lands on the stream (clock state
+        # must not leak into the repr)
+        side.enqueue(1_000, "k", "kernel")
+        assert repr(side) == r

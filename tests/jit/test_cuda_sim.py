@@ -187,3 +187,81 @@ class TestLaunchMechanics:
         pricey[512, 256](out)
         t_pricey = dev.spans[-1].duration_ns
         assert t_pricey > t_cheap
+
+
+class TestBarrierThreadedExecutor:
+    """Kernels containing ``syncthreads`` run on real OS threads with a
+    real barrier — the executor path the sanitizer's dynamic race
+    detector instruments."""
+
+    def test_tiled_matmul_with_syncthreads(self, system1):
+        TILE = 4
+
+        @cuda.jit
+        def tiled_matmul(a, b, c):
+            tile_a = cuda.shared.array((4, 4))
+            tile_b = cuda.shared.array((4, 4))
+            tx = cuda.threadIdx.x
+            ty = cuda.threadIdx.y
+            col, row = cuda.grid(2)
+            acc = 0.0
+            for t in range(a.shape[1] // 4):
+                if row < a.shape[0] and col < b.shape[1]:
+                    tile_a[ty, tx] = a[row, t * 4 + tx]
+                    tile_b[ty, tx] = b[t * 4 + ty, col]
+                cuda.syncthreads()
+                for k in range(4):
+                    acc += tile_a[ty, k] * tile_b[k, tx]
+                cuda.syncthreads()
+            if row < c.shape[0] and col < c.shape[1]:
+                c[row, col] = acc
+
+        n = 8
+        rng = np.random.default_rng(7)
+        a_h = rng.standard_normal((n, n)).astype(np.float32)
+        b_h = rng.standard_normal((n, n)).astype(np.float32)
+        a = cuda.to_device(a_h)
+        b = cuda.to_device(b_h)
+        c = cuda.device_array((n, n))
+        grid = (n // TILE, n // TILE)
+        tiled_matmul[grid, (TILE, TILE)](a, b, c)
+        np.testing.assert_allclose(c.get(), a_h @ b_h, rtol=1e-4)
+
+    def test_tiled_matmul_is_race_free_under_detector(self, system1):
+        from repro.sanitize import check_launch
+
+        @cuda.jit
+        def tiled_sum(v, out):
+            tile = cuda.shared.array(16)
+            tx = cuda.threadIdx.x
+            i = cuda.grid(1)
+            tile[tx] = v[i] if i < v.size else 0.0
+            cuda.syncthreads()
+            if tx == 0:
+                s = 0.0
+                for k in range(16):
+                    s += tile[k]
+                out[cuda.blockIdx.x] = s
+
+        v = cuda.to_device(np.ones(64, dtype=np.float32))
+        out = cuda.device_array(4)
+        report = check_launch(tiled_sum, 4, 16, v, out)
+        assert report.ok, report.render_text()
+        assert out.get().sum() == 64
+
+    def test_racy_kernel_is_caught_by_dynamic_detector(self, system1):
+        from repro.sanitize import check_launch
+
+        @cuda.jit
+        def racy_reverse(v, out):
+            tile = cuda.shared.array(32)
+            tx = cuda.threadIdx.x
+            tile[tx] = v[tx]
+            # missing cuda.syncthreads(): reads race the writes above
+            out[tx] = tile[31 - tx]
+
+        v = cuda.to_device(np.arange(32, dtype=np.float32))
+        out = cuda.device_array(32)
+        report = check_launch(racy_reverse, 1, 32, v, out)
+        assert any(f.rule in ("SAN-DYN-RW", "SAN-DYN-WW")
+                   for f in report.findings), report.render_text()

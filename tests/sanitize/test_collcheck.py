@@ -1,0 +1,84 @@
+"""Collective precondition checks and blocking-ring deadlock detection."""
+
+import numpy as np
+
+from repro.sanitize import (check_collective, check_ring_allreduce,
+                            find_ring_deadlock, ring_schedule)
+
+
+def _arrays(k, shape=(8,), dtype=np.float32):
+    return [np.zeros(shape, dtype=dtype) for _ in range(k)]
+
+
+class TestCollectivePreconditions:
+    def test_valid_collective_is_clean(self, system4):
+        report = check_collective(_arrays(4), system4.devices)
+        assert report.ok, report.render_text()
+
+    def test_zero_devices(self):
+        report = check_collective([], [])
+        assert [f.rule for f in report.findings] == ["SAN-COLL-SHAPE"]
+        assert "zero participating devices" in report.findings[0].message
+
+    def test_count_mismatch(self, system4):
+        report = check_collective(_arrays(3), system4.devices)
+        assert any("3 buffers for 4 devices" in f.message
+                   for f in report.findings)
+
+    def test_duplicate_device(self, system2):
+        devs = [system2.devices[0], system2.devices[0]]
+        report = check_collective(_arrays(2), devs)
+        assert any("more than once" in f.message for f in report.findings)
+
+    def test_shape_mismatch(self, system2):
+        arrays = [np.zeros(8, dtype=np.float32),
+                  np.zeros(9, dtype=np.float32)]
+        report = check_collective(arrays, system2.devices)
+        assert any("shapes differ" in f.message for f in report.findings)
+
+    def test_dtype_mismatch(self, system2):
+        arrays = [np.zeros(8, dtype=np.float32),
+                  np.zeros(8, dtype=np.float64)]
+        report = check_collective(arrays, system2.devices)
+        assert any("dtypes differ" in f.message for f in report.findings)
+
+    def test_all_violations_reported_at_once(self, system2):
+        # one pass surfaces every problem, not just the first
+        arrays = [np.zeros(8, dtype=np.float32),
+                  np.zeros(9, dtype=np.float64),
+                  np.zeros(8, dtype=np.float32)]
+        devs = [system2.devices[0], system2.devices[0]]
+        report = check_collective(arrays, devs)
+        assert len(report.findings) >= 4   # count, duplicate, shape, dtype
+
+
+class TestRingDeadlock:
+    def test_unphased_ring_deadlocks(self):
+        report = check_ring_allreduce(4, phased=False)
+        assert [f.rule for f in report.findings] == ["SAN-COLL-RING"]
+        assert "4 of 4 ranks" in report.findings[0].message
+
+    def test_phased_ring_completes(self):
+        assert check_ring_allreduce(4, phased=True).ok
+
+    def test_single_rank_is_trivially_fine(self):
+        assert check_ring_allreduce(1).ok
+
+    def test_finding_lists_blocked_ops(self):
+        report = find_ring_deadlock(ring_schedule(3, phased=False))
+        msg = report.findings[0].message
+        # every stuck rank and its blocking op appears in the message
+        for r in range(3):
+            assert f"rank {r} blocked on send->{(r + 1) % 3}" in msg
+
+    def test_partial_schedule_progress(self):
+        # rank 1 receives first, so the 0->1 pair completes; the rest of
+        # the cycle is still reported as stuck
+        schedule = [[("send", 1), ("recv", 1)],
+                    [("recv", 0), ("send", 0)]]
+        assert find_ring_deadlock(schedule).ok
+
+    def test_odd_ring_phasing_still_completes(self):
+        # k odd means two even ranks are adjacent; rendezvous matching
+        # still finds an order because each completed pair unblocks the next
+        assert check_ring_allreduce(5, phased=True).ok

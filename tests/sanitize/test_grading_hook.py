@@ -1,0 +1,76 @@
+"""Sanitizer-driven auto-feedback in the course gradebook (§IV lab loop)."""
+
+import pytest
+
+from repro.course.grading import GradeBook
+from repro.errors import ReproError
+
+RACY_LAB = '''\
+from repro.jit import cuda
+
+
+@cuda.jit
+def lab3(v, out):
+    tile = cuda.shared.array(64)
+    tx = cuda.threadIdx.x
+    i = cuda.grid(1)
+    tile[tx] = v[i]
+    out[i] = tile[63 - tx]
+'''
+
+CLEAN_LAB = '''\
+from repro.jit import cuda
+
+
+@cuda.jit
+def lab3(a, x, y, out):
+    i = cuda.grid(1)
+    if i < out.size:
+        out[i] = a * x[i] + y[i]
+'''
+
+
+class TestKernelLabGrading:
+    def test_clean_submission_keeps_full_score(self):
+        book = GradeBook()
+        sub = book.record_kernel_lab("ada", "lab3", CLEAN_LAB)
+        assert sub.score == 100.0
+        assert sub.feedback == ()
+
+    def test_findings_deduct_and_produce_feedback(self):
+        book = GradeBook()
+        sub = book.record_kernel_lab("ada", "lab3", RACY_LAB)
+        assert sub.score < 100.0
+        assert sub.feedback
+        # each feedback line names the rule, the location, and a fix
+        for line in sub.feedback:
+            assert line.startswith("[SAN-")
+            assert "fix:" in line
+        rules = {line.split("]")[0].lstrip("[") for line in sub.feedback}
+        assert {"SAN-OOB", "SAN-SHARED-RACE"} <= rules
+
+    def test_penalty_is_capped(self):
+        book = GradeBook()
+        sub = book.record_kernel_lab("ada", "lab3", RACY_LAB,
+                                     error_penalty=40.0, max_penalty=50.0)
+        assert sub.score == 50.0
+
+    def test_feedback_for_lookup(self):
+        book = GradeBook()
+        book.record_kernel_lab("ada", "lab3", RACY_LAB)
+        assert book.feedback_for("ada", "lab3")
+        with pytest.raises(ReproError):
+            book.feedback_for("ada", "lab4")
+
+    def test_graded_submission_flows_into_final_score(self):
+        book = GradeBook()
+        book.record_kernel_lab("ada", "lab3", CLEAN_LAB)
+        assert book.category_average("ada", "labs") == 100.0
+
+    def test_resubmission_loop_improves_score(self):
+        # the instructional loop: submit, read the sanitizer feedback,
+        # fix, resubmit — the fixed kernel outscores the racy one
+        book = GradeBook()
+        racy = book.record_kernel_lab("ada", "lab3-v1", RACY_LAB)
+        fixed = book.record_kernel_lab("ada", "lab3-v2", CLEAN_LAB)
+        assert fixed.score > racy.score

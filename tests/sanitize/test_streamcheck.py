@@ -1,0 +1,60 @@
+"""Cross-stream hazard detection over recorded device timelines."""
+
+import numpy as np
+
+from repro.gpu.stream import Event
+from repro.jit import cuda
+from repro.sanitize import find_stream_hazards
+
+
+@cuda.jit
+def _touch(x):
+    i = cuda.grid(1)
+    if i < x.size:
+        x[i] = x[i] + 1.0
+
+
+class TestStreamHazards:
+    def test_same_buffer_two_streams_no_dependency_is_flagged(self, system1):
+        dev = system1.devices[0]
+        x = cuda.to_device(np.zeros(1 << 20, dtype=np.float32))
+        s1, s2 = cuda.stream(), cuda.stream()
+        _touch[256, 256, s1](x)
+        _touch[256, 256, s2](x)
+        report = find_stream_hazards(dev)
+        assert [f.rule for f in report.findings] == ["SAN-STREAM-HAZARD"]
+        assert f"device {dev.device_id}" in report.findings[0].message
+
+    def test_event_dependency_silences_hazard(self, system1):
+        dev = system1.devices[0]
+        x = cuda.to_device(np.zeros(1 << 20, dtype=np.float32))
+        s1, s2 = cuda.stream(), cuda.stream()
+        _touch[256, 256, s1](x)
+        s2.wait_for(Event().record(s1))
+        _touch[256, 256, s2](x)
+        assert find_stream_hazards(dev).ok
+
+    def test_distinct_buffers_are_not_hazards(self, system1):
+        dev = system1.devices[0]
+        x = cuda.to_device(np.zeros(1 << 20, dtype=np.float32))
+        y = cuda.to_device(np.zeros(1 << 20, dtype=np.float32))
+        s1, s2 = cuda.stream(), cuda.stream()
+        _touch[256, 256, s1](x)
+        _touch[256, 256, s2](y)
+        assert find_stream_hazards(dev).ok
+
+    def test_same_stream_serializes_no_hazard(self, system1):
+        dev = system1.devices[0]
+        x = cuda.to_device(np.zeros(1 << 20, dtype=np.float32))
+        s1 = cuda.stream()
+        _touch[256, 256, s1](x)
+        _touch[256, 256, s1](x)
+        assert find_stream_hazards(dev).ok
+
+    def test_scans_whole_system(self, system2):
+        x = cuda.to_device(np.zeros(1 << 20, dtype=np.float32))
+        s1, s2 = cuda.stream(), cuda.stream()
+        _touch[256, 256, s1](x)
+        _touch[256, 256, s2](x)
+        report = find_stream_hazards(system2)
+        assert not report.ok
