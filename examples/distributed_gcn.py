@@ -33,11 +33,13 @@ def main() -> None:
     print(f"\nsequential (1 GPU): test acc {seq.test_accuracy:.3f}, "
           f"{seq.elapsed_ms:.1f} simulated ms")
 
-    # Algorithm 1 with both partitioners
+    # Algorithm 1 with both partitioners; one 4-GPU system serves both
+    # runs (building it per-iteration would re-allocate every device)
+    system4 = make_system(4, "T4")
     for partitioner in ("metis", "random"):
         res = train_distributed(dataset, k=4, epochs=40, seed=0,
                                 partitioner=partitioner,
-                                system=make_system(4, "T4"))
+                                system=system4)
         util = ", ".join(f"gpu{d}={u:.2f}"
                          for d, u in res.per_gpu_utilization.items())
         print(f"Algorithm 1 ({partitioner:6s}, k=4): "

@@ -30,8 +30,16 @@ from repro.cloud.pricing import (
     SINGLE_GPU_COURSE_MIX,
     MULTI_GPU_COURSE_MIX,
     course_mix_rate,
+    plan_cost,
+    plan_rate,
 )
-from repro.cloud.iam import IamService, Role, Statement, Credentials
+from repro.cloud.iam import (
+    IamService,
+    Role,
+    Statement,
+    Credentials,
+    simulate_policy,
+)
 from repro.cloud.vpc import VpcService, Vpc, Subnet, SecurityGroup
 from repro.cloud.billing import BillingService, UsageRecord, CostExplorer
 from repro.cloud.ec2 import Ec2Service, Ec2Instance, InstanceState
@@ -50,10 +58,13 @@ __all__ = [
     "SINGLE_GPU_COURSE_MIX",
     "MULTI_GPU_COURSE_MIX",
     "course_mix_rate",
+    "plan_cost",
+    "plan_rate",
     "IamService",
     "Role",
     "Statement",
     "Credentials",
+    "simulate_policy",
     "VpcService",
     "Vpc",
     "Subnet",

@@ -34,7 +34,33 @@ class BootstrapScript:
     subnet_cidr: str = "10.42.1.0/24"
     open_ports: tuple[int, ...] = (SSH_PORT, JUPYTER_PORT, DASK_SCHEDULER_PORT)
     assessment: str = "lab"
+    expected_hours: float = 2.0   # planned session length (one lab slot)
     instances: list["Ec2Instance"] = field(default_factory=list)
+
+    # -- pre-flight introspection (consumed by repro.perflint) ----------
+
+    @property
+    def hourly_usd(self) -> float:
+        """On-demand $/h the plan accrues at while every instance runs."""
+        from repro.cloud.pricing import plan_rate
+        return plan_rate(self.instance_type, self.instance_count)
+
+    @property
+    def estimated_cost_usd(self) -> float:
+        """Exact price of the planned session: rate × expected_hours."""
+        from repro.cloud.pricing import plan_cost
+        return plan_cost(self.instance_type, self.expected_hours,
+                         self.instance_count)
+
+    def required_actions(self, owner: str = "student"
+                         ) -> tuple[tuple[str, str], ...]:
+        """The IAM (action, resource) pairs :meth:`run` + :meth:`teardown`
+        authorize against — what a policy must Allow for the plan to
+        survive to completion.  Resources use a representative instance
+        arn (ids are minted at run time)."""
+        arn = f"arn:student/{owner}/instance/i-0"
+        return (("ec2:RunInstances", arn),
+                ("ec2:TerminateInstances", arn))
 
     def run(self, cloud: "CloudSession", credentials: Credentials
             ) -> list["Ec2Instance"]:

@@ -66,6 +66,35 @@ class Credentials:
     role_name: str
 
 
+def simulate_policy(policies, actions, resource: str = "*"
+                    ) -> dict[str, bool]:
+    """Pre-flight policy simulator (the ``SimulatePrincipalPolicy`` API).
+
+    ``policies`` is a :class:`Role`, a :class:`Statement`, or any iterable
+    mix of the two (multiple attached policies).  Every statement is
+    merged into one evaluation context before any action is judged, so
+    the result is independent of policy order: an explicit Deny anywhere
+    beats an Allow anywhere, which beats the implicit deny.
+
+    Returns ``{action: allowed}`` for each requested action — the helper
+    the perflint IAM pass uses to diff a plan's needed actions against
+    the attached policies without touching live credentials.
+    """
+    if isinstance(policies, (Role, Statement)):
+        policies = [policies]
+    statements: list[Statement] = []
+    for pol in policies:
+        if isinstance(pol, Role):
+            statements.extend(pol.statements)
+        elif isinstance(pol, Statement):
+            statements.append(pol)
+        else:
+            raise CloudError(
+                f"simulate_policy takes Role/Statement, got {type(pol).__name__}")
+    merged = Role(name="<simulation>", statements=statements)
+    return {action: merged.evaluate(action, resource) for action in actions}
+
+
 def student_role(name: str) -> Role:
     """The per-student role of §III-A: full EC2/SageMaker self-service on
     the student's own resources, read access to shared course data, and no

@@ -109,6 +109,24 @@ def _rate_of(key: str) -> float:
     return get_instance_type(key).hourly_usd
 
 
+def plan_rate(type_name: str, count: int = 1) -> float:
+    """On-demand $/h for ``count`` instances of ``type_name`` (the rate a
+    :class:`~repro.cloud.bootstrap.BootstrapScript` plan accrues at)."""
+    if count < 1:
+        raise CloudError(f"plan needs at least one instance, got {count}")
+    return count * get_instance_type(type_name).hourly_usd
+
+
+def plan_cost(type_name: str, hours: float, count: int = 1) -> float:
+    """Exact pre-flight price of running ``count`` × ``type_name`` for
+    ``hours`` — what billing would accrue if nothing idles or fails.
+    This is the single pricing source the perflint COST pass uses, so
+    its estimates match the simulator's bill to the cent."""
+    if hours < 0:
+        raise CloudError(f"plan hours must be non-negative, got {hours}")
+    return plan_rate(type_name, count) * hours
+
+
 def course_mix_rate(mix: dict[str, float]) -> float:
     """Weighted average $/h of a usage mix (weights must sum to ~1)."""
     total_w = sum(mix.values())

@@ -121,6 +121,50 @@ class GradeBook:
         self.record(submission)
         return submission
 
+    def record_workflow_lab(self, student: str, deliverable: str, workflow,
+                            *, base_score: float = 100.0,
+                            category: str = "labs", late: bool = False,
+                            analyzers=("perf", "cost", "iam"),
+                            error_penalty: float = 15.0,
+                            warning_penalty: float = 5.0,
+                            max_penalty: float = 50.0) -> Submission:
+        """Grade a workflow lab submission with perflint auto-feedback.
+
+        The workflow-layer counterpart of :meth:`record_kernel_lab`:
+        ``workflow`` (a source string, or a path to a ``.py`` file) runs
+        through the :mod:`repro.perflint` passes instead of the kernel
+        sanitizer — the pre-flight perf/cost/IAM review a TA would give a
+        cloud lab before any simulated dollar accrues.  Notes carry no
+        penalty; they still appear in the feedback.
+        """
+        from pathlib import Path
+
+        from repro.perflint import analyze_source
+        from repro.sanitize import Severity
+
+        source, filename = workflow, "<submission>"
+        if isinstance(workflow, Path) or (
+                isinstance(workflow, str) and workflow.endswith(".py")
+                and "\n" not in workflow):
+            path = Path(workflow)
+            source, filename = path.read_text(), str(path)
+        report = analyze_source(source, filename, analyzers=analyzers)
+        penalty = 0.0
+        feedback = []
+        for f in report.sorted():
+            if f.severity >= Severity.ERROR:
+                penalty += error_penalty
+            elif f.severity >= Severity.WARNING:
+                penalty += warning_penalty
+            feedback.append(
+                f"[{f.rule}] {f.location}: {f.message} — fix: {f.hint}")
+        score = max(base_score - min(penalty, max_penalty), 0.0)
+        submission = Submission(
+            student=student, deliverable=deliverable, category=category,
+            score=score, late=late, feedback=tuple(feedback))
+        self.record(submission)
+        return submission
+
     def feedback_for(self, student: str, deliverable: str) -> tuple[str, ...]:
         """Auto-feedback lines recorded with a student's submission."""
         for s in self._submissions.get(student, ()):

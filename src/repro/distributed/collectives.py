@@ -21,6 +21,13 @@ import numpy as np
 from repro.errors import SchedulerError
 from repro.gpu.device import VirtualGpu
 
+# Analyzable markers consumed by repro.perflint.perfpass: collective
+# entry points that are already bucket-fused (never flagged) vs the
+# per-tensor rings (flagged when issued once per parameter in a loop).
+PERFLINT_FUSED: tuple[str, ...] = ("bucketed_allreduce",)
+PERFLINT_PER_TENSOR: tuple[str, ...] = ("ring_allreduce", "naive_allreduce",
+                                        "allreduce", "all_reduce")
+
 
 def _check(arrays: Sequence[np.ndarray], devices: Sequence[VirtualGpu],
            same_shape: bool = True) -> None:

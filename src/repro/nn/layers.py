@@ -135,6 +135,13 @@ class Linear(Module):
         return out
 
 
+# Analyzable marker consumed by repro.perflint.shapes: layers whose
+# forward pass preserves the input shape, so the abstract shape
+# interpreter can chain through them without per-layer special cases.
+PERFLINT_SHAPE_PRESERVING: tuple[str, ...] = (
+    "ReLU", "Tanh", "Sigmoid", "Dropout", "LayerNorm")
+
+
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()

@@ -1,0 +1,103 @@
+"""The perflint rule registry: PERF-*, COST-*, IAM-* ids and fix hints.
+
+Same contract as :mod:`repro.sanitize.rules` — ids are stable, tests and
+``docs/perflint.md`` refer to them by name — but the subjects are one
+layer up from kernels: host-side workflow code, cloud plans, and IAM
+policies.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.findings import Finding, Severity
+from repro.sanitize.rules import Rule
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in [
+        # -- PERF: host-side workflow anti-patterns ----------------------
+        Rule("PERF-LOOP-TRANSFER", "loop-invariant host<->device transfer "
+             "inside a loop", Severity.WARNING,
+             "the transferred data does not change across iterations; "
+             "hoist the transfer above the loop and reuse the device "
+             "array (each iteration pays the PCIe round trip again)"),
+        Rule("PERF-LOOP-ALLOC", "loop-invariant device allocation inside "
+             "a loop", Severity.WARNING,
+             "allocate once before the loop and reuse the buffer; "
+             "per-iteration allocation churns the memory pool and "
+             "serializes on the allocator"),
+        Rule("PERF-BLOCKING-SYNC", "blocking stream/event sync inside a "
+             "hot loop", Severity.WARNING,
+             "synchronize once after the loop (or every N iterations); "
+             "a per-iteration synchronize()/wait() drains the pipeline "
+             "and idles the GPU between launches"),
+        Rule("PERF-UNBUCKETED", "per-parameter all-reduce inside a loop",
+             Severity.WARNING,
+             "fuse the gradient list into one bucket with "
+             "repro.distributed.collectives.bucketed_allreduce; a ring "
+             "all-reduce per tensor pays the per-step latency once per "
+             "parameter instead of once per bucket"),
+        Rule("PERF-SHAPE", "static shape mismatch in xp/nn call chain",
+             Severity.ERROR,
+             "the operand shapes cannot broadcast / compose; fix the "
+             "shapes before launching — this raises ShapeError at "
+             "runtime after the cloud bill has started"),
+        Rule("PERF-DTYPE", "silent dtype promotion on a device array",
+             Severity.WARNING,
+             "mixing float32 and float64 silently promotes to float64, "
+             "doubling device memory traffic and halving effective "
+             "bandwidth; cast explicitly with .astype()"),
+        # -- COST: pre-flight plan economics -----------------------------
+        Rule("COST-UNKNOWN-TYPE", "instance type not in the pricing "
+             "catalog", Severity.ERROR,
+             "use a SKU from repro.cloud.pricing.INSTANCE_CATALOG; an "
+             "unknown type fails at RunInstances time with "
+             "InvalidParameterValue"),
+        Rule("COST-BUDGET-CAP", "plan cost exceeds the per-student hard "
+             "cap", Severity.ERROR,
+             "the $100/student cap (§III-A1) is enforced at accrual "
+             "time: this plan raises BudgetExceededError mid-run; use a "
+             "cheaper SKU, fewer instances, or fewer hours"),
+        Rule("COST-LAB-ENVELOPE", "plan cost exceeds the Fig 5 per-lab "
+             "envelope", Severity.WARNING,
+             "the course averages $50-60/student over 12+ labs (~$5 per "
+             "lab); right-size the instance (g4dn.xlarge covers every "
+             "single-GPU lab) or shorten the session"),
+        Rule("COST-IDLE", "plan launches instances with no teardown or "
+             "reaper in scope", Severity.WARNING,
+             "call script.teardown() when done or run an IdleReaper "
+             "sweep; §III-A reports idle instances as the main budget "
+             "leak the automation had to close"),
+        Rule("COST-SPOT", "long on-demand GPU session with no spot "
+             "fallback", Severity.NOTE,
+             "sessions this long pay the ~70% on-demand premium; "
+             "repro.cloud.spot with checkpoint/restart cuts the bill to "
+             "~30% at the price of interruption handling"),
+        # -- IAM: least-privilege plan analysis --------------------------
+        Rule("IAM-UNDER-GRANT", "plan needs an action the policy denies",
+             Severity.ERROR,
+             "the plan's simulated API calls will raise "
+             "AccessDeniedError at runtime; attach an Allow statement "
+             "for the listed action/resource before launching"),
+        Rule("IAM-OVER-GRANT", "policy grants write/admin actions the "
+             "plan never uses", Severity.WARNING,
+             "least privilege: drop the unused statement or scope it to "
+             "the actions the plan actually makes (read-only "
+             "Describe*/Get*/List* grants are not flagged)"),
+    ]
+}
+
+
+def make_finding(rule_id: str, message: str, *, file: str = "",
+                 line: int = 0, context: str = "",
+                 severity: Severity | None = None) -> Finding:
+    """Build a :class:`Finding` for a registered perflint rule."""
+    rule = RULES[rule_id]
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity if severity is None else severity,
+        message=message,
+        file=file,
+        line=line,
+        context=context,
+        hint=rule.hint,
+    )

@@ -18,9 +18,12 @@ Four cooperating passes, all reporting the same :class:`Finding` type:
 * :mod:`repro.sanitize.collcheck` — collective preconditions and
   blocking-ring deadlock simulation (``SAN-COLL-*``).
 
-CLI: ``python -m repro.sanitize <paths> [--format json]``.  Rule-by-rule
+CLI: ``python -m repro.sanitize <paths> [--format json]``.  The same
+entry point dispatches the :mod:`repro.perflint` workflow analyzers
+(host-side perf anti-patterns, pre-flight plan cost, IAM least
+privilege) via ``--analyzers kernel,perf,cost,iam``.  Rule-by-rule
 documentation with minimal offending kernels lives in
-``docs/sanitizer.md``.
+``docs/sanitizer.md``; the workflow rules live in ``docs/perflint.md``.
 """
 
 from repro.sanitize.astlint import (

@@ -1,5 +1,7 @@
 """``python -m repro.sanitize <paths>`` — lint kernels the way
-``compute-sanitizer`` would have caught them on real hardware.
+``compute-sanitizer`` would have caught them on real hardware, and
+(with ``--analyzers``) lint the workflow layer above them the way a
+pre-flight cost/perf review would.
 
 Exit codes: 0 clean, 1 findings, 2 usage error (mirroring ruff/flake8 so
 the CI lint session can gate on it).
@@ -12,16 +14,22 @@ import sys
 from pathlib import Path
 
 from repro.sanitize.astlint import lint_paths
-from repro.sanitize.findings import Severity
+from repro.sanitize.findings import Report, Severity
+
+#: analyzer families the CLI can dispatch; "kernel" is the original
+#: @cuda.jit linter, the rest live in repro.perflint
+KNOWN_ANALYZERS = ("kernel", "perf", "cost", "iam")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sanitize",
-        description="Static sanitizer for @cuda.jit kernels and stream "
-                    "usage (OOB guards, shared-memory races, barrier "
-                    "divergence, coalescing, bank conflicts, cross-stream "
-                    "hazards).")
+        description="Static analysis for the simulated GPU stack: the "
+                    "kernel sanitizer (OOB guards, shared-memory races, "
+                    "barrier divergence, coalescing, bank conflicts, "
+                    "cross-stream hazards) plus the perflint workflow "
+                    "analyzers (host-side perf anti-patterns, pre-flight "
+                    "cloud-plan cost, IAM least privilege).")
     parser.add_argument("paths", nargs="+",
                         help="Python files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"),
@@ -29,17 +37,46 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--errors-only", action="store_true",
                         help="fail (and report) only on error-severity "
                              "findings")
+    parser.add_argument("--analyzers", default="kernel", metavar="LIST",
+                        help="comma-separated analyzer families to run: "
+                             f"{','.join(KNOWN_ANALYZERS)} (or 'all'; "
+                             "default: kernel)")
     return parser
+
+
+def _parse_analyzers(spec: str) -> list[str] | None:
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    if "all" in names:
+        return list(KNOWN_ANALYZERS)
+    if not names or any(n not in KNOWN_ANALYZERS for n in names):
+        return None
+    return names
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    analyzers = _parse_analyzers(args.analyzers)
+    if analyzers is None:
+        print(f"repro.sanitize: unknown analyzer in {args.analyzers!r}; "
+              f"choose from {', '.join(KNOWN_ANALYZERS)} (or 'all')",
+              file=sys.stderr)
+        return 2
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         print(f"repro.sanitize: no such path: {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    report = lint_paths(args.paths)
+    report = Report()
+    if "kernel" in analyzers:
+        report.extend(lint_paths(args.paths).findings)
+    perflint_families = [a for a in analyzers if a != "kernel"]
+    if perflint_families:
+        from repro.perflint import analyze_paths
+        report.extend(
+            analyze_paths(args.paths, analyzers=perflint_families).findings)
+    # identical findings from two families (e.g. SAN-SYNTAX reported by
+    # both the kernel linter and perflint) collapse to one
+    report.findings = list(dict.fromkeys(report.findings))
     if args.errors_only:
         report.findings = [f for f in report.findings
                            if f.severity >= Severity.ERROR]

@@ -1,0 +1,88 @@
+"""The pre-flight policy simulator (SimulatePrincipalPolicy)."""
+
+import pytest
+
+from repro.cloud import simulate_policy
+from repro.cloud.iam import Role, Statement, instructor_role, student_role
+from repro.errors import CloudError
+
+
+class TestWildcards:
+    def test_action_glob_allows_whole_service(self):
+        st = Statement("Allow", ("ec2:*",), ("*",))
+        verdict = simulate_policy(st, ["ec2:RunInstances", "s3:GetObject"])
+        assert verdict == {"ec2:RunInstances": True, "s3:GetObject": False}
+
+    def test_verb_prefix_glob(self):
+        st = Statement("Allow", ("ec2:Describe*",), ("*",))
+        verdict = simulate_policy(
+            st, ["ec2:DescribeInstances", "ec2:TerminateInstances"])
+        assert verdict["ec2:DescribeInstances"]
+        assert not verdict["ec2:TerminateInstances"]
+
+    def test_resource_glob_scopes_the_grant(self):
+        st = Statement("Allow", ("ec2:*",), ("arn:student/ada/*",))
+        assert simulate_policy(st, ["ec2:RunInstances"],
+                               resource="arn:student/ada/instance/i-1"
+                               )["ec2:RunInstances"]
+        assert not simulate_policy(st, ["ec2:RunInstances"],
+                                   resource="arn:student/bob/instance/i-1"
+                                   )["ec2:RunInstances"]
+
+    def test_implicit_deny_by_default(self):
+        assert simulate_policy(Role(name="empty"), ["ec2:RunInstances"]) \
+            == {"ec2:RunInstances": False}
+
+
+class TestExplicitDeny:
+    def test_deny_beats_allow(self):
+        allow = Statement("Allow", ("*",), ("*",))
+        deny = Statement("Deny", ("iam:*",), ("*",))
+        verdict = simulate_policy([allow, deny],
+                                  ["iam:CreateRole", "ec2:RunInstances"])
+        assert not verdict["iam:CreateRole"]
+        assert verdict["ec2:RunInstances"]
+
+    def test_student_role_cannot_mint_roles(self):
+        verdict = simulate_policy(student_role("ada"), ["iam:CreateRole"],
+                                  resource="arn:student/ada/iam")
+        assert not verdict["iam:CreateRole"]
+
+    def test_instructor_sees_everything(self):
+        assert simulate_policy(instructor_role(),
+                               ["ec2:TerminateInstances"],
+                               resource="arn:student/bob/instance/i-1"
+                               )["ec2:TerminateInstances"]
+
+
+class TestMultiPolicyMerge:
+    def test_result_is_order_independent(self):
+        allow = Role(name="a", statements=[
+            Statement("Allow", ("ec2:*",), ("*",))])
+        deny = Role(name="d", statements=[
+            Statement("Deny", ("ec2:TerminateInstances",), ("*",))])
+        actions = ["ec2:RunInstances", "ec2:TerminateInstances"]
+        assert simulate_policy([allow, deny], actions) \
+            == simulate_policy([deny, allow], actions) \
+            == {"ec2:RunInstances": True, "ec2:TerminateInstances": False}
+
+    def test_allow_anywhere_suffices(self):
+        base = Role(name="base", statements=[
+            Statement("Allow", ("ec2:Describe*",), ("*",))])
+        extra = Statement("Allow", ("ec2:RunInstances",),
+                          ("arn:student/ada/*",))
+        verdict = simulate_policy([base, extra], ["ec2:RunInstances"],
+                                  resource="arn:student/ada/instance/i-1")
+        assert verdict["ec2:RunInstances"]
+
+    def test_role_and_statement_mix(self):
+        verdict = simulate_policy(
+            [student_role("ada"),
+             Statement("Deny", ("ec2:RunInstances",), ("*",))],
+            ["ec2:RunInstances"],
+            resource="arn:student/ada/instance/i-1")
+        assert not verdict["ec2:RunInstances"]
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(CloudError):
+            simulate_policy(["not-a-policy"], ["ec2:RunInstances"])

@@ -1,0 +1,73 @@
+"""Perflint-driven auto-feedback for workflow labs (§IV lab loop)."""
+
+from pathlib import Path
+
+from repro.course.grading import GradeBook
+
+FIXTURE = Path(__file__).parent / "fixtures" / "bad_workflow.py"
+
+CLEAN_WORKFLOW = '''\
+import repro.xp as xp
+
+x = xp.zeros((32, 784))
+w = xp.ones((784, 10))
+logits = x @ w
+'''
+
+NOTE_ONLY_WORKFLOW = '''\
+plan = BootstrapScript(instance_type="g4dn.xlarge", expected_hours=8.0)
+run_lab(plan)
+plan.teardown()
+'''
+
+
+class TestWorkflowLabGrading:
+    def test_clean_submission_keeps_full_score(self):
+        book = GradeBook()
+        sub = book.record_workflow_lab("ada", "lab7", CLEAN_WORKFLOW)
+        assert sub.score == 100.0
+        assert sub.feedback == ()
+
+    def test_findings_deduct_and_produce_feedback(self):
+        book = GradeBook()
+        sub = book.record_workflow_lab("ada", "lab7", FIXTURE)
+        assert sub.score < 100.0
+        for line in sub.feedback:
+            assert line.startswith(("[PERF-", "[COST-", "[IAM-"))
+            assert "fix:" in line
+        families = {line[1:line.index("-")] for line in sub.feedback}
+        assert families == {"PERF", "COST", "IAM"}
+        # feedback points at the real file and line
+        assert any(f"{FIXTURE}:19" in line for line in sub.feedback)
+
+    def test_path_like_string_is_read_from_disk(self):
+        book = GradeBook()
+        sub = book.record_workflow_lab("ada", "lab7", str(FIXTURE))
+        assert sub.feedback
+
+    def test_notes_appear_in_feedback_but_cost_nothing(self):
+        # 8 h on-demand with teardown: only the COST-SPOT note fires
+        book = GradeBook()
+        sub = book.record_workflow_lab("ada", "lab7", NOTE_ONLY_WORKFLOW)
+        assert sub.score == 100.0
+        assert len(sub.feedback) == 1
+        assert sub.feedback[0].startswith("[COST-SPOT]")
+
+    def test_penalty_is_capped(self):
+        book = GradeBook()
+        sub = book.record_workflow_lab("ada", "lab7", FIXTURE,
+                                       max_penalty=30.0)
+        assert sub.score == 70.0
+
+    def test_analyzer_subset(self):
+        book = GradeBook()
+        sub = book.record_workflow_lab("ada", "lab7", FIXTURE,
+                                       analyzers=("iam",))
+        assert all(line.startswith("[IAM-") for line in sub.feedback)
+        assert sub.feedback
+
+    def test_recorded_like_any_lab(self):
+        book = GradeBook()
+        book.record_workflow_lab("ada", "lab7", CLEAN_WORKFLOW)
+        assert book.category_average("ada", "labs") == 100.0
+        assert book.feedback_for("ada", "lab7") == ()
