@@ -39,6 +39,11 @@ those layers as deterministic, dependency-light simulations:
 ``repro.rag``
     FAISS-like vector indexes (CPU/GPU), embedders, a tiny generator LM,
     and a batched real-time RAG serving harness.
+``repro.telemetry``
+    An OpenTelemetry-style tracing and metrics plane: one tracer collects
+    cloud-API, scheduler-task, and GPU-kernel spans into a single
+    deterministic trace, with exporters, a critical-path analyzer, and a
+    CloudWatch metrics bridge the idle reaper keys off.
 ``repro.course``
     The 16-week module registry (Table I), grading policy, labs, and a
     semester simulator.

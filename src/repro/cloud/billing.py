@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceededError, CloudError
+from repro.telemetry import api as telemetry
 
 DEFAULT_BUDGET_CAP_USD = 100.0   # the per-student hard cap (§III-A1)
 
@@ -82,6 +83,11 @@ class BillingService:
             )
         budget.spent_usd += cost
         self.records.append(record)
+        telemetry.add_event("billing.accrual", service=record.service,
+                            owner=record.owner,
+                            instance=record.instance_id,
+                            hours=record.hours, usd=cost)
+        telemetry.count("billing.usd", cost)
 
     @property
     def explorer(self) -> "CostExplorer":

@@ -24,6 +24,7 @@ from repro.errors import (
     ResourceNotFoundError,
 )
 from repro.gpu.system import GpuSystem
+from repro.telemetry import api as telemetry
 
 _instance_ids = itertools.count(1)
 
@@ -126,42 +127,49 @@ class Ec2Service:
         created — the behaviour that later bites students who need two
         instances to talk to each other (Fig 4b).
         """
-        itype = get_instance_type(type_name)
-        if itype.family != "ec2":
-            raise CloudError(
-                f"{type_name} is a SageMaker SKU; use SageMakerService")
-        instance_id = f"i-{next(_instance_ids):012x}"
-        self._authorize(credentials, "ec2:RunInstances",
-                        f"arn:student/{owner}/instance/{instance_id}")
-        if subnet is None:
-            v = self.vpc.create_vpc("10.0.0.0/16")
-            subnet = self.vpc.create_subnet(v.vpc_id, "10.0.1.0/24")
-        if security_group is None:
-            security_group = self.vpc.create_security_group(f"{owner}-default")
-        inst = Ec2Instance(
-            instance_id=instance_id,
-            itype=itype,
-            owner=owner,
-            subnet=subnet,
-            private_ip=subnet.allocate_ip(),
-            security_group=security_group,
-            launched_at_h=self.now_h,
-            last_activity_h=self.now_h,
-            billed_until_h=self.now_h,
-            tags=dict(tags or {}),
-        )
-        self.instances[instance_id] = inst
-        return inst
+        with telemetry.span("ec2.RunInstances", kind="cloud",
+                            attributes={"type": type_name,
+                                        "owner": owner}):
+            itype = get_instance_type(type_name)
+            if itype.family != "ec2":
+                raise CloudError(
+                    f"{type_name} is a SageMaker SKU; use SageMakerService")
+            instance_id = f"i-{next(_instance_ids):012x}"
+            self._authorize(credentials, "ec2:RunInstances",
+                            f"arn:student/{owner}/instance/{instance_id}")
+            if subnet is None:
+                v = self.vpc.create_vpc("10.0.0.0/16")
+                subnet = self.vpc.create_subnet(v.vpc_id, "10.0.1.0/24")
+            if security_group is None:
+                security_group = self.vpc.create_security_group(
+                    f"{owner}-default")
+            inst = Ec2Instance(
+                instance_id=instance_id,
+                itype=itype,
+                owner=owner,
+                subnet=subnet,
+                private_ip=subnet.allocate_ip(),
+                security_group=security_group,
+                launched_at_h=self.now_h,
+                last_activity_h=self.now_h,
+                billed_until_h=self.now_h,
+                tags=dict(tags or {}),
+            )
+            self.instances[instance_id] = inst
+            telemetry.set_attribute("instance_id", instance_id)
+            return inst
 
     def stop(self, instance_id: str,
              credentials: Credentials | None = None) -> Ec2Instance:
-        inst = self._get(instance_id)
-        self._authorize(credentials, "ec2:StopInstances", inst.arn)
-        if inst.state is InstanceState.TERMINATED:
-            raise InvalidStateError(f"{instance_id} is terminated")
-        self._settle(inst)
-        inst.state = InstanceState.STOPPED
-        return inst
+        with telemetry.span("ec2.StopInstances", kind="cloud",
+                            attributes={"instance_id": instance_id}):
+            inst = self._get(instance_id)
+            self._authorize(credentials, "ec2:StopInstances", inst.arn)
+            if inst.state is InstanceState.TERMINATED:
+                raise InvalidStateError(f"{instance_id} is terminated")
+            self._settle(inst)
+            inst.state = InstanceState.STOPPED
+            return inst
 
     def start(self, instance_id: str,
               credentials: Credentials | None = None) -> Ec2Instance:
@@ -178,14 +186,17 @@ class Ec2Service:
 
     def terminate(self, instance_id: str,
                   credentials: Credentials | None = None) -> Ec2Instance:
-        inst = self._get(instance_id)
-        self._authorize(credentials, "ec2:TerminateInstances", inst.arn)
-        if inst.state is InstanceState.TERMINATED:
-            return inst  # idempotent, as AWS
-        if inst.state is InstanceState.RUNNING:
-            self._settle(inst)
-        inst.state = InstanceState.TERMINATED
-        return inst
+        with telemetry.span("ec2.TerminateInstances", kind="cloud",
+                            attributes={"instance_id": instance_id}):
+            inst = self._get(instance_id)
+            self._authorize(credentials, "ec2:TerminateInstances",
+                            inst.arn)
+            if inst.state is InstanceState.TERMINATED:
+                return inst  # idempotent, as AWS
+            if inst.state is InstanceState.RUNNING:
+                self._settle(inst)
+            inst.state = InstanceState.TERMINATED
+            return inst
 
     def describe(self, owner: str | None = None,
                  states: tuple[InstanceState, ...] | None = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cloud.cloudwatch import CloudWatch
 from repro.cloud.ec2 import Ec2Service, InstanceState
 from repro.cloud.sagemaker import NotebookState, SageMakerService
 
@@ -24,45 +25,83 @@ class ReapReport:
     scanned: int = 0
     reaped_instances: list[str] = field(default_factory=list)
     reaped_notebooks: list[str] = field(default_factory=list)
+    reaped_by_alarm: list[str] = field(default_factory=list)
     spared_keep_alive: list[str] = field(default_factory=list)
 
     @property
     def reaped_count(self) -> int:
-        return len(self.reaped_instances) + len(self.reaped_notebooks)
+        return (len(self.reaped_instances) + len(self.reaped_notebooks)
+                + len(self.reaped_by_alarm))
 
 
 class IdleReaper:
-    """Sweep-and-stop policy over a cloud session's resources."""
+    """Sweep-and-stop policy over a cloud session's resources.
+
+    Two triggers:
+
+    * **idle time** — no activity for ``idle_threshold_h`` hours (the
+      original policy);
+    * **CloudWatch alarms** — when a ``cloudwatch`` store is attached,
+      any resource whose id is the dimension of an ``ALARM``-state alarm
+      is stopped too.  With workflow telemetry published as metrics
+      (:meth:`repro.telemetry.metrics.MetricsRegistry
+      .publish_cloudwatch`), this is the "GPU utilization below
+      threshold ⇒ reap" loop — the reaper reacts to what the workload
+      *measured*, not just to wall-clock inactivity.
+
+    ``keep-alive`` tags exempt an instance from both triggers.
+    """
 
     def __init__(self, ec2: Ec2Service, sagemaker: SageMakerService,
-                 idle_threshold_h: float = 2.0) -> None:
+                 idle_threshold_h: float = 2.0,
+                 cloudwatch: CloudWatch | None = None) -> None:
         if idle_threshold_h <= 0:
             raise ValueError("idle threshold must be positive")
         self.ec2 = ec2
         self.sagemaker = sagemaker
         self.idle_threshold_h = idle_threshold_h
+        self.cloudwatch = cloudwatch
         self.sweeps: list[ReapReport] = []
 
+    def _alarming_dimensions(self) -> set[str]:
+        """Dimensions (resource ids) of alarms currently in ALARM."""
+        if self.cloudwatch is None:
+            return set()
+        self.cloudwatch.evaluate_alarms()
+        return {a.dimension for a in self.cloudwatch.alarming()}
+
     def sweep(self) -> ReapReport:
-        """One pass: stop idle instances/notebooks, honour keep-alive
-        tags, return the report (the instructor's audit trail)."""
+        """One pass: stop idle or alarming instances/notebooks, honour
+        keep-alive tags, return the report (the instructor's audit
+        trail)."""
         report = ReapReport()
         now = self.ec2.now_h
+        alarming = self._alarming_dimensions()
         for inst in self.ec2.describe(states=(InstanceState.RUNNING,)):
             report.scanned += 1
-            if inst.idle_hours(now) < self.idle_threshold_h:
+            idle = inst.idle_hours(now) >= self.idle_threshold_h
+            alarmed = inst.instance_id in alarming
+            if not idle and not alarmed:
                 continue
             if inst.tags.get(KEEP_ALIVE_TAG):
                 report.spared_keep_alive.append(inst.instance_id)
                 continue
             self.ec2.stop(inst.instance_id)
-            report.reaped_instances.append(inst.instance_id)
+            if alarmed:
+                report.reaped_by_alarm.append(inst.instance_id)
+            else:
+                report.reaped_instances.append(inst.instance_id)
         for nb in self.sagemaker.notebooks.values():
             if nb.state is not NotebookState.IN_SERVICE:
                 continue
             report.scanned += 1
-            if now - nb.last_activity_h >= self.idle_threshold_h:
+            idle = now - nb.last_activity_h >= self.idle_threshold_h
+            alarmed = nb.name in alarming
+            if idle or alarmed:
                 self.sagemaker.stop_notebook_instance(nb.name)
-                report.reaped_notebooks.append(nb.name)
+                if alarmed:
+                    report.reaped_by_alarm.append(nb.name)
+                else:
+                    report.reaped_notebooks.append(nb.name)
         self.sweeps.append(report)
         return report

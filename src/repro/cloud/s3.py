@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.cloud.billing import BillingService, UsageRecord
 from repro.errors import CloudError, ResourceNotFoundError
 from repro.gpu.clock import ns_from_s
+from repro.telemetry import api as telemetry
 
 # us-east-1 S3 standard pricing and intra-region throughput.
 STORAGE_USD_PER_GB_MONTH = 0.023
@@ -80,16 +81,26 @@ class S3Service:
 
     def put_object(self, bucket: str, key: str, data: bytes) -> S3Object:
         """Upload (ingress is free; storage accrues with time)."""
-        b = self._bucket(bucket)
-        obj = S3Object(key=key, data=bytes(data),
-                       version=next(b._versions), stored_at_h=self.now_h)
-        b.objects[key] = obj
-        self._charge_transfer_time(len(data))
-        return obj
+        with telemetry.span("s3.PutObject", kind="cloud",
+                            attributes={"bucket": bucket, "key": key,
+                                        "bytes": len(data)}):
+            b = self._bucket(bucket)
+            obj = S3Object(key=key, data=bytes(data),
+                           version=next(b._versions),
+                           stored_at_h=self.now_h)
+            b.objects[key] = obj
+            self._charge_transfer_time(len(data))
+            return obj
 
     def get_object(self, bucket: str, key: str, owner: str = "",
                    cross_az: bool = False) -> bytes:
         """Download; charges transfer time and (cross-AZ) egress."""
+        with telemetry.span("s3.GetObject", kind="cloud",
+                            attributes={"bucket": bucket, "key": key}):
+            return self._get_object(bucket, key, owner, cross_az)
+
+    def _get_object(self, bucket: str, key: str, owner: str,
+                    cross_az: bool) -> bytes:
         b = self._bucket(bucket)
         if key not in b.objects:
             raise ResourceNotFoundError(f"NoSuchKey: {bucket}/{key}")

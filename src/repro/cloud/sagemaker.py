@@ -19,6 +19,7 @@ from repro.cloud.billing import BillingService, UsageRecord
 from repro.cloud.pricing import InstanceType, get_instance_type
 from repro.errors import CloudError, InvalidStateError, ResourceNotFoundError
 from repro.gpu.system import GpuSystem, make_system
+from repro.telemetry import api as telemetry
 
 _notebook_ids = itertools.count(1)
 
@@ -71,28 +72,36 @@ class SageMakerService:
     def create_notebook_instance(self, owner: str,
                                  type_name: str = "ml.t3.medium",
                                  name: str | None = None) -> NotebookInstance:
-        itype = get_instance_type(type_name)
-        if itype.family != "sagemaker":
-            raise CloudError(
-                f"{type_name} is an EC2 SKU; SageMaker needs ml.* types")
-        name = name or f"{owner}-nb-{next(_notebook_ids)}"
-        if name in self.notebooks:
-            raise CloudError(f"ResourceInUse: notebook {name}")
-        nb = NotebookInstance(name=name, itype=itype, owner=owner,
-                              last_activity_h=self.now_h,
-                              billed_until_h=self.now_h)
-        self.notebooks[name] = nb
-        return nb
+        with telemetry.span("sagemaker.CreateNotebookInstance",
+                            kind="cloud",
+                            attributes={"type": type_name,
+                                        "owner": owner}):
+            itype = get_instance_type(type_name)
+            if itype.family != "sagemaker":
+                raise CloudError(
+                    f"{type_name} is an EC2 SKU; SageMaker needs ml.* types")
+            name = name or f"{owner}-nb-{next(_notebook_ids)}"
+            if name in self.notebooks:
+                raise CloudError(f"ResourceInUse: notebook {name}")
+            nb = NotebookInstance(name=name, itype=itype, owner=owner,
+                                  last_activity_h=self.now_h,
+                                  billed_until_h=self.now_h)
+            self.notebooks[name] = nb
+            telemetry.set_attribute("notebook", name)
+            return nb
 
     def execute_cell(self, name: str, cell: Callable[[], Any] | None = None) -> Any:
         """Run a "cell" on the notebook: marks activity, optionally calls a
         Python callable (the lab code) and returns its value."""
-        nb = self._get(name)
-        if nb.state is not NotebookState.IN_SERVICE:
-            raise InvalidStateError(f"notebook {name} is {nb.state.value}")
-        nb.last_activity_h = self.now_h
-        nb.executed_cells += 1
-        return cell() if cell is not None else None
+        with telemetry.span("sagemaker.ExecuteCell", kind="cloud",
+                            attributes={"notebook": name}):
+            nb = self._get(name)
+            if nb.state is not NotebookState.IN_SERVICE:
+                raise InvalidStateError(
+                    f"notebook {name} is {nb.state.value}")
+            nb.last_activity_h = self.now_h
+            nb.executed_cells += 1
+            return cell() if cell is not None else None
 
     def stop_notebook_instance(self, name: str) -> NotebookInstance:
         nb = self._get(name)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cloud.billing import BillingService
+from repro.cloud.cloudwatch import CloudWatch
 from repro.cloud.ec2 import Ec2Service
 from repro.cloud.iam import (
     Credentials,
@@ -59,7 +60,9 @@ class CloudSession:
         self.ec2 = Ec2Service(self.iam, self.vpc, self.billing)
         self.sagemaker = SageMakerService(self.billing)
         self.s3 = S3Service(self.billing)
-        self.reaper = IdleReaper(self.ec2, self.sagemaker)
+        self.cloudwatch = CloudWatch()
+        self.reaper = IdleReaper(self.ec2, self.sagemaker,
+                                 cloudwatch=self.cloudwatch)
         self.now_h = 0.0
         self.educate_grants: dict[str, EducateGrant] = {}
         self.iam.create_role(instructor_role())

@@ -15,9 +15,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.distributed.taskgraph import TaskGraph, TaskRef
+from repro.distributed.taskgraph import Task, TaskGraph, TaskRef
 from repro.distributed.worker import Worker
 from repro.errors import SchedulerError
+from repro.telemetry import api as telemetry
 
 
 def result_nbytes(value: Any) -> int:
@@ -49,6 +50,30 @@ class ScheduleReport:
     def makespan_ms(self) -> float:
         return (self.end_ns - self.start_ns) / 1e6
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (``json.dumps``-able as-is)."""
+        return {
+            "placements": dict(self.placements),
+            "transfers": self.transfers,
+            "transfer_bytes": self.transfer_bytes,
+            "retries": self.retries,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "makespan_ms": self.makespan_ms,   # derived, for readers
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScheduleReport":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(
+            placements=dict(d.get("placements", {})),
+            transfers=int(d.get("transfers", 0)),
+            transfer_bytes=int(d.get("transfer_bytes", 0)),
+            retries=int(d.get("retries", 0)),
+            start_ns=int(d.get("start_ns", 0)),
+            end_ns=int(d.get("end_ns", 0)),
+        )
+
 
 class Scheduler:
     """Runs a :class:`TaskGraph` over a set of workers."""
@@ -57,61 +82,104 @@ class Scheduler:
         if not workers:
             raise SchedulerError("scheduler needs at least one worker")
         self.workers = workers
+        self._by_name = {w.name: w for w in workers}
         system = workers[0].system
         if any(w.system is not system for w in workers):
             raise SchedulerError("all workers must share one GpuSystem")
         self.system = system
 
-    def run(self, graph: TaskGraph, max_retries: int = 0
+    def _pick(self, task: Task, excluded: set[str]) -> Worker:
+        """Placement: honor a pin, else greedy earliest-finish."""
+        if task.worker is not None:
+            try:
+                return self._by_name[task.worker]
+            except KeyError:
+                raise SchedulerError(
+                    f"task {task.key!r} pinned to unknown worker "
+                    f"{task.worker!r}") from None
+        candidates = [w for w in self.workers
+                      if w.name not in excluded] or self.workers
+        return min(candidates, key=lambda w: (w.ready_at_ns, w.name))
+
+    def run(self, graph: TaskGraph, max_retries: int = 0,
+            report: ScheduleReport | None = None
             ) -> tuple[dict[str, Any], ScheduleReport]:
         """Execute the graph; returns (results by key, schedule report).
 
         ``max_retries`` re-runs a failed task on a *different* worker (the
         Dask resilience model): a :class:`~repro.distributed.worker
         .WorkerDied` crash is retried up to the budget, then surfaces as
-        :class:`SchedulerError`.
+        :class:`SchedulerError`.  A pinned task retries on its pin.
+
+        Passing a previous ``report`` accumulates into it (placements,
+        transfers, retries add up; ``start_ns`` keeps the first run's
+        value and ``end_ns`` advances) — how Algorithm 1 sums its
+        per-epoch graphs into one training-wide schedule record.
+
+        Under an active :class:`~repro.telemetry.tracer.Tracer`, every
+        task becomes a ``task`` span covering its device-time extent
+        (enqueue to drain), carrying placement attributes and retry /
+        P2P-fetch events, with the task's kernels bridged underneath.
         """
         order = graph.topological_order()
         results: dict[str, Any] = {}
         owner: dict[str, Worker] = {}
-        report = ScheduleReport(start_ns=self.system.clock.now_ns)
+        if report is None:
+            report = ScheduleReport(start_ns=self.system.clock.now_ns)
 
         for task in order:
             attempts = 0
             excluded: set[str] = set()
-            while True:
-                candidates = [w for w in self.workers
-                              if w.name not in excluded] or self.workers
-                worker = min(candidates, key=lambda w: (w.ready_at_ns,
-                                                        w.name))
+            with telemetry.span(f"task:{task.key}", kind="task") as tspan:
+                while True:
+                    worker = self._pick(task, excluded)
 
-                # Move remote deps to this worker's device (P2P cost).
-                for dep in task.dependencies():
-                    src = owner[dep]
-                    if src is not worker:
-                        nbytes = result_nbytes(results[dep])
-                        if src.device is not worker.device:
-                            src.device.copy_p2p(worker.device, nbytes,
-                                                name=f"fetch {dep}")
-                        report.transfers += 1
-                        report.transfer_bytes += nbytes
+                    # Move remote deps to this worker's device (P2P cost).
+                    for dep in task.dependencies():
+                        src = owner[dep]
+                        if src is not worker:
+                            nbytes = result_nbytes(results[dep])
+                            if src.device is not worker.device:
+                                src.device.copy_p2p(worker.device, nbytes,
+                                                    name=f"fetch {dep}")
+                            report.transfers += 1
+                            report.transfer_bytes += nbytes
+                            telemetry.count("scheduler.transfers")
+                            telemetry.observe("scheduler.transfer_bytes",
+                                              nbytes)
 
-                args = tuple(results[a.key] if isinstance(a, TaskRef) else a
-                             for a in task.args)
-                kwargs = {k: results[v.key] if isinstance(v, TaskRef) else v
-                          for k, v in task.kwargs.items()}
-                try:
-                    results[task.key] = worker.run(task.fn, *args, **kwargs)
-                    break
-                except Exception as exc:
-                    attempts += 1
-                    if attempts > max_retries:
-                        raise SchedulerError(
-                            f"task {task.key!r} failed on {worker.name} "
-                            f"after {attempts} attempt(s): {exc}"
-                        ) from exc
-                    report.retries += 1
-                    excluded.add(worker.name)
+                    args = tuple(results[a.key] if isinstance(a, TaskRef)
+                                 else a for a in task.args)
+                    kwargs = {k: results[v.key] if isinstance(v, TaskRef)
+                              else v for k, v in task.kwargs.items()}
+                    enqueue_ns = max(self.system.clock.now_ns,
+                                     worker.ready_at_ns)
+                    try:
+                        results[task.key] = worker.run(task.fn, *args,
+                                                       **kwargs)
+                        break
+                    except Exception as exc:
+                        attempts += 1
+                        if attempts > max_retries:
+                            raise SchedulerError(
+                                f"task {task.key!r} failed on "
+                                f"{worker.name} after {attempts} "
+                                f"attempt(s): {exc}") from exc
+                        report.retries += 1
+                        excluded.add(worker.name)
+                        telemetry.count("scheduler.retries")
+                        telemetry.add_event("retry", worker=worker.name,
+                                            error=str(exc))
+                if tspan is not None:
+                    # Re-time the span to the task's device-side extent:
+                    # first enqueue to worker drain (driver time barely
+                    # moves — the device timeline is where the task ran).
+                    tspan.set_attribute("worker", worker.name)
+                    tspan.set_attribute("device", worker.device.device_id)
+                    tspan.set_attribute("pinned", task.worker is not None)
+                    tspan.start_ns = enqueue_ns
+                    tspan.finish(max(worker.ready_at_ns, enqueue_ns))
+                telemetry.count("scheduler.tasks")
             owner[task.key] = worker
             report.placements[task.key] = worker.name
 

@@ -24,12 +24,19 @@ class TaskRef:
 @dataclass
 class Task:
     """One node: ``fn(*args, **kwargs)`` with :class:`TaskRef` arguments
-    resolved to upstream results at execution time."""
+    resolved to upstream results at execution time.
+
+    ``worker`` optionally pins the task to a named worker (Dask's
+    ``workers=`` restriction): the scheduler then skips its placement
+    heuristic for this task.  Pinning is what lets Algorithm 1 keep its
+    rank-to-GPU assignment while still running through the scheduler.
+    """
 
     key: str
     fn: Callable
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    worker: str | None = None
 
     def dependencies(self) -> list[str]:
         deps = [a.key for a in self.args if isinstance(a, TaskRef)]
@@ -43,11 +50,16 @@ class TaskGraph:
     def __init__(self) -> None:
         self.tasks: dict[str, Task] = {}
 
-    def add(self, key: str, fn: Callable, *args: Any, **kwargs: Any) -> TaskRef:
-        """Add a task; returns a :class:`TaskRef` for downstream use."""
+    def add(self, key: str, fn: Callable, *args: Any,
+            worker: str | None = None, **kwargs: Any) -> TaskRef:
+        """Add a task; returns a :class:`TaskRef` for downstream use.
+
+        ``worker`` pins the task to that worker by name (optional).
+        """
         if key in self.tasks:
             raise SchedulerError(f"duplicate task key {key!r}")
-        self.tasks[key] = Task(key=key, fn=fn, args=args, kwargs=kwargs)
+        self.tasks[key] = Task(key=key, fn=fn, args=args, kwargs=kwargs,
+                               worker=worker)
         return TaskRef(key)
 
     def __len__(self) -> int:

@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.distributed.cluster import LocalCudaCluster
 from repro.distributed.collectives import bucketed_allreduce, scatter
+from repro.distributed.scheduler import ScheduleReport, Scheduler
+from repro.distributed.taskgraph import TaskGraph
 from repro.errors import GraphError
 from repro.gcn.model import GCN, AdjacencyCOO
 from repro.gcn.train import evaluate_accuracy
@@ -45,6 +47,7 @@ from repro.gpu.system import GpuSystem, default_system
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.telemetry import api as telemetry
 
 
 @dataclass
@@ -61,6 +64,7 @@ class DistributedResult:
     partition: PartitionReport
     per_gpu_utilization: dict[int, float]
     mode: str = "distributed"
+    schedule: ScheduleReport | None = None   # accumulated over all epochs
 
     @property
     def final_loss(self) -> float:
@@ -100,78 +104,121 @@ def train_distributed(dataset: GraphDataset, k: int, epochs: int = 60,
     if len(system) < k:
         raise GraphError(f"need {k} GPUs, system has {len(system)}")
 
-    # Line 3: partition
-    if partitioner == "metis":
-        parts = metis_partition(dataset.graph, k, seed=seed)
-    elif partitioner == "random":
-        parts = random_partition(dataset.graph, k, seed=seed)
-    else:
-        raise ValueError(f"partitioner must be metis/random, got {partitioner}")
-    report = partition_report(dataset.graph, parts)
-    shards = _partition_dataset(dataset, parts, k)
+    with telemetry.span("alg1.distributed-gcn", kind="workflow",
+                        attributes={"k": k, "epochs": epochs,
+                                    "partitioner": partitioner}):
+        # Line 3: partition
+        with telemetry.span("partition", kind="stage"):
+            if partitioner == "metis":
+                parts = metis_partition(dataset.graph, k, seed=seed)
+            elif partitioner == "random":
+                parts = random_partition(dataset.graph, k, seed=seed)
+            else:
+                raise ValueError(
+                    f"partitioner must be metis/random, got {partitioner}")
+            report = partition_report(dataset.graph, parts)
+            shards = _partition_dataset(dataset, parts, k)
+            telemetry.set_attribute("cut_fraction", report.cut_fraction)
 
-    # Line 4: cluster with one worker per GPU
-    cluster = LocalCudaCluster(system, n_workers=k)
-    devices = [w.device for w in cluster.workers]
+        # Line 4: cluster with one worker per GPU
+        cluster = LocalCudaCluster(system, n_workers=k)
+        devices = [w.device for w in cluster.workers]
 
-    # Lines 5-6: distribute shard data (P2P-costed scatter of features)
-    scatter([s["x"] for s in shards], devices)
+        # Lines 5-6: distribute shard data (P2P-costed scatter of features)
+        with telemetry.span("scatter", kind="stage"):
+            scatter([s["x"] for s in shards], devices)
 
-    # Lines 7-8: global model, broadcast parameters
-    replicas = []
-    optimizers = []
-    for dev in devices:
-        m = GCN(dataset.feature_dim, hidden_dim, dataset.n_classes,
-                dropout=dropout, seed=seed).to(dev)
-        replicas.append(m)
-        optimizers.append(Adam(m.parameters(), lr=lr))
-    state = replicas[0].state_dict()
-    for m in replicas[1:]:
-        m.load_state_dict(state)
+        # Lines 7-8: global model, broadcast parameters
+        with telemetry.span("broadcast-model", kind="stage"):
+            replicas = []
+            optimizers = []
+            for dev in devices:
+                m = GCN(dataset.feature_dim, hidden_dim, dataset.n_classes,
+                        dropout=dropout, seed=seed).to(dev)
+                replicas.append(m)
+                optimizers.append(Adam(m.parameters(), lr=lr))
+            state = replicas[0].state_dict()
+            for m in replicas[1:]:
+                m.load_state_dict(state)
 
-    shard_tensors = [Tensor(s["x"], device=dev)
-                     for s, dev in zip(shards, devices)]
-    train_idxs = [np.flatnonzero(s["train_mask"]) for s in shards]
+            shard_tensors = [Tensor(s["x"], device=dev)
+                             for s, dev in zip(shards, devices)]
+            train_idxs = [np.flatnonzero(s["train_mask"]) for s in shards]
 
-    t0 = system.clock.now_ns
-    losses: list[float] = []
-    for _epoch in range(epochs):
-        # Lines 9-11: local loss + gradients on each worker
-        epoch_losses = []
-        for worker, replica, opt, shard, xt, tidx in zip(
-                cluster.workers, replicas, optimizers, shards,
-                shard_tensors, train_idxs):
-            def local_step(replica=replica, opt=opt, shard=shard,
-                           xt=xt, tidx=tidx):
-                opt.zero_grad()
-                logits = replica(shard["adj"], xt)
-                if len(tidx) == 0:
-                    return 0.0
-                loss = cross_entropy(logits[tidx], shard["y"][tidx])
-                loss.backward()
-                return loss.item()
+        # Lines 9-14 run as per-epoch task graphs on the scheduler: one
+        # pinned local-step task per rank (lines 9-11), then an update
+        # task on rank 0 that consumes every rank's loss (so the
+        # scheduler charges the loss gathers as P2P fetches) and does
+        # allreduce + optimizer step (lines 12-13).  Pinning preserves
+        # the rank-to-GPU assignment — and therefore the exact numerics
+        # and device timelines — of the direct-dispatch implementation.
+        scheduler = Scheduler(cluster.workers)
+        system.synchronize()        # drain setup so training starts clean
+        t0 = system.clock.now_ns
+        losses: list[float] = []
+        schedule: ScheduleReport | None = None
+        with telemetry.span("training", kind="stage",
+                            start_ns=t0) as training_span:
+            for epoch in range(epochs):
+                with telemetry.span(f"epoch {epoch:03d}", kind="epoch"):
+                    graph = TaskGraph()
+                    loss_refs = []
+                    for r, (worker, replica, opt, shard, xt, tidx) in \
+                            enumerate(zip(cluster.workers, replicas,
+                                          optimizers, shards,
+                                          shard_tensors, train_idxs)):
+                        def local_step(replica=replica, opt=opt,
+                                       shard=shard, xt=xt, tidx=tidx):
+                            opt.zero_grad()
+                            logits = replica(shard["adj"], xt)
+                            if len(tidx) == 0:
+                                return 0.0
+                            loss = cross_entropy(logits[tidx],
+                                                 shard["y"][tidx])
+                            loss.backward()
+                            return loss.item()
 
-            epoch_losses.append(worker.run(local_step))
+                        loss_refs.append(graph.add(
+                            f"e{epoch:04d}/r{r}", local_step,
+                            worker=worker.name))
 
-        # Line 12: aggregate gradients (one fused ring all-reduce bucket)
-        param_lists = [m.parameters() for m in replicas]
-        per_rank = [[p.grad if p.grad is not None else np.zeros_like(p.data)
-                     for p in pl] for pl in param_lists]
-        reduced = bucketed_allreduce(per_rank, devices, average=True)
-        for rank in range(k):
-            for p, g in zip(param_lists[rank], reduced[rank]):
-                p.grad = g
+                    def update(*rank_losses):
+                        # Line 12: aggregate gradients (one fused ring
+                        # all-reduce bucket)
+                        param_lists = [m.parameters() for m in replicas]
+                        per_rank = [[p.grad if p.grad is not None
+                                     else np.zeros_like(p.data)
+                                     for p in pl] for pl in param_lists]
+                        reduced = bucketed_allreduce(per_rank, devices,
+                                                     average=True)
+                        for rank in range(k):
+                            for p, g in zip(param_lists[rank],
+                                            reduced[rank]):
+                                p.grad = g
+                        # Line 13: synchronized update
+                        for opt in optimizers:
+                            opt.step()
+                        # Line 14: report epoch loss
+                        return float(np.mean(rank_losses))
 
-        # Line 13: synchronized update
-        for opt in optimizers:
-            opt.step()
+                    graph.add(f"e{epoch:04d}/update", update, *loss_refs,
+                              worker=cluster.workers[0].name)
+                    results, schedule = scheduler.run(graph,
+                                                      report=schedule)
+                    mean_loss = results[f"e{epoch:04d}/update"]
+                    losses.append(mean_loss)
+                    telemetry.observe("gcn.epoch_loss", mean_loss)
+            if training_span is not None:
+                training_span.finish(schedule.end_ns)
 
-        # Line 14: report epoch loss
-        losses.append(float(np.mean(epoch_losses)))
-
-    system.synchronize()
-    elapsed_ms = (system.clock.now_ns - t0) / 1e6
-    utilization = system.utilization_report((t0, system.clock.now_ns))
+        system.synchronize()
+        elapsed_ms = (system.clock.now_ns - t0) / 1e6
+        utilization = system.utilization_report((t0, system.clock.now_ns))
+        tracer = telemetry.current_tracer()
+        if tracer is not None:
+            from repro.telemetry.metrics import record_gpu_utilization
+            record_gpu_utilization(tracer.metrics, system,
+                                   window=(t0, system.clock.now_ns))
 
     # Evaluation: rank-0 replica on the FULL graph (inference is cheap and
     # the model was trained to be shared — Algorithm 1 returns θ).
@@ -192,4 +239,5 @@ def train_distributed(dataset: GraphDataset, k: int, epochs: int = 60,
         partitioner=partitioner,
         partition=report,
         per_gpu_utilization=utilization,
+        schedule=schedule,
     )

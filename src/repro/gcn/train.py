@@ -12,6 +12,7 @@ from repro.gpu.system import GpuSystem, default_system
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
+from repro.telemetry import api as telemetry
 
 
 @dataclass
@@ -66,13 +67,19 @@ def train_sequential(dataset: GraphDataset, epochs: int = 60,
 
     t0 = system.clock.now_ns
     losses: list[float] = []
-    for _epoch in range(epochs):
-        opt.zero_grad()
-        logits = model(adj, x)
-        loss = cross_entropy(logits[train_idx], dataset.labels[train_idx])
-        loss.backward()
-        opt.step()
-        losses.append(loss.item())
+    with telemetry.span("gcn.train-sequential", kind="workflow",
+                        attributes={"epochs": epochs,
+                                    "device": device}):
+        for _epoch in range(epochs):
+            with telemetry.span(f"epoch {_epoch:03d}", kind="epoch"):
+                opt.zero_grad()
+                logits = model(adj, x)
+                loss = cross_entropy(logits[train_idx],
+                                     dataset.labels[train_idx])
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+                telemetry.observe("gcn.epoch_loss", losses[-1])
     system.synchronize()
     elapsed_ms = (system.clock.now_ns - t0) / 1e6
 

@@ -25,17 +25,26 @@ def current_profilers() -> list:
 @contextlib.contextmanager
 def annotate(name: str, color: str = "blue") -> Iterator[None]:
     """Record a named range covering the simulated time spent inside the
-    block.  Nesting works; ranges are attributed to the host timeline.
+    block.  Nesting works; ranges are attributed to the *current device*
+    (or ``-1`` on a GPU-less system).
 
-    ``color`` is carried for API fidelity with ``nvtx.annotate`` (the
-    timeline renderers ignore it).
+    Ranges land in every active profiler, and — when a
+    :class:`~repro.telemetry.tracer.Tracer` is active — as ``nvtx``
+    telemetry spans carrying the ``color`` attribute, parented under
+    whatever span is open.
     """
-    clock = default_system().clock
+    system = default_system()
+    clock = system.clock
     start = clock.now_ns
     try:
         yield
     finally:
         end = clock.now_ns
-        span = Span(start, max(end, start + 1), name, "nvtx", 0, -1)
+        device_id = system.current.device_id if len(system) else -1
+        span = Span(start, max(end, start + 1), name, "nvtx", 0,
+                    device_id)
         for prof in _profiler_stack:
             prof.record_range(span)
+        from repro.telemetry import api as telemetry
+        telemetry.record(name, "nvtx", start, max(end, start + 1),
+                         {"color": color, "device": device_id})

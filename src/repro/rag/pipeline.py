@@ -17,6 +17,7 @@ from repro.rag.corpus import SyntheticCorpus
 from repro.rag.embed import HashingEmbedder, TfidfEmbedder
 from repro.rag.generator import NgramGenerator
 from repro.rag.index import FlatIndex, IVFFlatIndex, SearchResult
+from repro.telemetry import api as telemetry
 
 
 def recall_at_k(result_ids: np.ndarray, relevant: np.ndarray) -> float:
@@ -99,29 +100,43 @@ class RagPipeline:
         if not query.strip():
             raise ReproError("empty query")
         k = k or self.k
-        t0 = self._now_ms()
-        vec = self.embed_queries([query])
-        t1 = self._now_ms()
-        n_fetch = (candidates or 3 * k) if rerank else k
-        result = self.index.search(vec, n_fetch)
-        t2 = self._now_ms()
-        doc_ids = result.ids[0]
-        scores = result.scores[0]
-        timings = {"embed": t1 - t0, "retrieve": t2 - t1}
-        if rerank:
-            if self._reranker is None:
-                from repro.rag.rerank import CrossEncoderReranker
-                self._reranker = CrossEncoderReranker(
-                    self.corpus.documents, device=self.index.device.name)
-            rr = self._reranker.rerank(query, doc_ids, top_k=k)
-            doc_ids, scores = rr.ids, rr.scores
-            t2b = self._now_ms()
-            timings["rerank"] = t2b - t2
-            t2 = t2b
-        context = [self.corpus.documents[i] for i in doc_ids if i >= 0]
-        text = self.generator.generate(query, context=context,
-                                       max_new_tokens=max_new_tokens)
-        timings["generate"] = self._now_ms() - t2
+
+        def ns(t_ms: float) -> int:
+            return int(round(t_ms * 1e6))
+
+        with telemetry.span("rag.answer", kind="stage",
+                            attributes={"k": k, "rerank": rerank}):
+            t0 = self._now_ms()
+            vec = self.embed_queries([query])
+            t1 = self._now_ms()
+            telemetry.record("embed", "stage", ns(t0), ns(t1))
+            n_fetch = (candidates or 3 * k) if rerank else k
+            result = self.index.search(vec, n_fetch)
+            t2 = self._now_ms()
+            telemetry.record("retrieve", "stage", ns(t1), ns(t2))
+            doc_ids = result.ids[0]
+            scores = result.scores[0]
+            timings = {"embed": t1 - t0, "retrieve": t2 - t1}
+            if rerank:
+                if self._reranker is None:
+                    from repro.rag.rerank import CrossEncoderReranker
+                    self._reranker = CrossEncoderReranker(
+                        self.corpus.documents,
+                        device=self.index.device.name)
+                rr = self._reranker.rerank(query, doc_ids, top_k=k)
+                doc_ids, scores = rr.ids, rr.scores
+                t2b = self._now_ms()
+                timings["rerank"] = t2b - t2
+                telemetry.record("rerank", "stage", ns(t2), ns(t2b))
+                t2 = t2b
+            context = [self.corpus.documents[i] for i in doc_ids if i >= 0]
+            text = self.generator.generate(query, context=context,
+                                           max_new_tokens=max_new_tokens)
+            t3 = self._now_ms()
+            timings["generate"] = t3 - t2
+            telemetry.record("generate", "stage", ns(t2), ns(t3))
+            for stage, ms in timings.items():
+                telemetry.observe(f"rag.{stage}_ms", ms)
         return RagResponse(
             query=query,
             answer=text,

@@ -12,16 +12,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ReproError
 from repro.gpu.system import default_system
 from repro.rag.pipeline import RagPipeline
+from repro.telemetry import api as telemetry
+from repro.telemetry.metrics import Histogram
 
 
 @dataclass(frozen=True)
 class ServingStats:
-    """Latency/throughput summary of one serving run."""
+    """Latency/throughput summary of one serving run.
+
+    Percentiles come from the telemetry
+    :class:`~repro.telemetry.metrics.Histogram` of per-query latencies
+    (the ``rag.latency_ms`` metric a tracer also collects).
+    """
 
     n_queries: int
     batch_size: int
@@ -30,11 +35,13 @@ class ServingStats:
     latency_p50_ms: float
     latency_p95_ms: float
     latency_mean_ms: float
+    latency_p99_ms: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (f"B={self.batch_size}: {self.throughput_qps:.0f} qps, "
                 f"p50={self.latency_p50_ms:.2f} ms, "
-                f"p95={self.latency_p95_ms:.2f} ms")
+                f"p95={self.latency_p95_ms:.2f} ms, "
+                f"p99={self.latency_p99_ms:.2f} ms")
 
 
 class RagServer:
@@ -63,30 +70,45 @@ class RagServer:
         """Process all queries; returns the aggregate statistics."""
         if not queries:
             raise ReproError("no queries to serve")
-        latencies: list[float] = []
+        hist = Histogram("rag.latency_ms")
         run_start = self._now_ms()
-        for lo in range(0, len(queries), self.batch_size):
-            batch = queries[lo:lo + self.batch_size]
-            batch_start = self._now_ms()
-            vecs = self.pipeline.embed_queries(batch)
-            result = self.pipeline.index.search(vecs, self.pipeline.k)
-            for qi, query in enumerate(batch):
-                doc_ids = result.ids[qi]
-                context = [self.pipeline.corpus.documents[i]
-                           for i in doc_ids if i >= 0]
-                self.pipeline.generator.generate(
-                    query, context=context, max_new_tokens=max_new_tokens)
-                latencies.append(self._now_ms() - batch_start)
+        with telemetry.span("rag.serve", kind="workflow",
+                            attributes={"batch_size": self.batch_size,
+                                        "n_queries": len(queries)}):
+            for lo in range(0, len(queries), self.batch_size):
+                batch = queries[lo:lo + self.batch_size]
+                batch_start = self._now_ms()
+                with telemetry.span(
+                        f"batch {lo // self.batch_size:03d}",
+                        kind="stage",
+                        attributes={"queries": len(batch)}):
+                    with telemetry.span("embed", kind="stage"):
+                        vecs = self.pipeline.embed_queries(batch)
+                    with telemetry.span("search", kind="stage"):
+                        result = self.pipeline.index.search(
+                            vecs, self.pipeline.k)
+                    for qi, query in enumerate(batch):
+                        doc_ids = result.ids[qi]
+                        context = [self.pipeline.corpus.documents[i]
+                                   for i in doc_ids if i >= 0]
+                        with telemetry.span("generate", kind="stage"):
+                            self.pipeline.generator.generate(
+                                query, context=context,
+                                max_new_tokens=max_new_tokens)
+                        latency = self._now_ms() - batch_start
+                        hist.observe(latency)
+                        telemetry.observe("rag.latency_ms", latency)
+                        telemetry.count("rag.queries")
         total_ms = self._now_ms() - run_start
-        lat = np.asarray(latencies)
         return ServingStats(
             n_queries=len(queries),
             batch_size=self.batch_size,
             total_ms=total_ms,
             throughput_qps=len(queries) / (total_ms / 1e3) if total_ms else 0.0,
-            latency_p50_ms=float(np.percentile(lat, 50)),
-            latency_p95_ms=float(np.percentile(lat, 95)),
-            latency_mean_ms=float(lat.mean()),
+            latency_p50_ms=hist.percentile(50),
+            latency_p95_ms=hist.percentile(95),
+            latency_mean_ms=hist.mean,
+            latency_p99_ms=hist.percentile(99),
         )
 
 

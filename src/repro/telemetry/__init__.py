@@ -1,0 +1,71 @@
+"""repro.telemetry — distributed tracing and metrics for the simulated stack.
+
+An OpenTelemetry-style observability plane over the simulated SageMaker
+stack: one :class:`Tracer` entered around a workload collects a single
+trace spanning the cloud control plane (API-call spans, billing-accrual
+events), the distributed scheduler (per-task spans with placement and
+retry events), the GPU devices (kernel/transfer/collective spans bridged
+from the device timelines), and the workloads themselves (GCN epochs,
+RAG serving stages) — all on the simulated clock with seeded ids, so a
+trace is exactly reproducible.
+
+Quick start::
+
+    from repro import telemetry
+
+    with telemetry.Tracer(seed=7) as tracer:
+        with tracer.span("my-workflow", kind="workflow"):
+            run_workload()
+    telemetry.write_jsonl("trace.jsonl", tracer.spans, tracer.metrics)
+
+then ``python -m repro.telemetry waterfall trace.jsonl``.
+
+Library code instruments itself through :mod:`repro.telemetry.api`
+(``api.span`` / ``api.add_event`` / ``api.observe``), which no-ops when
+no tracer is active — tracing off costs nothing, as the overhead
+benchmark asserts.
+"""
+
+from repro.telemetry import api
+from repro.telemetry.api import current_tracer
+from repro.telemetry.context import IdGenerator, SpanContext
+from repro.telemetry.critical_path import CriticalPath, critical_path
+from repro.telemetry.export import (
+    read_jsonl,
+    to_chrome,
+    to_jsonl_lines,
+    write_chrome,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_gpu_utilization,
+)
+from repro.telemetry.span import SPAN_KINDS, SpanEvent, TelemetrySpan
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "api",
+    "current_tracer",
+    "IdGenerator",
+    "SpanContext",
+    "CriticalPath",
+    "critical_path",
+    "read_jsonl",
+    "to_chrome",
+    "to_jsonl_lines",
+    "write_chrome",
+    "write_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "record_gpu_utilization",
+    "SPAN_KINDS",
+    "SpanEvent",
+    "TelemetrySpan",
+    "Tracer",
+]

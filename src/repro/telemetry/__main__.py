@@ -1,0 +1,13 @@
+"""Entry point for ``python -m repro.telemetry``."""
+
+import sys
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # output piped into head/less that closed early — not an error
+        sys.stderr.close()
+        sys.exit(0)

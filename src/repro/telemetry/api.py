@@ -1,0 +1,86 @@
+"""The no-op-when-inactive instrumentation surface.
+
+Library code (the scheduler, the cloud control plane, the RAG server, the
+GCN trainers) calls *this* module, never :mod:`repro.telemetry.tracer`
+directly: every helper here resolves the innermost active
+:class:`~repro.telemetry.tracer.Tracer` and degrades to a cheap no-op
+when none is entered, so instrumentation costs nothing on untraced runs
+and the instrumented modules never grow a hard dependency on a tracer
+object being threaded through their signatures.
+
+The active-tracer stack lives here (not in ``tracer.py``) so that deeply
+nested modules can import the hook surface without pulling in exporters
+or analyzers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, List
+
+# Active tracers, innermost last; Tracer.__enter__/__exit__ maintain this
+# (the same discipline as repro.profiling.nvtx._profiler_stack).
+_tracer_stack: List = []
+
+
+def current_tracer():
+    """The innermost active tracer, or ``None`` when tracing is off."""
+    return _tracer_stack[-1] if _tracer_stack else None
+
+
+def active_tracers() -> list:
+    """All active tracers, outermost first."""
+    return list(_tracer_stack)
+
+
+@contextlib.contextmanager
+def span(name: str, kind: str = "internal",
+         start_ns: int | None = None,
+         attributes: dict[str, Any] | None = None) -> Iterator:
+    """Open ``name`` as the current span on the active tracer; yields the
+    :class:`~repro.telemetry.span.TelemetrySpan` (or ``None`` untraced)."""
+    tracer = current_tracer()
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, kind=kind, start_ns=start_ns,
+                     attributes=attributes) as s:
+        yield s
+
+
+def add_event(name: str, timestamp_ns: int | None = None,
+              **attributes: Any) -> None:
+    """Attach a point event to the current span of the active tracer."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.add_event(name, timestamp_ns=timestamp_ns, **attributes)
+
+
+def set_attribute(key: str, value: Any) -> None:
+    """Set an attribute on the current span of the active tracer."""
+    tracer = current_tracer()
+    if tracer is not None and tracer.current_span() is not None:
+        tracer.current_span().set_attribute(key, value)
+
+
+def record(name: str, kind: str, start_ns: int, end_ns: int,
+           attributes: dict[str, Any] | None = None) -> None:
+    """Record an already-finished interval on the active tracer."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.record(name, kind=kind, start_ns=start_ns, end_ns=end_ns,
+                      attributes=attributes)
+
+
+def observe(metric: str, value: float) -> None:
+    """Observe ``value`` into the active tracer's histogram ``metric``."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.metrics.histogram(metric).observe(value)
+
+
+def count(metric: str, value: float = 1.0) -> None:
+    """Increment the active tracer's counter ``metric``."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.metrics.counter(metric).inc(value)

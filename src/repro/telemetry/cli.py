@@ -1,0 +1,125 @@
+"""``python -m repro.telemetry`` — render an exported trace.
+
+Subcommands over a JSONL export (:func:`repro.telemetry.export.write_jsonl`):
+
+* ``waterfall`` — the indented gantt view: every span as a bar on a
+  shared time axis, children nested under parents;
+* ``summary`` — per-(name, kind) aggregate table plus the exported
+  metrics snapshot;
+* ``critical-path`` — the longest dependency chain through the trace.
+
+All output is plain text on stdout; no GUI, no network — the point is
+that a trace captured in a test or a lab can be inspected anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.telemetry.critical_path import critical_path
+from repro.telemetry.export import read_jsonl
+from repro.telemetry.span import TelemetrySpan
+
+BAR_WIDTH = 40
+
+
+def _depths(spans: list[TelemetrySpan]) -> dict[str, int]:
+    by_id = {s.span_id: s for s in spans}
+    depths: dict[str, int] = {}
+
+    def depth(s: TelemetrySpan) -> int:
+        if s.span_id in depths:
+            return depths[s.span_id]
+        parent = by_id.get(s.parent_id) if s.parent_id else None
+        d = 0 if parent is None else depth(parent) + 1
+        depths[s.span_id] = d
+        return d
+
+    for s in spans:
+        depth(s)
+    return depths
+
+
+def render_waterfall(spans: list[TelemetrySpan], width: int = BAR_WIDTH
+                     ) -> str:
+    """The indented-bars view of one or more traces."""
+    if not spans:
+        return "(empty trace)"
+    lines: list[str] = []
+    trace_order: dict[str, None] = {}
+    for s in spans:
+        trace_order.setdefault(s.trace_id, None)
+    for trace_id in trace_order:
+        trace = [s for s in spans if s.trace_id == trace_id]
+        t0 = min(s.start_ns for s in trace)
+        t1 = max((s.end_ns for s in trace if s.ended),
+                 default=t0 + 1)
+        extent = max(t1 - t0, 1)
+        depths = _depths(trace)
+        lines.append(f"trace {trace_id}  "
+                     f"({len(trace)} spans, {extent / 1e6:.3f} ms)")
+        for s in sorted(trace, key=lambda s: (s.start_ns,
+                                              depths[s.span_id])):
+            end = s.end_ns if s.ended else t1
+            lo = round((s.start_ns - t0) / extent * width)
+            hi = max(round((end - t0) / extent * width), lo + 1)
+            bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+            label = "  " * depths[s.span_id] + s.name
+            flag = " !" if s.status == "error" else ""
+            lines.append(f"{label[:34]:<34} {s.kind:<10} |{bar}| "
+                         f"{(end - s.start_ns) / 1e6:>9.3f} ms{flag}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_summary(spans: list[TelemetrySpan], metrics: dict) -> str:
+    """Aggregate per-(name, kind) table plus the metrics snapshot."""
+    rows: dict[tuple[str, str], list[float]] = {}
+    for s in spans:
+        if not s.ended:
+            continue
+        row = rows.setdefault((s.name, s.kind), [0, 0.0])
+        row[0] += 1
+        row[1] += s.duration_ns
+    lines = [f"{'Name':<36} {'Kind':<11} {'Count':>6} {'Total ms':>10}",
+             "-" * 66]
+    for (name, kind), (count, total) in sorted(
+            rows.items(), key=lambda kv: -kv[1][1]):
+        lines.append(f"{name[:36]:<36} {kind:<11} {int(count):>6} "
+                     f"{total / 1e6:>10.3f}")
+    if metrics:
+        lines += ["", f"{'Metric':<44} {'Stat':<6} {'Value':>12}",
+                  "-" * 64]
+        for name in sorted(metrics):
+            for stat, value in metrics[name].items():
+                lines.append(f"{name[:44]:<44} {stat:<6} {value:>12.3f}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Render an exported telemetry trace (JSONL format).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for cmd, help_ in (("waterfall", "indented gantt view"),
+                       ("summary", "aggregate span + metrics tables"),
+                       ("critical-path", "longest dependency chain")):
+        p = sub.add_parser(cmd, help=help_)
+        p.add_argument("trace_file", help="JSONL export path")
+        p.add_argument("--trace", default=None,
+                       help="restrict to one trace id")
+    args = parser.parse_args(argv)
+
+    spans, metrics = read_jsonl(args.trace_file)
+    if args.trace is not None:
+        spans = [s for s in spans if s.trace_id == args.trace]
+    if args.command == "waterfall":
+        print(render_waterfall(spans))
+    elif args.command == "summary":
+        print(render_summary(spans, metrics))
+    else:
+        roots = [s for s in spans if s.is_root and s.kind == "workflow"]
+        path = critical_path(spans, within=roots[0] if roots else None)
+        print(path.table())
+    return 0

@@ -1,0 +1,76 @@
+"""Span contexts and deterministic id generation.
+
+OpenTelemetry identifies every span by a ``(trace_id, span_id)`` pair and
+threads that pair — the *span context* — across process boundaries so a
+distributed trace reassembles on the other side.  Real SDKs draw ids from
+a CSPRNG; here ids come from a **seeded counter**, because the whole
+simulated stack is deterministic and the trace of a run must be too (the
+same workload yields byte-identical exports, which is what the benchmark
+suite asserts on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# W3C traceparent-style carrier key used by inject/extract.
+TRACEPARENT_KEY = "traceparent"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of one span."""
+
+    trace_id: str                 # 32 hex chars, shared by a whole trace
+    span_id: str                  # 16 hex chars, unique per span
+    parent_id: str | None = None  # the parent span's span_id (None = root)
+
+    def child(self, span_id: str) -> "SpanContext":
+        """A context for a child span: same trace, this span as parent."""
+        return SpanContext(trace_id=self.trace_id, span_id=span_id,
+                           parent_id=self.span_id)
+
+    # -- propagation ------------------------------------------------------
+
+    def inject(self, carrier: dict | None = None) -> dict:
+        """Write this context into a ``carrier`` mapping (the headers of a
+        simulated RPC), W3C ``traceparent`` style."""
+        carrier = carrier if carrier is not None else {}
+        carrier[TRACEPARENT_KEY] = f"00-{self.trace_id}-{self.span_id}-01"
+        return carrier
+
+    @classmethod
+    def extract(cls, carrier: dict) -> "SpanContext | None":
+        """Recover a context previously :meth:`inject`-ed; ``None`` when
+        the carrier holds no (or a malformed) traceparent."""
+        raw = carrier.get(TRACEPARENT_KEY)
+        if not isinstance(raw, str):
+            return None
+        parts = raw.split("-")
+        if len(parts) != 4 or len(parts[1]) != 32 or len(parts[2]) != 16:
+            return None
+        return cls(trace_id=parts[1], span_id=parts[2])
+
+
+class IdGenerator:
+    """Deterministic trace/span id source.
+
+    ``seed`` lands in the high bits of every trace id so two tracers with
+    different seeds never collide, and a re-run with the same seed
+    reproduces the same ids — no wall clock, no randomness.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.seed = seed
+        self._trace_n = 0
+        self._span_n = 0
+
+    def next_trace_id(self) -> str:
+        self._trace_n += 1
+        return f"{self.seed & 0xFFFFFFFF:08x}{self._trace_n:024x}"
+
+    def next_span_id(self) -> str:
+        self._span_n += 1
+        return f"{self._span_n:016x}"

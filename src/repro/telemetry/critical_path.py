@@ -1,0 +1,134 @@
+"""Trace-derived critical-path analysis.
+
+The makespan of a schedule is set by its longest dependency chain, and a
+trace contains that chain implicitly: at any moment, *something* is the
+reason the workflow hasn't finished yet.  :func:`critical_path` recovers
+it by walking backwards from the latest-finishing leaf span — at each
+step jumping to the latest-finishing span that ended at or before the
+current one started (the work the current span was waiting on).  The
+recovered chain's extent matches the schedule makespan, which is what
+the end-to-end telemetry test asserts against
+:class:`~repro.distributed.scheduler.ScheduleReport`.
+
+:meth:`CriticalPath.diagnose` pushes the chain's kernel-annotated spans
+through :class:`~repro.profiling.bottleneck.BottleneckAnalyzer` so the
+answer to "what do I fix first?" comes straight off the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.span import TelemetrySpan
+
+# Structural span kinds never *are* the work being waited on; the chain
+# walks over their children instead.
+_CONTAINER_KINDS = ("workflow", "stage", "epoch", "nvtx", "internal")
+
+
+@dataclass
+class CriticalPath:
+    """The recovered longest chain, earliest span first."""
+
+    spans: list[TelemetrySpan] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> int:
+        """Extent of the chain: last finish minus first start."""
+        if not self.spans:
+            return 0
+        return self.spans[-1].end_ns - self.spans[0].start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    @property
+    def busy_ns(self) -> int:
+        """Nanoseconds of the chain actually covered by spans (the rest
+        is wait time between chain links)."""
+        return sum(s.duration_ns for s in self.spans)
+
+    @property
+    def wait_ns(self) -> int:
+        return max(self.duration_ns - self.busy_ns, 0)
+
+    def diagnose(self, spec=None) -> list:
+        """Roofline verdicts for the chain's flop/byte-annotated spans.
+
+        ``spec`` defaults to the default system's device spec.  Imported
+        lazily so :mod:`repro.telemetry` never circularly depends on
+        :mod:`repro.profiling` at import time.
+        """
+        from repro.profiling.bottleneck import BottleneckAnalyzer
+        if spec is None:
+            from repro.gpu.system import default_system
+            spec = default_system().devices[0].spec
+        analyzer = BottleneckAnalyzer(spec)
+        verdicts = []
+        for s in self.spans:
+            flops = float(s.attributes.get("flops", 0.0))
+            nbytes = float(s.attributes.get("bytes", 0.0))
+            if flops or nbytes:
+                verdicts.append(analyzer.classify_span(
+                    s.name, flops, nbytes, s.duration_ns))
+        return verdicts
+
+    def table(self) -> str:
+        """Plain-text rendering of the chain, one link per row."""
+        lines = [f"{'Span':<40} {'Kind':<11} {'Start ms':>10} "
+                 f"{'Dur ms':>9}", "-" * 73]
+        for s in self.spans:
+            lines.append(f"{s.name[:40]:<40} {s.kind:<11} "
+                         f"{s.start_ns / 1e6:>10.3f} "
+                         f"{s.duration_ms:>9.3f}")
+        lines.append(f"{'(total extent)':<40} {'':<11} {'':>10} "
+                     f"{self.duration_ms:>9.3f}")
+        return "\n".join(lines)
+
+
+def _leaves(spans: list[TelemetrySpan]) -> list[TelemetrySpan]:
+    """Ended, childless, non-container spans — the actual units of work
+    the chain is built from."""
+    parents = {s.parent_id for s in spans if s.parent_id is not None}
+    return [s for s in spans
+            if s.ended and s.kind not in _CONTAINER_KINDS
+            and s.span_id not in parents]
+
+
+def critical_path(spans: list[TelemetrySpan],
+                  within: TelemetrySpan | None = None) -> CriticalPath:
+    """Recover the critical path through ``spans``.
+
+    ``within`` restricts the walk to one trace and one interval — pass a
+    workflow or stage span to get the chain that set *its* duration.
+    """
+    pool = list(spans)
+    if within is not None:
+        end = within.end_ns if within.end_ns is not None else max(
+            (s.end_ns for s in pool if s.ended), default=within.start_ns)
+        pool = [s for s in pool
+                if s.trace_id == within.trace_id
+                and s.span_id != within.span_id
+                and s.start_ns >= within.start_ns
+                and s.ended and s.end_ns <= end]
+    work = _leaves(pool)
+    if not work:
+        return CriticalPath()
+    # Walk back from the latest-finishing span.
+    by_end = sorted(work, key=lambda s: (s.end_ns, s.start_ns))
+    chain = [by_end[-1]]
+    while True:
+        cur = chain[-1]
+        pred = None
+        for s in reversed(by_end):
+            if s is cur or s in chain:
+                continue
+            if s.end_ns <= cur.start_ns:
+                pred = s
+                break
+        if pred is None:
+            break
+        chain.append(pred)
+    chain.reverse()
+    return CriticalPath(spans=chain)

@@ -1,0 +1,126 @@
+"""Trace exporters: Chrome trace JSON and an OTLP-like JSONL format.
+
+Two formats, two audiences:
+
+* :func:`to_chrome` / :func:`write_chrome` emit the Chrome
+  ``about:tracing`` / Perfetto event-list format (the same dialect the
+  :class:`~repro.profiling.timeline.Profiler` speaks), for eyeballs;
+* :func:`write_jsonl` / :func:`read_jsonl` emit one JSON object per
+  line — ``span`` rows shaped like OTLP spans plus ``metric`` rows —
+  and round-trip losslessly, for machines (the CLI and the
+  critical-path analyzer both consume it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.span import TelemetrySpan
+
+_DEVICE_KINDS = ("kernel", "transfer", "collective", "overhead", "host")
+
+
+def _lane(span: TelemetrySpan) -> tuple[object, object]:
+    """(pid, tid) lanes for the Chrome view: device timelines group under
+    their GPU, everything else under the workflow track."""
+    if span.kind in _DEVICE_KINDS:
+        dev = span.attributes.get("device", -1)
+        pid = "host" if span.kind == "host" or dev < 0 else f"gpu{dev}"
+        return pid, span.attributes.get("stream", 0)
+    return "workflow", span.kind
+
+
+def to_chrome(spans: Iterable[TelemetrySpan],
+              metrics: MetricsRegistry | None = None) -> dict:
+    """A Chrome-trace document: complete ``X`` events for spans, instant
+    ``i`` events for span events, metrics snapshot in ``metadata``."""
+    events: list[dict] = []
+    for s in spans:
+        pid, tid = _lane(s)
+        end = s.end_ns if s.end_ns is not None else s.start_ns
+        events.append({
+            "name": s.name,
+            "cat": s.kind,
+            "ph": "X",
+            "ts": s.start_ns / 1e3,      # chrome wants microseconds
+            "dur": (end - s.start_ns) / 1e3,
+            "pid": pid,
+            "tid": tid,
+            "args": {"trace_id": s.trace_id, "span_id": s.span_id,
+                     "status": s.status, **s.attributes},
+        })
+        for ev in s.events:
+            events.append({
+                "name": ev.name,
+                "cat": s.kind,
+                "ph": "i",
+                "ts": ev.timestamp_ns / 1e3,
+                "pid": pid,
+                "tid": tid,
+                "s": "t",                # thread-scoped instant
+                "args": dict(ev.attributes),
+            })
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["metadata"] = {"metrics": metrics.collect()}
+    return doc
+
+
+def write_chrome(path: str, spans: Iterable[TelemetrySpan],
+                 metrics: MetricsRegistry | None = None) -> int:
+    """Write the Chrome-trace document to ``path``; returns event count."""
+    doc = to_chrome(spans, metrics)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+    return len(doc["traceEvents"])
+
+
+# --------------------------------------------------------------------------
+# OTLP-like JSONL
+# --------------------------------------------------------------------------
+
+
+def to_jsonl_lines(spans: Iterable[TelemetrySpan],
+                   metrics: MetricsRegistry | None = None) -> list[str]:
+    """One JSON object per line: ``{"type": "span", ...}`` rows followed
+    by ``{"type": "metric", ...}`` rows."""
+    lines = [json.dumps({"type": "span", **s.to_dict()}, sort_keys=True)
+             for s in spans]
+    if metrics is not None:
+        for name, stats in metrics.collect().items():
+            lines.append(json.dumps(
+                {"type": "metric", "name": name, "stats": stats},
+                sort_keys=True))
+    return lines
+
+
+def write_jsonl(path: str, spans: Iterable[TelemetrySpan],
+                metrics: MetricsRegistry | None = None) -> int:
+    """Write the JSONL export to ``path``; returns the line count."""
+    lines = to_jsonl_lines(spans, metrics)
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def read_jsonl(path: str) -> tuple[list[TelemetrySpan], dict]:
+    """Load a JSONL export back: ``(spans, {metric_name: stats})``.
+
+    ``read_jsonl(write_jsonl(...))`` reproduces the original spans
+    exactly — the round-trip the export tests assert on.
+    """
+    spans: list[TelemetrySpan] = []
+    metrics: dict[str, dict] = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("type") == "span":
+                spans.append(TelemetrySpan.from_dict(row))
+            elif row.get("type") == "metric":
+                metrics[row["name"]] = row["stats"]
+    return spans, metrics

@@ -1,0 +1,179 @@
+"""Counters, gauges, and histograms over the simulated stack.
+
+The metrics half of the telemetry plane: spans say *what happened when*,
+metrics say *how much and how fast in aggregate*.  A
+:class:`MetricsRegistry` is a flat namespace of named instruments;
+histograms keep every observation (runs are laptop-scale) so exact
+p50/p95/p99 fall out without bucket-boundary error, and
+:meth:`MetricsRegistry.publish_cloudwatch` flushes everything as
+datapoints into the simulated :class:`~repro.cloud.cloudwatch.CloudWatch`
+— which is what lets threshold alarms and the idle reaper key off
+workflow metrics instead of raw activity timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _label_suffix(labels: dict[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (queries served, tasks run)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ReproError("counters only go up")
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (GPU utilization, queue depth)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """A distribution with exact percentiles."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return float(np.sum(self.samples)) if self.samples else 0.0
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the observations."""
+        if not 0 <= p <= 100:
+            raise ReproError(f"percentile must be in [0, 100], got {p}")
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples), p))
+
+    def summary(self) -> dict[str, float]:
+        """The stat row exporters and CloudWatch publication use."""
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict) -> object:
+        key = name + _label_suffix(labels)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name=key)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise ReproError(
+                f"metric {key!r} is a {type(inst).__name__}, "
+                f"not a {cls.__name__}")
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def collect(self) -> dict[str, dict[str, float]]:
+        """Snapshot of every instrument: ``{name: {stat: value}}``."""
+        out: dict[str, dict[str, float]] = {}
+        for key, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Histogram):
+                out[key] = inst.summary()
+            else:
+                out[key] = {"value": inst.value}
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- CloudWatch bridge ------------------------------------------------
+
+    def publish_cloudwatch(self, cloudwatch, dimension: str,
+                           namespace: str = "telemetry",
+                           timestamp_h: float = 0.0) -> int:
+        """Flush every instrument as CloudWatch datapoints.
+
+        Counters and gauges publish their value under their own name;
+        a histogram publishes ``name.mean`` / ``.p50`` / ``.p95`` /
+        ``.p99`` / ``.count``.  ``dimension`` is typically the instance
+        (or notebook) id the metrics describe, so alarms dimensioned on
+        that resource — and the idle reaper consuming them — fire on
+        workflow telemetry.  Returns the number of datapoints written.
+        """
+        n = 0
+        for key, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Histogram):
+                stats = inst.summary()
+                for stat in ("mean", "p50", "p95", "p99", "count"):
+                    cloudwatch.put_metric(namespace, f"{key}.{stat}",
+                                          dimension, stats[stat],
+                                          timestamp_h)
+                    n += 1
+            else:
+                cloudwatch.put_metric(namespace, key, dimension,
+                                      inst.value, timestamp_h)
+                n += 1
+        return n
+
+
+def record_gpu_utilization(registry: MetricsRegistry, system,
+                           window: tuple[int, int] | None = None,
+                           metric: str = "GPUUtilization") -> dict[int, float]:
+    """Gauge per-device busy percentage (0-100, the ``nvidia-smi`` and
+    CloudWatch convention) into ``registry``; returns the raw report."""
+    report = system.utilization_report(window)
+    for device_id, frac in report.items():
+        registry.gauge(metric, device=device_id).set(100.0 * frac)
+    if report:
+        registry.gauge(metric).set(
+            100.0 * sum(report.values()) / len(report))
+    return report

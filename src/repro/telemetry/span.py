@@ -1,0 +1,149 @@
+"""Telemetry spans: named, attributed intervals on the simulated clock.
+
+A :class:`TelemetrySpan` is the OTLP-shaped sibling of the GPU model's
+:class:`~repro.gpu.device.Span`: where the device span records *what a
+stream executed*, the telemetry span records *what the workflow was
+doing* — with a trace identity, a parent, free-form attributes, and point
+events (retries, P2P fetches, billing accruals) hanging off it.
+
+Span kinds form the taxonomy the exporters and the CLI group by:
+
+``workflow``
+    A root covering one end-to-end run (a schedule, a training job, a
+    serving session).
+``stage``
+    A phase inside a workflow (partition, scatter, training, embed,
+    search, rerank, generate).
+``epoch``
+    One training epoch.
+``task``
+    One scheduler task on a worker.
+``cloud``
+    One simulated AWS control-plane call.
+``kernel`` / ``transfer`` / ``collective`` / ``overhead`` / ``host``
+    Device-timeline spans bridged from the GPU model.
+``nvtx``
+    A bridged :func:`repro.profiling.nvtx.annotate` range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+SPAN_KINDS = ("workflow", "stage", "epoch", "task", "cloud", "kernel",
+              "transfer", "collective", "overhead", "host", "nvtx",
+              "internal")
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span."""
+
+    name: str
+    timestamp_ns: int
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "timestamp_ns": self.timestamp_ns,
+                "attributes": dict(self.attributes)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanEvent":
+        return cls(name=d["name"], timestamp_ns=int(d["timestamp_ns"]),
+                   attributes=dict(d.get("attributes", {})))
+
+
+@dataclass
+class TelemetrySpan:
+    """One traced interval.
+
+    ``end_ns`` stays ``None`` while the span is open; :meth:`finish` (or
+    the tracer's context manager) closes it.  All timestamps are
+    simulated nanoseconds from the owning system's
+    :class:`~repro.gpu.clock.SimClock`.
+    """
+
+    name: str
+    kind: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_ns: int
+    end_ns: int | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    status: str = "ok"            # "ok" | "error"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def finish(self, end_ns: int) -> "TelemetrySpan":
+        """Close the span at ``end_ns`` (clamped to the start so a span is
+        never negative-length)."""
+        self.end_ns = max(int(end_ns), self.start_ns)
+        return self
+
+    @property
+    def ended(self) -> bool:
+        return self.end_ns is not None
+
+    # -- annotations ------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> "TelemetrySpan":
+        self.attributes[key] = value
+        return self
+
+    def add_event(self, name: str, timestamp_ns: int,
+                  attributes: dict[str, Any] | None = None) -> SpanEvent:
+        ev = SpanEvent(name=name, timestamp_ns=int(timestamp_ns),
+                       attributes=dict(attributes or {}))
+        self.events.append(ev)
+        return ev
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        return (self.end_ns if self.end_ns is not None
+                else self.start_ns) - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe OTLP-like dict (the JSONL exporter's row shape)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attributes": dict(self.attributes),
+            "events": [e.to_dict() for e in self.events],
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TelemetrySpan":
+        return cls(
+            name=d["name"],
+            kind=d.get("kind", "internal"),
+            trace_id=d["trace_id"],
+            span_id=d["span_id"],
+            parent_id=d.get("parent_id"),
+            start_ns=int(d["start_ns"]),
+            end_ns=(int(d["end_ns"]) if d.get("end_ns") is not None
+                    else None),
+            attributes=dict(d.get("attributes", {})),
+            events=[SpanEvent.from_dict(e) for e in d.get("events", [])],
+            status=d.get("status", "ok"),
+        )

@@ -1,0 +1,281 @@
+"""The tracer: span lifecycle, device bridging, and trace assembly.
+
+A :class:`Tracer` is entered as a context manager around a workload.
+While active it
+
+* serves :func:`repro.telemetry.api.span` / ``record`` / ``add_event``
+  calls from instrumented library code (scheduler, cloud control plane,
+  RAG server, GCN trainers),
+* subscribes to every device and the host of its
+  :class:`~repro.gpu.system.GpuSystem` — the same listener hook the
+  :class:`~repro.profiling.timeline.Profiler` uses — so kernel launches,
+  memcpys, and collectives appear as ``kernel``/``transfer``/
+  ``collective`` spans parented under whatever workflow span was open
+  when they were *enqueued* (launch-site attribution, as Nsight does),
+* owns a :class:`~repro.telemetry.metrics.MetricsRegistry` that the
+  ``observe``/``count`` helpers feed.
+
+Timestamps come from the system's simulated clock, and ids from a seeded
+:class:`~repro.telemetry.context.IdGenerator`, so a traced run exports
+byte-identically across repetitions.  Crucially the tracer never touches
+the clock itself — no synchronize on exit — so tracing cannot perturb
+the simulated timings it reports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+from typing import Any, Callable, Iterator
+
+from repro.gpu.device import Span as GpuSpan
+from repro.gpu.system import GpuSystem, default_system
+from repro.telemetry import api
+from repro.telemetry.context import IdGenerator, SpanContext
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.span import TelemetrySpan
+
+# Device-span kind -> telemetry span kind.
+_DEVICE_KIND_MAP = {
+    "kernel": "kernel",
+    "memcpy_h2d": "transfer",
+    "memcpy_d2h": "transfer",
+    "memcpy_p2p": "transfer",
+    "collective": "collective",
+    "task": "overhead",
+    "host": "host",
+    "nvtx": "nvtx",
+}
+
+
+class Tracer:
+    """Collects :class:`TelemetrySpan` trees while active.
+
+    Parameters
+    ----------
+    seed:
+        Seed for deterministic trace/span ids.
+    system:
+        The machine whose clock and device timelines to observe;
+        defaults to the process default system (resolved at entry, so a
+        tracer built before ``make_system`` still binds the right one).
+    bridge_devices:
+        When ``True`` (default) device/host spans are mirrored into the
+        trace.  Turn off for control-plane-only traces.
+    """
+
+    def __init__(self, seed: int = 0, system: GpuSystem | None = None,
+                 bridge_devices: bool = True) -> None:
+        self._system = system
+        self.bridge_devices = bridge_devices
+        self.ids = IdGenerator(seed)
+        self.spans: list[TelemetrySpan] = []
+        self.metrics = MetricsRegistry()
+        self._open: list[TelemetrySpan] = []
+        self._ambient_trace: str | None = None
+        self._attached = False
+
+    # -- system / clock ---------------------------------------------------
+
+    @property
+    def system(self) -> GpuSystem:
+        return self._system if self._system is not None else default_system()
+
+    def _now(self) -> int:
+        return self.system.clock.now_ns
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._attached:
+            return
+        self._system = self.system  # pin whichever system is current
+        if self.bridge_devices:
+            for dev in self._system.devices:
+                dev.add_span_listener(self._on_device_span)
+            self._system.host.add_span_listener(self._on_device_span)
+        api._tracer_stack.append(self)
+        self._attached = True
+
+    def stop(self) -> None:
+        if not self._attached:
+            return
+        if self.bridge_devices:
+            for dev in self._system.devices:
+                dev.remove_span_listener(self._on_device_span)
+            self._system.host.remove_span_listener(self._on_device_span)
+        api._tracer_stack.remove(self)
+        self._attached = False
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def _allocate(self, name: str, kind: str, start_ns: int,
+                  attributes: dict[str, Any] | None,
+                  parent: TelemetrySpan | SpanContext | None
+                  ) -> TelemetrySpan:
+        span_id = self.ids.next_span_id()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self._open:
+            trace_id = self._open[-1].trace_id
+            parent_id = self._open[-1].span_id
+        else:
+            trace_id, parent_id = self.ids.next_trace_id(), None
+        span = TelemetrySpan(name=name, kind=kind, trace_id=trace_id,
+                             span_id=span_id, parent_id=parent_id,
+                             start_ns=int(start_ns),
+                             attributes=dict(attributes or {}))
+        self.spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, kind: str = "internal",
+             start_ns: int | None = None,
+             attributes: dict[str, Any] | None = None,
+             parent: TelemetrySpan | SpanContext | None = None
+             ) -> Iterator[TelemetrySpan]:
+        """Open ``name`` as the current span; closes at the clock's "now"
+        on exit (or leaves an explicit :meth:`TelemetrySpan.finish` be)."""
+        start = self._now() if start_ns is None else int(start_ns)
+        span = self._allocate(name, kind, start, attributes, parent)
+        self._open.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            self._open.pop()
+            if not span.ended:
+                span.finish(self._now())
+
+    def record(self, name: str, kind: str, start_ns: int, end_ns: int,
+               attributes: dict[str, Any] | None = None,
+               parent: TelemetrySpan | SpanContext | None = None
+               ) -> TelemetrySpan:
+        """Record an already-finished interval as a span.
+
+        Parents under the current open span when no explicit parent is
+        given; parentless records share one "ambient" trace so a
+        standalone bridged timeline still assembles into a single trace.
+        """
+        if parent is None and self._open:
+            parent = self._open[-1]
+        if parent is None:
+            if self._ambient_trace is None:
+                self._ambient_trace = self.ids.next_trace_id()
+            span = TelemetrySpan(
+                name=name, kind=kind, trace_id=self._ambient_trace,
+                span_id=self.ids.next_span_id(), parent_id=None,
+                start_ns=int(start_ns), attributes=dict(attributes or {}))
+            self.spans.append(span)
+        else:
+            span = self._allocate(name, kind, int(start_ns),
+                                  attributes, parent)
+        return span.finish(int(end_ns))
+
+    def traced(self, name: str | None = None, kind: str = "internal"
+               ) -> Callable:
+        """Decorator form: the wrapped call runs inside a span."""
+        def decorate(fn: Callable) -> Callable:
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(label, kind=kind):
+                    return fn(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    def add_event(self, name: str, timestamp_ns: int | None = None,
+                  **attributes: Any) -> None:
+        """Attach a point event to the current open span (no-op when no
+        span is open — events never raise out of instrumented code)."""
+        if self._open:
+            ts = self._now() if timestamp_ns is None else int(timestamp_ns)
+            self._open[-1].add_event(name, ts, attributes)
+
+    # -- propagation ------------------------------------------------------
+
+    def current_span(self) -> TelemetrySpan | None:
+        return self._open[-1] if self._open else None
+
+    def current_context(self) -> SpanContext | None:
+        """The propagatable context of the current span."""
+        s = self.current_span()
+        if s is None:
+            return None
+        return SpanContext(trace_id=s.trace_id, span_id=s.span_id,
+                           parent_id=s.parent_id)
+
+    def inject(self, carrier: dict | None = None) -> dict:
+        """Write the current context into ``carrier`` (W3C traceparent)."""
+        ctx = self.current_context()
+        carrier = carrier if carrier is not None else {}
+        return ctx.inject(carrier) if ctx is not None else carrier
+
+    @staticmethod
+    def extract(carrier: dict) -> SpanContext | None:
+        return SpanContext.extract(carrier)
+
+    # -- device bridge ----------------------------------------------------
+
+    def _on_device_span(self, gs: GpuSpan) -> None:
+        kind = _DEVICE_KIND_MAP.get(gs.kind, "internal")
+        attrs: dict[str, Any] = {"device": gs.device_id,
+                                 "stream": gs.stream_id}
+        if gs.kind.startswith("memcpy_"):
+            attrs["transfer_kind"] = gs.kind.removeprefix("memcpy_")
+        if gs.flops:
+            attrs["flops"] = gs.flops
+        if gs.bytes:
+            attrs["bytes"] = gs.bytes
+        self.record(gs.name, kind, gs.start_ns, gs.end_ns, attrs)
+        if gs.kind == "memcpy_p2p" and self._open:
+            self._open[-1].add_event(
+                "p2p_transfer", gs.start_ns,
+                {"bytes": gs.bytes, "device": gs.device_id,
+                 "name": gs.name})
+
+    def bridge_profiler(self, profiler,
+                        parent: TelemetrySpan | SpanContext | None = None
+                        ) -> int:
+        """Import a finished :class:`~repro.profiling.timeline.Profiler`'s
+        spans into this trace (offline bridging, for timelines captured
+        before the tracer was entered).  Returns the span count."""
+        for gs in profiler.spans:
+            self._on_device_span(gs)
+        return len(profiler.spans)
+
+    # -- queries ----------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids, in first-seen order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.trace_id, None)
+        return list(seen)
+
+    def spans_of_trace(self, trace_id: str) -> list[TelemetrySpan]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def roots(self) -> list[TelemetrySpan]:
+        return [s for s in self.spans if s.is_root]
+
+    def find(self, name: str | None = None, kind: str | None = None
+             ) -> list[TelemetrySpan]:
+        return [s for s in self.spans
+                if (name is None or s.name == name)
+                and (kind is None or s.kind == kind)]
+
+    def children_of(self, span: TelemetrySpan) -> list[TelemetrySpan]:
+        return [s for s in self.spans
+                if s.trace_id == span.trace_id
+                and s.parent_id == span.span_id]

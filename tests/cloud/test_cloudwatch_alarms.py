@@ -1,0 +1,93 @@
+"""Alarm.evaluate edge cases: data sufficiency, both comparisons,
+multi-period windows, and bad configurations."""
+
+import pytest
+
+from repro.cloud.cloudwatch import Alarm, AlarmState, CloudWatch
+from repro.errors import CloudError, ResourceNotFoundError
+
+
+def _alarm(**over):
+    base = dict(name="a", namespace="ns", metric="m", dimension="i-1",
+                threshold=50.0, comparison="greater")
+    base.update(over)
+    return Alarm(**base)
+
+
+class TestEvaluate:
+    def test_starts_insufficient(self):
+        a = _alarm()
+        assert a.state is AlarmState.INSUFFICIENT_DATA
+        assert a.evaluate([]) is AlarmState.INSUFFICIENT_DATA
+
+    def test_insufficient_then_recovers_to_ok(self):
+        a = _alarm(evaluation_periods=2)
+        assert a.evaluate([60.0]) is AlarmState.INSUFFICIENT_DATA
+        assert a.evaluate([60.0, 10.0]) is AlarmState.OK
+        assert a.state is AlarmState.OK
+
+    def test_greater_breach(self):
+        a = _alarm()
+        assert a.evaluate([51.0]) is AlarmState.ALARM
+        assert a.evaluate([50.0]) is AlarmState.OK     # strict >
+        assert a.evaluate([49.0]) is AlarmState.OK
+
+    def test_less_breach(self):
+        a = _alarm(comparison="less", threshold=10.0)
+        assert a.evaluate([9.9]) is AlarmState.ALARM
+        assert a.evaluate([10.0]) is AlarmState.OK     # strict <
+        assert a.evaluate([11.0]) is AlarmState.OK
+
+    def test_multi_period_requires_all_breaching(self):
+        a = _alarm(evaluation_periods=3)
+        # only the last 3 datapoints count; one OK value vetoes
+        assert a.evaluate([99, 99, 99, 10]) is AlarmState.OK
+        assert a.evaluate([10, 99, 99, 99]) is AlarmState.ALARM
+        # older-than-window values are ignored entirely
+        assert a.evaluate([0, 0, 0, 99, 99, 99]) is AlarmState.ALARM
+
+    def test_alarm_clears_when_metric_recovers(self):
+        a = _alarm(comparison="less", threshold=20.0)
+        assert a.evaluate([5.0]) is AlarmState.ALARM
+        assert a.evaluate([5.0, 80.0]) is AlarmState.OK
+
+    def test_unknown_comparison_raises(self):
+        a = _alarm(comparison="greater_or_equal")
+        with pytest.raises(CloudError, match="unknown comparison"):
+            a.evaluate([99.0])
+
+
+class TestCloudWatchStore:
+    def test_evaluate_alarms_uses_latest_series(self):
+        cw = CloudWatch()
+        cw.put_alarm(_alarm(evaluation_periods=2))
+        states = cw.evaluate_alarms()
+        assert states["a"] is AlarmState.INSUFFICIENT_DATA
+        cw.put_metric("ns", "m", "i-1", 60.0, timestamp_h=0.0)
+        cw.put_metric("ns", "m", "i-1", 70.0, timestamp_h=1.0)
+        assert cw.evaluate_alarms()["a"] is AlarmState.ALARM
+        assert [a.name for a in cw.alarming()] == ["a"]
+
+    def test_alarm_only_sees_its_dimension(self):
+        cw = CloudWatch()
+        cw.put_alarm(_alarm())
+        cw.put_metric("ns", "m", "i-OTHER", 99.0, timestamp_h=0.0)
+        assert cw.evaluate_alarms()["a"] is AlarmState.INSUFFICIENT_DATA
+
+    def test_timestamps_must_be_monotonic(self):
+        cw = CloudWatch()
+        cw.put_metric("ns", "m", "i-1", 1.0, timestamp_h=2.0)
+        with pytest.raises(CloudError):
+            cw.put_metric("ns", "m", "i-1", 1.0, timestamp_h=1.0)
+
+    def test_statistics_window(self):
+        cw = CloudWatch()
+        for t, v in ((0.0, 10.0), (1.0, 20.0), (2.0, 30.0)):
+            cw.put_metric("ns", "m", "i-1", v, timestamp_h=t)
+        stats = cw.get_statistics("ns", "m", "i-1", 0.5, 2.0)
+        assert stats == {"count": 2.0, "avg": 25.0, "min": 20.0,
+                         "max": 30.0, "sum": 50.0}
+        assert cw.get_statistics("ns", "m", "i-1", 5.0, 9.0) == \
+            {"count": 0.0}
+        with pytest.raises(ResourceNotFoundError):
+            cw.get_statistics("ns", "missing", "i-1", 0.0, 1.0)

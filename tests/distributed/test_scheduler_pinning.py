@@ -1,0 +1,138 @@
+"""Worker pinning, report accumulation, and ScheduleReport round-trips —
+the scheduler features Algorithm 1's per-epoch task graphs rely on."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCudaCluster, Scheduler, TaskGraph
+from repro.distributed.scheduler import ScheduleReport
+from repro.errors import SchedulerError
+from repro.telemetry import Tracer
+
+
+class TestPinning:
+    def test_pinned_tasks_land_on_their_worker(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        for i in range(4):
+            g.add(f"t{i}", lambda i=i: np.full(50, i),
+                  worker="worker-1")
+        _, report = Scheduler(cluster.workers).run(g)
+        assert set(report.placements.values()) == {"worker-1"}
+
+    def test_unpinned_tasks_still_spread(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        g.add("pinned", lambda: np.ones(10), worker="worker-0")
+        for i in range(4):
+            g.add(f"free{i}", lambda: np.ones(10))
+        _, report = Scheduler(cluster.workers).run(g)
+        assert report.placements["pinned"] == "worker-0"
+        assert set(report.placements.values()) == {"worker-0", "worker-1"}
+
+    def test_unknown_pin_raises(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        g.add("t", lambda: 1, worker="worker-99")
+        with pytest.raises(SchedulerError, match="unknown worker"):
+            Scheduler(cluster.workers).run(g)
+
+    def test_pinned_task_retries_on_its_pin(self, system2):
+        cluster = LocalCudaCluster(system2)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return 42
+
+        g = TaskGraph()
+        g.add("flaky", flaky, worker="worker-1")
+        results, report = Scheduler(cluster.workers).run(g, max_retries=2)
+        assert results["flaky"] == 42
+        assert report.retries == 1
+        assert report.placements["flaky"] == "worker-1"
+
+    def test_pin_preserves_placement_under_contention(self, system2):
+        # a pinned task goes to its worker even when the other drains first
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        g.add("big", lambda: np.ones(10_000), worker="worker-0")
+        g.add("also-w0", lambda: 1, worker="worker-0")
+        _, report = Scheduler(cluster.workers).run(g)
+        assert report.placements["also-w0"] == "worker-0"
+
+
+class TestReportAccumulation:
+    def test_two_runs_accumulate(self, system2):
+        cluster = LocalCudaCluster(system2)
+        sched = Scheduler(cluster.workers)
+        g1 = TaskGraph()
+        g1.add("a", lambda: np.ones(100))
+        _, report = sched.run(g1)
+        first_start, first_end = report.start_ns, report.end_ns
+        g2 = TaskGraph()
+        g2.add("b", lambda: np.ones(100))
+        _, report2 = sched.run(g2, report=report)
+        assert report2 is report
+        assert set(report.placements) == {"a", "b"}
+        assert report.start_ns == first_start
+        assert report.end_ns >= first_end
+        assert report.makespan_ms >= \
+            (first_end - first_start) / 1e6
+
+    def test_fresh_report_when_none_passed(self, system2):
+        cluster = LocalCudaCluster(system2)
+        sched = Scheduler(cluster.workers)
+        g1 = TaskGraph()
+        g1.add("a", lambda: 1)
+        _, r1 = sched.run(g1)
+        g2 = TaskGraph()
+        g2.add("b", lambda: 1)
+        _, r2 = sched.run(g2)
+        assert r1 is not r2
+        assert list(r2.placements) == ["b"]
+
+
+class TestScheduleReportSerialization:
+    def test_json_round_trip(self, system2):
+        cluster = LocalCudaCluster(system2)
+        g = TaskGraph()
+        a = g.add("a", lambda: np.ones(1000))
+        b = g.add("b", lambda: np.ones(1000))
+        g.add("c", lambda x, y: float((x + y).sum()), a, b)
+        _, report = Scheduler(cluster.workers).run(g)
+        back = ScheduleReport.from_dict(json.loads(
+            json.dumps(report.to_dict())))
+        assert back == report
+
+    def test_to_dict_includes_derived_makespan(self):
+        r = ScheduleReport(start_ns=1_000_000, end_ns=3_500_000)
+        d = r.to_dict()
+        assert d["makespan_ms"] == pytest.approx(2.5)
+        # from_dict ignores the derived field and recomputes it
+        assert ScheduleReport.from_dict(d).makespan_ms == \
+            pytest.approx(2.5)
+
+    def test_from_dict_defaults(self):
+        r = ScheduleReport.from_dict({})
+        assert r == ScheduleReport()
+
+
+class TestTaskSpans:
+    def test_task_spans_cover_device_extent(self, system2):
+        cluster = LocalCudaCluster(system2)
+        with Tracer(system=system2) as tr:
+            g = TaskGraph()
+            g.add("work", lambda: np.ones(256), worker="worker-0")
+            _, report = Scheduler(cluster.workers).run(g)
+        (tspan,) = tr.find("task:work", kind="task")
+        assert tspan.attributes["worker"] == "worker-0"
+        assert tspan.attributes["device"] == 0
+        assert tspan.attributes["pinned"] is True
+        assert tspan.start_ns >= report.start_ns
+        assert tspan.end_ns <= report.end_ns
+        assert tr.metrics.counter("scheduler.tasks").value == 1

@@ -1,0 +1,137 @@
+"""Cloud control-plane tracing and the metrics → CloudWatch → reaper loop."""
+
+import pytest
+
+from repro.cloud import CloudSession
+from repro.cloud.cloudwatch import Alarm, AlarmState
+from repro.cloud.ec2 import InstanceState
+from repro.telemetry import Tracer
+
+
+@pytest.fixture
+def session():
+    return CloudSession(budget_cap_usd=10_000.0)
+
+
+class TestCloudSpans:
+    def test_api_calls_become_cloud_spans(self, session, system1):
+        with Tracer() as tr:
+            inst = session.ec2.run_instance("g4dn.xlarge", owner="alice")
+            session.ec2.stop(inst.instance_id)
+        (run,) = tr.find("ec2.RunInstances", kind="cloud")
+        assert run.attributes["type"] == "g4dn.xlarge"
+        assert run.attributes["owner"] == "alice"
+        assert run.attributes["instance_id"] == inst.instance_id
+        assert tr.find("ec2.StopInstances", kind="cloud")
+
+    def test_s3_and_sagemaker_spans(self, session, system1):
+        with Tracer() as tr:
+            session.s3.create_bucket("lab-data")
+            session.s3.put_object("lab-data", "x.npy", b"\0" * 2048)
+            session.s3.get_object("lab-data", "x.npy", owner="alice")
+            session.sagemaker.create_notebook_instance(
+                "alice", "ml.g4dn.xlarge", name="nb-alice")
+        (put,) = tr.find("s3.PutObject", kind="cloud")
+        assert put.attributes["bucket"] == "lab-data"
+        assert put.attributes["bytes"] == 2048
+        assert tr.find("s3.GetObject", kind="cloud")
+        assert tr.find("sagemaker.CreateNotebookInstance", kind="cloud")
+
+    def test_billing_accrual_events(self, session, system1):
+        with Tracer() as tr:
+            with tr.span("lab-session", kind="workflow") as root:
+                inst = session.ec2.run_instance("g4dn.xlarge",
+                                                owner="alice")
+                session.advance_hours(2.0)
+                session.ec2.stop(inst.instance_id)
+        accruals = [ev for s in tr.spans for ev in s.events
+                    if ev.name == "billing.accrual"]
+        assert accruals
+        (ev,) = accruals
+        assert ev.attributes["service"] == "ec2"
+        assert ev.attributes["owner"] == "alice"
+        assert ev.attributes["hours"] == pytest.approx(2.0)
+        assert ev.attributes["usd"] == pytest.approx(
+            2.0 * inst.hourly_rate)
+        assert tr.metrics.counter("billing.usd").value == \
+            pytest.approx(2.0 * inst.hourly_rate)
+
+
+class TestAlarmReaperLoop:
+    """Workflow telemetry → CloudWatch alarm → idle reaper: the
+    acceptance loop where a low GPU-utilization metric stops the
+    instance even though it is not wall-clock idle."""
+
+    def _low_util_alarm(self, dimension):
+        return Alarm(name=f"low-util-{dimension}", namespace="telemetry",
+                     metric="GPUUtilization", dimension=dimension,
+                     threshold=20.0, comparison="less")
+
+    def test_metric_breach_reaps_active_instance(self, session, system1):
+        inst = session.ec2.run_instance("g4dn.xlarge", owner="alice")
+        session.cloudwatch.put_alarm(
+            self._low_util_alarm(inst.instance_id))
+
+        # The workload's tracer measured ~4% GPU utilization...
+        with Tracer() as tr:
+            tr.metrics.gauge("GPUUtilization").set(4.0)
+        tr.metrics.publish_cloudwatch(session.cloudwatch,
+                                      dimension=inst.instance_id,
+                                      timestamp_h=session.now_h)
+        # ...and the instance is NOT idle by the activity-timestamp rule.
+        inst.touch(session.now_h)
+
+        report = session.reaper.sweep()
+        assert report.reaped_by_alarm == [inst.instance_id]
+        assert report.reaped_instances == []
+        assert inst.state is InstanceState.STOPPED
+        alarm = session.cloudwatch.alarms[f"low-util-{inst.instance_id}"]
+        assert alarm.state is AlarmState.ALARM
+
+    def test_healthy_utilization_is_spared(self, session, system1):
+        inst = session.ec2.run_instance("g4dn.xlarge", owner="alice")
+        session.cloudwatch.put_alarm(
+            self._low_util_alarm(inst.instance_id))
+        with Tracer() as tr:
+            tr.metrics.gauge("GPUUtilization").set(85.0)
+        tr.metrics.publish_cloudwatch(session.cloudwatch,
+                                      dimension=inst.instance_id)
+        inst.touch(session.now_h)
+        report = session.reaper.sweep()
+        assert report.reaped_count == 0
+        assert inst.state is InstanceState.RUNNING
+
+    def test_keep_alive_tag_beats_the_alarm(self, session, system1):
+        inst = session.ec2.run_instance(
+            "g4dn.xlarge", owner="alice", tags={"keep-alive": "true"})
+        session.cloudwatch.put_alarm(
+            self._low_util_alarm(inst.instance_id))
+        with Tracer() as tr:
+            tr.metrics.gauge("GPUUtilization").set(1.0)
+        tr.metrics.publish_cloudwatch(session.cloudwatch,
+                                      dimension=inst.instance_id)
+        inst.touch(session.now_h)
+        report = session.reaper.sweep()
+        assert report.spared_keep_alive == [inst.instance_id]
+        assert inst.state is InstanceState.RUNNING
+
+    def test_alarmed_notebook_is_reaped(self, session, system1):
+        nb = session.sagemaker.create_notebook_instance(
+            "alice", "ml.g4dn.xlarge", name="nb-alice")
+        session.cloudwatch.put_alarm(self._low_util_alarm(nb.name))
+        with Tracer() as tr:
+            tr.metrics.gauge("GPUUtilization").set(2.0)
+        tr.metrics.publish_cloudwatch(session.cloudwatch,
+                                      dimension=nb.name)
+        report = session.reaper.sweep()
+        assert report.reaped_by_alarm == [nb.name]
+
+    def test_no_metric_no_alarm_no_reap(self, session, system1):
+        inst = session.ec2.run_instance("g4dn.xlarge", owner="alice")
+        session.cloudwatch.put_alarm(
+            self._low_util_alarm(inst.instance_id))
+        inst.touch(session.now_h)
+        report = session.reaper.sweep()   # no datapoints published
+        assert report.reaped_count == 0
+        alarm = session.cloudwatch.alarms[f"low-util-{inst.instance_id}"]
+        assert alarm.state is AlarmState.INSUFFICIENT_DATA

@@ -1,0 +1,154 @@
+"""End-to-end acceptance: Algorithm 1 under tracing.
+
+One traced ``train_distributed`` run must yield a single workflow trace
+whose root contains the scheduler's task spans, P2P transfer events, and
+bridged GPU kernel spans — and the trace-derived critical path through
+the training stage must match the :class:`ScheduleReport` makespan
+within 1%.  Tracing must not change the numerics or the simulated
+timings.
+"""
+
+import json
+
+import pytest
+
+from repro.gcn import train_distributed
+from repro.gpu import make_system
+from repro.graph import noisy_citation
+from repro.telemetry import Tracer, critical_path
+
+K = 2
+EPOCHS = 6
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced Algorithm 1 run, shared by the assertions below."""
+    ds = noisy_citation(n=240, seed=0)
+    system = make_system(K, "T4")
+    with Tracer(seed=0, system=system) as tr:
+        res = train_distributed(ds, k=K, epochs=EPOCHS, seed=0,
+                                partitioner="metis", system=system)
+    return tr, res
+
+
+class TestSingleWorkflowTrace:
+    def test_root_workflow_span(self, traced_run):
+        tr, res = traced_run
+        (root,) = [s for s in tr.roots() if s.kind == "workflow"]
+        assert root.name == "alg1.distributed-gcn"
+        assert root.attributes == {"k": K, "epochs": EPOCHS,
+                                   "partitioner": "metis"}
+        # every workflow-level span belongs to the root's trace (device
+        # spans from the post-workflow evaluation land in a separate
+        # ambient trace, which is why assertions scope to the workflow)
+        workflow_trace = tr.spans_of_trace(root.trace_id)
+        for kind in ("stage", "epoch", "task"):
+            in_trace = [s for s in workflow_trace if s.kind == kind]
+            assert in_trace and in_trace == tr.find(kind=kind)
+        for kind in ("kernel", "transfer"):
+            assert [s for s in workflow_trace if s.kind == kind]
+
+    def test_stage_spans_nest_under_root(self, traced_run):
+        tr, _ = traced_run
+        (root,) = [s for s in tr.roots() if s.kind == "workflow"]
+        names = {s.name for s in tr.children_of(root)}
+        assert {"partition", "scatter", "broadcast-model",
+                "training"} <= names
+
+    def test_task_spans_cover_every_scheduled_task(self, traced_run):
+        tr, res = traced_run
+        tasks = tr.find(kind="task")
+        assert len(tasks) == EPOCHS * (K + 1)   # K local steps + 1 update
+        assert {t.name.removeprefix("task:") for t in tasks} == \
+            set(res.schedule.placements)
+        for t in tasks:
+            assert t.attributes["worker"] == \
+                res.schedule.placements[t.name.removeprefix("task:")]
+            assert t.attributes["pinned"] is True
+
+    def test_p2p_transfer_events_on_update_tasks(self, traced_run):
+        tr, res = traced_run
+        events = [ev for s in tr.find(kind="task") for ev in s.events
+                  if ev.name == "p2p_transfer"]
+        assert events
+        assert all(ev.attributes["bytes"] > 0 for ev in events)
+        assert tr.metrics.counter("scheduler.transfers").value == \
+            res.schedule.transfers
+
+    def test_gpu_kernels_bridged_with_attrs(self, traced_run):
+        tr, _ = traced_run
+        kernels = tr.find(kind="kernel")
+        assert len(kernels) > 50
+        devices = {k.attributes["device"] for k in kernels}
+        assert devices == set(range(K))
+        # the ring all-reduce shows up as P2P transfers between devices
+        p2p = [t for t in tr.find(kind="transfer")
+               if t.attributes.get("transfer_kind") == "p2p"]
+        assert p2p and all(t.attributes["bytes"] > 0 for t in p2p)
+
+
+class TestCriticalPath:
+    def test_matches_schedule_makespan_within_1pct(self, traced_run):
+        tr, res = traced_run
+        (training,) = tr.find("training", kind="stage")
+        path = critical_path(tr.spans, within=training)
+        assert path.spans
+        makespan_ms = res.schedule.makespan_ms
+        assert makespan_ms > 0
+        assert path.duration_ms == pytest.approx(makespan_ms, rel=0.01)
+
+    def test_chain_is_time_ordered(self, traced_run):
+        tr, _ = traced_run
+        (training,) = tr.find("training", kind="stage")
+        path = critical_path(tr.spans, within=training)
+        for a, b in zip(path.spans, path.spans[1:]):
+            assert a.end_ns <= b.start_ns
+        assert path.busy_ns <= path.duration_ns
+        assert path.wait_ns == path.duration_ns - path.busy_ns
+
+    def test_diagnose_yields_roofline_verdicts(self, traced_run):
+        tr, _ = traced_run
+        (training,) = tr.find("training", kind="stage")
+        verdicts = critical_path(tr.spans, within=training).diagnose()
+        assert verdicts
+        assert all(v.bound in ("compute", "memory", "latency")
+                   for v in verdicts)
+
+
+class TestTracingIsFree:
+    def test_numerics_and_timing_unchanged(self):
+        ds = noisy_citation(n=240, seed=0)
+
+        def run(traced):
+            system = make_system(K, "T4")
+            if traced:
+                with Tracer(system=system):
+                    return train_distributed(ds, k=K, epochs=EPOCHS,
+                                             seed=0, system=system)
+            return train_distributed(ds, k=K, epochs=EPOCHS, seed=0,
+                                     system=system)
+
+        plain, traced = run(False), run(True)
+        assert traced.losses == plain.losses
+        assert traced.test_accuracy == plain.test_accuracy
+        assert traced.elapsed_ms == pytest.approx(plain.elapsed_ms,
+                                                  rel=1e-9)
+
+
+class TestScheduleReportRoundTrip:
+    def test_json_round_trip(self, traced_run):
+        from repro.distributed.scheduler import ScheduleReport
+        _, res = traced_run
+        payload = json.dumps(res.schedule.to_dict())
+        back = ScheduleReport.from_dict(json.loads(payload))
+        assert back == res.schedule
+        assert back.makespan_ms == res.schedule.makespan_ms
+        assert json.loads(payload)["makespan_ms"] == back.makespan_ms
+
+    def test_gpu_utilization_metrics_recorded(self, traced_run):
+        tr, res = traced_run
+        for dev in range(K):
+            val = tr.metrics.gauge("GPUUtilization", device=dev).value
+            assert val == pytest.approx(
+                100.0 * res.per_gpu_utilization[dev])

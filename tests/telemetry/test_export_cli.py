@@ -1,0 +1,124 @@
+"""Exporters (Chrome trace, JSONL) and the ``python -m repro.telemetry``
+CLI, exercised over a traced RAG serving run — one of the acceptance
+workloads."""
+
+import json
+
+import pytest
+
+from repro.rag import RagPipeline, make_corpus
+from repro.rag.serving import RagServer
+from repro.telemetry import (
+    TelemetrySpan,
+    Tracer,
+    read_jsonl,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+)
+from repro.telemetry.cli import main as cli_main
+
+
+@pytest.fixture
+def traced_rag(system1):
+    """A traced serving run: (tracer, stats)."""
+    corpus = make_corpus(n_docs=60, n_queries=8, seed=0)
+    pipe = RagPipeline(corpus, device="cuda:0", seed=0)
+    with Tracer(seed=3) as tr:
+        stats = RagServer(pipe, batch_size=4).serve(
+            list(corpus.queries), max_new_tokens=4)
+    return tr, stats
+
+
+class TestChromeExport:
+    def test_written_file_is_valid_json(self, traced_rag, tmp_path):
+        tr, _ = traced_rag
+        path = tmp_path / "trace.json"
+        n = write_chrome(str(path), tr.spans, tr.metrics)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert all({"name", "ph", "ts", "pid", "tid"} <= set(e)
+                   for e in doc["traceEvents"])
+        assert "rag.latency_ms" in doc["metadata"]["metrics"]
+
+    def test_lanes_split_device_from_workflow(self, traced_rag):
+        tr, _ = traced_rag
+        doc = to_chrome(tr.spans)
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert "workflow" in pids and "gpu0" in pids
+        kernel = next(e for e in doc["traceEvents"]
+                      if e["cat"] == "kernel")
+        assert kernel["pid"] == "gpu0"
+
+    def test_timestamps_are_microseconds(self, traced_rag):
+        tr, _ = traced_rag
+        (root,) = tr.find("rag.serve")
+        doc = to_chrome([root])
+        (e,) = doc["traceEvents"]
+        assert e["ts"] == root.start_ns / 1e3
+        assert e["dur"] == pytest.approx(root.duration_ns / 1e3)
+
+
+class TestJsonlRoundTrip:
+    def test_spans_round_trip_exactly(self, traced_rag, tmp_path):
+        tr, _ = traced_rag
+        path = tmp_path / "trace.jsonl"
+        n_lines = write_jsonl(str(path), tr.spans, tr.metrics)
+        spans, metrics = read_jsonl(str(path))
+        assert n_lines == len(spans) + len(metrics)
+        assert [s.to_dict() for s in spans] == \
+            [s.to_dict() for s in tr.spans]
+        assert metrics == tr.metrics.collect()
+
+    def test_round_trip_preserves_events_and_status(self, tmp_path):
+        s = TelemetrySpan(name="x", kind="task", trace_id="t" * 32,
+                          span_id="s" * 16, parent_id=None, start_ns=5)
+        s.add_event("retry", 7, {"worker": "w0"})
+        s.status = "error"
+        s.finish(9)
+        path = tmp_path / "one.jsonl"
+        write_jsonl(str(path), [s])
+        ([back], _) = read_jsonl(str(path))
+        assert back.to_dict() == s.to_dict()
+
+    def test_empty_export(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl(str(path), []) == 0
+        assert read_jsonl(str(path)) == ([], {})
+
+
+class TestCli:
+    def _export(self, traced_rag, tmp_path):
+        tr, _ = traced_rag
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), tr.spans, tr.metrics)
+        return tr, str(path)
+
+    def test_waterfall(self, traced_rag, tmp_path, capsys):
+        tr, path = self._export(traced_rag, tmp_path)
+        assert cli_main(["waterfall", path]) == 0
+        out = capsys.readouterr().out
+        assert "rag.serve" in out
+        assert "batch 000" in out
+        assert "#" in out          # bars rendered
+
+    def test_waterfall_trace_filter(self, traced_rag, tmp_path, capsys):
+        tr, path = self._export(traced_rag, tmp_path)
+        (root,) = tr.find("rag.serve")
+        assert cli_main(["waterfall", path, "--trace", root.trace_id]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {root.trace_id}" in out
+        assert out.count("trace ") == 1
+
+    def test_summary(self, traced_rag, tmp_path, capsys):
+        _, path = self._export(traced_rag, tmp_path)
+        assert cli_main(["summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "generate" in out
+        assert "rag.latency_ms" in out and "p99" in out
+
+    def test_critical_path(self, traced_rag, tmp_path, capsys):
+        _, path = self._export(traced_rag, tmp_path)
+        assert cli_main(["critical-path", path]) == 0
+        out = capsys.readouterr().out
+        assert "(total extent)" in out

@@ -1,0 +1,128 @@
+"""Metrics instruments, the registry, and the CloudWatch bridge."""
+
+import pytest
+
+from repro.cloud.cloudwatch import Alarm, AlarmState, CloudWatch
+from repro.errors import ReproError
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_gpu_utilization,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("tasks")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        g = Gauge("util")
+        g.set(42)
+        g.set(17.5)
+        assert g.value == 17.5
+
+    def test_histogram_exact_percentiles(self):
+        h = Histogram("lat")
+        for v in range(1, 101):        # 1..100
+            h.observe(v)
+        assert h.count == 100
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(50) <= h.percentile(95) <= h.percentile(99)
+        assert h.mean == pytest.approx(50.5)
+        assert h.sum == pytest.approx(5050.0)
+
+    def test_histogram_empty_and_bounds(self):
+        h = Histogram("lat")
+        assert h.percentile(99) == 0.0 and h.mean == 0.0 and h.sum == 0.0
+        with pytest.raises(ReproError):
+            h.percentile(101)
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert set(h.summary()) == {"count", "sum", "mean", "p50", "p95",
+                                    "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("tasks", worker="w0")
+        b = reg.counter("tasks", worker="w0")
+        c = reg.counter("tasks", worker="w1")
+        assert a is b and a is not c
+        assert a.name == "tasks{worker=w0}"
+        assert len(reg) == 2
+
+    def test_label_order_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("m", b=1, a=2) is reg.gauge("m", a=2, b=1)
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ReproError):
+            reg.histogram("m")
+
+    def test_collect_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(4)
+        reg.histogram("lat").observe(2.0)
+        snap = reg.collect()
+        assert snap["n"] == {"value": 4.0}
+        assert snap["lat"]["count"] == 1.0
+        assert snap["lat"]["p50"] == 2.0
+
+
+class TestCloudWatchBridge:
+    def test_publish_counts_datapoints(self):
+        reg = MetricsRegistry()
+        reg.counter("queries").inc(10)
+        reg.gauge("util").set(80.0)
+        reg.histogram("lat").observe(3.0)
+        cw = CloudWatch()
+        n = reg.publish_cloudwatch(cw, dimension="i-1", timestamp_h=1.0)
+        # 1 counter + 1 gauge + 5 histogram stats
+        assert n == 7
+        stats = cw.get_statistics("telemetry", "queries", "i-1", 0, 2)
+        assert stats["avg"] == 10.0
+        stats = cw.get_statistics("telemetry", "lat.p99", "i-1", 0, 2)
+        assert stats["count"] == 1.0
+
+    def test_published_metric_drives_alarm(self):
+        reg = MetricsRegistry()
+        reg.gauge("GPUUtilization").set(3.0)
+        cw = CloudWatch()
+        cw.put_alarm(Alarm(name="low-util", namespace="telemetry",
+                           metric="GPUUtilization", dimension="i-9",
+                           threshold=10.0, comparison="less"))
+        reg.publish_cloudwatch(cw, dimension="i-9")
+        assert cw.evaluate_alarms()["low-util"] is AlarmState.ALARM
+
+
+class TestGpuUtilization:
+    def test_gauges_per_device_and_average(self, system2):
+        import numpy as np
+
+        import repro.xp as xp
+        a = xp.asarray(np.ones((128, 128), dtype=np.float32))
+        xp.matmul(a, a).get()
+        reg = MetricsRegistry()
+        report = record_gpu_utilization(reg, system2)
+        assert set(report) == {0, 1}
+        for dev, frac in report.items():
+            gauge = reg.gauge("GPUUtilization", device=dev)
+            assert gauge.value == pytest.approx(100.0 * frac)
+            assert 0.0 <= gauge.value <= 100.0
+        avg = reg.gauge("GPUUtilization").value
+        assert avg == pytest.approx(
+            100.0 * sum(report.values()) / len(report))

@@ -1,0 +1,237 @@
+"""Tracer core: span lifecycle, parenting, ids, propagation, bridging."""
+
+import numpy as np
+import pytest
+
+import repro.xp as xp
+from repro.profiling import Profiler, annotate
+from repro.telemetry import IdGenerator, SpanContext, Tracer
+from repro.telemetry import api as telemetry
+
+
+def _workload():
+    a = xp.asarray(np.ones((64, 64), dtype=np.float32))
+    return xp.matmul(a, a).get()
+
+
+class TestSpanLifecycle:
+    def test_nesting_parents_under_open_span(self, system1):
+        with Tracer() as tr:
+            with tr.span("outer", kind="workflow") as outer:
+                with tr.span("inner", kind="stage") as inner:
+                    pass
+        assert outer.is_root
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert tr.children_of(outer) == [inner]
+
+    def test_siblings_get_fresh_traces(self, system1):
+        with Tracer() as tr:
+            with tr.span("first", kind="workflow"):
+                pass
+            with tr.span("second", kind="workflow"):
+                pass
+        assert len(tr.trace_ids()) == 2
+        assert len(tr.roots()) == 2
+
+    def test_span_closes_at_clock_now(self, system1):
+        with Tracer() as tr:
+            with tr.span("work", kind="stage") as s:
+                _workload()  # .get() synchronizes, so the clock advanced
+        assert s.ended and s.end_ns > s.start_ns
+        assert s.end_ns == system1.clock.now_ns
+
+    def test_explicit_finish_wins(self, system1):
+        with Tracer() as tr:
+            with tr.span("pinned", kind="stage") as s:
+                s.finish(s.start_ns + 123)
+        assert s.duration_ns == 123
+
+    def test_error_status_on_exception(self, system1):
+        with Tracer() as tr:
+            with pytest.raises(ValueError):
+                with tr.span("doomed", kind="stage"):
+                    raise ValueError("boom")
+        (s,) = tr.find("doomed")
+        assert s.status == "error" and s.ended
+
+    def test_traced_decorator(self, system1):
+        tr = Tracer()
+
+        @tr.traced("step", kind="stage")
+        def step(x):
+            return x + 1
+
+        with tr:
+            assert step(1) == 2
+        assert len(tr.find("step", kind="stage")) == 1
+
+    def test_add_event_lands_on_current_span(self, system1):
+        with Tracer() as tr:
+            with tr.span("host", kind="stage") as s:
+                tr.add_event("checkpoint", epoch=3)
+        (ev,) = s.events
+        assert ev.name == "checkpoint"
+        assert ev.attributes == {"epoch": 3}
+
+    def test_record_without_open_span_shares_ambient_trace(self, system1):
+        with Tracer() as tr:
+            tr.record("a", "host", 0, 10)
+            tr.record("b", "host", 10, 20)
+        a, b = tr.find("a") + tr.find("b")
+        assert a.trace_id == b.trace_id
+        assert a.is_root and b.is_root
+
+
+class TestDeterministicIds:
+    def test_same_seed_same_ids(self, system1):
+        def run(seed):
+            with Tracer(seed=seed) as tr:
+                with tr.span("w", kind="workflow"):
+                    with tr.span("s", kind="stage"):
+                        pass
+            return [(s.trace_id, s.span_id, s.parent_id) for s in tr.spans]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_id_shapes(self):
+        ids = IdGenerator(seed=0xABC)
+        t, s = ids.next_trace_id(), ids.next_span_id()
+        assert len(t) == 32 and int(t, 16) is not None
+        assert len(s) == 16 and int(s, 16) is not None
+        assert t.startswith("00000abc")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator(seed=-1)
+
+
+class TestPropagation:
+    def test_inject_extract_round_trip(self, system1):
+        with Tracer() as tr:
+            with tr.span("rpc-client", kind="cloud"):
+                carrier = tr.inject()
+                ctx = Tracer.extract(carrier)
+                assert ctx is not None
+                with tr.span("rpc-server", kind="cloud",
+                             parent=ctx) as server:
+                    pass
+        (client,) = tr.find("rpc-client")
+        assert server.trace_id == client.trace_id
+        assert server.parent_id == client.span_id
+
+    def test_extract_rejects_malformed(self):
+        assert Tracer.extract({}) is None
+        assert Tracer.extract({"traceparent": "junk"}) is None
+        assert Tracer.extract({"traceparent": "00-ab-cd-01"}) is None
+        assert Tracer.extract({"traceparent": 42}) is None
+
+    def test_child_context(self):
+        ctx = SpanContext(trace_id="a" * 32, span_id="b" * 16)
+        child = ctx.child("c" * 16)
+        assert child.trace_id == ctx.trace_id
+        assert child.parent_id == ctx.span_id
+
+    def test_inject_without_open_span_is_noop(self, system1):
+        with Tracer() as tr:
+            assert tr.inject() == {}
+
+
+class TestApiSurface:
+    def test_noop_without_tracer(self, system1):
+        # none of these may raise or allocate a tracer
+        with telemetry.span("untraced", kind="stage") as s:
+            assert s is None
+        telemetry.add_event("nothing")
+        telemetry.set_attribute("k", "v")
+        telemetry.record("r", "host", 0, 1)
+        telemetry.observe("m", 1.0)
+        telemetry.count("c")
+        assert telemetry.current_tracer() is None
+
+    def test_innermost_tracer_serves_api(self, system1):
+        with Tracer(seed=1) as outer, Tracer(seed=2) as inner:
+            assert telemetry.current_tracer() is inner
+            assert telemetry.active_tracers() == [outer, inner]
+            with telemetry.span("who", kind="stage"):
+                pass
+        assert len(inner.find("who")) == 1
+        assert outer.find("who") == []
+
+    def test_observe_and_count_feed_metrics(self, system1):
+        with Tracer() as tr:
+            telemetry.observe("latency", 5.0)
+            telemetry.observe("latency", 15.0)
+            telemetry.count("queries", 3)
+        assert tr.metrics.histogram("latency").count == 2
+        assert tr.metrics.counter("queries").value == 3
+
+
+class TestDeviceBridge:
+    def test_kernels_bridge_under_open_span(self, system1):
+        with Tracer() as tr:
+            with tr.span("compute", kind="stage") as s:
+                _workload()
+        kernels = tr.find(kind="kernel")
+        assert kernels and all(k.parent_id == s.span_id for k in kernels)
+        transfers = tr.find(kind="transfer")
+        assert {t.attributes["transfer_kind"] for t in transfers} >= \
+            {"h2d", "d2h"}
+
+    def test_kernel_spans_carry_roofline_attrs(self, system1):
+        with Tracer() as tr:
+            with tr.span("compute", kind="stage"):
+                _workload()
+        gemm = next(k for k in tr.find(kind="kernel")
+                    if "gemm" in k.name)
+        assert gemm.attributes["flops"] > 0
+        assert gemm.attributes["device"] == 0
+
+    def test_bridge_devices_false_skips_device_spans(self, system1):
+        with Tracer(bridge_devices=False) as tr:
+            with tr.span("compute", kind="stage"):
+                _workload()
+        assert tr.find(kind="kernel") == []
+
+    def test_collection_stops_with_tracer(self, system1):
+        with Tracer() as tr:
+            pass
+        _workload()
+        assert tr.find(kind="kernel") == []
+
+    def test_tracer_never_advances_the_clock(self, system1):
+        # Unlike Profiler.stop, tracer exit must not synchronize: tracing
+        # cannot perturb the simulated timings it observes.
+        from repro.gpu import KernelCost
+        dev = system1.device(0)
+        with Tracer():
+            dev.launch(KernelCost(flops=1e9, bytes_read=1e6, name="tail"),
+                       4096, 256)
+            before = system1.clock.now_ns
+        assert system1.clock.now_ns == before
+
+    def test_bridge_profiler_offline(self, system1):
+        with Profiler(system1) as prof:
+            _workload()
+        with Tracer() as tr:
+            n = tr.bridge_profiler(prof)
+        assert n == len(prof.spans)
+        assert len(tr.spans) == n
+        assert len(tr.trace_ids()) == 1  # ambient trace holds them all
+
+
+class TestNvtxBridge:
+    def test_annotate_becomes_nvtx_span(self, system1):
+        with Tracer() as tr:
+            with tr.span("outer", kind="workflow") as outer:
+                with annotate("phase-1", color="green"):
+                    _workload()
+        (nv,) = tr.find("phase-1", kind="nvtx")
+        assert nv.parent_id == outer.span_id
+        assert nv.attributes["color"] == "green"
+        assert nv.attributes["device"] == 0
+
+    def test_annotate_without_tracer_still_works(self, system1):
+        with annotate("lonely"):
+            _workload()  # no tracer: must not raise
