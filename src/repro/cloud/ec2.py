@@ -65,6 +65,11 @@ class Ec2Instance:
     def arn(self) -> str:
         return f"arn:student/{self.owner}/instance/{self.instance_id}"
 
+    @property
+    def gpu_memory_bytes(self) -> int:
+        """Device memory per GPU on this instance (0 for CPU SKUs)."""
+        return self.itype.gpu_memory_bytes
+
     def gpu_system(self, set_default: bool = True) -> GpuSystem:
         """A fresh virtual-GPU machine matching this instance's hardware
         (raises for CPU-only SKUs)."""

@@ -36,6 +36,24 @@ class InstanceType:
     def is_gpu(self) -> bool:
         return self.gpu_count > 0
 
+    @property
+    def gpu_memory_bytes(self) -> int:
+        """Device memory of *one* GPU on this SKU (0 for CPU instances).
+
+        Resolved from :data:`repro.gpu.specs.GPU_CATALOG`, the single
+        source of truth for part capacities — the number the memcheck
+        OOM pre-flight compares peak footprints against.
+        """
+        if not self.gpu_part:
+            return 0
+        from repro.gpu.specs import get_spec
+        return get_spec(self.gpu_part).mem_bytes
+
+    @property
+    def total_gpu_memory_bytes(self) -> int:
+        """Aggregate device memory across all GPUs on this SKU."""
+        return self.gpu_memory_bytes * self.gpu_count
+
 
 def _it(name, vcpus, mem, part, n, price, family="ec2") -> InstanceType:
     return InstanceType(name=name, vcpus=vcpus, memory_gib=mem,

@@ -124,7 +124,7 @@ class GradeBook:
     def record_workflow_lab(self, student: str, deliverable: str, workflow,
                             *, base_score: float = 100.0,
                             category: str = "labs", late: bool = False,
-                            analyzers=("perf", "cost", "iam"),
+                            analyzers=("perf", "cost", "iam", "mem"),
                             error_penalty: float = 15.0,
                             warning_penalty: float = 5.0,
                             max_penalty: float = 50.0) -> Submission:
@@ -132,10 +132,12 @@ class GradeBook:
 
         The workflow-layer counterpart of :meth:`record_kernel_lab`:
         ``workflow`` (a source string, or a path to a ``.py`` file) runs
-        through the :mod:`repro.perflint` passes instead of the kernel
-        sanitizer — the pre-flight perf/cost/IAM review a TA would give a
-        cloud lab before any simulated dollar accrues.  Notes carry no
-        penalty; they still appear in the feedback.
+        through the :mod:`repro.perflint` passes — plus the
+        :mod:`repro.memcheck` liveness pass when ``"mem"`` is among the
+        ``analyzers`` — instead of the kernel sanitizer: the pre-flight
+        perf/cost/IAM/memory review a TA would give a cloud lab before
+        any simulated dollar accrues.  Notes carry no penalty; they
+        still appear in the feedback.
         """
         from pathlib import Path
 
@@ -149,6 +151,9 @@ class GradeBook:
             path = Path(workflow)
             source, filename = path.read_text(), str(path)
         report = analyze_source(source, filename, analyzers=analyzers)
+        if "mem" in analyzers:
+            from repro.memcheck import analyze_source as mem_analyze_source
+            report.extend(mem_analyze_source(source, filename).findings)
         penalty = 0.0
         feedback = []
         for f in report.sorted():

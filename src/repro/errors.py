@@ -26,14 +26,17 @@ class OutOfMemoryError(DeviceError):
     tests) can see exactly how far over budget the request was.
     """
 
-    def __init__(self, requested: int, free: int, total: int) -> None:
+    def __init__(self, requested: int, free: int, total: int,
+                 detail: str = "") -> None:
         self.requested = int(requested)
         self.free = int(free)
         self.total = int(total)
-        super().__init__(
-            f"out of device memory: requested {requested} B, "
-            f"free {free} B of {total} B"
-        )
+        self.detail = detail
+        message = (f"out of device memory: requested {requested} B, "
+                   f"free {free} B of {total} B")
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
 
 
 class CrossDeviceError(DeviceError):

@@ -25,7 +25,16 @@ produced by one shared, consistent hardware model.
 
 from repro.gpu.clock import SimClock
 from repro.gpu.specs import DeviceSpec, HostSpec, GPU_CATALOG, get_spec
-from repro.gpu.memory import DeviceBuffer, MemoryPool
+from repro.gpu.memory import (
+    Allocation,
+    DeviceBuffer,
+    LeakEntry,
+    LeakReport,
+    MemoryPool,
+    PinnedHostPool,
+    format_bytes,
+    pinned_empty,
+)
 from repro.gpu.kernelmodel import KernelCost, LaunchConfig, kernel_duration_ns, occupancy
 from repro.gpu.stream import Stream, Event
 from repro.gpu.device import VirtualGpu, Host
@@ -44,8 +53,14 @@ __all__ = [
     "HostSpec",
     "GPU_CATALOG",
     "get_spec",
+    "Allocation",
     "DeviceBuffer",
+    "LeakEntry",
+    "LeakReport",
     "MemoryPool",
+    "PinnedHostPool",
+    "format_bytes",
+    "pinned_empty",
     "KernelCost",
     "LaunchConfig",
     "kernel_duration_ns",

@@ -24,7 +24,7 @@ from repro.gpu.kernelmodel import (
     normalize_launch,
     transfer_duration_ns,
 )
-from repro.gpu.memory import DeviceBuffer, MemoryPool
+from repro.gpu.memory import DeviceBuffer, LeakReport, MemoryPool, PinnedHostPool
 from repro.gpu.specs import DeviceSpec, HostSpec
 from repro.gpu.stream import Stream
 
@@ -131,9 +131,30 @@ class VirtualGpu:
         return s
 
     def synchronize(self) -> int:
-        """Host-blocking ``cudaDeviceSynchronize``: drain every stream."""
+        """Host-blocking ``cudaDeviceSynchronize``: drain every stream.
+
+        Also the natural reporting point for memory pressure: if a tracer
+        is active, the pool's used/peak/live gauges are published here (a
+        pure observation — the simulated clock is not touched)."""
         latest = max(s.ready_at for s in self._streams)
-        return self.clock.advance_to(latest)
+        t = self.clock.advance_to(latest)
+        self._publish_memory_gauges()
+        return t
+
+    def _publish_memory_gauges(self, leaked_bytes: int | None = None) -> None:
+        """Push ``device.memory.*`` gauges to the active tracer, if any."""
+        from repro.telemetry import api
+        if api.current_tracer() is None:
+            return
+        api.gauge("device.memory.used", self.memory.used_bytes,
+                  device=self.device_id)
+        api.gauge("device.memory.peak", self.memory.peak_bytes,
+                  device=self.device_id)
+        api.gauge("device.memory.live_allocs", self.memory.live_allocations,
+                  device=self.device_id)
+        if leaked_bytes is not None:
+            api.gauge("device.memory.leaked", leaked_bytes,
+                      device=self.device_id)
 
     # -- span recording ---------------------------------------------------
 
@@ -160,8 +181,25 @@ class VirtualGpu:
         """Allocate device storage for ``array`` (which becomes the backing
         store).  Raises :class:`~repro.errors.OutOfMemoryError` on
         exhaustion; allocation itself is host-side and instantaneous."""
-        self.memory.reserve(array.nbytes)
-        return DeviceBuffer(self, array, tag=tag)
+        allocation = self.memory.allocate(
+            array.nbytes, tag=tag or "device.alloc")
+        return DeviceBuffer(self, array, tag=tag, allocation=allocation)
+
+    def leak_report(self) -> LeakReport:
+        """What is still resident in this device's pool, grouped by tag
+        and allocation site (``compute-sanitizer --leak-check full``)."""
+        return self.memory.leak_report(device_name=self.name)
+
+    def teardown(self) -> LeakReport:
+        """Drain the device and report what was never freed.
+
+        The dynamic half of :mod:`repro.memcheck`: call at end of job
+        (``GpuSystem.teardown`` does it for every device) and anything
+        still in the ledger is a leak."""
+        self.synchronize()
+        report = self.leak_report()
+        self._publish_memory_gauges(leaked_bytes=report.total_bytes)
+        return report
 
     # -- kernels ----------------------------------------------------------
 
@@ -280,6 +318,7 @@ class Host:
         self.clock = clock
         self.spans: list[Span] = []
         self._span_listeners: list[Callable[[Span], None]] = []
+        self.pinned = PinnedHostPool()
 
     def add_span_listener(self, fn: Callable[[Span], None]) -> None:
         self._span_listeners.append(fn)

@@ -8,13 +8,20 @@ time.  This module models the *capacity* side; the *time* side lives in
 
 The pool is a simple counting allocator (no fragmentation model): CUDA's
 caching allocators make fragmentation largely invisible at lab scale, and a
-counting model keeps OOM behaviour exactly reproducible.
+counting model keeps OOM behaviour exactly reproducible.  On top of the
+raw byte counting sits a tracked-allocation ledger (:class:`Allocation`):
+every tracked allocation carries a tag and the call site that made it, the
+pool keeps per-tag live totals and a high-water-mark breakdown, and
+:meth:`MemoryPool.leak_report` renders what is still resident — the
+``compute-sanitizer --leak-check full`` view of the pool.  The static
+counterpart of this ledger is :mod:`repro.memcheck`.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import sys
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -26,6 +33,68 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 _buffer_ids = itertools.count(1)
+_allocation_ids = itertools.count(1)
+
+#: fraction of capacity held back for the driver + context by default
+DEFAULT_RESERVE_FRACTION = 0.03
+
+#: host RAM assumed when no instance is in scope (a g4dn.xlarge has 16 GiB)
+DEFAULT_HOST_RAM_BYTES = 16 * (1 << 30)
+
+#: basenames skipped while walking the stack for an allocation site — the
+#: plumbing between the user's call and the pool, never the interesting frame
+_INTERNAL_FRAMES = frozenset(
+    {"memory.py", "device.py", "tensor.py", "ndarray.py", "creation.py"})
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (``"2.0 MiB"``), for reports and errors."""
+    n = float(n)
+    if abs(n) < 1024.0:
+        return f"{int(n)} B"
+    for unit in ("KiB", "MiB", "GiB"):
+        n /= 1024.0
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}"
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _capture_site(max_depth: int = 16) -> str:
+    """``file.py:line`` of the nearest stack frame outside the allocator
+    plumbing — what ``compute-sanitizer`` calls the allocation site."""
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - called from the top of the stack
+        return ""
+    site = ""
+    for _ in range(max_depth):
+        if frame is None:
+            break
+        filename = frame.f_code.co_filename
+        base = filename.replace("\\", "/").rsplit("/", 1)[-1]
+        site = f"{base}:{frame.f_lineno}"
+        if base not in _INTERNAL_FRAMES:
+            return site
+        frame = frame.f_back
+    return site
+
+
+class Allocation:
+    """One tracked reservation in a :class:`MemoryPool` ledger."""
+
+    __slots__ = ("alloc_id", "nbytes", "tag", "site", "freed")
+
+    def __init__(self, nbytes: int, tag: str, site: str) -> None:
+        self.alloc_id = next(_allocation_ids)
+        self.nbytes = int(nbytes)
+        self.tag = tag
+        self.site = site
+        self.freed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "freed" if self.freed else "live"
+        return (f"Allocation(#{self.alloc_id}, {self.nbytes} B, "
+                f"tag={self.tag!r}, site={self.site!r}, {state})")
 
 
 class DeviceBuffer:
@@ -37,15 +106,18 @@ class DeviceBuffer:
     out copies via explicit ``.get()`` transfers, mirroring CuPy.
     """
 
-    __slots__ = ("buffer_id", "device", "array", "nbytes", "freed", "tag")
+    __slots__ = ("buffer_id", "device", "array", "nbytes", "freed", "tag",
+                 "allocation")
 
-    def __init__(self, device: "VirtualGpu", array: np.ndarray, tag: str = "") -> None:
+    def __init__(self, device: "VirtualGpu", array: np.ndarray,
+                 tag: str = "", allocation: Allocation | None = None) -> None:
         self.buffer_id = next(_buffer_ids)
         self.device = device
         self.array = array
         self.nbytes = int(array.nbytes)
         self.freed = False
         self.tag = tag
+        self.allocation = allocation
 
     def data(self) -> np.ndarray:
         """Return the backing array, guarding against use-after-free."""
@@ -57,9 +129,16 @@ class DeviceBuffer:
         return self.array
 
     def free(self) -> None:
-        """Release the buffer back to its pool (idempotent)."""
-        if not self.freed:
-            self.freed = True
+        """Release the buffer back to its pool (idempotent; repeat frees
+        are counted as double-free attempts in the pool stats)."""
+        if self.freed:
+            if self.allocation is not None:
+                self.device.memory.free(self.allocation)
+            return
+        self.freed = True
+        if self.allocation is not None:
+            self.device.memory.free(self.allocation)
+        else:
             self.device.memory.release(self.nbytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -76,6 +155,8 @@ class PoolStats:
     peak_bytes: int
     alloc_count: int
     free_count: int
+    live_allocations: int = 0
+    double_free_count: int = 0
 
     @property
     def free_bytes(self) -> int:
@@ -89,15 +170,75 @@ class PoolStats:
         return self.used_bytes / self.total_bytes
 
 
+@dataclass(frozen=True)
+class LeakEntry:
+    """Live allocations grouped by (tag, allocation site)."""
+
+    tag: str
+    site: str
+    count: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class LeakReport:
+    """What is still resident in a pool, grouped by who allocated it.
+
+    Mid-run this is the live set; at teardown — after every well-behaved
+    owner has released its storage — every entry is a leak, which is
+    exactly when :meth:`repro.gpu.device.VirtualGpu.teardown` collects it.
+    """
+
+    device_name: str
+    entries: tuple[LeakEntry, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self.entries)
+
+    @property
+    def count(self) -> int:
+        return sum(e.count for e in self.entries)
+
+    @property
+    def ok(self) -> bool:
+        return not self.entries
+
+    def render(self) -> str:
+        """The ``compute-sanitizer --leak-check full`` style summary."""
+        where = self.device_name or "device"
+        if self.ok:
+            return f"{where}: no leaks detected"
+        lines = [f"{where}: {self.count} leaked allocation(s), "
+                 f"{format_bytes(self.total_bytes)} still resident"]
+        for e in self.entries:
+            site = f" at {e.site}" if e.site else ""
+            lines.append(f"  {e.tag}: {e.count}× {format_bytes(e.nbytes)}"
+                         f" total{site}")
+        return "\n".join(lines)
+
+
 class MemoryPool:
     """Counting allocator for one device's global memory.
 
     ``reserve_fraction`` holds back a slice of capacity for the driver and
     context (real CUDA contexts eat a few hundred MB), so a "16 GB" card
     never actually grants 16 GB — an effect students discover in Lab 1.
+
+    Two planes of accounting: :meth:`reserve`/:meth:`release` are the raw
+    byte counters (kept for direct callers), while :meth:`allocate` /
+    :meth:`free` additionally record *who* holds the bytes — a tag, the
+    allocation site, and a per-tag live total that feeds
+    :meth:`top_consumers`, :meth:`leak_report`, and the enriched
+    :class:`~repro.errors.OutOfMemoryError` messages.
     """
 
-    def __init__(self, total_bytes: int, reserve_fraction: float = 0.03) -> None:
+    #: class-level switch for allocation-site stack capture (a frame walk
+    #: per tracked allocation; benchmarks may turn it off)
+    capture_sites = True
+
+    def __init__(self, total_bytes: int,
+                 reserve_fraction: float = DEFAULT_RESERVE_FRACTION) -> None:
         if total_bytes <= 0:
             raise ValueError("pool must have positive capacity")
         if not 0.0 <= reserve_fraction < 1.0:
@@ -107,6 +248,13 @@ class MemoryPool:
         self.peak_bytes = 0
         self.alloc_count = 0
         self.free_count = 0
+        self.double_free_count = 0
+        self._live: dict[int, Allocation] = {}
+        self._tag_bytes: dict[str, int] = {}
+        self._tag_counts: dict[str, int] = {}
+        self.peak_breakdown: dict[str, int] = {}
+
+    # -- raw byte accounting ----------------------------------------------
 
     def can_allocate(self, nbytes: int) -> bool:
         """Whether an allocation of ``nbytes`` would currently succeed."""
@@ -114,8 +262,12 @@ class MemoryPool:
 
     def reserve(self, nbytes: int) -> None:
         """Account for an allocation, raising :class:`OutOfMemoryError`
-        exactly the way ``cudaMalloc`` would."""
-        nbytes = int(nbytes)
+        exactly the way ``cudaMalloc`` would.  Untracked: the bytes count
+        but carry no tag; prefer :meth:`allocate` for attributable
+        reservations."""
+        self._reserve(int(nbytes), tag=None)
+
+    def _reserve(self, nbytes: int, tag: str | None) -> None:
         if nbytes < 0:
             raise ValueError("cannot allocate negative bytes")
         if not self.can_allocate(nbytes):
@@ -123,10 +275,18 @@ class MemoryPool:
                 requested=nbytes,
                 free=self.total_bytes - self.used_bytes,
                 total=self.total_bytes,
+                detail=self._oom_detail(),
             )
+        if tag is not None:
+            self._tag_bytes[tag] = self._tag_bytes.get(tag, 0) + nbytes
+            self._tag_counts[tag] = self._tag_counts.get(tag, 0) + 1
         self.used_bytes += nbytes
         self.alloc_count += 1
-        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        if self.used_bytes > self.peak_bytes:
+            self.peak_bytes = self.used_bytes
+            # who held what at the high-water mark (tracked bytes only)
+            self.peak_breakdown = {
+                t: b for t, b in self._tag_bytes.items() if b > 0}
 
     def release(self, nbytes: int) -> None:
         """Return ``nbytes`` to the pool."""
@@ -141,6 +301,74 @@ class MemoryPool:
         self.used_bytes -= nbytes
         self.free_count += 1
 
+    # -- tracked-allocation ledger ----------------------------------------
+
+    def allocate(self, nbytes: int, tag: str = "",
+                 site: str | None = None) -> Allocation:
+        """Reserve ``nbytes`` with attribution: the returned
+        :class:`Allocation` carries ``tag`` and the capturing call site,
+        appears in :meth:`leak_report` until freed, and feeds the per-tag
+        totals that OOM messages and :meth:`top_consumers` render."""
+        tag = tag or "untagged"
+        if site is None and MemoryPool.capture_sites:
+            site = _capture_site()
+        self._reserve(int(nbytes), tag=tag)
+        alloc = Allocation(int(nbytes), tag, site or "")
+        self._live[alloc.alloc_id] = alloc
+        return alloc
+
+    def free(self, allocation: Allocation) -> bool:
+        """Release a tracked allocation.  Idempotent: freeing twice is a
+        no-op that increments ``double_free_count`` (the way the dynamic
+        race detector counts rather than crashes)."""
+        if allocation.freed or allocation.alloc_id not in self._live:
+            self.double_free_count += 1
+            return False
+        allocation.freed = True
+        del self._live[allocation.alloc_id]
+        self._tag_bytes[allocation.tag] = (
+            self._tag_bytes.get(allocation.tag, 0) - allocation.nbytes)
+        self._tag_counts[allocation.tag] = (
+            self._tag_counts.get(allocation.tag, 0) - 1)
+        self.release(allocation.nbytes)
+        return True
+
+    @property
+    def live_allocations(self) -> int:
+        """Tracked allocations currently resident."""
+        return len(self._live)
+
+    def top_consumers(self, n: int = 3) -> list[tuple[str, int, int]]:
+        """The ``n`` tags holding the most live bytes, as
+        ``(tag, bytes, count)`` tuples, largest first."""
+        items = [(t, b, self._tag_counts.get(t, 0))
+                 for t, b in self._tag_bytes.items() if b > 0]
+        items.sort(key=lambda item: (-item[1], item[0]))
+        return items[:n]
+
+    def _oom_detail(self) -> str:
+        """The context an OOM message carries: top live tags + pool stats."""
+        stats = (f"peak {format_bytes(self.peak_bytes)}, "
+                 f"{self.alloc_count} allocs / {self.free_count} frees")
+        top = self.top_consumers(3)
+        if not top:
+            return stats
+        held = ", ".join(f"{t} {format_bytes(b)} ×{c}" for t, b, c in top)
+        return f"top live tags: {held}; {stats}"
+
+    def leak_report(self, device_name: str = "") -> LeakReport:
+        """Group the live ledger by (tag, site), largest first."""
+        groups: dict[tuple[str, str], list[Allocation]] = {}
+        for alloc in self._live.values():
+            groups.setdefault((alloc.tag, alloc.site), []).append(alloc)
+        entries = [
+            LeakEntry(tag=tag, site=site, count=len(allocs),
+                      nbytes=sum(a.nbytes for a in allocs))
+            for (tag, site), allocs in groups.items()
+        ]
+        entries.sort(key=lambda e: (-e.nbytes, e.tag, e.site))
+        return LeakReport(device_name=device_name, entries=tuple(entries))
+
     def stats(self) -> PoolStats:
         """Current accounting snapshot."""
         return PoolStats(
@@ -149,4 +377,75 @@ class MemoryPool:
             peak_bytes=self.peak_bytes,
             alloc_count=self.alloc_count,
             free_count=self.free_count,
+            live_allocations=len(self._live),
+            double_free_count=self.double_free_count,
         )
+
+
+class PinnedHostPool:
+    """Page-locked (pinned) host RAM used to stage async transfers.
+
+    Pinned memory is what makes ``copy_h2d(blocking=False)`` real on
+    hardware, but it is wired-down host RAM: oversubscribing it starves
+    the OS.  The pool counts pinned bytes against a host-RAM budget the
+    same way :class:`MemoryPool` counts device bytes; the static analyzer
+    flags workflows that pin more than a safe fraction
+    (``MEM-PINNED-OVERSUB``).
+    """
+
+    def __init__(self, total_bytes: int = DEFAULT_HOST_RAM_BYTES) -> None:
+        if total_bytes <= 0:
+            raise ValueError("host RAM budget must be positive")
+        self.total_bytes = int(total_bytes)
+        self.pinned_bytes = 0
+        self.peak_bytes = 0
+
+    def pin(self, nbytes: int) -> None:
+        """Wire down ``nbytes`` of host RAM (``cudaHostAlloc``)."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot pin negative bytes")
+        if self.pinned_bytes + nbytes > self.total_bytes:
+            raise OutOfMemoryError(
+                requested=nbytes,
+                free=self.total_bytes - self.pinned_bytes,
+                total=self.total_bytes,
+                detail="host pinned-memory budget exhausted",
+            )
+        self.pinned_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.pinned_bytes)
+
+    def unpin(self, nbytes: int) -> None:
+        """Release ``nbytes`` of pinned host RAM."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot unpin negative bytes")
+        if nbytes > self.pinned_bytes:
+            raise DeviceError(
+                f"double free detected: unpinning {nbytes} B with only "
+                f"{self.pinned_bytes} B pinned"
+            )
+        self.pinned_bytes -= nbytes
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of host RAM currently pinned."""
+        return self.pinned_bytes / self.total_bytes
+
+    def oversubscribed(self, fraction: float = 0.5) -> bool:
+        """Whether pinned staging exceeds ``fraction`` of host RAM."""
+        return self.fraction > fraction
+
+
+def pinned_empty(shape, dtype=np.float32, host=None) -> np.ndarray:
+    """Allocate a pinned host staging array (``cuda.pinned_array``).
+
+    Counts against the host's :class:`PinnedHostPool`; release the bytes
+    with ``host.pinned.unpin(arr.nbytes)`` when staging is done.
+    """
+    if host is None:
+        from repro.gpu.system import default_system
+        host = default_system().host
+    arr = np.empty(shape, dtype=dtype)
+    host.pinned.pin(arr.nbytes)
+    return arr

@@ -18,6 +18,7 @@ from typing import Iterator
 from repro.errors import DeviceError
 from repro.gpu.clock import SimClock
 from repro.gpu.device import Host, VirtualGpu
+from repro.gpu.memory import LeakReport
 from repro.gpu.specs import DeviceSpec, GPU_CATALOG, HostSpec, get_spec
 
 
@@ -87,6 +88,17 @@ class GpuSystem:
         for dev in self.devices:
             t = max(t, dev.synchronize())
         return t
+
+    def leak_report(self) -> dict[int, "LeakReport"]:
+        """Per-device live-allocation reports (see
+        :meth:`VirtualGpu.leak_report`)."""
+        return {d.device_id: d.leak_report() for d in self.devices}
+
+    def teardown(self) -> dict[int, "LeakReport"]:
+        """Drain every device and collect its leak report — the end-of-job
+        sweep the dynamic memcheck runs (anything still resident here was
+        never freed by its owner)."""
+        return {d.device_id: d.teardown() for d in self.devices}
 
     def utilization_report(self, window: tuple[int, int] | None = None) -> dict[int, float]:
         """Per-device busy fractions over a shared window.

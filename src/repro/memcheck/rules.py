@@ -1,0 +1,66 @@
+"""The memcheck rule registry: MEM-* ids and fix hints.
+
+Same contract as :mod:`repro.sanitize.rules` and
+:mod:`repro.perflint.rules` — ids are stable, tests and
+``docs/memcheck.md`` refer to them by name.  The subjects are device
+*memory*: what the workflow holds live, what it never frees, and whether
+its peak fits the instance it plans to run on.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.findings import Finding, Severity
+from repro.sanitize.rules import Rule
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule("MEM-LEAK", "device buffer never freed", Severity.WARNING,
+             "call .free() before the name is rebound or goes out of "
+             "scope; on a long-running workflow every leaked buffer "
+             "shrinks the pool until an avoidable OOM — the dynamic "
+             "counterpart is MemoryPool.leak_report() at teardown"),
+        Rule("MEM-UAF", "use of a device buffer after .free()",
+             Severity.ERROR,
+             "the buffer's storage was returned to the pool on at least "
+             "one path reaching this use; reorder the free below the "
+             "last use — at runtime this raises DeviceError "
+             "('use of freed device buffer')"),
+        Rule("MEM-PEAK-OOM", "estimated peak device memory exceeds the "
+             "target instance's GPU", Severity.ERROR,
+             "right-size before launching: the run would die with "
+             "OutOfMemoryError after the cloud bill has started; pick "
+             "the suggested SKU, shrink the working set, or free "
+             "buffers earlier to lower the peak"),
+        Rule("MEM-CHURN", "alloc/free pair inside a hot loop",
+             Severity.WARNING,
+             "the allocation is loop-invariant: hoist it above the loop "
+             "and reuse the buffer, freeing once afterwards — "
+             "per-iteration alloc/free churns the pool and serializes "
+             "on the allocator (same cure as PERF-LOOP-ALLOC)"),
+        Rule("MEM-PINNED-OVERSUB", "pinned host staging exceeds a safe "
+             "fraction of host RAM", Severity.WARNING,
+             "page-locked memory is wired down and starves the OS when "
+             "oversubscribed; stage transfers through a bounded pinned "
+             "ring buffer instead of pinning the whole dataset"),
+    ]
+}
+
+#: flag when cumulative pinned staging crosses this fraction of host RAM
+PINNED_OVERSUB_FRACTION = 0.5
+
+
+def make_finding(rule_id: str, message: str, *, file: str = "",
+                 line: int = 0, context: str = "",
+                 severity: Severity | None = None) -> Finding:
+    """Build a :class:`Finding` for a registered memcheck rule."""
+    rule = RULES[rule_id]
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity if severity is None else severity,
+        message=message,
+        file=file,
+        line=line,
+        context=context,
+        hint=rule.hint,
+    )

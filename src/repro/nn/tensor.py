@@ -66,17 +66,21 @@ class Tensor:
         self._backward = _backward
         self.name = name
         # Device tensors occupy pool memory for their lifetime, so peak
-        # activation footprints are measurable (and OOM is real).
+        # activation footprints are measurable (and OOM is real).  The
+        # allocation is tracked: tagged with the tensor name so the pool's
+        # leak reports and OOM messages can attribute live bytes.
         self._reserved = 0
+        self._allocation = None
         if self.device.is_cuda and self.device._gpu is not None:
-            self.device._gpu.memory.reserve(self.data.nbytes)
+            self._allocation = self.device._gpu.memory.allocate(
+                self.data.nbytes, tag=f"nn.{name}" if name else "nn.tensor")
             self._reserved = self.data.nbytes
 
     def __del__(self) -> None:
-        reserved = getattr(self, "_reserved", 0)
-        if reserved and self.device._gpu is not None:
+        allocation = getattr(self, "_allocation", None)
+        if allocation is not None and self.device._gpu is not None:
             try:
-                self.device._gpu.memory.release(reserved)
+                self.device._gpu.memory.free(allocation)
             except Exception:  # noqa: BLE001 - pool may have been reset
                 pass
 
@@ -388,19 +392,26 @@ class Tensor:
                     "backward() without gradient needs a scalar output")
             gradient = np.ones_like(self.data)
 
-        # topo order
+        # topo order — iterative post-order DFS.  A recursive closure here
+        # would be self-referential (function <-> cell cycle) and drag the
+        # whole `order` list of graph tensors into cyclic garbage, so an
+        # epoch's device buffers would only free when the gc happens to
+        # run; plain locals keep frees refcount-deterministic (which the
+        # pool's peak accounting in repro.gpu.memory relies on).
         order: list[Tensor] = []
         seen: set[int] = set()
-
-        def visit(t: "Tensor") -> None:
+        stack: list[tuple["Tensor", bool]] = [(self, False)]
+        while stack:
+            t, expanded = stack.pop()
+            if expanded:
+                order.append(t)
+                continue
             if id(t) in seen:
-                return
+                continue
             seen.add(id(t))
-            for p in t._parents:
-                visit(p)
-            order.append(t)
-
-        visit(self)
+            stack.append((t, True))
+            for p in reversed(t._parents):
+                stack.append((p, False))
         grads: dict[int, np.ndarray] = {id(self): np.asarray(gradient,
                                                              dtype=np.float32)}
         self._accumulate(grads[id(self)])

@@ -50,7 +50,46 @@ def _topk(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     return ids, top_scores.astype(np.float32)
 
 
-class FlatIndex:
+class _DeviceResident:
+    """Device-memory bookkeeping shared by the GPU-backed indexes.
+
+    FAISS GPU indexes copy the corpus into device memory; here the copy is
+    tracked against the virtual pool (tag ``rag.index``) so peak-footprint
+    measurements — and OOMs on undersized corpora — are real.  ``close()``
+    releases the residency; it is also called from ``__del__``.
+    """
+
+    device: ComputeDevice
+
+    def _init_residency(self) -> None:
+        self._dev_allocs: list = []
+
+    def _track_device_bytes(self, nbytes: int) -> None:
+        if self.device.is_cuda and self.device._gpu is not None and nbytes:
+            self._dev_allocs.append(
+                self.device._gpu.memory.allocate(int(nbytes),
+                                                 tag="rag.index"))
+
+    def close(self) -> None:
+        """Release this index's device-memory residency."""
+        gpu = self.device._gpu if self.device.is_cuda else None
+        allocs, self._dev_allocs = self._dev_allocs, []
+        if gpu is None:
+            return
+        for alloc in allocs:
+            try:
+                gpu.memory.free(alloc)
+            except Exception:  # noqa: BLE001 - pool may have been reset
+                pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+
+class FlatIndex(_DeviceResident):
     """Exact inner-product search (``faiss.IndexFlatIP``)."""
 
     def __init__(self, dim: int, device: str = "cpu") -> None:
@@ -59,6 +98,7 @@ class FlatIndex:
         self.dim = dim
         self.device: ComputeDevice = resolve_device(device)
         self._vectors = np.zeros((0, dim), dtype=np.float32)
+        self._init_residency()
 
     @property
     def ntotal(self) -> int:
@@ -69,6 +109,7 @@ class FlatIndex:
         if vectors.ndim != 2 or vectors.shape[1] != self.dim:
             raise ReproError(
                 f"expected (n, {self.dim}) vectors, got {vectors.shape}")
+        self._track_device_bytes(vectors.nbytes)
         self._vectors = np.concatenate([self._vectors, vectors])
 
     def search(self, queries: np.ndarray, k: int) -> SearchResult:
@@ -107,7 +148,7 @@ def _kmeans(x: np.ndarray, k: int, iters: int, seed: int) -> np.ndarray:
     return centroids
 
 
-class IVFFlatIndex:
+class IVFFlatIndex(_DeviceResident):
     """Inverted-file index: coarse k-means quantizer + probed lists."""
 
     def __init__(self, dim: int, nlist: int = 16, nprobe: int = 2,
@@ -124,6 +165,7 @@ class IVFFlatIndex:
         self.centroids: np.ndarray | None = None
         self._lists: list[list[int]] = [[] for _ in range(nlist)]
         self._vectors = np.zeros((0, dim), dtype=np.float32)
+        self._init_residency()
 
     @property
     def ntotal(self) -> int:
@@ -143,6 +185,7 @@ class IVFFlatIndex:
         self.device.charge(flops, 4.0 * sample.size * iters,
                            "ivf_train_kmeans", gemm=True)
         self.centroids = _kmeans(sample, self.nlist, iters, self.seed)
+        self._track_device_bytes(self.centroids.nbytes)
 
     def add(self, vectors: np.ndarray) -> None:
         if not self.is_trained:
@@ -157,6 +200,7 @@ class IVFFlatIndex:
                            4.0 * vectors.size, "ivf_assign", gemm=True)
         for i, c in enumerate(assign):
             self._lists[int(c)].append(start + i)
+        self._track_device_bytes(vectors.nbytes)
         self._vectors = np.concatenate([self._vectors, vectors])
 
     def search(self, queries: np.ndarray, k: int) -> SearchResult:
@@ -239,6 +283,10 @@ def load_index(s3, bucket: str, key: str,
                              seed=meta["seed"])
         index.centroids = archive["centroids"]
         index._vectors = vectors
+        # the direct assignment above bypasses train()/add(), so the
+        # device residency is tracked here
+        index._track_device_bytes(index.centroids.nbytes)
+        index._track_device_bytes(vectors.nbytes)
         lengths = archive["list_lengths"]
         entries = archive["list_entries"].tolist()
         lists, offset = [], 0

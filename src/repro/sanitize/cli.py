@@ -17,8 +17,9 @@ from repro.sanitize.astlint import lint_paths
 from repro.sanitize.findings import Report, Severity
 
 #: analyzer families the CLI can dispatch; "kernel" is the original
-#: @cuda.jit linter, the rest live in repro.perflint
-KNOWN_ANALYZERS = ("kernel", "perf", "cost", "iam")
+#: @cuda.jit linter, "mem" lives in repro.memcheck, the rest in
+#: repro.perflint
+KNOWN_ANALYZERS = ("kernel", "perf", "cost", "iam", "mem")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "barrier divergence, coalescing, bank conflicts, "
                     "cross-stream hazards) plus the perflint workflow "
                     "analyzers (host-side perf anti-patterns, pre-flight "
-                    "cloud-plan cost, IAM least privilege).")
+                    "cloud-plan cost, IAM least privilege) and the "
+                    "memcheck liveness pass (device-buffer leaks, "
+                    "use-after-free, peak-footprint OOM pre-flight).")
     parser.add_argument("paths", nargs="+",
                         help="Python files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"),
@@ -69,11 +72,14 @@ def main(argv: list[str] | None = None) -> int:
     report = Report()
     if "kernel" in analyzers:
         report.extend(lint_paths(args.paths).findings)
-    perflint_families = [a for a in analyzers if a != "kernel"]
+    perflint_families = [a for a in analyzers if a not in ("kernel", "mem")]
     if perflint_families:
         from repro.perflint import analyze_paths
         report.extend(
             analyze_paths(args.paths, analyzers=perflint_families).findings)
+    if "mem" in analyzers:
+        from repro.memcheck import analyze_paths as mem_analyze_paths
+        report.extend(mem_analyze_paths(args.paths).findings)
     # identical findings from two families (e.g. SAN-SYNTAX reported by
     # both the kernel linter and perflint) collapse to one
     report.findings = list(dict.fromkeys(report.findings))

@@ -42,6 +42,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    record_device_memory,
     record_gpu_utilization,
 )
 from repro.telemetry.span import SPAN_KINDS, SpanEvent, TelemetrySpan
@@ -63,6 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "record_device_memory",
     "record_gpu_utilization",
     "SPAN_KINDS",
     "SpanEvent",

@@ -84,3 +84,11 @@ def count(metric: str, value: float = 1.0) -> None:
     tracer = current_tracer()
     if tracer is not None:
         tracer.metrics.counter(metric).inc(value)
+
+
+def gauge(metric: str, value: float, **labels: object) -> None:
+    """Set the active tracer's gauge ``metric`` (optionally labelled) —
+    how the device memory pools publish used/peak/leaked levels."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.metrics.gauge(metric, **labels).set(value)

@@ -165,6 +165,44 @@ class MetricsRegistry:
         return n
 
 
+def record_device_memory(registry: MetricsRegistry, system,
+                         metric_prefix: str = "DeviceMemory"
+                         ) -> dict[int, dict[str, float]]:
+    """Gauge per-device memory pressure into ``registry``.
+
+    Publishes ``DeviceMemoryUsed`` / ``DeviceMemoryPeak`` /
+    ``DeviceMemoryLeaked`` (bytes, labelled per device) plus
+    ``DeviceMemoryUtilization`` (0-100 percent — the series memory-pressure
+    alarms threshold on, alongside ``GPUUtilization``) and an unlabelled
+    average utilization.  "Leaked" counts bytes held by tracked
+    allocations still live at observation time.  Returns the raw per-device
+    numbers.
+    """
+    report: dict[int, dict[str, float]] = {}
+    for dev in system.devices:
+        stats = dev.memory.stats()
+        leaked = float(sum(e.nbytes for e in dev.leak_report().entries))
+        util = 100.0 * stats.utilization
+        registry.gauge(f"{metric_prefix}Used",
+                       device=dev.device_id).set(stats.used_bytes)
+        registry.gauge(f"{metric_prefix}Peak",
+                       device=dev.device_id).set(stats.peak_bytes)
+        registry.gauge(f"{metric_prefix}Leaked",
+                       device=dev.device_id).set(leaked)
+        registry.gauge(f"{metric_prefix}Utilization",
+                       device=dev.device_id).set(util)
+        report[dev.device_id] = {
+            "used_bytes": float(stats.used_bytes),
+            "peak_bytes": float(stats.peak_bytes),
+            "leaked_bytes": leaked,
+            "utilization": util,
+        }
+    if report:
+        registry.gauge(f"{metric_prefix}Utilization").set(
+            sum(r["utilization"] for r in report.values()) / len(report))
+    return report
+
+
 def record_gpu_utilization(registry: MetricsRegistry, system,
                            window: tuple[int, int] | None = None,
                            metric: str = "GPUUtilization") -> dict[int, float]:

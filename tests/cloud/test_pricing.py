@@ -65,3 +65,37 @@ class TestCourseMixCalibration:
     def test_cluster_key_expansion(self):
         rate = course_mix_rate({"cluster:3x g4dn.xlarge": 1.0})
         assert rate == pytest.approx(3 * 0.526)
+
+
+class TestGpuMemoryCatalog:
+    """Satellite: every SKU must expose its GPU memory for the memcheck
+    pre-flight, and every GPU part must resolve in the GPU catalog."""
+
+    def test_every_gpu_sku_resolves_and_is_positive(self):
+        from repro.gpu.specs import get_spec
+
+        for it in INSTANCE_CATALOG.values():
+            if it.is_gpu:
+                spec = get_spec(it.gpu_part)     # KeyError = catalog hole
+                assert it.gpu_memory_bytes == spec.mem_bytes > 0
+                assert it.total_gpu_memory_bytes == \
+                    it.gpu_memory_bytes * it.gpu_count
+
+    def test_cpu_skus_report_zero_gpu_memory(self):
+        for it in INSTANCE_CATALOG.values():
+            if not it.is_gpu:
+                assert it.gpu_memory_bytes == 0
+                assert it.total_gpu_memory_bytes == 0
+
+    def test_known_capacities_match_parts(self):
+        assert INSTANCE_CATALOG["g4dn.xlarge"].gpu_memory_bytes == 16 << 30
+        assert INSTANCE_CATALOG["p4d.24xlarge"].gpu_memory_bytes == 40 << 30
+
+    def test_ec2_instance_exposes_gpu_memory(self):
+        from repro.cloud import CloudSession
+        from repro.gpu import make_system
+
+        make_system(1, "T4")
+        session = CloudSession()
+        inst = session.ec2.run_instance("g4dn.xlarge", owner="ada")
+        assert inst.gpu_memory_bytes == 16 << 30

@@ -86,3 +86,152 @@ class TestDeviceBuffer:
         dev.memory.total_bytes = 100
         with pytest.raises(OutOfMemoryError):
             dev.alloc(np.zeros(1000, dtype=np.float64))
+
+
+class TestPoolEdgeCases:
+    """reserve_fraction bounds, signed sizes, and interleaved peaks."""
+
+    def test_reserve_fraction_bounds_enforced(self):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError, match="reserve_fraction"):
+                MemoryPool(1000, reserve_fraction=bad)
+        assert MemoryPool(1000, reserve_fraction=0.0).total_bytes == 1000
+
+    def test_full_fraction_leaves_no_capacity(self):
+        pool = MemoryPool(1000, reserve_fraction=0.999999)
+        assert pool.total_bytes == 0
+        with pytest.raises(OutOfMemoryError):
+            pool.reserve(1)
+
+    def test_zero_byte_reserve_is_a_noop(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.reserve(0)
+        assert pool.used_bytes == 0
+        assert pool.stats().alloc_count == 1    # still counted as an op
+
+    def test_negative_reserve_rejected(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        with pytest.raises(ValueError, match="negative"):
+            pool.reserve(-1)
+
+    def test_peak_across_interleaved_alloc_free(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        a = pool.allocate(300, tag="a")
+        b = pool.allocate(400, tag="b")     # peak 700
+        pool.free(a)
+        c = pool.allocate(200, tag="c")     # 600 < 700
+        assert pool.peak_bytes == 700
+        pool.free(b)
+        d = pool.allocate(500, tag="d")     # 700, ties the peak
+        assert pool.peak_bytes == 700
+        pool.free(c)
+        pool.free(d)
+        assert pool.used_bytes == 0
+        assert pool.peak_bytes == 700
+
+    def test_peak_breakdown_snapshot_at_peak(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        a = pool.allocate(300, tag="weights")
+        pool.allocate(400, tag="activations")
+        assert pool.peak_breakdown == {"weights": 300, "activations": 400}
+        pool.free(a)
+        pool.allocate(100, tag="late")
+        # below the peak: the snapshot must not move
+        assert pool.peak_breakdown == {"weights": 300, "activations": 400}
+
+
+class TestAllocationLedger:
+    def test_tracked_free_counts_double_free_without_raising(self):
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        alloc = pool.allocate(100, tag="x")
+        assert pool.free(alloc) is True
+        assert pool.free(alloc) is False        # idempotent, but counted
+        stats = pool.stats()
+        assert stats.double_free_count == 1
+        assert stats.used_bytes == 0
+
+    def test_buffer_double_free_reaches_pool_counter(self, system1):
+        dev = system1.device(0)
+        buf = dev.alloc(np.zeros(16, dtype=np.float32))
+        buf.free()
+        buf.free()
+        assert dev.memory.stats().double_free_count == 1
+
+    def test_use_after_free_message_names_the_buffer(self, system1):
+        dev = system1.device(0)
+        buf = dev.alloc(np.zeros(4, dtype=np.float32))
+        buf.free()
+        with pytest.raises(DeviceError,
+                           match=r"use of freed device buffer #\d+"):
+            buf.data()
+
+    def test_sites_point_at_caller_not_pool_internals(self, system1):
+        dev = system1.device(0)
+        dev.alloc(np.zeros(16, dtype=np.float32), tag="mine")
+        (entry,) = dev.leak_report().entries
+        assert "test_memory.py" in entry.site
+
+    def test_top_consumers_ranked_by_bytes(self):
+        pool = MemoryPool(10_000, reserve_fraction=0.0)
+        pool.allocate(100, tag="small")
+        pool.allocate(4000, tag="big")
+        pool.allocate(500, tag="mid")
+        pool.allocate(500, tag="mid")
+        top = pool.top_consumers(2)
+        assert [t[0] for t in top] == ["big", "mid"]
+        assert top[1][1] == 1000 and top[1][2] == 2    # bytes, count
+
+    def test_oom_detail_names_top_tags(self):
+        from repro.errors import OutOfMemoryError
+
+        pool = MemoryPool(1000, reserve_fraction=0.0)
+        pool.allocate(900, tag="hog")
+        with pytest.raises(OutOfMemoryError, match="hog"):
+            pool.allocate(200, tag="straw")
+
+
+class TestPinnedHostPool:
+    def test_pin_unpin_roundtrip_and_fraction(self):
+        from repro.gpu.memory import PinnedHostPool
+
+        host = PinnedHostPool(total_bytes=1000)
+        host.pin(250)
+        assert host.fraction == pytest.approx(0.25)
+        assert not host.oversubscribed()
+        host.pin(400)
+        assert host.oversubscribed()            # 0.65 > 0.5
+        host.unpin(650)
+        assert host.fraction == 0.0
+        assert host.peak_bytes == 650
+
+    def test_pinned_budget_exhaustion_is_oom(self):
+        from repro.errors import OutOfMemoryError
+        from repro.gpu.memory import PinnedHostPool
+
+        host = PinnedHostPool(total_bytes=100)
+        with pytest.raises(OutOfMemoryError, match="pinned"):
+            host.pin(200)
+
+    def test_unpin_overrun_is_double_free(self):
+        from repro.gpu.memory import PinnedHostPool
+
+        host = PinnedHostPool(total_bytes=100)
+        with pytest.raises(DeviceError, match="double free"):
+            host.unpin(1)
+
+    def test_pinned_empty_charges_the_host_pool(self, system1):
+        from repro.gpu import pinned_empty
+
+        arr = pinned_empty((16, 16))
+        assert arr.nbytes == 16 * 16 * 4
+        assert system1.host.pinned.pinned_bytes == arr.nbytes
+
+
+class TestFormatBytes:
+    def test_unit_ladder(self):
+        from repro.gpu.memory import format_bytes
+
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(5 * (1 << 20)) == "5.0 MiB"
+        assert format_bytes(int(15.5 * (1 << 30))) == "15.5 GiB"

@@ -1,0 +1,128 @@
+"""Static estimators vs. the dynamic pool: the bracketing contract.
+
+Acceptance (ISSUE 4): on the Algorithm-1 GCN, the Lab-9 DDP step, and
+the RAG index, the closed-form peak estimate must be within 10% of —
+and never below — the measured ``MemoryPool.peak_bytes``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.gcn.train import train_sequential
+from repro.gpu import make_system, reset_default_system
+from repro.graph.generators import noisy_citation
+from repro.memcheck import (
+    ddp_training_footprint,
+    gcn_training_footprint,
+    rag_index_footprint,
+)
+from repro.nn.data import shard_indices
+from repro.rag.index import FlatIndex, IVFFlatIndex
+
+
+def _assert_brackets(dyn: int, est: int) -> None:
+    assert dyn <= est <= int(1.10 * dyn), (
+        f"estimate {est:,} must bracket dynamic peak {dyn:,} from above "
+        f"by at most 10%")
+
+
+class TestGcnFootprint:
+    @pytest.mark.parametrize("n,fd,hidden", [(300, 32, 16), (600, 64, 32)])
+    def test_estimate_brackets_dynamic_peak(self, n, fd, hidden):
+        ds = noisy_citation(n=n, feature_dim=fd, n_classes=3, seed=0)
+        system = make_system(1, "T4")
+        train_sequential(ds, epochs=3, hidden_dim=hidden, system=system)
+        dyn = system.device(0).memory.peak_bytes
+        est = gcn_training_footprint(n, fd, 3, hidden_dim=hidden,
+                                     n_train=int(ds.train_mask.sum()))
+        _assert_brackets(dyn, est)
+
+    def test_peak_is_flat_in_epochs(self):
+        # the autograd graph frees by refcount (no gc-dependent cycles),
+        # so training longer must not move the peak
+        ds = noisy_citation(n=300, feature_dim=32, n_classes=3, seed=0)
+        peaks = []
+        for epochs in (3, 12):
+            system = make_system(1, "T4")
+            train_sequential(ds, epochs=epochs, hidden_dim=16,
+                             system=system)
+            peaks.append(system.device(0).memory.peak_bytes)
+            reset_default_system()
+        assert peaks[0] == peaks[1]
+
+    def test_nothing_left_live_after_run(self):
+        ds = noisy_citation(n=300, feature_dim=32, n_classes=3, seed=0)
+        system = make_system(1, "T4")
+        result = train_sequential(ds, epochs=3, hidden_dim=16,
+                                  system=system)
+        del result
+        assert system.device(0).memory.used_bytes == 0
+        assert system.device(0).leak_report().ok
+
+
+class TestDdpFootprint:
+    @pytest.mark.parametrize("dims,batch", [([8, 16, 2], 64),
+                                            ([32, 64, 64, 4], 128)])
+    def test_estimate_brackets_dynamic_peak(self, dims, batch):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((batch, dims[0])).astype(np.float32)
+        y = rng.integers(0, dims[-1], batch).astype(np.int64)
+
+        def factory():
+            layers = []
+            for i in range(len(dims) - 1):
+                layers.append(nn.Linear(dims[i], dims[i + 1], seed=i))
+                if i < len(dims) - 2:
+                    layers.append(nn.ReLU())
+            return nn.Sequential(*layers)
+
+        def loss_fn(replica, shard):
+            xs, ys = shard
+            return nn.cross_entropy(
+                replica(nn.Tensor(xs, device=replica.device)), ys)
+
+        system = make_system(2, "V100")
+        ddp = nn.DistributedDataParallel(
+            factory, lambda p: nn.SGD(p, lr=0.1), system=system)
+        for step in range(3):
+            shards = [(x[shard_indices(batch, r, 2, seed=step)],
+                       y[shard_indices(batch, r, 2, seed=step)])
+                      for r in range(2)]
+            ddp.train_step(shards, loss_fn)
+        dyn = max(system.device(i).memory.peak_bytes for i in range(2))
+        est = ddp_training_footprint(dims, batch_per_rank=batch // 2)
+        _assert_brackets(dyn, est)
+
+    def test_rejects_degenerate_dims(self):
+        with pytest.raises(ValueError):
+            ddp_training_footprint([8], batch_per_rank=4)
+
+
+class TestRagFootprint:
+    def test_flat_index_brackets(self, rng):
+        vecs = rng.standard_normal((2000, 128)).astype(np.float32)
+        system = make_system(1, "T4")
+        index = FlatIndex(dim=128, device="cuda:0")
+        index.add(vecs)
+        _assert_brackets(system.device(0).memory.peak_bytes,
+                         rag_index_footprint(2000, 128, kind="flat"))
+        index.close()
+        assert system.device(0).memory.used_bytes == 0
+
+    def test_ivf_index_brackets(self, rng):
+        vecs = rng.standard_normal((2000, 128)).astype(np.float32)
+        system = make_system(1, "T4")
+        index = IVFFlatIndex(dim=128, nlist=16, device="cuda:0")
+        index.train(vecs)
+        index.add(vecs)
+        _assert_brackets(
+            system.device(0).memory.peak_bytes,
+            rag_index_footprint(2000, 128, kind="ivf", nlist=16))
+        index.close()
+
+    def test_rejects_bad_kinds(self):
+        with pytest.raises(ValueError):
+            rag_index_footprint(10, 4, kind="ivf")      # nlist missing
+        with pytest.raises(ValueError):
+            rag_index_footprint(10, 4, kind="hnsw")

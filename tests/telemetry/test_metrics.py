@@ -126,3 +126,76 @@ class TestGpuUtilization:
         avg = reg.gauge("GPUUtilization").value
         assert avg == pytest.approx(
             100.0 * sum(report.values()) / len(report))
+
+
+class TestDeviceMemory:
+    """device.memory gauges and the CloudWatch memory-pressure loop."""
+
+    def _load(self, system, nbytes=1 << 20):
+        import numpy as np
+
+        dev = system.device(0)
+        return dev.alloc(np.zeros(nbytes // 4, dtype=np.float32),
+                         tag="ballast")
+
+    def test_gauges_per_device(self, system2):
+        from repro.telemetry.metrics import record_device_memory
+
+        buf = self._load(system2)
+        reg = MetricsRegistry()
+        report = record_device_memory(reg, system2)
+        assert set(report) == {0, 1}
+        assert report[0]["used_bytes"] == 1 << 20
+        assert reg.gauge("DeviceMemoryUsed", device=0).value == 1 << 20
+        assert reg.gauge("DeviceMemoryPeak", device=0).value >= 1 << 20
+        assert reg.gauge("DeviceMemoryUtilization", device=0).value > 0
+        assert reg.gauge("DeviceMemoryUsed", device=1).value == 0
+        buf.free()
+
+    def test_leaked_gauge_counts_ledger_leaks(self, system1):
+        from repro.telemetry.metrics import record_device_memory
+
+        self._load(system1)          # never freed -> on the ledger
+        reg = MetricsRegistry()
+        report = record_device_memory(reg, system1)
+        assert report[0]["leaked_bytes"] == 1 << 20
+        assert reg.gauge("DeviceMemoryLeaked", device=0).value == 1 << 20
+
+    def test_memory_pressure_alarm_fires_and_clears(self, system1):
+        from repro.telemetry.metrics import record_device_memory
+
+        buf = self._load(system1,
+                         nbytes=int(system1.device(0).memory.total_bytes
+                                    * 0.95))
+        cw = CloudWatch()
+        cw.put_alarm(Alarm(name="memory-pressure", namespace="telemetry",
+                           metric="DeviceMemoryUtilization",
+                           dimension="i-1", threshold=90.0,
+                           comparison="greater"))
+        reg = MetricsRegistry()
+        record_device_memory(reg, system1)
+        reg.publish_cloudwatch(cw, dimension="i-1", timestamp_h=1.0)
+        assert cw.evaluate_alarms()["memory-pressure"] is AlarmState.ALARM
+
+        buf.free()
+        reg2 = MetricsRegistry()
+        record_device_memory(reg2, system1)
+        reg2.publish_cloudwatch(cw, dimension="i-1", timestamp_h=2.0)
+        assert cw.evaluate_alarms()["memory-pressure"] is AlarmState.OK
+
+    def test_synchronize_publishes_gauges_when_traced(self, system1):
+        from repro.telemetry import Tracer
+
+        with Tracer() as tr:
+            buf = self._load(system1)
+            system1.device(0).synchronize()
+        gauge = tr.metrics.gauge("device.memory.used", device=0)
+        assert gauge.value == 1 << 20
+        assert tr.metrics.gauge("device.memory.peak", device=0).value \
+            >= 1 << 20
+        buf.free()
+
+    def test_untraced_synchronize_publishes_nothing(self, system1):
+        # gauge publication must be a no-op without an active tracer
+        self._load(system1)
+        system1.device(0).synchronize()    # must not raise
