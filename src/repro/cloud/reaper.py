@@ -25,13 +25,14 @@ class ReapReport:
     scanned: int = 0
     reaped_instances: list[str] = field(default_factory=list)
     reaped_notebooks: list[str] = field(default_factory=list)
+    reaped_endpoints: list[str] = field(default_factory=list)
     reaped_by_alarm: list[str] = field(default_factory=list)
     spared_keep_alive: list[str] = field(default_factory=list)
 
     @property
     def reaped_count(self) -> int:
         return (len(self.reaped_instances) + len(self.reaped_notebooks)
-                + len(self.reaped_by_alarm))
+                + len(self.reaped_endpoints) + len(self.reaped_by_alarm))
 
 
 class IdleReaper:
@@ -54,13 +55,17 @@ class IdleReaper:
 
     def __init__(self, ec2: Ec2Service, sagemaker: SageMakerService,
                  idle_threshold_h: float = 2.0,
-                 cloudwatch: CloudWatch | None = None) -> None:
+                 cloudwatch: CloudWatch | None = None,
+                 endpoint_util_floor: float = 0.0) -> None:
         if idle_threshold_h <= 0:
             raise ValueError("idle threshold must be positive")
+        if not 0.0 <= endpoint_util_floor <= 100.0:
+            raise ValueError("endpoint_util_floor is a percentage")
         self.ec2 = ec2
         self.sagemaker = sagemaker
         self.idle_threshold_h = idle_threshold_h
         self.cloudwatch = cloudwatch
+        self.endpoint_util_floor = endpoint_util_floor
         self.sweeps: list[ReapReport] = []
 
     def _alarming_dimensions(self) -> set[str]:
@@ -77,7 +82,12 @@ class IdleReaper:
         report = ReapReport()
         now = self.ec2.now_h
         alarming = self._alarming_dimensions()
+        self._sweep_endpoints(report, now, alarming)
+        live_endpoints = set(self.sagemaker.endpoints)
         for inst in self.ec2.describe(states=(InstanceState.RUNNING,)):
+            # fleet replicas are the endpoint sweep's responsibility
+            if inst.tags.get("endpoint") in live_endpoints:
+                continue
             report.scanned += 1
             idle = inst.idle_hours(now) >= self.idle_threshold_h
             alarmed = inst.instance_id in alarming
@@ -105,3 +115,35 @@ class IdleReaper:
                     report.reaped_notebooks.append(nb.name)
         self.sweeps.append(report)
         return report
+
+    def _sweep_endpoints(self, report: ReapReport, now: float,
+                         alarming: set[str]) -> None:
+        """Delete serving endpoints that are idle past the threshold,
+        alarmed, or sitting below the utilization floor.
+
+        ``endpoint_util_floor`` (a GPU-utilization percentage, 0 =
+        disabled) catches the serving-specific waste mode: a fleet that
+        *is* taking traffic — so never wall-clock idle — but is so
+        over-provisioned it burns dollars doing almost nothing.
+        """
+        for name in list(self.sagemaker.endpoints):
+            ep = self.sagemaker.endpoints[name]
+            if getattr(ep.state, "value", ep.state) != "InService":
+                continue
+            report.scanned += 1
+            idle = now - ep.last_activity_h >= self.idle_threshold_h
+            alarmed = name in alarming
+            util = getattr(ep, "recent_utilization", None)
+            underused = (self.endpoint_util_floor > 0.0
+                         and util is not None
+                         and util < self.endpoint_util_floor)
+            if not (idle or alarmed or underused):
+                continue
+            if getattr(ep, "tags", {}).get(KEEP_ALIVE_TAG):
+                report.spared_keep_alive.append(name)
+                continue
+            self.sagemaker.delete_endpoint(name)
+            if alarmed:
+                report.reaped_by_alarm.append(name)
+            else:
+                report.reaped_endpoints.append(name)

@@ -56,11 +56,19 @@ class NotebookInstance:
 
 
 class SageMakerService:
-    """Notebook lifecycle + execution surface."""
+    """Notebook lifecycle + execution surface.
+
+    Also the control-plane registry for real-time inference endpoints
+    (:class:`~repro.serve.endpoint.Endpoint`): endpoints register
+    themselves on creation so the reaper and instructor tooling can
+    enumerate them without importing :mod:`repro.serve` (the registry is
+    duck-typed — anything with ``state``/``last_activity_h``/``delete()``
+    fits)."""
 
     def __init__(self, billing: BillingService) -> None:
         self.billing = billing
         self.notebooks: dict[str, NotebookInstance] = {}
+        self.endpoints: dict[str, Any] = {}
         self.now_h = 0.0
         self.current_term = ""
 
@@ -125,6 +133,28 @@ class SageMakerService:
         if nb.state is NotebookState.IN_SERVICE:
             raise InvalidStateError("stop the notebook before deleting it")
         nb.state = NotebookState.DELETED
+
+    # -- endpoints (real-time inference) ----------------------------------
+
+    def register_endpoint(self, name: str, endpoint: Any) -> None:
+        """Attach a serving endpoint to the control plane (CreateEndpoint)."""
+        if name in self.endpoints:
+            raise CloudError(f"ResourceInUse: endpoint {name}")
+        self.endpoints[name] = endpoint
+
+    def deregister_endpoint(self, name: str) -> None:
+        self.endpoints.pop(name, None)
+
+    def describe_endpoint(self, name: str) -> Any:
+        if name not in self.endpoints:
+            raise ResourceNotFoundError(f"RecordNotFound: endpoint {name}")
+        return self.endpoints[name]
+
+    def delete_endpoint(self, name: str) -> None:
+        """DeleteEndpoint: tear the fleet down and drop the registration."""
+        endpoint = self.describe_endpoint(name)
+        endpoint.delete()
+        self.endpoints.pop(name, None)
 
     def _settle(self, nb: NotebookInstance) -> None:
         if nb.state is not NotebookState.IN_SERVICE:

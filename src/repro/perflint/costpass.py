@@ -1,8 +1,9 @@
 """COST-* — pre-flight cost estimation over cloud plans.
 
 The pass statically extracts every plan a file would launch —
-``BootstrapScript(...)`` constructions and
-``create_notebook_instance(...)`` calls with literal arguments — and
+``BootstrapScript(...)`` constructions, ``create_notebook_instance(...)``
+calls, and ``EndpointConfig(...)`` serving fleets (priced at
+``max_replicas``, the autoscaled peak) with literal arguments — and
 prices each one against :mod:`repro.cloud.pricing` *before* any
 simulated dollar accrues.  Checks, in the order students hit them:
 
@@ -45,7 +46,8 @@ LAB_COST_ENVELOPE_USD = COST_BAND_USD[1] / min(
 SPOT_CANDIDATE_HOURS = 8.0
 
 _NOTEBOOK_DEFAULT_TYPE = "ml.t3.medium"
-_TEARDOWN_MARKERS = {"teardown", "IdleReaper", "sweep", "terminate"}
+_TEARDOWN_MARKERS = {"teardown", "IdleReaper", "sweep", "terminate",
+                     "delete", "delete_endpoint"}
 _SPOT_MARKERS = {"SpotService", "spot_price", "request_spot", "spot"}
 
 
@@ -53,7 +55,7 @@ _SPOT_MARKERS = {"SpotService", "spot_price", "request_spot", "spot"}
 class PlanSite:
     """One statically-extracted launch plan."""
 
-    kind: str                  # "bootstrap" | "notebook"
+    kind: str                  # "bootstrap" | "notebook" | "endpoint"
     type_name: str
     count: int
     expected_hours: float
@@ -72,6 +74,13 @@ class PlanSite:
             arn = f"arn:student/{self.owner}/notebook/nb-0"
             return (("sagemaker:CreateNotebookInstance", arn),
                     ("sagemaker:StopNotebookInstance", arn))
+        if self.kind == "endpoint":
+            ep_arn = f"arn:student/{self.owner}/endpoint/ep-0"
+            inst_arn = f"arn:student/{self.owner}/instance/i-0"
+            return (("sagemaker:CreateEndpoint", ep_arn),
+                    ("sagemaker:DeleteEndpoint", ep_arn),
+                    ("ec2:RunInstances", inst_arn),
+                    ("ec2:TerminateInstances", inst_arn))
         return BootstrapScript(
             instance_type=self.type_name,
             instance_count=self.count).required_actions(self.owner)
@@ -145,6 +154,41 @@ def extract_plans(tree: ast.Module) -> list[PlanSite]:
                 kind="bootstrap", type_name=script.instance_type,
                 count=int(script.instance_count),
                 expected_hours=float(script.expected_hours),
+                line=node.lineno, owner=owner))
+        elif name == "EndpointConfig":
+            # price the *peak* fleet: an autoscaler may legally run
+            # max_replicas of instance_type for expected_hours
+            from repro.serve.endpoint import EndpointConfig
+
+            fields = EndpointConfig.__dataclass_fields__
+            kwargs: dict[str, object] = {}
+            unknowable = any(kw.arg is None for kw in node.keywords)
+            pos_fields = ("name", "instance_type", "initial_replicas",
+                          "min_replicas", "max_replicas")
+            for pos, field_name in zip(node.args, pos_fields):
+                lit = _literal(pos)
+                if lit is None:
+                    unknowable = unknowable or field_name == "instance_type"
+                else:
+                    kwargs[field_name] = lit
+            for kw in node.keywords:
+                if kw.arg in ("instance_type", "max_replicas",
+                              "expected_hours"):
+                    lit = _literal(kw.value)
+                    if lit is None:
+                        unknowable = unknowable or kw.arg == "instance_type"
+                    else:
+                        kwargs[kw.arg] = lit
+            if unknowable:
+                continue
+            plans.append(PlanSite(
+                kind="endpoint",
+                type_name=str(kwargs.get(
+                    "instance_type", fields["instance_type"].default)),
+                count=int(kwargs.get(
+                    "max_replicas", fields["max_replicas"].default)),
+                expected_hours=float(kwargs.get(
+                    "expected_hours", fields["expected_hours"].default)),
                 line=node.lineno, owner=owner))
         elif name == "create_notebook_instance":
             type_name: str | None = _NOTEBOOK_DEFAULT_TYPE

@@ -6,6 +6,13 @@ deployment trade-off is **batching**: grouping queries amortizes the
 per-launch overhead (higher throughput) at the cost of queueing delay
 (higher tail latency).  :class:`RagServer` models exactly that on the
 simulated clock.
+
+The server is **closed-loop**: queries arrive back-to-back, so offered
+load always equals capacity.  The measurement core — one batched embed,
+one batched search, per-query generation — lives in
+:class:`~repro.serve.backend.RagModelBackend`; this class is a thin loop
+over it.  For open-loop serving (arrival traces, queueing, autoscaling),
+see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -25,7 +32,9 @@ class ServingStats:
 
     Percentiles come from the telemetry
     :class:`~repro.telemetry.metrics.Histogram` of per-query latencies
-    (the ``rag.latency_ms`` metric a tracer also collects).
+    (the ``rag.latency_ms`` metric a tracer also collects).  Every field
+    is required — an earlier revision defaulted ``latency_p99_ms`` to
+    ``0.0``, which silently zeroed the tail when a constructor forgot it.
     """
 
     n_queries: int
@@ -35,7 +44,7 @@ class ServingStats:
     latency_p50_ms: float
     latency_p95_ms: float
     latency_mean_ms: float
-    latency_p99_ms: float = 0.0
+    latency_p99_ms: float
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (f"B={self.batch_size}: {self.throughput_qps:.0f} qps, "
@@ -47,11 +56,12 @@ class ServingStats:
 class RagServer:
     """Closed-loop batched server over a :class:`RagPipeline`.
 
-    Queries arrive back-to-back; the server processes them in batches of
-    ``batch_size``: one batched embed, one batched index search, then
-    per-query generation.  A query's latency spans from its batch's start
-    to its own generation finish — so later members of a big batch wait,
-    the queueing effect that bends the latency curve upward.
+    Queries arrive back-to-back; the server slices them into batches of
+    ``batch_size`` and hands each batch to a
+    :class:`~repro.serve.backend.RagModelBackend`.  A query's latency
+    spans from its batch's start to its own generation finish — so later
+    members of a big batch wait, the queueing effect that bends the
+    latency curve upward.
     """
 
     def __init__(self, pipeline: RagPipeline, batch_size: int = 8) -> None:
@@ -68,8 +78,13 @@ class RagServer:
     def serve(self, queries: list[str],
               max_new_tokens: int = 16) -> ServingStats:
         """Process all queries; returns the aggregate statistics."""
+        from repro.serve.backend import RagModelBackend
+
         if not queries:
             raise ReproError("no queries to serve")
+        backend = RagModelBackend(self.pipeline,
+                                  max_new_tokens=max_new_tokens,
+                                  memoize_by_size=False)
         hist = Histogram("rag.latency_ms")
         run_start = self._now_ms()
         with telemetry.span("rag.serve", kind="workflow",
@@ -77,28 +92,15 @@ class RagServer:
                                         "n_queries": len(queries)}):
             for lo in range(0, len(queries), self.batch_size):
                 batch = queries[lo:lo + self.batch_size]
-                batch_start = self._now_ms()
                 with telemetry.span(
                         f"batch {lo // self.batch_size:03d}",
                         kind="stage",
                         attributes={"queries": len(batch)}):
-                    with telemetry.span("embed", kind="stage"):
-                        vecs = self.pipeline.embed_queries(batch)
-                    with telemetry.span("search", kind="stage"):
-                        result = self.pipeline.index.search(
-                            vecs, self.pipeline.k)
-                    for qi, query in enumerate(batch):
-                        doc_ids = result.ids[qi]
-                        context = [self.pipeline.corpus.documents[i]
-                                   for i in doc_ids if i >= 0]
-                        with telemetry.span("generate", kind="stage"):
-                            self.pipeline.generator.generate(
-                                query, context=context,
-                                max_new_tokens=max_new_tokens)
-                        latency = self._now_ms() - batch_start
-                        hist.observe(latency)
-                        telemetry.observe("rag.latency_ms", latency)
-                        telemetry.count("rag.queries")
+                    result = backend.serve_batch(batch)
+                for latency in result.per_query_ms:
+                    hist.observe(latency)
+                    telemetry.observe("rag.latency_ms", latency)
+                    telemetry.count("rag.queries")
         total_ms = self._now_ms() - run_start
         return ServingStats(
             n_queries=len(queries),

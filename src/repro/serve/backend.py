@@ -1,0 +1,171 @@
+"""The model side of an endpoint: batched service-time measurement.
+
+A :class:`ModelBackend` answers one question for the request plane: *if
+this batch of queries hits one replica, how long is the replica busy and
+when does each query finish?*  The answer is **measured**, not assumed —
+implementations run the real simulated workload (kernels on a
+:class:`~repro.gpu.system.GpuSystem`) and report the clock delta, so the
+batching economics the endpoint exhibits are exactly the ones the
+underlying cost model produces.
+
+Two implementations cover the Lab 14 spectrum:
+
+* :class:`RagModelBackend` — the full RAG pipeline (batched embed +
+  batched index search + per-query generation).  Per-query completion
+  offsets are staggered: later members of a batch wait for earlier
+  generations, the queueing effect that bends p99 upward.
+* :class:`NnForwardBackend` — a plain dense forward pass on its own
+  private GPU; the whole batch completes together.  Weight reads and
+  launch overhead amortize across the batch, which is where the ≥2×
+  dynamic-batching win comes from.
+
+``memoize_by_size=True`` (the endpoint default) measures each batch size
+once and replays the calibrated result, keeping million-request traces
+fast while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import ReproError
+from repro.gpu.kernelmodel import KernelCost
+from repro.gpu.system import GpuSystem
+from repro.telemetry import api as telemetry
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """What serving one batch cost the replica.
+
+    ``service_ms`` is how long the replica is occupied (no new batch can
+    start before then); ``per_query_ms`` is each query's completion
+    offset from batch start, ordered like the input batch.
+    """
+
+    service_ms: float
+    per_query_ms: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.service_ms <= 0:
+            raise ReproError("service time must be positive")
+        if not self.per_query_ms:
+            raise ReproError("a batch result needs at least one query")
+        if any(q > self.service_ms + 1e-9 for q in self.per_query_ms):
+            raise ReproError("a query cannot finish after its batch")
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.per_query_ms)
+
+
+@runtime_checkable
+class ModelBackend(Protocol):
+    """What the request plane needs from a model."""
+
+    name: str
+
+    def serve_batch(self, queries: Sequence[str]) -> BatchResult:
+        """Serve one batch; returns the measured service profile."""
+        ...
+
+
+class _MemoizingBackend:
+    """Shared per-batch-size calibration cache."""
+
+    def __init__(self, memoize_by_size: bool) -> None:
+        self.memoize_by_size = memoize_by_size
+        self._cache: dict[int, BatchResult] = {}
+
+    def serve_batch(self, queries: Sequence[str]) -> BatchResult:
+        if not queries:
+            raise ReproError("cannot serve an empty batch")
+        n = len(queries)
+        if self.memoize_by_size and n in self._cache:
+            return self._cache[n]
+        result = self._measure(list(queries))
+        if self.memoize_by_size:
+            self._cache[n] = result
+        return result
+
+    def _measure(self, queries: list[str]) -> BatchResult:
+        raise NotImplementedError
+
+
+class RagModelBackend(_MemoizingBackend):
+    """The Lab 14 RAG pipeline as an endpoint backend.
+
+    One batch = one batched embed, one batched index search, then
+    per-query generation — the same span structure the closed-loop
+    :class:`~repro.rag.serving.RagServer` traces, because the server is
+    now a thin wrapper over this class.
+    """
+
+    def __init__(self, pipeline, max_new_tokens: int = 16,
+                 memoize_by_size: bool = False) -> None:
+        super().__init__(memoize_by_size)
+        self.pipeline = pipeline
+        self.max_new_tokens = max_new_tokens
+        self.name = "rag"
+
+    def _measure(self, queries: list[str]) -> BatchResult:
+        pipe = self.pipeline
+        start_ms = pipe._now_ms()
+        with telemetry.span("embed", kind="stage"):
+            vecs = pipe.embed_queries(queries)
+        with telemetry.span("search", kind="stage"):
+            result = pipe.index.search(vecs, pipe.k)
+        per_query = []
+        for qi, query in enumerate(queries):
+            doc_ids = result.ids[qi]
+            context = [pipe.corpus.documents[i] for i in doc_ids if i >= 0]
+            with telemetry.span("generate", kind="stage"):
+                pipe.generator.generate(query, context=context,
+                                        max_new_tokens=self.max_new_tokens)
+            per_query.append(pipe._now_ms() - start_ms)
+        service_ms = pipe._now_ms() - start_ms
+        return BatchResult(service_ms=service_ms,
+                           per_query_ms=tuple(per_query))
+
+
+class NnForwardBackend(_MemoizingBackend):
+    """A plain dense forward pass on a private simulated GPU.
+
+    The model is an MLP described by ``layer_dims``; each batch launches
+    one GEMM kernel per layer on the backend's own
+    :class:`~repro.gpu.system.GpuSystem` (never the process default, so
+    endpoint runs cannot perturb other simulated workloads).  The whole
+    batch completes together — the simplest service profile, and the one
+    where batching pays most: weights are read once per batch, not once
+    per query.
+    """
+
+    GEMM_EFF = 0.85
+
+    def __init__(self, layer_dims: Sequence[int] = (256, 1024, 1024, 64),
+                 part: str = "T4", memoize_by_size: bool = True) -> None:
+        super().__init__(memoize_by_size)
+        if len(layer_dims) < 2:
+            raise ReproError("layer_dims needs at least input and output")
+        self.layer_dims = tuple(int(d) for d in layer_dims)
+        self.system = GpuSystem(num_devices=1, part=part)
+        self.name = "nn"
+
+    def _measure(self, queries: list[str]) -> BatchResult:
+        dev = self.system.devices[0]
+        batch = len(queries)
+        start_ns = self.system.synchronize()
+        for d_in, d_out in zip(self.layer_dims, self.layer_dims[1:]):
+            flops = 2.0 * batch * d_in * d_out
+            nbytes = 4.0 * (batch * d_in + d_in * d_out + batch * d_out)
+            dev.launch_auto(
+                KernelCost(flops=flops, bytes_read=nbytes * 2 / 3,
+                           bytes_written=nbytes / 3,
+                           name=f"gemm {d_in}x{d_out}",
+                           compute_efficiency=self.GEMM_EFF),
+                n_elements=batch * d_out)
+        end_ns = dev.synchronize()
+        service_ms = max((end_ns - start_ns) / 1e6, 1e-6)
+        return BatchResult(service_ms=service_ms,
+                           per_query_ms=(service_ms,) * batch)

@@ -1,0 +1,158 @@
+"""``python -m repro.serve`` — run a trace against an endpoint config.
+
+The serving lab's driver: pick a backend (``rag`` or ``nn``), a trace
+shape, and an endpoint configuration; optionally attach a
+target-tracking autoscaler; get the :class:`~repro.serve.report.SloReport`
+as a human summary or ``--json``.
+
+Examples::
+
+    python -m repro.serve --backend nn --trace poisson --rate 200
+    python -m repro.serve --backend rag --trace bursty --rate 30 \\
+        --duration-ms 4000 --autoscale-metric QueueDepthPerReplica \\
+        --autoscale-target 4 --max-replicas 4 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cloud.session import CloudSession
+from repro.serve.autoscaler import Autoscaler, TargetTrackingPolicy
+from repro.serve.backend import ModelBackend, NnForwardBackend, RagModelBackend
+from repro.serve.endpoint import Endpoint, EndpointConfig
+from repro.serve.loadgen import (
+    ArrivalTrace,
+    bursty_trace,
+    constant_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+from repro.serve.report import SloReport
+from repro.serve.simulator import EndpointSimulation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Simulate an autoscaled inference endpoint under an "
+                    "open-loop arrival trace.")
+    p.add_argument("--backend", choices=("rag", "nn"), default="nn")
+    p.add_argument("--trace",
+                   choices=("constant", "poisson", "bursty", "diurnal"),
+                   default="poisson")
+    p.add_argument("--rate", type=float, default=100.0,
+                   help="offered load in queries/second (base rate for "
+                        "bursty, mean for diurnal)")
+    p.add_argument("--duration-ms", type=float, default=2000.0)
+    p.add_argument("--burst-multiplier", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--instance-type", default="g5.xlarge")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="initial replica count")
+    p.add_argument("--min-replicas", type=int, default=1)
+    p.add_argument("--max-replicas", type=int, default=4)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--batch-timeout-ms", type=float, default=5.0)
+    p.add_argument("--queue-depth", type=int, default=32)
+    p.add_argument("--deadline-ms", type=float, default=None)
+    p.add_argument("--spot", action="store_true",
+                   help="back replicas with spot instances")
+    p.add_argument("--autoscale-metric", default=None,
+                   choices=("InvocationsPerReplica", "QueueDepthPerReplica",
+                            "GPUUtilization"),
+                   help="attach a target-tracking autoscaler on this metric")
+    p.add_argument("--autoscale-target", type=float, default=None)
+    p.add_argument("--tick-ms", type=float, default=25.0)
+    p.add_argument("--settle-ms", type=float, default=0.0,
+                   help="keep ticking this long past the trace end "
+                        "(lets scale-in finish)")
+    p.add_argument("--budget-usd", type=float, default=100.0,
+                   help="billing cap for the run's cloud session")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of a summary")
+    return p
+
+
+def make_backend(name: str, seed: int) -> tuple[ModelBackend, list[str]]:
+    """Build the model backend and a query pool for the trace."""
+    if name == "nn":
+        backend = NnForwardBackend()
+        return backend, [f"query-{i:02d}" for i in range(16)]
+    from repro.gpu.system import make_system
+    from repro.rag.corpus import make_corpus
+    from repro.rag.pipeline import RagPipeline
+
+    make_system(1, "T4")
+    corpus = make_corpus(n_docs=200, n_queries=16, seed=seed)
+    pipe = RagPipeline(corpus, device="cuda:0", seed=seed)
+    return RagModelBackend(pipe, memoize_by_size=True), list(corpus.queries)
+
+
+def make_trace(args: argparse.Namespace, queries: list[str]) -> ArrivalTrace:
+    if args.trace == "constant":
+        return constant_trace(args.rate, args.duration_ms, queries,
+                              seed=args.seed)
+    if args.trace == "poisson":
+        return poisson_trace(args.rate, args.duration_ms, queries,
+                             seed=args.seed)
+    if args.trace == "bursty":
+        return bursty_trace(args.rate, args.duration_ms, queries,
+                            burst_start_ms=args.duration_ms / 3,
+                            burst_end_ms=2 * args.duration_ms / 3,
+                            burst_multiplier=args.burst_multiplier,
+                            seed=args.seed)
+    return diurnal_trace(args.rate, args.duration_ms, queries,
+                         seed=args.seed)
+
+
+def run(args: argparse.Namespace) -> SloReport:
+    backend, queries = make_backend(args.backend, args.seed)
+    trace = make_trace(args, queries)
+    session = CloudSession(budget_cap_usd=args.budget_usd)
+    config = EndpointConfig(
+        name=f"{args.backend}-endpoint",
+        instance_type=args.instance_type,
+        initial_replicas=args.replicas,
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        max_batch_size=args.max_batch,
+        batch_timeout_ms=args.batch_timeout_ms,
+        max_queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        spot=args.spot,
+    )
+    endpoint = Endpoint(session, config)
+    autoscaler = None
+    if args.autoscale_metric is not None:
+        policy = TargetTrackingPolicy(
+            metric=args.autoscale_metric,
+            target=(args.autoscale_target
+                    if args.autoscale_target is not None else 50.0))
+        autoscaler = Autoscaler(policy,
+                                min_replicas=config.min_replicas,
+                                max_replicas=config.max_replicas,
+                                cloudwatch=session.cloudwatch,
+                                dimension=endpoint.name)
+    sim = EndpointSimulation(endpoint, backend, autoscaler=autoscaler,
+                             tick_ms=args.tick_ms,
+                             settle_ms=args.settle_ms)
+    try:
+        return sim.run(trace)
+    finally:
+        endpoint.delete()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = run(args)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

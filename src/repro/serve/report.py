@@ -1,0 +1,110 @@
+"""The SLO report: what one trace did to one endpoint.
+
+Everything an operator (or a grading script) needs to judge a serving
+configuration: offered vs. achieved throughput, the latency tail out to
+p99.9, shed/expired error rates, batching efficiency, the replica-count
+timeline the autoscaler produced, and — because every replica-hour went
+through :class:`~repro.cloud.billing.BillingService` — dollars, as
+$-per-1k-requests (Barrak et al.'s cost-performance axis).
+
+``to_dict`` rounds floats to fixed precision and keeps a stable key
+order, so the same seeded trace + config produces a byte-identical
+``json.dumps(report.to_dict(), sort_keys=True)`` across runs — the
+determinism contract the regression gate pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+ROUND_DIGITS = 6
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Aggregate outcome of one endpoint simulation run."""
+
+    endpoint: str
+    instance_type: str
+    backend: str
+    trace: str
+    seed: int
+    duration_ms: float
+    offered_qps: float
+    achieved_qps: float
+    submitted: int
+    completed: int
+    shed: int
+    expired: int
+    retries: int
+    interrupted_replicas: int
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_p999_ms: float
+    shed_rate: float
+    error_rate: float
+    batches: int
+    avg_batch_size: float
+    peak_replicas: int
+    scaling_actions: int
+    cost_usd: float
+    cost_per_1k_usd: float
+    replica_timeline: tuple[tuple[float, int, int], ...] = field(
+        default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form with floats rounded for byte-stable dumps."""
+        out = {}
+        for key, value in asdict(self).items():
+            if isinstance(value, float):
+                value = round(value, ROUND_DIGITS)
+            elif key == "replica_timeline":
+                value = [[round(t, ROUND_DIGITS), int(n), int(d)]
+                         for t, n, d in value]
+            out[key] = value
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloReport":
+        data = dict(data)
+        data["replica_timeline"] = tuple(
+            (float(t), int(n), int(d))
+            for t, n, d in data.get("replica_timeline", ()))
+        return cls(**data)
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"endpoint {self.endpoint} ({self.instance_type}, "
+            f"backend={self.backend})",
+            f"trace {self.trace} (seed={self.seed}, "
+            f"{self.duration_ms:.0f} ms)",
+            f"  offered {self.offered_qps:8.1f} qps   "
+            f"achieved {self.achieved_qps:8.1f} qps",
+            f"  requests {self.submitted}: {self.completed} completed, "
+            f"{self.shed} shed (429), {self.expired} expired, "
+            f"{self.retries} retries",
+            f"  latency ms: mean {self.latency_mean_ms:.2f}  "
+            f"p50 {self.latency_p50_ms:.2f}  p95 {self.latency_p95_ms:.2f}  "
+            f"p99 {self.latency_p99_ms:.2f}  p99.9 {self.latency_p999_ms:.2f}",
+            f"  shed rate {100 * self.shed_rate:.2f}%   "
+            f"error rate {100 * self.error_rate:.2f}%",
+            f"  batching: {self.batches} batches, "
+            f"avg size {self.avg_batch_size:.2f}",
+            f"  fleet: peak {self.peak_replicas} replicas, "
+            f"{self.scaling_actions} scaling actions, "
+            f"{self.interrupted_replicas} interruptions",
+            f"  cost ${self.cost_usd:.6f}  "
+            f"(${self.cost_per_1k_usd:.4f} per 1k requests)",
+        ]
+        if self.replica_timeline:
+            steps = "  ".join(f"{t:.0f}ms:{n}"
+                              for t, n, _ in self.replica_timeline)
+            lines.append(f"  replicas over time: {steps}")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Requests, outcomes, and client retry policy.
+
+One :class:`Request` lives from its first arrival to a terminal outcome:
+
+* ``completed`` — served; latency = finish − *first* arrival (retries do
+  not reset the clock the client experiences);
+* ``shed`` — admission control fast-failed it (HTTP 429) and the retry
+  budget ran out;
+* ``expired`` — its deadline passed while it queued.
+
+A request is never lost and never double-counted: the simulator asserts
+``completed + shed + expired == submitted`` at report time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+OUTCOME_COMPLETED = "completed"
+OUTCOME_SHED = "shed"
+OUTCOME_EXPIRED = "expired"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry with exponential backoff after a 429."""
+
+    max_retries: int = 3
+    backoff_ms: float = 4.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError("max_retries must be non-negative")
+        if self.backoff_ms <= 0 or self.multiplier < 1.0:
+            raise ReproError("backoff must be positive and non-shrinking")
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ReproError("attempt is 1-based")
+        return self.backoff_ms * self.multiplier ** (attempt - 1)
+
+
+@dataclass
+class Request:
+    """One client request moving through the endpoint."""
+
+    request_id: int
+    query: str
+    arrival_ms: float                  # first submission (client clock)
+    deadline_ms: float | None = None   # absolute simulated deadline
+    attempts: int = 0                  # 429-triggered resubmissions so far
+    outcome: str = ""
+    finish_ms: float = 0.0
+    replica_id: int = -1
+    batch_size: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        """Client-observed latency (only meaningful once completed)."""
+        return self.finish_ms - self.arrival_ms
+
+    def expired(self, now_ms: float) -> bool:
+        return self.deadline_ms is not None and now_ms > self.deadline_ms
+
+    def resolve(self, outcome: str, now_ms: float) -> None:
+        if self.outcome:
+            raise ReproError(
+                f"request {self.request_id} already {self.outcome}; "
+                f"double resolution as {outcome}")
+        self.outcome = outcome
+        self.finish_ms = now_ms

@@ -13,6 +13,8 @@ workflow metrics instead of raw activity timestamps.
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,25 +57,56 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """A distribution with exact percentiles."""
+    """A distribution with exact percentiles.
+
+    By default every observation is kept, so percentiles are exact.  With
+    ``max_samples`` set, the histogram switches to a fixed-size
+    **reservoir**: ``count``/``sum``/``mean`` stay exact (running
+    accumulators) while percentiles come from a uniform sample of at most
+    ``max_samples`` observations — O(1) memory however many requests a
+    serving trace pushes through.  The reservoir's replacement choices are
+    drawn from an RNG seeded from the instrument name, so the same
+    observation stream reproduces the same percentiles byte-for-byte.
+    """
 
     name: str
     samples: list[float] = field(default_factory=list)
+    max_samples: int | None = None
+    _observed: int = field(default=0, repr=False, compare=False)
+    _total: float = field(default=0.0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples <= 0:
+            raise ReproError("max_samples must be positive when set")
+        self._observed = len(self.samples)
+        self._total = float(np.sum(self.samples)) if self.samples else 0.0
+        self._rng = random.Random(
+            zlib.crc32(f"{self.name}:{self.max_samples}".encode()))
 
     def observe(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        self._observed += 1
+        self._total += value
+        if self.max_samples is None or len(self.samples) < self.max_samples:
+            self.samples.append(value)
+            return
+        # Vitter's algorithm R: keep each of the n observations with
+        # probability max_samples/n.
+        j = self._rng.randrange(self._observed)
+        if j < self.max_samples:
+            self.samples[j] = value
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._observed
 
     @property
     def sum(self) -> float:
-        return float(np.sum(self.samples)) if self.samples else 0.0
+        return self._total
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self.samples)) if self.samples else 0.0
+        return self._total / self._observed if self._observed else 0.0
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0-100) of the observations."""
@@ -119,8 +152,21 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels) -> Gauge:
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
-        return self._get(Histogram, name, labels)
+    def histogram(self, name: str, max_samples: int | None = None,
+                  **labels) -> Histogram:
+        """Get-or-create a histogram.  ``max_samples`` puts a *new*
+        instrument in bounded-reservoir mode; an existing instrument keeps
+        whatever mode it was created with."""
+        key = name + _label_suffix(labels)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Histogram(name=key, max_samples=max_samples)
+            self._instruments[key] = inst
+        elif not isinstance(inst, Histogram):
+            raise ReproError(
+                f"metric {key!r} is a {type(inst).__name__}, "
+                "not a Histogram")
+        return inst
 
     def collect(self) -> dict[str, dict[str, float]]:
         """Snapshot of every instrument: ``{name: {stat: value}}``."""

@@ -141,3 +141,69 @@ plan.teardown()
         report = check_plan(plan, has_teardown=True, has_spot=True,
                             budget_cap_usd=1.0)
         assert [f.rule for f in report.findings] == ["COST-BUDGET-CAP"]
+
+
+class TestEndpointPlans:
+    def test_endpoint_extracted_and_priced_at_peak(self):
+        (plan,) = extract_plans(ast.parse('''\
+cfg = EndpointConfig(name="rag-ep", instance_type="g5.xlarge",
+                     initial_replicas=1, max_replicas=3,
+                     expected_hours=2.0)
+'''))
+        assert plan.kind == "endpoint"
+        assert plan.type_name == "g5.xlarge"
+        assert plan.count == 3                 # max_replicas, not initial
+        assert plan.expected_hours == 2.0
+
+    def test_endpoint_defaults_fill_missing_fields(self):
+        (plan,) = extract_plans(ast.parse(
+            'cfg = EndpointConfig(name="ep")\n'))
+        assert plan.type_name == "g5.xlarge"
+        assert plan.count == 4
+        assert plan.expected_hours == 1.0
+
+    def test_non_literal_endpoint_sku_is_skipped(self):
+        assert extract_plans(ast.parse(
+            'cfg = EndpointConfig(name="ep", instance_type=args.sku)\n'
+        )) == []
+        assert extract_plans(ast.parse(
+            'cfg = EndpointConfig(**kwargs)\n')) == []
+
+    def test_peak_fleet_over_budget_cap_fires(self):
+        expected = plan_cost("p3.8xlarge", 5.0, 4)
+        assert expected > 100.0
+        rules = _rules('''\
+cfg = EndpointConfig(name="big", instance_type="p3.8xlarge",
+                     max_replicas=4, expected_hours=5.0)
+endpoint.delete()
+''')
+        assert "COST-BUDGET-CAP" in rules
+
+    def test_endpoint_delete_counts_as_teardown(self):
+        assert "COST-IDLE" not in _rules('''\
+cfg = EndpointConfig(name="ep", instance_type="g4dn.xlarge",
+                     max_replicas=2, expected_hours=1.0)
+endpoint.delete()
+''')
+        assert "COST-IDLE" in _rules('''\
+cfg = EndpointConfig(name="ep", instance_type="g4dn.xlarge",
+                     max_replicas=2, expected_hours=1.0)
+''')
+
+    def test_endpoint_required_actions(self):
+        plan = PlanSite(kind="endpoint", type_name="g5.xlarge", count=2,
+                        expected_hours=1.0, line=1, owner="ada")
+        actions = dict(plan.required_actions())
+        assert set(actions) == {"sagemaker:CreateEndpoint",
+                                "sagemaker:DeleteEndpoint",
+                                "ec2:RunInstances",
+                                "ec2:TerminateInstances"}
+        assert all(r.startswith("arn:student/ada/")
+                   for r in actions.values())
+
+    def test_peak_cost_matches_config_preflight(self):
+        from repro.serve.endpoint import EndpointConfig
+
+        cfg = EndpointConfig(name="ep", instance_type="g4dn.xlarge",
+                             max_replicas=3, expected_hours=2.0)
+        assert cfg.peak_cost_usd() == plan_cost("g4dn.xlarge", 2.0, 3)

@@ -1,0 +1,2 @@
+"""Tests for repro.serve: load generation, endpoints, the request plane,
+autoscaling, failure injection, and the SLO report."""

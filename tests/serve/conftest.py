@@ -1,0 +1,62 @@
+"""Shared serving fixtures: a cloud session, an analytic backend."""
+
+import pytest
+
+from repro.cloud.session import CloudSession
+from repro.serve.backend import BatchResult
+from repro.serve.endpoint import Endpoint, EndpointConfig
+
+
+class FixedBackend:
+    """Analytic service profile: ``base_ms + per_query_ms × batch``.
+
+    Fast (no GPU) and exactly predictable, so simulator tests can assert
+    queueing arithmetic instead of eyeballing measured numbers.  The
+    per-query offsets stagger like the RAG generator: query *i* finishes
+    at ``base + per_query × (i + 1)``.
+    """
+
+    def __init__(self, base_ms: float = 4.0, per_query_ms: float = 1.0):
+        self.base_ms = base_ms
+        self.per_query_ms = per_query_ms
+        self.name = "fixed"
+        self.calls: list[int] = []
+
+    def serve_batch(self, queries) -> BatchResult:
+        n = len(queries)
+        self.calls.append(n)
+        service = self.base_ms + self.per_query_ms * n
+        return BatchResult(
+            service_ms=service,
+            per_query_ms=tuple(self.base_ms + self.per_query_ms * (i + 1)
+                               for i in range(n)))
+
+
+@pytest.fixture
+def backend():
+    return FixedBackend()
+
+
+@pytest.fixture
+def session():
+    return CloudSession()
+
+
+@pytest.fixture
+def make_endpoint(session):
+    """Endpoint factory with cheap defaults; deletes fleets on teardown."""
+    made = []
+
+    def _make(**overrides) -> Endpoint:
+        defaults = dict(name=f"ep-{len(made)}", instance_type="g4dn.xlarge",
+                        initial_replicas=1, min_replicas=1, max_replicas=4,
+                        max_batch_size=8, batch_timeout_ms=2.0,
+                        max_queue_depth=64, provision_delay_ms=50.0)
+        defaults.update(overrides)
+        ep = Endpoint(session, EndpointConfig(**defaults))
+        made.append(ep)
+        return ep
+
+    yield _make
+    for ep in made:
+        ep.delete()

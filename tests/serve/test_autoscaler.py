@@ -1,0 +1,156 @@
+"""Target tracking: the rule, cooldown edges, and the e2e scaling loop."""
+
+import pytest
+
+from repro.cloud.cloudwatch import CloudWatch
+from repro.errors import ReproError
+from repro.serve.autoscaler import (
+    METRIC_NAMESPACE,
+    Autoscaler,
+    TargetTrackingPolicy,
+)
+from repro.serve.loadgen import bursty_trace
+from repro.serve.simulator import EndpointSimulation
+
+QUERIES = [f"query-{i}" for i in range(8)]
+
+
+def make_autoscaler(cw, policy=None, min_replicas=1, max_replicas=8):
+    return Autoscaler(policy or TargetTrackingPolicy(target=50.0),
+                      min_replicas=min_replicas, max_replicas=max_replicas,
+                      cloudwatch=cw, dimension="ep")
+
+
+def put(cw, value, ts, metric="InvocationsPerReplica"):
+    cw.put_metric(METRIC_NAMESPACE, metric, "ep", value, ts)
+
+
+class TestTrackingRule:
+    def test_desired_is_proportional_ceiling(self):
+        a = make_autoscaler(CloudWatch())
+        assert a.desired_replicas(2, 100.0) == 4      # 2 × 100/50
+        assert a.desired_replicas(2, 51.0) == 3       # ceil rounds up
+        assert a.desired_replicas(2, 50.0) == 2
+        assert a.desired_replicas(4, 10.0) == 1
+
+    def test_desired_clamps_to_fleet_bounds(self):
+        a = make_autoscaler(CloudWatch(), min_replicas=2, max_replicas=4)
+        assert a.desired_replicas(4, 500.0) == 4
+        assert a.desired_replicas(4, 1.0) == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ReproError):
+            TargetTrackingPolicy(target=0.0)
+        with pytest.raises(ReproError):
+            TargetTrackingPolicy(scale_in_ratio=0.0)
+        with pytest.raises(ReproError):
+            TargetTrackingPolicy(scale_out_cooldown_ms=-1.0)
+
+
+class TestCooldownEdges:
+    def test_scale_out_inside_cooldown_is_suppressed(self):
+        cw = CloudWatch()
+        a = make_autoscaler(cw, TargetTrackingPolicy(
+            target=50.0, scale_out_cooldown_ms=100.0))
+        put(cw, 200.0, 1.0)
+        first = a.evaluate(0.0, 1, (1.0, 1.0))
+        assert first.action == "scale_out"
+        put(cw, 200.0, 2.0)
+        blocked = a.evaluate(99.0, 2, (2.0, 2.0))
+        assert blocked.action == "none"
+        assert blocked.reason == "scale-out cooldown"
+        assert blocked.desired == 2
+
+    def test_scale_out_at_exact_cooldown_boundary_fires(self):
+        cw = CloudWatch()
+        a = make_autoscaler(cw, TargetTrackingPolicy(
+            target=50.0, scale_out_cooldown_ms=100.0))
+        put(cw, 200.0, 1.0)
+        a.evaluate(0.0, 1, (1.0, 1.0))
+        put(cw, 200.0, 2.0)
+        assert a.evaluate(100.0, 2, (2.0, 2.0)).action == "scale_out"
+
+    def test_scale_in_needs_hysteresis_clearance(self):
+        cw = CloudWatch()
+        a = make_autoscaler(cw, TargetTrackingPolicy(
+            target=50.0, scale_in_ratio=0.7, scale_in_cooldown_ms=0.0))
+        put(cw, 36.0, 1.0)   # lowers desired (ceil(4×36/50)=3) but ≥ 0.7×50
+        d = a.evaluate(0.0, 4, (1.0, 1.0))
+        assert d.action == "none"
+        assert d.reason == "inside scale-in hysteresis band"
+        put(cw, 10.0, 2.0)                      # well below 0.7 × 50
+        assert a.evaluate(1.0, 4, (2.0, 2.0)).action == "scale_in"
+
+    def test_scale_in_inside_cooldown_is_suppressed(self):
+        cw = CloudWatch()
+        a = make_autoscaler(cw, TargetTrackingPolicy(
+            target=50.0, scale_in_cooldown_ms=200.0, scale_in_ratio=0.7))
+        put(cw, 5.0, 1.0)
+        assert a.evaluate(0.0, 4, (1.0, 1.0)).action == "scale_in"
+        put(cw, 5.0, 2.0)
+        blocked = a.evaluate(150.0, 3, (2.0, 2.0))
+        assert blocked.action == "none"
+        assert blocked.reason == "scale-in cooldown"
+
+    def test_no_data_is_a_no_op(self):
+        a = make_autoscaler(CloudWatch())
+        d = a.evaluate(0.0, 2, (0.0, 1.0))
+        assert (d.action, d.desired) == ("none", 2)
+        assert d.reason == "insufficient data"
+
+    def test_every_decision_is_recorded(self):
+        cw = CloudWatch()
+        a = make_autoscaler(cw)
+        put(cw, 200.0, 1.0)
+        a.evaluate(0.0, 1, (1.0, 1.0))
+        a.evaluate(1.0, 2, (5.0, 6.0))
+        assert len(a.decisions) == 2
+
+
+class TestEndToEnd:
+    TRACE = dict(base_qps=250.0, duration_ms=900.0,
+                 burst_start_ms=300.0, burst_end_ms=600.0,
+                 burst_multiplier=6.0, seed=11)
+
+    def autoscaled(self, make_endpoint, backend, session):
+        ep = make_endpoint(initial_replicas=1, min_replicas=1,
+                           max_replicas=4, provision_delay_ms=30.0,
+                           max_queue_depth=64)
+        autoscaler = Autoscaler(
+            TargetTrackingPolicy(metric="QueueDepthPerReplica", target=3.0,
+                                 scale_out_cooldown_ms=20.0,
+                                 scale_in_cooldown_ms=100.0,
+                                 scale_in_ratio=0.5),
+            min_replicas=1, max_replicas=4,
+            cloudwatch=session.cloudwatch, dimension=ep.name)
+        sim = EndpointSimulation(ep, backend, autoscaler=autoscaler,
+                                 tick_ms=10.0, settle_ms=300.0)
+        return ep, sim.run(bursty_trace(queries=QUERIES, **self.TRACE))
+
+    def test_burst_scales_out_then_back_in(self, make_endpoint, backend,
+                                           session):
+        ep, report = self.autoscaled(make_endpoint, backend, session)
+        assert report.peak_replicas >= 3
+        assert report.scaling_actions >= 2
+        final_time, final_count, _ = report.replica_timeline[-1]
+        assert final_time >= self.TRACE["duration_ms"]
+        assert final_count == 1
+
+    def test_autoscaled_fleet_holds_the_slo(self, make_endpoint, backend,
+                                            session):
+        ep, report = self.autoscaled(make_endpoint, backend, session)
+        assert report.completed == report.submitted
+        # p99 stays in the same order as the service time (base 4 + 1/q),
+        # not the seconds-long backlog a fixed single replica builds
+        assert report.latency_p99_ms < 60.0
+
+    def test_autoscaling_costs_less_than_static_peak(self, make_endpoint,
+                                                     backend, session):
+        ep, report = self.autoscaled(make_endpoint, backend, session)
+        static_ep = make_endpoint(initial_replicas=4, min_replicas=4,
+                                  max_replicas=4, max_queue_depth=64)
+        static = EndpointSimulation(static_ep, backend, tick_ms=10.0,
+                                    settle_ms=300.0).run(
+            bursty_trace(queries=QUERIES, **self.TRACE))
+        assert static.completed == static.submitted
+        assert report.cost_usd < static.cost_usd

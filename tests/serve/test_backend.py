@@ -1,0 +1,92 @@
+"""ModelBackend implementations: measured profiles, memoization, spans."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gpu import default_system
+from repro.rag import RagPipeline, make_corpus
+from repro.serve.backend import (
+    BatchResult,
+    ModelBackend,
+    NnForwardBackend,
+    RagModelBackend,
+)
+from repro.telemetry import Tracer
+
+
+class TestBatchResult:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BatchResult(service_ms=0.0, per_query_ms=(1.0,))
+        with pytest.raises(ReproError):
+            BatchResult(service_ms=5.0, per_query_ms=())
+        with pytest.raises(ReproError):
+            BatchResult(service_ms=5.0, per_query_ms=(6.0,))
+
+    def test_batch_size(self):
+        r = BatchResult(service_ms=5.0, per_query_ms=(1.0, 5.0))
+        assert r.batch_size == 2
+
+
+class TestNnForwardBackend:
+    def test_implements_protocol(self):
+        assert isinstance(NnForwardBackend(), ModelBackend)
+
+    def test_batching_amortizes(self):
+        nn = NnForwardBackend()
+        one = nn.serve_batch(["q"]).service_ms
+        sixteen = nn.serve_batch([f"q{i}" for i in range(16)]).service_ms
+        # 16 queries in one batch must be far cheaper than 16 batches of 1
+        assert sixteen < 8 * one
+
+    def test_whole_batch_completes_together(self):
+        r = NnForwardBackend().serve_batch(["a", "b", "c"])
+        assert set(r.per_query_ms) == {r.service_ms}
+
+    def test_memoized_by_size(self):
+        nn = NnForwardBackend()
+        assert nn.serve_batch(["a", "b"]) is nn.serve_batch(["c", "d"])
+
+    def test_uses_private_gpu_not_default(self, system1):
+        before = system1.clock.now_ns
+        NnForwardBackend().serve_batch(["q"])
+        assert default_system() is system1
+        assert system1.clock.now_ns == before
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ReproError):
+            NnForwardBackend().serve_batch([])
+
+    def test_layer_dims_validation(self):
+        with pytest.raises(ReproError):
+            NnForwardBackend(layer_dims=(64,))
+
+
+class TestRagModelBackend:
+    @pytest.fixture
+    def pipeline(self, system1):
+        corpus = make_corpus(n_docs=80, n_queries=8, seed=0)
+        return RagPipeline(corpus, device="cuda:0", seed=0)
+
+    def test_implements_protocol(self, pipeline):
+        assert isinstance(RagModelBackend(pipeline), ModelBackend)
+
+    def test_per_query_offsets_stagger(self, pipeline):
+        r = RagModelBackend(pipeline).serve_batch(["gpu kernels", "threads"])
+        assert r.per_query_ms[0] < r.per_query_ms[1]
+        assert r.per_query_ms[1] == pytest.approx(r.service_ms)
+
+    def test_emits_rag_span_structure(self, pipeline):
+        backend = RagModelBackend(pipeline)
+        with Tracer() as tracer:
+            backend.serve_batch(["gpu kernels", "cuda threads"])
+        names = [s.name for s in tracer.spans]
+        assert names.count("embed") == 1
+        assert names.count("search") == 1
+        assert names.count("generate") == 2
+
+    def test_memoize_off_by_default_measures_each_call(self, pipeline):
+        backend = RagModelBackend(pipeline)
+        r1 = backend.serve_batch(["gpu kernels"])
+        r2 = backend.serve_batch(["gpu kernels"])
+        assert r1 is not r2

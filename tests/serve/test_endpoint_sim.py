@@ -1,0 +1,176 @@
+"""The request plane: batching, admission, deadlines, routing, billing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.backend import NnForwardBackend
+from repro.serve.endpoint import ReplicaState
+from repro.serve.loadgen import constant_trace, poisson_trace
+from repro.serve.request import RetryPolicy
+from repro.serve.simulator import EndpointSimulation
+
+QUERIES = [f"query-{i}" for i in range(8)]
+
+
+def run_sim(endpoint, backend, trace, **kwargs):
+    return EndpointSimulation(endpoint, backend, **kwargs).run(trace)
+
+
+class TestConservation:
+    def test_every_request_is_accounted_for(self, make_endpoint, backend):
+        ep = make_endpoint(max_queue_depth=4)
+        report = run_sim(ep, backend,
+                         poisson_trace(400.0, 500.0, QUERIES, seed=1))
+        assert report.submitted == len(
+            poisson_trace(400.0, 500.0, QUERIES, seed=1))
+        assert (report.completed + report.shed + report.expired
+                == report.submitted)
+
+    def test_light_load_completes_everything(self, make_endpoint, backend):
+        ep = make_endpoint()
+        report = run_sim(ep, backend,
+                         constant_trace(50.0, 400.0, QUERIES))
+        assert report.completed == report.submitted
+        assert report.shed == report.expired == 0
+
+
+class TestDynamicBatching:
+    def test_backlog_forms_batches(self, make_endpoint, backend):
+        # 400 qps offered vs ~1/(4+1) per-query capacity: queue builds,
+        # freed replicas grab multi-query batches
+        ep = make_endpoint(max_batch_size=8)
+        report = run_sim(ep, backend,
+                         constant_trace(400.0, 300.0, QUERIES))
+        assert report.avg_batch_size > 2.0
+        assert report.completed == report.submitted
+
+    def test_batch_cap_respected(self, make_endpoint, backend):
+        ep = make_endpoint(max_batch_size=3)
+        run_sim(ep, backend, constant_trace(400.0, 300.0, QUERIES))
+        assert backend.calls
+        assert max(backend.calls) <= 3
+
+    def test_batch_timeout_delays_lone_request(self, make_endpoint, backend):
+        # a lone arrival waits the full window, then serves as a batch of 1:
+        # latency = timeout + base + per_query = 2 + 4 + 1
+        ep = make_endpoint(batch_timeout_ms=2.0)
+        report = run_sim(ep, backend,
+                         constant_trace(1.0, 800.0, QUERIES))
+        assert report.latency_p50_ms == pytest.approx(7.0, abs=1e-6)
+
+    def test_zero_timeout_serves_immediately(self, make_endpoint, backend):
+        ep = make_endpoint(batch_timeout_ms=0.0)
+        report = run_sim(ep, backend,
+                         constant_trace(1.0, 800.0, QUERIES))
+        assert report.latency_p50_ms == pytest.approx(5.0, abs=1e-6)
+
+    def test_batching_beats_batch_of_one_on_nn(self, make_endpoint):
+        # the acceptance ratio: same offered load, max_batch 8 vs 1
+        trace = poisson_trace(20000.0, 150.0, QUERIES, seed=5)
+        nn = NnForwardBackend()
+        batched = run_sim(make_endpoint(max_batch_size=8, max_queue_depth=16),
+                          nn, trace)
+        serial = run_sim(make_endpoint(max_batch_size=1, max_queue_depth=16),
+                         nn, trace)
+        assert batched.achieved_qps >= 2.0 * serial.achieved_qps
+        # and the batching p99 cost is visible: waiting for batch-mates
+        # pushes the tail above the single-query service floor
+        single_ms = nn.serve_batch(["q"]).service_ms
+        assert batched.latency_p99_ms > single_ms
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_instead_of_queueing_forever(
+            self, make_endpoint, backend):
+        ep = make_endpoint(max_queue_depth=2, max_batch_size=1)
+        report = run_sim(
+            ep, backend, poisson_trace(2000.0, 200.0, QUERIES, seed=2),
+            retry_policy=RetryPolicy(max_retries=2, backoff_ms=1.0))
+        assert report.shed > 0
+        assert report.retries > 0
+        assert (report.completed + report.shed + report.expired
+                == report.submitted)
+        assert report.shed_rate == pytest.approx(
+            report.shed / report.submitted)
+
+    def test_retry_can_save_a_throttled_request(self, make_endpoint, backend):
+        # a short burst over a tiny queue: retries land after the queue
+        # drains, so completions exceed what the queue alone could admit
+        ep = make_endpoint(max_queue_depth=1, max_batch_size=1)
+        report = run_sim(
+            ep, backend, constant_trace(2000.0, 5.0, QUERIES),
+            retry_policy=RetryPolicy(max_retries=8, backoff_ms=4.0))
+        assert report.retries > 0
+        assert report.completed > 2
+
+
+class TestDeadlines:
+    def test_stale_queued_requests_expire(self, make_endpoint, backend):
+        ep = make_endpoint(default_deadline_ms=8.0, max_batch_size=1,
+                           max_queue_depth=64)
+        report = run_sim(ep, backend,
+                         poisson_trace(1500.0, 100.0, QUERIES, seed=3))
+        assert report.expired > 0
+        assert (report.completed + report.shed + report.expired
+                == report.submitted)
+
+    def test_no_deadline_means_no_expiry(self, make_endpoint, backend):
+        ep = make_endpoint(max_batch_size=1, max_queue_depth=64)
+        report = run_sim(ep, backend,
+                         poisson_trace(1500.0, 100.0, QUERIES, seed=3))
+        assert report.expired == 0
+
+
+class TestRouting:
+    def test_load_spreads_across_replicas(self, make_endpoint, backend):
+        ep = make_endpoint(initial_replicas=2, min_replicas=1,
+                           max_replicas=4)
+        run_sim(ep, backend, constant_trace(600.0, 200.0, QUERIES))
+        served = [r.queries_served for r in ep.replicas]
+        assert len(served) == 2
+        assert all(n > 0 for n in served)
+        # least-outstanding keeps the split roughly even
+        assert max(served) < 3 * min(served)
+
+    def test_no_serving_replicas_is_an_error(self, make_endpoint, backend):
+        ep = make_endpoint()
+        for r in ep.replicas:
+            ep.terminate_replica(r)
+        with pytest.raises(ReproError):
+            run_sim(ep, backend, constant_trace(10.0, 50.0, QUERIES))
+
+
+class TestBilling:
+    def test_replica_time_accrues_real_dollars(self, make_endpoint,
+                                               backend, session):
+        ep = make_endpoint(initial_replicas=2)
+        report = run_sim(ep, backend,
+                         constant_trace(100.0, 500.0, QUERIES))
+        assert report.cost_usd > 0
+        assert report.cost_usd == pytest.approx(
+            ep.billed_cost_usd(), rel=1e-6)
+        assert report.cost_per_1k_usd == pytest.approx(
+            1e3 * report.cost_usd / report.completed)
+
+    def test_more_replicas_cost_more(self, make_endpoint, backend):
+        trace = constant_trace(100.0, 500.0, QUERIES)
+        small = run_sim(make_endpoint(initial_replicas=1), backend, trace)
+        big = run_sim(make_endpoint(initial_replicas=4, max_replicas=4),
+                      backend, trace)
+        assert big.cost_usd > small.cost_usd
+
+
+class TestReplicaLifecycle:
+    def test_terminated_replica_instances_stop(self, make_endpoint,
+                                               backend, session):
+        ep = make_endpoint(initial_replicas=2)
+        run_sim(ep, backend, constant_trace(50.0, 100.0, QUERIES))
+        ep.delete()
+        assert all(r.state is ReplicaState.TERMINATED for r in ep.replicas)
+        assert session.sagemaker.endpoints.get(ep.name) is None
+
+    def test_delete_is_idempotent(self, make_endpoint, backend):
+        ep = make_endpoint()
+        ep.delete()
+        ep.delete()
+        assert all(r.state is ReplicaState.TERMINATED for r in ep.replicas)

@@ -1,0 +1,74 @@
+"""SloReport: byte-identical determinism, round-trips, rendering."""
+
+import json
+
+from repro.cloud.session import CloudSession
+from repro.serve.autoscaler import Autoscaler, TargetTrackingPolicy
+from repro.serve.endpoint import Endpoint, EndpointConfig
+from repro.serve.loadgen import bursty_trace
+from repro.serve.report import SloReport
+from repro.serve.simulator import EndpointSimulation
+
+from .conftest import FixedBackend
+
+QUERIES = [f"query-{i}" for i in range(8)]
+
+
+def full_run() -> SloReport:
+    """One complete serving run, built from scratch every call."""
+    session = CloudSession()
+    ep = Endpoint(session, EndpointConfig(
+        name="det-ep", instance_type="g4dn.xlarge", initial_replicas=1,
+        min_replicas=1, max_replicas=3, max_batch_size=8,
+        batch_timeout_ms=2.0, max_queue_depth=32, provision_delay_ms=30.0))
+    autoscaler = Autoscaler(
+        TargetTrackingPolicy(metric="QueueDepthPerReplica", target=3.0,
+                             scale_out_cooldown_ms=20.0,
+                             scale_in_cooldown_ms=100.0,
+                             scale_in_ratio=0.5),
+        min_replicas=1, max_replicas=3,
+        cloudwatch=session.cloudwatch, dimension=ep.name)
+    sim = EndpointSimulation(ep, FixedBackend(), autoscaler=autoscaler,
+                             tick_ms=10.0, settle_ms=200.0)
+    trace = bursty_trace(200.0, 600.0, QUERIES, burst_start_ms=200.0,
+                         burst_end_ms=400.0, burst_multiplier=5.0, seed=21)
+    report = sim.run(trace)
+    ep.delete()
+    return report
+
+
+class TestDeterminism:
+    def test_same_trace_and_config_byte_identical(self):
+        # the acceptance contract: fresh session + seeded trace, twice
+        assert full_run().to_json() == full_run().to_json()
+
+    def test_seed_recorded(self):
+        assert full_run().seed == 21
+
+
+class TestSerialization:
+    def test_json_round_trip_is_stable(self):
+        report = full_run()
+        clone = SloReport.from_dict(json.loads(report.to_json()))
+        assert clone.to_json() == report.to_json()
+
+    def test_to_dict_rounds_floats(self):
+        d = full_run().to_dict()
+        for key, value in d.items():
+            if isinstance(value, float):
+                assert value == round(value, 6), key
+
+    def test_timeline_serialized_as_lists(self):
+        d = full_run().to_dict()
+        assert d["replica_timeline"]
+        assert all(len(step) == 3 for step in d["replica_timeline"])
+
+
+class TestRender:
+    def test_render_mentions_the_essentials(self):
+        report = full_run()
+        text = report.render()
+        assert "det-ep" in text
+        assert "p99" in text
+        assert "per 1k requests" in text
+        assert f"{report.submitted}" in text

@@ -53,6 +53,51 @@ class TestInstruments:
                                     "p99"}
 
 
+class TestReservoirHistogram:
+    def test_memory_is_bounded_but_count_and_sum_exact(self):
+        h = Histogram("lat", max_samples=128)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h.samples) == 128
+        assert h.count == 10_000
+        assert h.sum == pytest.approx(sum(range(10_000)))
+        assert h.mean == pytest.approx(4999.5)
+
+    def test_percentiles_approximate_the_stream(self):
+        h = Histogram("lat", max_samples=512)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(4999.5, rel=0.15)
+        assert h.percentile(95) == pytest.approx(9499.0, rel=0.10)
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            h = Histogram("lat", max_samples=64)
+            for v in range(5_000):
+                h.observe(float(v))
+            return h.samples
+
+        assert fill() == fill()
+
+    def test_below_capacity_is_exact(self):
+        h = Histogram("lat", max_samples=1000)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_max_samples_must_be_positive(self):
+        with pytest.raises(ReproError):
+            Histogram("lat", max_samples=0)
+
+    def test_registry_creates_bounded_histograms(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.latency", max_samples=32)
+        for v in range(100):
+            h.observe(float(v))
+        assert len(h.samples) == 32
+        assert reg.histogram("serve.latency") is h  # existing keeps mode
+
+
 class TestRegistry:
     def test_get_or_create_by_name_and_labels(self):
         reg = MetricsRegistry()
