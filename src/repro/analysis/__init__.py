@@ -1,0 +1,98 @@
+"""``repro.analysis`` — the shared static-analysis framework.
+
+Every analyzer family in the suite (kernel sanitizer, perflint's
+perf/cost/IAM passes, memcheck, and the DET determinism rules) rides
+the same substrate:
+
+* :mod:`repro.analysis.context` — :class:`AnalysisContext`: each file
+  parsed **exactly once**, with the source, line index, namespace
+  aliases, and ``# repro: disable`` suppression table shared by every
+  pass (``parse_count()`` is the test hook proving the single parse);
+* :mod:`repro.analysis.cfg` — per-scope basic-block CFGs and the
+  canonical unrolled statement schedule the abstract interpreters walk;
+* :mod:`repro.analysis.dataflow` — the generic forward/backward
+  fixpoint engine (reaching definitions, liveness);
+* :mod:`repro.analysis.detpass` — the ``DET-*`` determinism rules that
+  self-host over ``src/repro`` in CI;
+* :mod:`repro.analysis.pipeline` — stable finding fingerprints,
+  suppressions, and the ``.reprolint-baseline.json`` workflow;
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 export;
+* :mod:`repro.analysis.driver` — the unified dispatcher behind
+  ``python -m repro.sanitize --analyzers kernel,perf,cost,iam,mem,det``.
+
+Rule-by-rule documentation lives in ``docs/analysis.md``.
+"""
+
+from repro.analysis.cfg import (
+    LOOP_PASSES,
+    CFG,
+    BasicBlock,
+    build_cfg,
+    scopes,
+    unrolled_schedule,
+)
+from repro.analysis.context import (
+    AnalysisContext,
+    parse_count,
+    reset_parse_count,
+)
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    Liveness,
+    ReachingDefinitions,
+    live_out,
+    reaching_at,
+    solve,
+)
+from repro.analysis.driver import (
+    KNOWN_ANALYZERS,
+    AnalysisRun,
+    analyze_context,
+    analyze_paths,
+    analyze_source,
+    collect_files,
+    run_paths,
+)
+from repro.analysis.pipeline import (
+    BASELINE_NAME,
+    Baseline,
+    apply_suppressions,
+    fingerprint,
+    fingerprint_report,
+)
+from repro.analysis.rules import all_rules
+from repro.analysis.sarif import from_sarif, render_sarif, to_sarif
+
+__all__ = [
+    "LOOP_PASSES",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "scopes",
+    "unrolled_schedule",
+    "AnalysisContext",
+    "parse_count",
+    "reset_parse_count",
+    "DataflowAnalysis",
+    "ReachingDefinitions",
+    "Liveness",
+    "solve",
+    "reaching_at",
+    "live_out",
+    "KNOWN_ANALYZERS",
+    "AnalysisRun",
+    "analyze_context",
+    "analyze_source",
+    "analyze_paths",
+    "collect_files",
+    "run_paths",
+    "BASELINE_NAME",
+    "Baseline",
+    "apply_suppressions",
+    "fingerprint",
+    "fingerprint_report",
+    "all_rules",
+    "from_sarif",
+    "render_sarif",
+    "to_sarif",
+]

@@ -1,0 +1,142 @@
+"""One parse per file: the :class:`AnalysisContext` every pass shares.
+
+Before the unified framework, each analyzer family re-read and
+re-parsed the same file — the kernel linter, the perflint families, and
+the memcheck pass each called ``ast.parse`` on identical source.  The
+context parses **exactly once** and hands every pass the same tree,
+source, line index, namespace aliases, and suppression table.
+
+``parse_count()`` / ``reset_parse_count()`` expose the framework's own
+instrumentation: the test-suite runs the full all-analyzers driver over
+the repository and asserts one parse per file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import textwrap
+from functools import cached_property
+from pathlib import Path
+
+_parse_count = 0
+
+
+def parse_count() -> int:
+    """How many times the framework has called ``ast.parse``."""
+    return _parse_count
+
+
+def reset_parse_count() -> None:
+    global _parse_count
+    _parse_count = 0
+
+
+#: ``# repro: disable=RULE-A,RULE-B`` (or bare ``# repro: disable``)
+_DISABLE_RE = re.compile(
+    r"#\s*repro:\s*disable(?:\s*=\s*(?P<rules>[A-Za-z0-9_\-,\s]+))?")
+
+
+class AnalysisContext:
+    """Everything the passes need about one file, computed once."""
+
+    def __init__(self, source: str, filename: str = "<string>", *,
+                 line_offset: int = 0) -> None:
+        global _parse_count
+        self.filename = filename or "<string>"
+        self.source = source
+        self.dedented = textwrap.dedent(source)   # preserves line numbers
+        self.line_offset = line_offset
+        self.syntax_error: SyntaxError | None = None
+        _parse_count += 1
+        try:
+            tree = ast.parse(self.dedented, filename=self.filename)
+        except SyntaxError as exc:
+            self.syntax_error = exc
+            tree = None
+        else:
+            if line_offset:
+                ast.increment_lineno(tree, line_offset)
+        self.tree: ast.Module | None = tree
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "AnalysisContext":
+        path = Path(path)
+        return cls(path.read_text(), filename=str(path))
+
+    @property
+    def ok(self) -> bool:
+        return self.syntax_error is None
+
+    # -- derived views, each computed at most once ----------------------
+
+    @cached_property
+    def lines(self) -> list[str]:
+        return self.dedented.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of a 1-based (offset-adjusted) line, or ``""``."""
+        idx = lineno - self.line_offset - 1
+        if 0 <= idx < len(self.lines):
+            return self.lines[idx]
+        return ""
+
+    @cached_property
+    def suppressions(self) -> dict[int, set[str]]:
+        """``# repro: disable`` table: line -> suppressed rule ids
+        (``{"*"}`` for a bare disable)."""
+        out: dict[int, set[str]] = {}
+        for n, line in enumerate(self.lines, start=1 + self.line_offset):
+            m = _DISABLE_RE.search(line)
+            if not m:
+                continue
+            rules = m.group("rules")
+            if rules is None:
+                out[n] = {"*"}
+            else:
+                out[n] = {r.strip().upper() for r in rules.split(",")
+                          if r.strip()}
+        return out
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        marks = self.suppressions.get(line, ())
+        return "*" in marks or rule.upper() in marks
+
+    @cached_property
+    def cuda_names(self) -> set[str]:
+        """Names bound to a cuda-like namespace (kernel linter)."""
+        from repro.sanitize.astlint import _cuda_aliases
+
+        if self.tree is None:
+            return {"cuda"}
+        return _cuda_aliases(self.tree)
+
+    @cached_property
+    def namespaces(self) -> tuple[set[str], set[str], set[str]]:
+        """``(xp_names, nn_names, np_names)`` alias sets (shape passes)."""
+        from repro.perflint.shapes import _namespace_aliases
+
+        if self.tree is None:
+            return {"xp"}, set(), {"np", "numpy"}
+        return _namespace_aliases(self.tree)
+
+    @cached_property
+    def imports_repro(self) -> bool:
+        """Does the module import anything from the simulated stack?
+        The DET wall-clock rule only applies to simulated-clock code."""
+        if self.tree is None:
+            return False
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                if any(a.name == "repro" or a.name.startswith("repro.")
+                       for a in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if node.level == 0 and (mod == "repro"
+                                        or mod.startswith("repro.")):
+                    return True
+        return False
+
+
+__all__ = ["AnalysisContext", "parse_count", "reset_parse_count"]

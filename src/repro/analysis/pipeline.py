@@ -1,0 +1,146 @@
+"""The unified finding pipeline: fingerprints, suppressions, baselines.
+
+Every analyzer family emits :class:`~repro.sanitize.findings.Finding`
+objects; this module is the shared post-processing those findings flow
+through before a report reaches the user or CI:
+
+1. **suppressions** — ``# repro: disable=RULE`` (or a bare
+   ``# repro: disable``) on the offending line removes the finding, for
+   every family, applied once at the driver level;
+2. **fingerprints** — a stable identity for each finding that survives
+   unrelated edits: the hash covers the rule, file, context and the
+   *text* of the flagged line (not its number), plus an ordinal so
+   duplicates on identical lines stay distinct;
+3. **baseline** — ``.reprolint-baseline.json`` records the accepted
+   fingerprints of a legacy codebase; CI then fails only on findings
+   whose fingerprint is *not* in the baseline, so a new rule can land
+   without a flag-day cleanup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.sanitize.findings import Finding, Report
+
+BASELINE_NAME = ".reprolint-baseline.json"
+
+
+def fingerprint(finding: Finding, line_text: str = "",
+                ordinal: int = 0) -> str:
+    """A stable hex identity for one finding.
+
+    Keyed on rule, file, context, and the stripped text of the flagged
+    line — but **not** the line number, so inserting code above a
+    baselined finding does not resurrect it.  ``ordinal`` disambiguates
+    repeated findings that hash identically (same rule on identical
+    lines of the same file).
+    """
+    payload = "|".join([
+        finding.rule,
+        finding.file,
+        finding.context,
+        line_text.strip(),
+        str(ordinal),
+    ])
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_report(report: Report,
+                       line_text_for: "callable | None" = None
+                       ) -> list[tuple[Finding, str]]:
+    """Pair every finding with its fingerprint, assigning ordinals to
+    colliding (rule, file, context, line-text) groups in sorted order
+    so the assignment is deterministic."""
+    line_text_for = line_text_for or (lambda f: "")
+    seen: Counter[str] = Counter()
+    out: list[tuple[Finding, str]] = []
+    for finding in report.sorted():
+        text = line_text_for(finding)
+        base = "|".join([finding.rule, finding.file, finding.context,
+                         text.strip()])
+        ordinal = seen[base]
+        seen[base] += 1
+        out.append((finding, fingerprint(finding, text, ordinal)))
+    return out
+
+
+def apply_suppressions(report: Report, contexts: dict) -> Report:
+    """Drop findings whose line carries a matching ``# repro: disable``
+    marker.  ``contexts`` maps filename -> :class:`AnalysisContext`."""
+    kept = Report()
+    for finding in report.findings:
+        ctx = contexts.get(finding.file)
+        if ctx is not None and ctx.is_suppressed(finding.rule,
+                                                 finding.line):
+            continue
+        kept.add(finding)
+    return kept
+
+
+class Baseline:
+    """The accepted-findings ledger (``.reprolint-baseline.json``).
+
+    The file stores sorted fingerprints plus a human-readable summary of
+    what they were when recorded — the summary is documentation only;
+    membership is decided purely by fingerprint.
+    """
+
+    def __init__(self, fingerprints: set[str] | None = None) -> None:
+        self.fingerprints: set[str] = set(fingerprints or ())
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        return cls(set(data.get("fingerprints", ())))
+
+    def save(self, path: str | Path,
+             annotated: list[tuple[Finding, str]] | None = None) -> None:
+        payload = {
+            "version": 1,
+            "tool": "repro.analysis",
+            "fingerprints": sorted(self.fingerprints),
+        }
+        if annotated:
+            payload["findings"] = [
+                {"fingerprint": fp, "rule": f.rule, "file": f.file,
+                 "line": f.line, "message": f.message}
+                for f, fp in sorted(annotated, key=lambda p: p[1])
+            ]
+        Path(path).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
+
+    @classmethod
+    def from_report(cls, annotated: list[tuple[Finding, str]]
+                    ) -> "Baseline":
+        return cls({fp for _, fp in annotated})
+
+    def filter_new(self, annotated: list[tuple[Finding, str]]) -> Report:
+        """The findings whose fingerprints are *not* baselined — the
+        only ones CI should fail on."""
+        report = Report()
+        for finding, fp in annotated:
+            if fp not in self.fingerprints:
+                report.add(finding)
+        return report
+
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "apply_suppressions",
+    "fingerprint",
+    "fingerprint_report",
+]

@@ -1,0 +1,74 @@
+"""The DET-* rule registry, plus the merged all-family catalog.
+
+DET rules guard the invariant every report in this reproduction sells:
+byte-identical output on the simulated clock.  Same contract as the
+other registries — ids are stable; tests, ``docs/analysis.md``, and the
+SARIF exporter refer to them by name.
+
+:func:`all_rules` merges every family's registry (SAN/DYN/STREAM/COLL,
+PERF, COST, IAM, MEM, DET) into one id -> :class:`Rule` catalog — the
+SARIF exporter publishes it as the tool's rule metadata.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.findings import Finding, Severity
+from repro.sanitize.rules import Rule
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule("DET-WALLCLOCK", "wall-clock read inside simulated-clock "
+             "code", Severity.ERROR,
+             "the simulated stack advances its own clock; time.time(), "
+             "perf_counter(), and datetime.now() smuggle host wall time "
+             "into results and break byte-identical reports — thread "
+             "the simulated clock (or an injected now()) instead"),
+        Rule("DET-UNSEEDED-RNG", "module-level RNG use without a "
+             "threaded seed", Severity.WARNING,
+             "random.*/np.random.* draw from the process-global "
+             "generator, so results change run to run; construct a "
+             "seeded generator (random.Random(seed), "
+             "np.random.default_rng(seed)) and thread it through, or "
+             "seed the module RNG before first use"),
+        Rule("DET-UNORDERED-ITER", "iteration over an unordered "
+             "collection reaches a report/export", Severity.WARNING,
+             "set iteration order varies with PYTHONHASHSEED; sort the "
+             "elements (sorted(...)) before anything derived from the "
+             "iteration is printed, dumped, or exported so the emitted "
+             "bytes are stable"),
+    ]
+}
+
+
+def make_finding(rule_id: str, message: str, *, file: str = "",
+                 line: int = 0, context: str = "",
+                 severity: Severity | None = None) -> Finding:
+    """Build a :class:`Finding` for a registered DET rule."""
+    rule = RULES[rule_id]
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity if severity is None else severity,
+        message=message,
+        file=file,
+        line=line,
+        context=context,
+        hint=rule.hint,
+    )
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every rule every analyzer family can emit, by stable id."""
+    from repro.memcheck.rules import RULES as MEM_RULES
+    from repro.perflint.rules import RULES as PERFLINT_RULES
+    from repro.sanitize.rules import RULES as SAN_RULES
+
+    merged: dict[str, Rule] = {}
+    merged.update(SAN_RULES)
+    merged.update(PERFLINT_RULES)
+    merged.update(MEM_RULES)
+    merged.update(RULES)
+    return merged
+
+
+__all__ = ["RULES", "make_finding", "all_rules"]

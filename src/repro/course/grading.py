@@ -132,16 +132,18 @@ class GradeBook:
 
         The workflow-layer counterpart of :meth:`record_kernel_lab`:
         ``workflow`` (a source string, or a path to a ``.py`` file) runs
-        through the :mod:`repro.perflint` passes — plus the
-        :mod:`repro.memcheck` liveness pass when ``"mem"`` is among the
-        ``analyzers`` — instead of the kernel sanitizer: the pre-flight
+        through the unified :mod:`repro.analysis` driver — the perflint
+        families plus the :mod:`repro.memcheck` liveness pass (and the
+        ``DET-*`` determinism rules when ``"det"`` is among the
+        ``analyzers``) — instead of the kernel sanitizer: the pre-flight
         perf/cost/IAM/memory review a TA would give a cloud lab before
-        any simulated dollar accrues.  Notes carry no penalty; they
-        still appear in the feedback.
+        any simulated dollar accrues.  The submission is parsed exactly
+        once for all families.  Notes carry no penalty; they still
+        appear in the feedback.
         """
         from pathlib import Path
 
-        from repro.perflint import analyze_source
+        from repro.analysis import analyze_source
         from repro.sanitize import Severity
 
         source, filename = workflow, "<submission>"
@@ -151,9 +153,6 @@ class GradeBook:
             path = Path(workflow)
             source, filename = path.read_text(), str(path)
         report = analyze_source(source, filename, analyzers=analyzers)
-        if "mem" in analyzers:
-            from repro.memcheck import analyze_source as mem_analyze_source
-            report.extend(mem_analyze_source(source, filename).findings)
         penalty = 0.0
         feedback = []
         for f in report.sorted():

@@ -26,8 +26,6 @@ Rule-by-rule documentation lives in ``docs/memcheck.md``.
 
 from __future__ import annotations
 
-import ast
-import textwrap
 from pathlib import Path
 
 from repro.memcheck.estimate import (
@@ -47,23 +45,31 @@ from repro.sanitize.findings import Report
 ANALYZERS = ("mem",)
 
 
+def analyze_context(ctx, analyzers=ANALYZERS) -> Report:
+    """Run the requested memcheck passes over one shared
+    :class:`repro.analysis.context.AnalysisContext` (no re-parse)."""
+    report = Report()
+    if ctx.tree is None:
+        from repro.sanitize.rules import make_finding as _san_finding
+        report.add(_san_finding(
+            "SAN-SYNTAX", f"syntax error: {ctx.syntax_error.msg}",
+            file=ctx.filename, line=ctx.syntax_error.lineno or 0))
+        return report
+    if "mem" in analyzers:
+        # the context's dedent preserves line numbers, so noqa comments
+        # still align with the tree
+        report.extend(mem_pass(ctx.tree, ctx.filename,
+                               source=ctx.dedented).findings)
+    return report
+
+
 def analyze_source(source: str, filename: str = "<string>",
                    analyzers=ANALYZERS) -> Report:
     """Run the requested memcheck passes over one source string."""
-    report = Report()
-    dedented = textwrap.dedent(source)
-    try:
-        tree = ast.parse(dedented, filename=filename or "<string>")
-    except SyntaxError as exc:
-        from repro.sanitize.rules import make_finding as _san_finding
-        report.add(_san_finding(
-            "SAN-SYNTAX", f"syntax error: {exc.msg}", file=filename,
-            line=exc.lineno or 0))
-        return report
-    if "mem" in analyzers:
-        # dedent preserves line numbers, so noqa comments still align
-        report.extend(mem_pass(tree, filename, source=dedented).findings)
-    return report
+    from repro.analysis.context import AnalysisContext
+
+    return analyze_context(AnalysisContext(source, filename=filename),
+                           analyzers=analyzers)
 
 
 def analyze_file(path, analyzers=ANALYZERS) -> Report:
@@ -91,6 +97,7 @@ __all__ = [
     "MemInterp",
     "Preflight",
     "make_finding",
+    "analyze_context",
     "analyze_source",
     "analyze_file",
     "analyze_paths",

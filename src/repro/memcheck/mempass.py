@@ -37,6 +37,7 @@ import re
 
 import numpy as np
 
+from repro.analysis.cfg import LOOP_PASSES
 from repro.cloud.pricing import get_instance_type
 from repro.errors import CloudError
 from repro.gpu.specs import get_spec
@@ -255,11 +256,12 @@ class MemInterp(ShapeInterp):
                 bound.add(node.id)
         self._loop_bound.append(bound)
         try:
-            # two passes: the second observes what iteration one left
-            # bound, catching realloc-without-free and cross-iteration
-            # UAF; (rule, line) dedup keeps reports single
-            self.run(list(stmt.body))
-            self.run(list(stmt.body))
+            # the framework's canonical schedule: LOOP_PASSES passes, so
+            # the second observes what iteration one left bound, catching
+            # realloc-without-free and cross-iteration UAF; (rule, line)
+            # dedup keeps reports single
+            for _ in range(LOOP_PASSES):
+                self.run(list(stmt.body))
         finally:
             self._loop_bound.pop()
         self.run(list(stmt.orelse))

@@ -25,8 +25,6 @@ sanitizer.  Rule-by-rule documentation lives in ``docs/perflint.md``.
 
 from __future__ import annotations
 
-import ast
-import textwrap
 from pathlib import Path
 
 from repro.perflint.costpass import (
@@ -56,19 +54,18 @@ from repro.sanitize.findings import Report
 ANALYZERS = ("perf", "cost", "iam")
 
 
-def analyze_source(source: str, filename: str = "<string>",
-                   analyzers=ANALYZERS) -> Report:
-    """Run the requested perflint passes over one source string."""
+def analyze_context(ctx, analyzers=ANALYZERS) -> Report:
+    """Run the requested perflint passes over one shared
+    :class:`repro.analysis.context.AnalysisContext` (no re-parse)."""
     report = Report()
-    try:
-        tree = ast.parse(textwrap.dedent(source),
-                         filename=filename or "<string>")
-    except SyntaxError as exc:
+    filename = ctx.filename
+    if ctx.tree is None:
         from repro.sanitize.rules import make_finding as _san_finding
         report.add(_san_finding(
-            "SAN-SYNTAX", f"syntax error: {exc.msg}", file=filename,
-            line=exc.lineno or 0))
+            "SAN-SYNTAX", f"syntax error: {ctx.syntax_error.msg}",
+            file=filename, line=ctx.syntax_error.lineno or 0))
         return report
+    tree = ctx.tree
     if "perf" in analyzers:
         report.extend(perf_pass(tree, filename).findings)
         report.extend(shape_pass(tree, filename).findings)
@@ -77,6 +74,15 @@ def analyze_source(source: str, filename: str = "<string>",
     if "iam" in analyzers:
         report.extend(iam_pass(tree, filename).findings)
     return report
+
+
+def analyze_source(source: str, filename: str = "<string>",
+                   analyzers=ANALYZERS) -> Report:
+    """Run the requested perflint passes over one source string."""
+    from repro.analysis.context import AnalysisContext
+
+    return analyze_context(AnalysisContext(source, filename=filename),
+                           analyzers=analyzers)
 
 
 def analyze_file(path, analyzers=ANALYZERS) -> Report:
@@ -105,6 +111,7 @@ __all__ = [
     "PlanSite",
     "LAB_COST_ENVELOPE_USD",
     "make_finding",
+    "analyze_context",
     "analyze_source",
     "analyze_file",
     "analyze_paths",

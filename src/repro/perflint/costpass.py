@@ -105,7 +105,15 @@ def _identifiers(tree: ast.Module) -> set[str]:
 
 
 def extract_plans(tree: ast.Module) -> list[PlanSite]:
-    """Pull every literal-arg launch plan out of a parsed module."""
+    """Pull every literal-arg launch plan out of a parsed module.
+
+    Pure in the tree, so the result is memoized on the node itself —
+    the cost, IAM, and memcheck passes all ask for the same plans and
+    the unified driver hands them one shared tree.
+    """
+    cached = getattr(tree, "_repro_plan_sites", None)
+    if cached is not None:
+        return cached
     plans: list[PlanSite] = []
     owner = "student"
     for node in ast.walk(tree):
@@ -205,6 +213,10 @@ def extract_plans(tree: ast.Module) -> list[PlanSite]:
                 kind="notebook", type_name=type_name, count=1,
                 expected_hours=BootstrapScript.expected_hours,
                 line=node.lineno, owner=owner))
+    try:
+        tree._repro_plan_sites = plans
+    except (AttributeError, TypeError):  # pragma: no cover - exotic tree
+        pass
     return plans
 
 

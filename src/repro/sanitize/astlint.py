@@ -31,10 +31,10 @@ from __future__ import annotations
 
 import ast
 import math
-import textwrap
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.cfg import unrolled_schedule
 from repro.sanitize.findings import Report
 from repro.sanitize.rules import make_finding
 
@@ -350,7 +350,7 @@ class _KernelLinter:
     # -- shared-memory phase analysis (SAN-SHARED-RACE) -----------------
 
     def _phase_analysis(self) -> None:
-        events = self._linearize(self.fn.body)
+        events = self._events(unrolled_schedule(self.fn.body))
         pending: dict[str, list[tuple[str, int]]] = {}
         for ev in events:
             kind = ev[0]
@@ -371,21 +371,15 @@ class _KernelLinter:
                 _, name, idx, line = ev
                 pending.setdefault(name, []).append((idx, line))
 
-    def _linearize(self, stmts) -> list[tuple]:
-        """Flatten the body to (sync|read|write) events; loop bodies are
-        emitted twice so a write in iteration N meets the read in N+1."""
+    def _events(self, schedule) -> list[tuple]:
+        """Map the canonical unrolled schedule (loop bodies repeated so a
+        write in iteration N meets the read in N+1, ``if`` arms
+        concatenated — see :func:`repro.analysis.cfg.unrolled_schedule`)
+        to (sync|read|write) events."""
         out: list[tuple] = []
-        for stmt in stmts:
+        for stmt in schedule:
             if isinstance(stmt, ast.Expr) and self._is_sync_call(stmt.value):
                 out.append(("sync", stmt.lineno))
-            elif isinstance(stmt, (ast.For, ast.While)):
-                body = self._linearize(stmt.body)
-                out.extend(body)
-                out.extend(body)
-                out.extend(self._linearize(stmt.orelse))
-            elif isinstance(stmt, ast.If):
-                out.extend(self._linearize(stmt.body))
-                out.extend(self._linearize(stmt.orelse))
             else:
                 out.extend(self._stmt_events(stmt))
         return out
@@ -512,24 +506,20 @@ def _is_kernel_def(fn: ast.FunctionDef, cuda_names: set[str]) -> bool:
     return False
 
 
-def lint_source(source: str, filename: str = "<string>",
-                line_offset: int = 0) -> Report:
-    """Lint every ``@cuda.jit`` kernel (and the stream usage) in a
-    source string; ``line_offset`` shifts reported lines for snippets
-    extracted from a larger file."""
-    try:
-        tree = ast.parse(textwrap.dedent(source),
-                         filename=filename or "<string>")
-    except SyntaxError as exc:
-        report = Report()
+def lint_context(ctx) -> Report:
+    """Lint every ``@cuda.jit`` kernel (and the stream usage) in one
+    shared :class:`repro.analysis.context.AnalysisContext` — the parse
+    already happened; this pass only walks the tree."""
+    report = Report()
+    filename = ctx.filename
+    if ctx.tree is None:
+        exc = ctx.syntax_error
         report.add(make_finding(
             "SAN-SYNTAX", f"syntax error: {exc.msg}", file=filename,
-            line=(exc.lineno or 0) + line_offset))
+            line=(exc.lineno or 0) + ctx.line_offset))
         return report
-    if line_offset:
-        ast.increment_lineno(tree, line_offset)
-    cuda_names = _cuda_aliases(tree)
-    report = Report()
+    tree = ctx.tree
+    cuda_names = ctx.cuda_names
     for node in ast.walk(tree):
         if isinstance(node, ast.FunctionDef):
             if _is_kernel_def(node, cuda_names):
@@ -540,6 +530,16 @@ def lint_source(source: str, filename: str = "<string>",
                     _StreamScan(cuda_names, filename).scan(node.body).findings)
     report.extend(_StreamScan(cuda_names, filename).scan(tree.body).findings)
     return report
+
+
+def lint_source(source: str, filename: str = "<string>",
+                line_offset: int = 0) -> Report:
+    """Lint a source string; ``line_offset`` shifts reported lines for
+    snippets extracted from a larger file."""
+    from repro.analysis.context import AnalysisContext
+
+    return lint_context(AnalysisContext(source, filename=filename,
+                                        line_offset=line_offset))
 
 
 def lint_file(path: str | Path) -> Report:

@@ -3,6 +3,12 @@
 (with ``--analyzers``) lint the workflow layer above them the way a
 pre-flight cost/perf review would.
 
+Every requested family runs off one shared parse per file (the
+:mod:`repro.analysis` driver), with unified ``# repro: disable=RULE``
+suppressions, optional ``.reprolint-baseline.json`` filtering (CI fails
+only on findings not in the baseline), and SARIF 2.1.0 output for
+code-scanning UIs.
+
 Exit codes: 0 clean, 1 findings, 2 usage error (mirroring ruff/flake8 so
 the CI lint session can gate on it).
 """
@@ -13,13 +19,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.sanitize.astlint import lint_paths
+from repro.analysis.driver import KNOWN_ANALYZERS, run_paths
+from repro.analysis.pipeline import Baseline, fingerprint_report
 from repro.sanitize.findings import Report, Severity
-
-#: analyzer families the CLI can dispatch; "kernel" is the original
-#: @cuda.jit linter, "mem" lives in repro.memcheck, the rest in
-#: repro.perflint
-KNOWN_ANALYZERS = ("kernel", "perf", "cost", "iam", "mem")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,12 +32,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "barrier divergence, coalescing, bank conflicts, "
                     "cross-stream hazards) plus the perflint workflow "
                     "analyzers (host-side perf anti-patterns, pre-flight "
-                    "cloud-plan cost, IAM least privilege) and the "
-                    "memcheck liveness pass (device-buffer leaks, "
-                    "use-after-free, peak-footprint OOM pre-flight).")
+                    "cloud-plan cost, IAM least privilege), the memcheck "
+                    "liveness pass (device-buffer leaks, use-after-free, "
+                    "peak-footprint OOM pre-flight), and the DET "
+                    "determinism rules (wall-clock reads, unseeded RNG, "
+                    "unordered iteration reaching an export).")
     parser.add_argument("paths", nargs="+",
                         help="Python files or directories to lint")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
     parser.add_argument("--errors-only", action="store_true",
                         help="fail (and report) only on error-severity "
@@ -44,24 +48,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated analyzer families to run: "
                              f"{','.join(KNOWN_ANALYZERS)} (or 'all'; "
                              "default: kernel)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="accepted-findings ledger (JSON); only "
+                             "findings whose fingerprint is not in the "
+                             "baseline are reported and fail the run")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the current findings to --baseline "
+                             "(default .reprolint-baseline.json) and "
+                             "exit 0")
     return parser
 
 
-def _parse_analyzers(spec: str) -> list[str] | None:
+def _parse_analyzers(spec: str) -> "tuple[list[str], list[str]]":
+    """``(selected, unknown)`` — ``unknown`` names every family the
+    spec asked for that does not exist."""
     names = [n.strip() for n in spec.split(",") if n.strip()]
     if "all" in names:
-        return list(KNOWN_ANALYZERS)
-    if not names or any(n not in KNOWN_ANALYZERS for n in names):
-        return None
-    return names
+        return list(KNOWN_ANALYZERS), []
+    unknown = [n for n in names if n not in KNOWN_ANALYZERS]
+    return names, unknown
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    analyzers = _parse_analyzers(args.analyzers)
-    if analyzers is None:
-        print(f"repro.sanitize: unknown analyzer in {args.analyzers!r}; "
-              f"choose from {', '.join(KNOWN_ANALYZERS)} (or 'all')",
+    analyzers, unknown = _parse_analyzers(args.analyzers)
+    if unknown or not analyzers:
+        what = ", ".join(unknown) if unknown else "nothing"
+        print(f"repro.sanitize: unknown analyzer {what!r} in "
+              f"{args.analyzers!r}; choose from "
+              f"{', '.join(KNOWN_ANALYZERS)} (or 'all')",
               file=sys.stderr)
         return 2
     missing = [p for p in args.paths if not Path(p).exists()]
@@ -69,24 +84,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro.sanitize: no such path: {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    report = Report()
-    if "kernel" in analyzers:
-        report.extend(lint_paths(args.paths).findings)
-    perflint_families = [a for a in analyzers if a not in ("kernel", "mem")]
-    if perflint_families:
-        from repro.perflint import analyze_paths
-        report.extend(
-            analyze_paths(args.paths, analyzers=perflint_families).findings)
-    if "mem" in analyzers:
-        from repro.memcheck import analyze_paths as mem_analyze_paths
-        report.extend(mem_analyze_paths(args.paths).findings)
-    # identical findings from two families (e.g. SAN-SYNTAX reported by
-    # both the kernel linter and perflint) collapse to one
-    report.findings = list(dict.fromkeys(report.findings))
+    # one parse per file, every family on the shared context; findings
+    # come back deduplicated (overlapping paths analyze a file once)
+    # and in deterministic (file, line, severity, rule) order
+    run = run_paths(args.paths, analyzers=analyzers)
+    report = run.report
     if args.errors_only:
-        report.findings = [f for f in report.findings
-                           if f.severity >= Severity.ERROR]
-    if args.format == "json":
+        filtered = Report()
+        filtered.extend(f for f in report.findings
+                        if f.severity >= Severity.ERROR)
+        report = filtered
+    annotated = fingerprint_report(report, run.line_text)
+    if args.update_baseline:
+        path = args.baseline or ".reprolint-baseline.json"
+        Baseline.from_report(annotated).save(path, annotated)
+        print(f"repro.sanitize: wrote {len(annotated)} fingerprint(s) "
+              f"to {path}", file=sys.stderr)
+        return 0
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        report = baseline.filter_new(annotated)
+        annotated = fingerprint_report(report, run.line_text)
+    if args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+        print(render_sarif(report, annotated))
+    elif args.format == "json":
         print(report.render_json())
     else:
         print(report.render_text())

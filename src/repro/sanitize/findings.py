@@ -73,8 +73,11 @@ class Report:
         self.findings.extend(findings)
 
     def sorted(self) -> list[Finding]:
+        # the (context, message) tiebreakers make this a total order, so
+        # reports are byte-identical however the findings were collected
         return sorted(self.findings,
-                      key=lambda f: (f.file, f.line, -f.severity, f.rule))
+                      key=lambda f: (f.file, f.line, -f.severity, f.rule,
+                                     f.context, f.message))
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,105 @@
+"""The unified CLI: analyzer selection, ordering determinism,
+overlapping-path dedupe, SARIF output, and the baseline workflow."""
+
+import itertools
+import json
+from pathlib import Path
+
+from repro.sanitize.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class TestAnalyzerSelection:
+    def test_unknown_analyzer_exits_2_and_is_named(self, capsys):
+        rc = main(["--analyzers", "kernel,prf,det", str(FIXTURES)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown analyzer" in err
+        assert "'prf'" in err
+        assert "kernel, perf, cost, iam, mem, det" in err
+
+    def test_empty_spec_exits_2(self, capsys):
+        rc = main(["--analyzers", " , ", str(FIXTURES)])
+        assert rc == 2
+        assert "unknown analyzer" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        rc = main(["--analyzers", "det", str(FIXTURES / "nope.py")])
+        assert rc == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_all_expands_to_every_family(self, capsys):
+        rc = main(["--analyzers", "all", "--format", "json",
+                   str(FIXTURES / "det_clean_workflow.py")])
+        assert rc == 0
+
+
+class TestDeterministicOutput:
+    def test_json_is_stable_across_analyzer_permutations(self, capsys):
+        outputs = set()
+        for perm in itertools.permutations(("kernel", "perf", "det")):
+            rc = main(["--analyzers", ",".join(perm), "--format", "json",
+                       str(FIXTURES)])
+            assert rc == 1
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_overlapping_paths_report_each_finding_once(self, capsys):
+        single = str(FIXTURES / "det_unordered_export.py")
+        main(["--analyzers", "det", "--format", "json", single])
+        once = json.loads(capsys.readouterr().out)
+        main(["--analyzers", "det", "--format", "json",
+              str(FIXTURES), single, str(FIXTURES)])
+        merged = json.loads(capsys.readouterr().out)
+        rules = [f["rule"] for f in merged["findings"]]
+        assert rules.count("DET-UNORDERED-ITER") == \
+            len(once["findings"]) == 1
+
+    def test_findings_sorted_by_file_line_rule(self, capsys):
+        main(["--analyzers", "det", "--format", "json", str(FIXTURES)])
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        keys = [(f["file"], f["line"], f["rule"]) for f in findings]
+        assert keys == sorted(keys)
+
+
+class TestSarifOutput:
+    def test_sarif_format(self, capsys):
+        rc = main(["--analyzers", "det", "--format", "sarif",
+                   str(FIXTURES / "det_wallclock_timeline.py")])
+        assert rc == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"DET-WALLCLOCK"}
+        assert all("partialFingerprints" in r for r in results)
+
+
+class TestBaselineWorkflow:
+    def test_update_then_filter(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        target = str(FIXTURES / "det_wallclock_timeline.py")
+        rc = main(["--analyzers", "det", "--baseline", str(baseline),
+                   "--update-baseline", target])
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # baselined findings no longer fail the run
+        rc = main(["--analyzers", "det", "--baseline", str(baseline),
+                   "--format", "json", target])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+        # a file with findings outside the baseline still fails
+        rc = main(["--analyzers", "det", "--baseline", str(baseline),
+                   "--format", "json", target,
+                   str(FIXTURES / "det_unseeded_load.py")])
+        assert rc == 1
+        rules = {f["rule"] for f in
+                 json.loads(capsys.readouterr().out)["findings"]}
+        assert rules == {"DET-UNSEEDED-RNG"}
+
+    def test_errors_only_drops_warnings(self, capsys):
+        rc = main(["--analyzers", "det", "--errors-only", "--format",
+                   "json", str(FIXTURES / "det_unseeded_load.py")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []

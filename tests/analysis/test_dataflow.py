@@ -1,0 +1,142 @@
+"""Fixpoint dataflow: reaching definitions, pseudo-defs, liveness."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    Liveness,
+    ReachingDefinitions,
+    live_out,
+    reaching_at,
+    solve,
+    stmt_defs,
+    stmt_uses,
+)
+
+
+def _body(src: str):
+    return ast.parse(textwrap.dedent(src)).body
+
+
+def _find(body, lineno):
+    for node in body:
+        for stmt in ast.walk(node):
+            if getattr(stmt, "lineno", None) == lineno and isinstance(
+                    stmt, ast.stmt):
+                return stmt
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestGenKill:
+    def test_stmt_defs(self):
+        (stmt,) = _body("a, b = 1, 2")
+        assert stmt_defs(stmt) == {"a", "b"}
+        (fn,) = _body("def f():\n    pass")
+        assert stmt_defs(fn) == {"f"}
+
+    def test_stmt_uses(self):
+        (stmt,) = _body("c = a + b")
+        assert stmt_uses(stmt) == {"a", "b"}
+
+
+class TestReachingDefinitions:
+    def test_branch_merge_is_may(self):
+        body = _body("""
+            a = 1
+            if cond:
+                a = 2
+            use(a)
+        """)
+        cfg = build_cfg(body)
+        rd = ReachingDefinitions()
+        sol = solve(cfg, rd)
+        facts = reaching_at(cfg, rd, sol, _find(body, 5))
+        a_lines = {line for name, line in facts if name == "a"}
+        assert a_lines == {2, 4}       # both definitions may reach
+
+    def test_redefinition_kills(self):
+        body = _body("""
+            a = 1
+            a = 2
+            use(a)
+        """)
+        cfg = build_cfg(body)
+        rd = ReachingDefinitions()
+        sol = solve(cfg, rd)
+        facts = reaching_at(cfg, rd, sol, _find(body, 4))
+        assert {line for name, line in facts if name == "a"} == {3}
+
+    def test_loop_carried_definition_reaches_header(self):
+        body = _body("""
+            x = 0
+            while x < 3:
+                x = x + 1
+            use(x)
+        """)
+        cfg = build_cfg(body)
+        rd = ReachingDefinitions()
+        sol = solve(cfg, rd)
+        facts = reaching_at(cfg, rd, sol, _find(body, 5))
+        assert {line for name, line in facts if name == "x"} == {2, 4}
+
+    def test_pseudo_defs_survive_kills(self):
+        body = _body("""
+            seed(1)
+            seed = None
+            use()
+        """)
+
+        def extra(stmt):
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == "seed"):
+                return [("<seed:global>", stmt.lineno)]
+            return []
+
+        cfg = build_cfg(body)
+        rd = ReachingDefinitions(extra_defs=extra)
+        sol = solve(cfg, rd)
+        facts = reaching_at(cfg, rd, sol, _find(body, 4))
+        # rebinding the identifier ``seed`` must not kill the pseudo-def
+        assert ("<seed:global>", 2) in facts
+
+
+class TestLiveness:
+    def test_read_before_write_is_live(self):
+        body = _body("""
+            a = 1
+            b = a + 1
+            a = 2
+            c = a
+        """)
+        cfg = build_cfg(body)
+        sol = solve(cfg, Liveness())
+        # after line 2, ``a`` is live (read at 3); after 3 it is dead
+        # until redefined
+        assert "a" in live_out(cfg, sol, _find(body, 2))
+        assert "a" not in live_out(cfg, sol, _find(body, 3))
+        assert "a" in live_out(cfg, sol, _find(body, 4))
+
+    def test_loop_keeps_accumulator_live(self):
+        body = _body("""
+            total = 0
+            for x in xs:
+                total = total + x
+            use(total)
+        """)
+        cfg = build_cfg(body)
+        sol = solve(cfg, Liveness())
+        assert "total" in live_out(cfg, sol, _find(body, 2))
+        assert "total" in live_out(cfg, sol, _find(body, 4))
+
+    def test_dead_store(self):
+        body = _body("""
+            a = compute()
+            a = other()
+            use(a)
+        """)
+        cfg = build_cfg(body)
+        sol = solve(cfg, Liveness())
+        assert "a" not in live_out(cfg, sol, _find(body, 2))

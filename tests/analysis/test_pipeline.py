@@ -1,0 +1,144 @@
+"""Fingerprints, baselines, and SARIF round-trips."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    fingerprint,
+    fingerprint_report,
+    from_sarif,
+    render_sarif,
+    run_paths,
+)
+from repro.sanitize.findings import Finding, Report, Severity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _finding(rule="DET-WALLCLOCK", file="f.py", line=3,
+             message="m", context="time.time",
+             severity=Severity.ERROR) -> Finding:
+    return Finding(rule=rule, severity=severity, message=message,
+                   file=file, line=line, context=context)
+
+
+class TestFingerprint:
+    def test_line_number_does_not_matter(self):
+        a = fingerprint(_finding(line=3), "t = time.time()")
+        b = fingerprint(_finding(line=40), "t = time.time()")
+        assert a == b
+
+    def test_whitespace_does_not_matter(self):
+        a = fingerprint(_finding(), "t = time.time()")
+        b = fingerprint(_finding(), "    t = time.time()   ")
+        assert a == b
+
+    def test_rule_file_context_text_all_matter(self):
+        base = fingerprint(_finding(), "x")
+        assert fingerprint(_finding(rule="DET-UNSEEDED-RNG"), "x") != base
+        assert fingerprint(_finding(file="g.py"), "x") != base
+        assert fingerprint(_finding(context="datetime.now"), "x") != base
+        assert fingerprint(_finding(), "y") != base
+
+    def test_ordinals_separate_identical_lines(self):
+        report = Report()
+        report.add(_finding(line=3))
+        report.add(_finding(line=7))
+        annotated = fingerprint_report(report, lambda f: "t = now()")
+        fps = [fp for _, fp in annotated]
+        assert len(set(fps)) == 2
+        # deterministic: same report, same fingerprints
+        again = [fp for _, fp in
+                 fingerprint_report(report, lambda f: "t = now()")]
+        assert fps == again
+
+
+class TestBaseline:
+    def _annotated(self):
+        run = run_paths([FIXTURES / "det_wallclock_timeline.py"],
+                        analyzers=("det",))
+        assert run.report.findings
+        return fingerprint_report(run.report, run.line_text)
+
+    def test_baselined_findings_pass(self, tmp_path):
+        annotated = self._annotated()
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(annotated).save(path, annotated)
+        loaded = Baseline.load(path)
+        assert len(loaded) == len(annotated)
+        assert loaded.filter_new(annotated).findings == []
+
+    def test_new_finding_on_baselined_file_still_fails(self, tmp_path):
+        annotated = self._annotated()
+        baseline = Baseline.from_report(annotated)
+        extra = _finding(rule="DET-UNSEEDED-RNG",
+                         file=annotated[0][0].file, line=99,
+                         context="random.random")
+        fresh = annotated + [(extra, fingerprint(extra, "r.random()"))]
+        new = baseline.filter_new(fresh)
+        assert [f.rule for f in new.findings] == ["DET-UNSEEDED-RNG"]
+
+    def test_fingerprints_survive_line_shifts(self):
+        """Insert a comment block above the findings: every fingerprint
+        is unchanged even though every line number moved."""
+        path = FIXTURES / "det_wallclock_timeline.py"
+        from repro.analysis import AnalysisContext
+        from repro.analysis.driver import analyze_context
+
+        def annotate(source):
+            ctx = AnalysisContext(source, str(path))
+            report = analyze_context(ctx, analyzers=("det",))
+            return fingerprint_report(
+                report, lambda f: ctx.line_text(f.line))
+
+        original = annotate(path.read_text())
+        shifted = annotate("# one\n# two\n# three\n" + path.read_text())
+        assert [f.line for f, _ in shifted] == \
+            [f.line + 3 for f, _ in original]
+        assert [fp for _, fp in original] == [fp for _, fp in shifted]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        loaded = Baseline.load(tmp_path / "absent.json")
+        assert len(loaded) == 0
+
+    def test_save_writes_documented_findings(self, tmp_path):
+        annotated = self._annotated()
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(annotated).save(path, annotated)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["fingerprints"] == sorted(data["fingerprints"])
+        assert {d["rule"] for d in data["findings"]} == {"DET-WALLCLOCK"}
+
+
+class TestSarif:
+    def test_round_trip(self):
+        run = run_paths([FIXTURES], analyzers=("det",))
+        annotated = fingerprint_report(run.report, run.line_text)
+        log = json.loads(render_sarif(run.report, annotated))
+        assert log["version"] == "2.1.0"
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"DET-WALLCLOCK", "DET-UNSEEDED-RNG",
+                "DET-UNORDERED-ITER"} <= rule_ids
+        back = from_sarif(log)
+        assert [(f.rule, f.file, f.line, f.message)
+                for f in back.sorted()] == \
+            [(f.rule, f.file, f.line, f.message)
+             for f in run.report.sorted()]
+
+    def test_levels_and_fingerprints(self):
+        run = run_paths([FIXTURES / "det_wallclock_timeline.py",
+                         FIXTURES / "det_unseeded_load.py"],
+                        analyzers=("det",))
+        annotated = fingerprint_report(run.report, run.line_text)
+        log = json.loads(render_sarif(run.report, annotated))
+        results = log["runs"][0]["results"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels["DET-WALLCLOCK"] == "error"
+        assert levels["DET-UNSEEDED-RNG"] == "warning"
+        fps = {r["partialFingerprints"]["reproAnalysis/v1"]
+               for r in results}
+        assert fps == {fp for _, fp in annotated}
