@@ -20,8 +20,11 @@ import repro.memcheck as memcheck
 from repro.analysis import (
     KNOWN_ANALYZERS,
     analyze_paths as unified_analyze_paths,
+    clear_summary_cache,
     parse_count,
     reset_parse_count,
+    run_paths,
+    summary_cache_info,
 )
 from repro.analysis.driver import collect_files
 from repro.analytics import series_table
@@ -41,6 +44,11 @@ MIN_UNIFIED_SPEEDUP = 1.5
 
 #: min-of-N trials per side for the speedup comparison
 SPEEDUP_TRIALS = 3
+
+#: the interprocedural sweep (call graph + summaries + cross-function
+#: rules on top of all six families) may cost at most this factor over
+#: the intra-only sweep — the summary cache keeps repeat sweeps cheap
+MAX_INTERPROC_OVERHEAD = 1.5
 
 
 def run_full_repo_analysis():
@@ -132,3 +140,66 @@ def test_bench_unified_driver_speedup(benchmark):
     assert out["speedup"] >= MIN_UNIFIED_SPEEDUP
     # and the framework's own counter proves the single-parse invariant
     assert out["parses_per_trial"] == out["n_files"]
+
+
+def run_interproc_overhead():
+    paths = [REPO / "src" / "repro", REPO / "examples"]
+    n_files = len(collect_files(paths))
+
+    def intra():
+        return run_paths(paths, analyzers=KNOWN_ANALYZERS)
+
+    def interproc():
+        return run_paths(paths, analyzers=KNOWN_ANALYZERS,
+                         interprocedural=True)
+
+    clear_summary_cache()
+    intra_s = min(_timed(intra) for _ in range(SPEEDUP_TRIALS))
+    reset_parse_count()
+    interproc_s = min(_timed(interproc) for _ in range(SPEEDUP_TRIALS))
+    parses_per_trial = parse_count() / SPEEDUP_TRIALS
+    cache = summary_cache_info()
+    n_intra = len(intra().report.findings)
+    n_inter = len(interproc().report.findings)
+    return {
+        "n_files": n_files,
+        "intra_s": intra_s,
+        "interproc_s": interproc_s,
+        "overhead": interproc_s / intra_s,
+        "parses_per_trial": parses_per_trial,
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
+        "intra_findings": n_intra,
+        "interproc_findings": n_inter,
+    }
+
+
+def test_bench_interprocedural_overhead(benchmark):
+    out = benchmark.pedantic(run_interproc_overhead, rounds=1,
+                             iterations=1)
+    print("\n" + series_table(
+        ["Metric", "Value"],
+        [["files analyzed", out["n_files"]],
+         ["intra-only sweep", f"{out['intra_s'] * 1e3:.0f} ms"],
+         ["interprocedural sweep", f"{out['interproc_s'] * 1e3:.0f} ms"],
+         ["overhead", f"{out['overhead']:.2f}x"],
+         ["parses per interproc run", f"{out['parses_per_trial']:.0f}"],
+         ["summary cache hits", out["cache_hits"]],
+         ["summary cache misses", out["cache_misses"]],
+         ["ceiling", f"{MAX_INTERPROC_OVERHEAD:.1f}x"]],
+        title="Interprocedural sweep overhead over the intra-only "
+              "gate (all six families)"))
+
+    assert out["n_files"] > 100
+    # the interprocedural acceptance gate: call graph + summaries +
+    # cross-function rules stay within the overhead budget
+    assert out["overhead"] <= MAX_INTERPROC_OVERHEAD
+    # the single-parse invariant survives the extra layer: the call
+    # graph rides the same contexts the families already share
+    assert out["parses_per_trial"] == out["n_files"]
+    # repeat sweeps re-extract nothing: every local summary after the
+    # first trial comes from the fingerprint-keyed cache
+    assert out["cache_hits"] > out["cache_misses"]
+    # and the repository self-hosts clean: no new cross-function
+    # findings over src/repro + examples
+    assert out["interproc_findings"] == out["intra_findings"]

@@ -18,7 +18,12 @@ the same substrate:
   suppressions, and the ``.reprolint-baseline.json`` workflow;
 * :mod:`repro.analysis.sarif` — SARIF 2.1.0 export;
 * :mod:`repro.analysis.driver` — the unified dispatcher behind
-  ``python -m repro.sanitize --analyzers kernel,perf,cost,iam,mem,det``.
+  ``python -m repro.sanitize --analyzers kernel,perf,cost,iam,mem,det``
+  (also reachable as ``python -m repro.analysis``);
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.summaries` /
+  :mod:`repro.analysis.interproc` — the interprocedural layer: the
+  project-wide call graph, composable per-function summaries, and the
+  cross-function rules behind ``--interprocedural``.
 
 Rule-by-rule documentation lives in ``docs/analysis.md``.
 """
@@ -35,6 +40,12 @@ from repro.analysis.context import (
     AnalysisContext,
     parse_count,
     reset_parse_count,
+)
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
 )
 from repro.analysis.dataflow import (
     DataflowAnalysis,
@@ -53,15 +64,26 @@ from repro.analysis.driver import (
     collect_files,
     run_paths,
 )
+from repro.analysis.interproc import interprocedural_pass
 from repro.analysis.pipeline import (
     BASELINE_NAME,
+    BASELINE_VERSION,
     Baseline,
     apply_suppressions,
     fingerprint,
     fingerprint_report,
+    normalize_path,
+    repo_root,
 )
 from repro.analysis.rules import all_rules
 from repro.analysis.sarif import from_sarif, render_sarif, to_sarif
+from repro.analysis.summaries import (
+    Effect,
+    FunctionSummary,
+    build_summaries,
+    clear_summary_cache,
+    summary_cache_info,
+)
 
 __all__ = [
     "LOOP_PASSES",
@@ -87,10 +109,23 @@ __all__ = [
     "collect_files",
     "run_paths",
     "BASELINE_NAME",
+    "BASELINE_VERSION",
     "Baseline",
     "apply_suppressions",
     "fingerprint",
     "fingerprint_report",
+    "normalize_path",
+    "repo_root",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "build_call_graph",
+    "Effect",
+    "FunctionSummary",
+    "build_summaries",
+    "clear_summary_cache",
+    "summary_cache_info",
+    "interprocedural_pass",
     "all_rules",
     "from_sarif",
     "render_sarif",

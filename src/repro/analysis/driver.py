@@ -108,10 +108,13 @@ def _sort_key(f: Finding):
 class AnalysisRun:
     """A driver run: the merged report plus the per-file contexts
     (kept for fingerprinting — the fingerprint hashes the flagged
-    line's text, which lives in the context)."""
+    line's text, which lives in the context).  ``graph`` is the
+    resolved project call graph when the run was interprocedural,
+    else ``None``."""
 
     report: Report
     contexts: dict[str, AnalysisContext] = field(default_factory=dict)
+    graph: object | None = None
 
     def line_text(self, finding: Finding) -> str:
         ctx = self.contexts.get(finding.file)
@@ -122,22 +125,42 @@ class AnalysisRun:
         return fingerprint_report(self.report, self.line_text)
 
 
-def run_paths(paths, analyzers=KNOWN_ANALYZERS) -> AnalysisRun:
-    """Analyze files and/or directories with one parse per file."""
+def run_paths(paths, analyzers=KNOWN_ANALYZERS, *,
+              interprocedural: bool = False) -> AnalysisRun:
+    """Analyze files and/or directories with one parse per file.
+
+    With ``interprocedural=True`` the run additionally resolves the
+    project-wide call graph over the same contexts (still one parse
+    per file), composes function summaries bottom-up, and appends the
+    cross-function findings — the intra-procedural findings are
+    byte-identical either way.
+    """
     report = Report()
     contexts: dict[str, AnalysisContext] = {}
     for f in collect_files(paths):
         ctx = AnalysisContext.from_file(f)
         contexts[ctx.filename] = ctx
         report.extend(analyze_context(ctx, analyzers=analyzers).findings)
+    graph = None
+    if interprocedural:
+        from repro.analysis.callgraph import build_call_graph
+        from repro.analysis.interproc import interprocedural_pass
+        from repro.analysis.summaries import build_summaries
+
+        graph = build_call_graph(contexts)
+        summaries = build_summaries(graph)
+        report.extend(interprocedural_pass(graph, summaries,
+                                           analyzers).findings)
     merged = Report()
     merged.extend(sorted(dict.fromkeys(report.findings), key=_sort_key))
-    return AnalysisRun(report=merged, contexts=contexts)
+    return AnalysisRun(report=merged, contexts=contexts, graph=graph)
 
 
-def analyze_paths(paths, analyzers=KNOWN_ANALYZERS) -> Report:
+def analyze_paths(paths, analyzers=KNOWN_ANALYZERS, *,
+                  interprocedural: bool = False) -> Report:
     """Like :func:`run_paths` but returning only the report."""
-    return run_paths(paths, analyzers=analyzers).report
+    return run_paths(paths, analyzers=analyzers,
+                     interprocedural=interprocedural).report
 
 
 __all__ = [

@@ -8,13 +8,18 @@ through before a report reaches the user or CI:
    ``# repro: disable``) on the offending line removes the finding, for
    every family, applied once at the driver level;
 2. **fingerprints** — a stable identity for each finding that survives
-   unrelated edits: the hash covers the rule, file, context and the
-   *text* of the flagged line (not its number), plus an ordinal so
-   duplicates on identical lines stay distinct;
+   unrelated edits: the hash covers the rule, the **repo-root-relative**
+   file path, context and the *text* of the flagged line (not its
+   number), plus an ordinal so duplicates on identical lines stay
+   distinct; normalizing the path makes the same fingerprint come out
+   of every checkout regardless of where the tree lives or where the
+   analyzer was invoked from;
 3. **baseline** — ``.reprolint-baseline.json`` records the accepted
    fingerprints of a legacy codebase; CI then fails only on findings
    whose fingerprint is *not* in the baseline, so a new rule can land
-   without a flag-day cleanup.
+   without a flag-day cleanup.  Version-1 baselines (pre-normalization
+   fingerprints) still filter via a legacy-fingerprint fallback until
+   ``--update-baseline`` migrates them to version 2 in one shot.
 """
 
 from __future__ import annotations
@@ -22,26 +27,76 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import Counter
+from functools import lru_cache
 from pathlib import Path
 
 from repro.sanitize.findings import Finding, Report
 
 BASELINE_NAME = ".reprolint-baseline.json"
 
+#: current baseline schema: version 2 fingerprints hash normalized paths
+BASELINE_VERSION = 2
+
+#: directory markers that anchor the repo root, nearest-enclosing wins
+_ROOT_MARKERS = (".git", "pyproject.toml")
+
+
+@lru_cache(maxsize=64)
+def _root_for(directory: str) -> Path:
+    cur = Path(directory)
+    for candidate in (cur, *cur.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return cur
+
+
+def repo_root(start: "str | Path | None" = None) -> Path:
+    """The nearest enclosing directory carrying a repo marker
+    (``.git`` / ``pyproject.toml``), from ``start`` (default: cwd)."""
+    base = Path(start) if start is not None else Path.cwd()
+    try:
+        base = base.resolve()
+    except OSError:  # pragma: no cover - unresolvable cwd
+        pass
+    if base.is_file():
+        base = base.parent
+    return _root_for(str(base))
+
+
+def normalize_path(file: str, root: "Path | None" = None) -> str:
+    """``file`` relative to the repo root in posix form, when it lives
+    under the root; synthetic names (``<string>``) and paths outside
+    the root pass through (posix-normalized) so nothing is invented."""
+    if not file or file.startswith("<"):
+        return file
+    if root is None:
+        root = repo_root()
+    try:
+        resolved = Path(file).resolve()
+    except OSError:  # pragma: no cover - unresolvable path
+        return Path(file).as_posix()
+    try:
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        return Path(file).as_posix()
+
 
 def fingerprint(finding: Finding, line_text: str = "",
-                ordinal: int = 0) -> str:
+                ordinal: int = 0, *, legacy: bool = False) -> str:
     """A stable hex identity for one finding.
 
-    Keyed on rule, file, context, and the stripped text of the flagged
-    line — but **not** the line number, so inserting code above a
-    baselined finding does not resurrect it.  ``ordinal`` disambiguates
-    repeated findings that hash identically (same rule on identical
-    lines of the same file).
+    Keyed on rule, repo-root-relative file path, context, and the
+    stripped text of the flagged line — but **not** the line number, so
+    inserting code above a baselined finding does not resurrect it.
+    ``ordinal`` disambiguates repeated findings that hash identically
+    (same rule on identical lines of the same file).  ``legacy=True``
+    reproduces the version-1 hash (the raw path as reported), used only
+    to honor not-yet-migrated baselines.
     """
+    path = finding.file if legacy else normalize_path(finding.file)
     payload = "|".join([
         finding.rule,
-        finding.file,
+        path,
         finding.context,
         line_text.strip(),
         str(ordinal),
@@ -50,7 +105,8 @@ def fingerprint(finding: Finding, line_text: str = "",
 
 
 def fingerprint_report(report: Report,
-                       line_text_for: "callable | None" = None
+                       line_text_for: "callable | None" = None, *,
+                       legacy: bool = False
                        ) -> list[tuple[Finding, str]]:
     """Pair every finding with its fingerprint, assigning ordinals to
     colliding (rule, file, context, line-text) groups in sorted order
@@ -60,11 +116,13 @@ def fingerprint_report(report: Report,
     out: list[tuple[Finding, str]] = []
     for finding in report.sorted():
         text = line_text_for(finding)
-        base = "|".join([finding.rule, finding.file, finding.context,
+        path = finding.file if legacy else normalize_path(finding.file)
+        base = "|".join([finding.rule, path, finding.context,
                          text.strip()])
         ordinal = seen[base]
         seen[base] += 1
-        out.append((finding, fingerprint(finding, text, ordinal)))
+        out.append((finding, fingerprint(finding, text, ordinal,
+                                         legacy=legacy)))
     return out
 
 
@@ -89,8 +147,10 @@ class Baseline:
     membership is decided purely by fingerprint.
     """
 
-    def __init__(self, fingerprints: set[str] | None = None) -> None:
+    def __init__(self, fingerprints: set[str] | None = None, *,
+                 version: int = BASELINE_VERSION) -> None:
         self.fingerprints: set[str] = set(fingerprints or ())
+        self.version = version
 
     def __contains__(self, fp: str) -> bool:
         return fp in self.fingerprints
@@ -104,18 +164,21 @@ class Baseline:
         if not path.exists():
             return cls()
         data = json.loads(path.read_text())
-        return cls(set(data.get("fingerprints", ())))
+        return cls(set(data.get("fingerprints", ())),
+                   version=int(data.get("version", 1)))
 
     def save(self, path: str | Path,
              annotated: list[tuple[Finding, str]] | None = None) -> None:
         payload = {
-            "version": 1,
+            "version": BASELINE_VERSION,
             "tool": "repro.analysis",
+            "paths": "repo-root-relative",
             "fingerprints": sorted(self.fingerprints),
         }
         if annotated:
             payload["findings"] = [
-                {"fingerprint": fp, "rule": f.rule, "file": f.file,
+                {"fingerprint": fp, "rule": f.rule,
+                 "file": normalize_path(f.file),
                  "line": f.line, "message": f.message}
                 for f, fp in sorted(annotated, key=lambda p: p[1])
             ]
@@ -127,20 +190,32 @@ class Baseline:
                     ) -> "Baseline":
         return cls({fp for _, fp in annotated})
 
-    def filter_new(self, annotated: list[tuple[Finding, str]]) -> Report:
+    def filter_new(self, annotated: list[tuple[Finding, str]],
+                   legacy: "list[str] | None" = None) -> Report:
         """The findings whose fingerprints are *not* baselined — the
-        only ones CI should fail on."""
+        only ones CI should fail on.  ``legacy`` (parallel to
+        ``annotated``) carries each finding's version-1 fingerprint, so
+        a not-yet-migrated baseline keeps filtering until
+        ``--update-baseline`` rewrites it.
+        """
         report = Report()
-        for finding, fp in annotated:
-            if fp not in self.fingerprints:
-                report.add(finding)
+        for i, (finding, fp) in enumerate(annotated):
+            if fp in self.fingerprints:
+                continue
+            if legacy is not None and i < len(legacy) \
+                    and legacy[i] in self.fingerprints:
+                continue
+            report.add(finding)
         return report
 
 
 __all__ = [
     "BASELINE_NAME",
+    "BASELINE_VERSION",
     "Baseline",
     "apply_suppressions",
     "fingerprint",
     "fingerprint_report",
+    "normalize_path",
+    "repo_root",
 ]

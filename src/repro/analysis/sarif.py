@@ -8,13 +8,18 @@ the local baseline does.
 
 The output is deterministic: rules sorted by id, results in report
 order (the driver sorts findings before export), keys sorted by
-``json.dumps``.
+``json.dumps``.  Artifact URIs are repo-root-relative (the same
+normalization the baseline fingerprints use), so logs from different
+checkouts diff cleanly, and interprocedural findings carry one
+``relatedLocations`` entry per call-chain hop — code-scanning UIs
+render the chain from the blame site down to the root cause.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.analysis.pipeline import normalize_path
 from repro.sanitize.findings import Finding, Report, Severity
 
 SARIF_VERSION = "2.1.0"
@@ -46,18 +51,30 @@ def _rule_entries() -> list[dict]:
     return entries
 
 
+def _location(file: str, line: int, message: str | None = None) -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": normalize_path(file)},
+            "region": {"startLine": max(line, 1)},
+        },
+    }
+    if message is not None:
+        loc["message"] = {"text": message}
+    return loc
+
+
 def _result(finding: Finding, fp: str | None) -> dict:
     result = {
         "ruleId": finding.rule,
         "level": _LEVELS.get(finding.severity, "warning"),
         "message": {"text": finding.message},
-        "locations": [{
-            "physicalLocation": {
-                "artifactLocation": {"uri": finding.file},
-                "region": {"startLine": max(finding.line, 1)},
-            },
-        }],
+        "locations": [_location(finding.file, finding.line)],
     }
+    if finding.chain:
+        result["relatedLocations"] = [
+            _location(hop_file, hop_line, label)
+            for hop_file, hop_line, label in finding.chain
+        ]
     if fp is not None:
         result["partialFingerprints"] = {"reproAnalysis/v1": fp}
     return result
@@ -114,6 +131,13 @@ def from_sarif(log: dict) -> Report:
                 .get("physicalLocation", {})
             rule_id = result.get("ruleId", "")
             rule = catalog.get(rule_id)
+            chain = tuple(
+                (rel.get("physicalLocation", {})
+                    .get("artifactLocation", {}).get("uri", ""),
+                 rel.get("physicalLocation", {})
+                    .get("region", {}).get("startLine", 0),
+                 rel.get("message", {}).get("text", ""))
+                for rel in result.get("relatedLocations", ()))
             report.add(Finding(
                 rule=rule_id,
                 severity=levels.get(result.get("level", "warning"),
@@ -123,6 +147,7 @@ def from_sarif(log: dict) -> Report:
                 line=loc.get("region", {}).get("startLine", 0),
                 context="",
                 hint=rule.hint if rule is not None else "",
+                chain=chain,
             ))
     return report
 

@@ -48,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated analyzer families to run: "
                              f"{','.join(KNOWN_ANALYZERS)} (or 'all'; "
                              "default: kernel)")
+    parser.add_argument("--interprocedural", action="store_true",
+                        help="resolve the project-wide call graph and "
+                             "add cross-function findings (call-chain "
+                             "context on each); intra-procedural "
+                             "findings are unchanged")
+    parser.add_argument("--call-graph", choices=("dot", "json"),
+                        default=None, metavar="FORMAT",
+                        help="print the resolved call graph (dot or "
+                             "json) instead of analyzing, and exit 0")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="accepted-findings ledger (JSON); only "
                              "findings whose fingerprint is not in the "
@@ -84,10 +93,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro.sanitize: no such path: {', '.join(missing)}",
               file=sys.stderr)
         return 2
+    if args.call_graph:
+        from repro.analysis.callgraph import build_call_graph
+        from repro.analysis.context import AnalysisContext
+        from repro.analysis.driver import collect_files
+
+        contexts = {}
+        for f in collect_files(args.paths):
+            ctx = AnalysisContext.from_file(f)
+            contexts[ctx.filename] = ctx
+        graph = build_call_graph(contexts)
+        print(graph.to_dot() if args.call_graph == "dot"
+              else graph.render_json())
+        return 0
     # one parse per file, every family on the shared context; findings
     # come back deduplicated (overlapping paths analyze a file once)
     # and in deterministic (file, line, severity, rule) order
-    run = run_paths(args.paths, analyzers=analyzers)
+    run = run_paths(args.paths, analyzers=analyzers,
+                    interprocedural=args.interprocedural)
     report = run.report
     if args.errors_only:
         filtered = Report()
@@ -97,13 +120,23 @@ def main(argv: list[str] | None = None) -> int:
     annotated = fingerprint_report(report, run.line_text)
     if args.update_baseline:
         path = args.baseline or ".reprolint-baseline.json"
+        migrated = Path(path).exists() and Baseline.load(path).version < 2
         Baseline.from_report(annotated).save(path, annotated)
+        note = " (migrated to version-2 repo-root-relative paths)" \
+            if migrated else ""
         print(f"repro.sanitize: wrote {len(annotated)} fingerprint(s) "
-              f"to {path}", file=sys.stderr)
+              f"to {path}{note}", file=sys.stderr)
         return 0
     if args.baseline:
         baseline = Baseline.load(args.baseline)
-        report = baseline.filter_new(annotated)
+        legacy = None
+        if baseline.version < 2:
+            # not-yet-migrated ledger: honor its version-1 fingerprints
+            # until --update-baseline rewrites it
+            legacy = [fp for _, fp in
+                      fingerprint_report(report, run.line_text,
+                                         legacy=True)]
+        report = baseline.filter_new(annotated, legacy)
         annotated = fingerprint_report(report, run.line_text)
     if args.format == "sarif":
         from repro.analysis.sarif import render_sarif

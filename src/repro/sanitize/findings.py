@@ -32,6 +32,12 @@ class Finding:
     ``file``/``line`` point at source for static findings; dynamic findings
     carry the kernel (or stream/collective) name in ``context`` and may
     have no source location (``line == 0``).
+
+    Interprocedural findings additionally carry ``chain`` — the call
+    hops from the blamed site down to the root cause, each a
+    ``(file, line, label)`` triple.  Intra-procedural findings leave it
+    empty, and an empty chain is invisible in every serialization, so
+    reports without interprocedural analysis stay byte-identical.
     """
 
     rule: str
@@ -41,6 +47,7 @@ class Finding:
     line: int = 0
     context: str = ""          # kernel / stream / collective name
     hint: str = ""
+    chain: tuple = ()          # ((file, line, label), ...) call hops
 
     @property
     def location(self) -> str:
@@ -49,7 +56,7 @@ class Finding:
         return self.context or "<runtime>"
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "rule": self.rule,
             "severity": self.severity.label,
             "message": self.message,
@@ -58,6 +65,12 @@ class Finding:
             "context": self.context,
             "hint": self.hint,
         }
+        if self.chain:
+            out["chain"] = [
+                {"file": f, "line": n, "label": label}
+                for f, n, label in self.chain
+            ]
+        return out
 
 
 @dataclass
@@ -98,6 +111,10 @@ class Report:
                 f"{where}: {f.severity.label}: {f.rule}: {f.message}{ctx}")
             if f.hint:
                 lines.append(f"    hint: {f.hint}")
+            if f.chain:
+                lines.append("    call chain:")
+                for hop_file, hop_line, label in f.chain:
+                    lines.append(f"      -> {hop_file}:{hop_line}: {label}")
         lines.append(self.summary_line())
         return "\n".join(lines)
 

@@ -67,6 +67,13 @@ RULES: dict[str, Rule] = {
              Severity.ERROR,
              "phase the ring (even ranks send first, odd ranks receive "
              "first) or use buffered/async sends"),
+        Rule("SAN-HOST-CALL-IN-KERNEL", "host-only API reachable from a "
+             "kernel body", Severity.ERROR,
+             "kernels run on the device: allocation, file/console I/O, "
+             "and host-clock reads reachable from a @cuda.jit body (even "
+             "through helper calls) either crash the launch or serialize "
+             "it on the host — hoist the host work out of the kernel and "
+             "pass results in as parameters"),
         Rule("SAN-SYNTAX", "file could not be parsed", Severity.ERROR,
              "fix the Python syntax error; nothing in the file was "
              "linted"),

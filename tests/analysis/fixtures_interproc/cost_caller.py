@@ -1,0 +1,13 @@
+"""Literal arguments complete the factory's plan at the call site."""
+
+from cost_factory import make_default_plan, make_plan
+
+
+def launch_fleet():
+    # 2 x ml.p3.2xlarge x 24 h ~= $183: over the $100 per-student cap,
+    # and nothing in this file tears the instances down
+    return make_plan("ml.p3.2xlarge", 2, 24.0)
+
+
+def launch_cpu():
+    return make_default_plan("ml.t3.medium")

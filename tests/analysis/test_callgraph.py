@@ -1,0 +1,281 @@
+"""The project-wide call graph: resolution, SCCs, and exports."""
+
+import json
+import textwrap
+
+from repro.analysis import AnalysisContext, build_call_graph
+from repro.analysis.callgraph import MODULE_SCOPE, module_name_for
+
+
+def _graph(tmp_path, files):
+    contexts = {}
+    for name, src in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+        ctx = AnalysisContext.from_file(str(path))
+        contexts[ctx.filename] = ctx
+    return build_call_graph(contexts)
+
+
+def _fid(graph, qualname):
+    matches = [f for f in graph.functions
+               if f.endswith(f"::{qualname}")]
+    assert len(matches) == 1, (qualname, matches)
+    return matches[0]
+
+
+def _edges(graph):
+    return {(site.caller, site.callee) for site in graph.sites
+            if site.callee is not None}
+
+
+class TestResolution:
+    def test_direct_call_same_file(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+        """})
+        assert (_fid(graph, "caller"), _fid(graph, "helper")) \
+            in _edges(graph)
+
+    def test_from_import_cross_file(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "lib.py": "def helper():\n    return 1\n",
+            "app.py": "from lib import helper\n\n"
+                      "def caller():\n    return helper()\n",
+        })
+        caller = _fid(graph, "caller")
+        helper = _fid(graph, "helper")
+        assert (caller, helper) in _edges(graph)
+        assert "lib.py" in helper
+
+    def test_import_module_attribute_call(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "lib.py": "def helper():\n    return 1\n",
+            "app.py": "import lib\n\n"
+                      "def caller():\n    return lib.helper()\n",
+        })
+        assert (_fid(graph, "caller"), _fid(graph, "helper")) \
+            in _edges(graph)
+
+    def test_aliased_callee(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def helper():
+                return 1
+
+            shortcut = helper
+
+            def caller():
+                return shortcut()
+        """})
+        assert (_fid(graph, "caller"), _fid(graph, "helper")) \
+            in _edges(graph)
+
+    def test_import_alias(self, tmp_path):
+        graph = _graph(tmp_path, {
+            "lib.py": "def helper():\n    return 1\n",
+            "app.py": "from lib import helper as h\n\n"
+                      "def caller():\n    return h()\n",
+        })
+        assert (_fid(graph, "caller"), _fid(graph, "helper")) \
+            in _edges(graph)
+
+    def test_decorated_callee_still_resolves(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            import functools
+
+            @functools.lru_cache(maxsize=None)
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+        """})
+        assert (_fid(graph, "caller"), _fid(graph, "helper")) \
+            in _edges(graph)
+
+    def test_method_calls_via_self_and_class(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            class Pool:
+                def alloc(self, n):
+                    return [0] * n
+
+                def grab(self, n):
+                    return self.alloc(n)
+
+            def outside(n):
+                return Pool.alloc(None, n)
+        """})
+        alloc = _fid(graph, "Pool.alloc")
+        assert (_fid(graph, "Pool.grab"), alloc) in _edges(graph)
+        assert (_fid(graph, "outside"), alloc) in _edges(graph)
+
+    def test_functools_partial_binds_leading_args(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            from functools import partial
+
+            def helper(mode, n):
+                return (mode, n)
+
+            fast = partial(helper, "fast")
+
+            def caller():
+                return fast(3)
+        """})
+        caller = _fid(graph, "caller")
+        helper = _fid(graph, "helper")
+        sites = [s for s in graph.callees_of(caller)
+                 if s.callee == helper]
+        assert len(sites) == 1
+        # the bound positional travels with the edge so param-sensitive
+        # summaries can shift argument positions
+        assert len(sites[0].prepend_args) == 1
+        assert sites[0].prepend_args[0].value == "fast"
+
+    def test_unresolvable_dynamic_call_is_top(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def caller(table, name):
+                table[name]()
+                getattr(table, name)()
+        """})
+        caller = _fid(graph, "caller")
+        unresolved = [s for s in graph.unresolved if s.caller == caller]
+        # the subscript call, the getattr() itself, and the call of its
+        # result all stay unresolved — the conservative top
+        names = sorted(s.name for s in unresolved)
+        assert names == ["<dynamic>", "<dynamic>", "getattr"]
+        assert all(s.callee is None for s in unresolved)
+
+    def test_module_scope_is_a_node(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def helper():
+                return 1
+
+            VALUE = helper()
+        """})
+        mod = _fid(graph, MODULE_SCOPE)
+        assert (mod, _fid(graph, "helper")) in _edges(graph)
+
+    def test_loop_sites_carry_depth_and_bound_names(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def helper(x):
+                return x
+
+            def caller(items, w):
+                for item in items:
+                    helper(w)
+        """})
+        caller = _fid(graph, "caller")
+        [site] = [s for s in graph.callees_of(caller)
+                  if s.name == "helper"]
+        assert site.loop_depth == 1
+        assert "item" in site.loop_bound
+        assert "w" not in site.loop_bound
+
+
+class TestSccs:
+    def test_mutual_recursion_is_one_component(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def even(n):
+                return n == 0 or odd(n - 1)
+
+            def odd(n):
+                return n != 0 and even(n - 1)
+        """})
+        even, odd = _fid(graph, "even"), _fid(graph, "odd")
+        cycles = [c for c in graph.sccs() if len(c) > 1]
+        assert cycles == [sorted([even, odd])]
+
+    def test_summary_order_is_callees_first(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def c():
+                return 1
+
+            def b():
+                return c()
+
+            def a():
+                return b()
+        """})
+        order = graph.summary_order()
+        pos = {fid: i for i, comp in enumerate(order) for fid in comp}
+        assert pos[_fid(graph, "c")] < pos[_fid(graph, "b")]
+        assert pos[_fid(graph, "b")] < pos[_fid(graph, "a")]
+
+    def test_nested_mutual_recursion_resolves(self, tmp_path):
+        """Sibling nested defs see each other regardless of text order."""
+        graph = _graph(tmp_path, {"a.py": """\
+            def outer(n):
+                def ping(k):
+                    return k == 0 or pong(k - 1)
+
+                def pong(k):
+                    return k != 0 and ping(k - 1)
+
+                return ping(n)
+        """})
+        ping = _fid(graph, "outer.ping")
+        pong = _fid(graph, "outer.pong")
+        assert (ping, pong) in _edges(graph)
+        assert (pong, ping) in _edges(graph)
+        assert sorted([ping, pong]) in graph.sccs()
+
+
+class TestExports:
+    def _sample(self, tmp_path):
+        return _graph(tmp_path, {
+            "lib.py": "def helper():\n    return 1\n",
+            "app.py": "from lib import helper\n\n"
+                      "def caller(table):\n"
+                      "    table['x']()\n"
+                      "    return helper()\n",
+        })
+
+    def test_json_export(self, tmp_path):
+        graph = self._sample(tmp_path)
+        data = json.loads(graph.render_json())
+        assert data["tool"] == "repro.analysis"
+        ids = {n["id"] for n in data["nodes"]}
+        assert _fid(graph, "caller") in ids
+        resolved = [e for e in data["edges"] if e["resolved"]]
+        unresolved = [e for e in data["edges"] if not e["resolved"]]
+        assert any(e["callee"] == _fid(graph, "helper")
+                   for e in resolved)
+        assert any(e["callee"] is None for e in unresolved)
+
+    def test_dot_export(self, tmp_path):
+        graph = self._sample(tmp_path)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert f'"{_fid(graph, "caller")}" -> ' \
+               f'"{_fid(graph, "helper")}";' in dot
+
+    def test_kernel_nodes_are_flagged(self, tmp_path):
+        graph = _graph(tmp_path, {"k.py": """\
+            from numba import cuda
+
+            @cuda.jit
+            def scale(out):
+                i = cuda.grid(1)
+                out[i] = out[i] * 2
+        """})
+        fn = graph.functions[_fid(graph, "scale")]
+        assert fn.is_kernel
+        assert "doubleoctagon" in graph.to_dot()
+
+
+class TestModuleNames:
+    def test_src_anchored(self):
+        assert module_name_for("src/repro/analysis/cfg.py") == \
+            "repro.analysis.cfg"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/xp/__init__.py") == "repro.xp"
+
+    def test_no_src_segment_keeps_full_path(self):
+        assert module_name_for("tests/analysis/fixtures/a.py") == \
+            "tests.analysis.fixtures.a"

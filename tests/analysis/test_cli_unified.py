@@ -1,13 +1,19 @@
 """The unified CLI: analyzer selection, ordering determinism,
-overlapping-path dedupe, SARIF output, and the baseline workflow."""
+overlapping-path dedupe, SARIF output, the baseline workflow, and the
+interprocedural mode (``--interprocedural`` / ``--call-graph``)."""
 
 import itertools
 import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 from repro.sanitize.cli import main
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
+INTERPROC = Path(__file__).resolve().parent / "fixtures_interproc"
+REPO = Path(__file__).resolve().parents[2]
 
 
 class TestAnalyzerSelection:
@@ -103,3 +109,86 @@ class TestBaselineWorkflow:
                    "json", str(FIXTURES / "det_unseeded_load.py")])
         assert rc == 0
         assert json.loads(capsys.readouterr().out)["findings"] == []
+
+    def test_version1_baseline_migrates_in_one_shot(self, tmp_path,
+                                                    capsys):
+        """A pre-normalization ledger keeps filtering via its legacy
+        fingerprints until ``--update-baseline`` rewrites it."""
+        from repro.analysis import (
+            Baseline, fingerprint_report, run_paths)
+
+        target = str(FIXTURES / "det_wallclock_timeline.py")
+        run = run_paths([target], analyzers=("det",))
+        legacy = fingerprint_report(run.report, run.line_text,
+                                    legacy=True)
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "fingerprints": sorted(fp for _, fp in legacy),
+        }))
+        # the v1 fingerprints still filter everything out
+        rc = main(["--analyzers", "det", "--baseline", str(path),
+                   "--format", "json", target])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+        # one shot: --update-baseline announces and performs migration
+        rc = main(["--analyzers", "det", "--baseline", str(path),
+                   "--update-baseline", target])
+        assert rc == 0
+        assert "migrated to version-2" in capsys.readouterr().err
+        assert Baseline.load(path).version == 2
+        data = json.loads(path.read_text())
+        assert data["paths"] == "repo-root-relative"
+        # and the migrated ledger filters with v2 fingerprints alone
+        rc = main(["--analyzers", "det", "--baseline", str(path),
+                   "--format", "json", target])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+class TestInterproceduralCli:
+    def test_flag_adds_chain_findings(self, capsys):
+        # the corpus is invisible intra-procedurally: every defect
+        # crosses a function boundary, so the default mode passes
+        rc = main(["--analyzers", "all", "--format", "json",
+                   str(INTERPROC)])
+        assert rc == 0
+        base = json.loads(capsys.readouterr().out)["findings"]
+        assert base == []
+        rc = main(["--analyzers", "all", "--interprocedural",
+                   "--format", "json", str(INTERPROC)])
+        assert rc == 1
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        chained = {f["rule"] for f in findings if f.get("chain")}
+        assert "SAN-HOST-CALL-IN-KERNEL" in chained
+        assert "PERF-LOOP-TRANSFER" in chained
+        assert len(findings) > len(base)
+
+    def test_call_graph_json(self, capsys):
+        rc = main(["--call-graph", "json", str(INTERPROC)])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tool"] == "repro.analysis"
+        assert data["nodes"] and data["edges"]
+        kernels = [n for n in data["nodes"] if n["kernel"]]
+        assert {n["qualname"] for n in kernels} == \
+            {"scale", "scale_clean"}
+
+    def test_call_graph_dot(self, capsys):
+        rc = main(["--call-graph", "dot", str(INTERPROC)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph callgraph {")
+        assert "->" in out
+
+    def test_python_m_repro_analysis_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--analyzers",
+             "all", "--interprocedural", "--format", "json",
+             "tests/analysis/fixtures_interproc"],
+            capture_output=True, text=True, cwd=REPO, env=env)
+        assert proc.returncode == 1, proc.stderr
+        findings = json.loads(proc.stdout)["findings"]
+        assert any(f.get("chain") for f in findings)

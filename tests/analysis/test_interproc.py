@@ -1,0 +1,199 @@
+"""Cross-function findings: every family fires through the call graph
+with the blame at the caller and the chain down to the root cause."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    KNOWN_ANALYZERS,
+    normalize_path,
+    render_sarif,
+    from_sarif,
+    run_paths,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures_interproc"
+
+
+def _rel(name: str) -> str:
+    return normalize_path(str(FIXTURES / name))
+
+
+@pytest.fixture(scope="module")
+def inter():
+    return run_paths([str(FIXTURES)], analyzers=KNOWN_ANALYZERS,
+                     interprocedural=True)
+
+
+@pytest.fixture(scope="module")
+def intra():
+    return run_paths([str(FIXTURES)], analyzers=KNOWN_ANALYZERS)
+
+
+@pytest.fixture(scope="module")
+def chain_findings(inter, intra):
+    intra_keys = {(f.rule, f.file, f.line) for f in intra.report.findings}
+    return [f for f in inter.report.sorted()
+            if (f.rule, f.file, f.line) not in intra_keys]
+
+
+def _by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestPerFamily:
+    def test_perf_blames_the_looping_caller(self, chain_findings):
+        transfers = _by_rule(chain_findings, "PERF-LOOP-TRANSFER")
+        sites = {(normalize_path(f.file), f.line) for f in transfers}
+        assert (_rel("perf_caller.py"), 11) in sites   # one hop
+        assert (_rel("perf_caller.py"), 19) in sites   # two hops
+        [alloc] = _by_rule(chain_findings, "PERF-LOOP-ALLOC")
+        assert (normalize_path(alloc.file), alloc.line) == \
+            (_rel("perf_caller.py"), 27)
+
+    def test_perf_chain_ends_at_the_transfer(self, chain_findings):
+        deep = [f for f in _by_rule(chain_findings, "PERF-LOOP-TRANSFER")
+                if f.line == 19]
+        [finding] = deep
+        labels = [hop[2] for hop in finding.chain]
+        assert labels == ["stage_and_scale", "stage_weights(...)",
+                          "xp.asarray"]
+        assert finding.chain[-1][1] == 11    # the asarray line
+
+    def test_perf_variant_args_stay_silent(self, chain_findings):
+        """``fine`` passes the loop variable: per-iteration input, not
+        hoistable, no finding."""
+        perf = _by_rule(chain_findings, "PERF-LOOP-TRANSFER")
+        assert all(f.line != 33 for f in perf
+                   if normalize_path(f.file) == _rel("perf_caller.py"))
+
+    def test_cost_prices_the_factory_call_site(self, chain_findings):
+        rules = {f.rule for f in chain_findings
+                 if normalize_path(f.file) == _rel("cost_caller.py")}
+        assert rules == {"COST-BUDGET-CAP", "COST-IDLE", "COST-SPOT"}
+        [cap] = _by_rule(chain_findings, "COST-BUDGET-CAP")
+        assert cap.line == 9
+        assert "make_plan" in cap.message
+        # the chain roots at the constructor inside the factory
+        root = cap.chain[-1]
+        assert (normalize_path(root[0]), root[1]) == \
+            (_rel("cost_factory.py"), 8)
+        # the CPU-plan caller prices under every threshold: silent
+        assert all(f.line < 12 for f in chain_findings
+                   if normalize_path(f.file) == _rel("cost_caller.py"))
+
+    def test_mem_blames_rebind_and_loop_leaks(self, chain_findings):
+        leaks = _by_rule(chain_findings, "MEM-LEAK")
+        sites = {(normalize_path(f.file), f.line) for f in leaks}
+        assert sites == {(_rel("mem_caller.py"), 8),
+                         (_rel("mem_caller.py"), 15)}
+        for f in leaks:
+            assert f.chain[-1][2] == "pool.alloc"
+
+    def test_det_follows_the_global_rng_through_wrappers(
+            self, chain_findings):
+        draws = _by_rule(chain_findings, "DET-UNSEEDED-RNG")
+        sites = {(normalize_path(f.file), f.line) for f in draws}
+        assert sites == {(_rel("det_caller.py"), 9),
+                         (_rel("det_caller.py"), 13)}
+        deep = [f for f in draws if f.line == 13]
+        assert [hop[2] for hop in deep[0].chain] == \
+            ["jitter_twice", "jitter(...)", "rng.uniform"]
+
+    def test_kernel_host_call_crosses_files(self, chain_findings):
+        [finding] = _by_rule(chain_findings, "SAN-HOST-CALL-IN-KERNEL")
+        assert (normalize_path(finding.file), finding.line) == \
+            (_rel("kernel_host.py"), 13)
+        # the chain spans two files: kernel -> helper module -> print
+        hop_files = {normalize_path(h[0]) for h in finding.chain}
+        assert hop_files == {_rel("kernel_host_helpers.py")}
+        assert finding.chain[-1][2] == "print"
+
+    def test_every_family_has_a_chain_only_finding(self, chain_findings):
+        rules = {f.rule for f in chain_findings}
+        assert {"PERF-LOOP-TRANSFER", "PERF-LOOP-ALLOC",
+                "COST-BUDGET-CAP", "MEM-LEAK", "DET-UNSEEDED-RNG",
+                "SAN-HOST-CALL-IN-KERNEL"} <= rules
+        assert all(f.chain for f in chain_findings)
+
+
+class TestModeGating:
+    def test_off_mode_reports_no_chain_findings(self, intra):
+        assert all(not f.chain for f in intra.report.findings)
+
+    def test_interproc_superset_keeps_intra_findings_identical(
+            self, inter, intra):
+        inter_keys = {(f.rule, f.file, f.line)
+                      for f in inter.report.findings}
+        for f in intra.report.findings:
+            assert (f.rule, f.file, f.line) in inter_keys
+
+    def test_graph_attached_to_the_run(self, inter, intra):
+        assert inter.graph is not None
+        assert intra.graph is None
+
+
+class TestSuppression:
+    def test_noqa_style_disable_at_the_blame_site(self, tmp_path):
+        (tmp_path / "helpers.py").write_text(textwrap.dedent("""\
+            from repro import xp
+
+            def stage(weights):
+                return xp.asarray(weights)
+        """))
+        (tmp_path / "caller.py").write_text(textwrap.dedent("""\
+            from helpers import stage
+
+            W = [1.0]
+
+            def train(batches):
+                for batch in batches:
+                    w = stage(W)  # repro: disable=PERF-LOOP-TRANSFER
+                    del w
+        """))
+        run = run_paths([str(tmp_path)], analyzers=("perf",),
+                        interprocedural=True)
+        assert _by_rule(run.report.findings, "PERF-LOOP-TRANSFER") == []
+
+
+class TestRendering:
+    def test_text_render_indents_the_chain(self, inter):
+        text = inter.report.render_text()
+        assert "call chain:" in text
+        assert "-> " in text
+        # the root hop of the kernel chain appears with its label
+        assert "kernel_host_helpers.py:5: print" in text
+
+    def test_json_render_carries_chain_only_when_present(
+            self, inter, intra):
+        data = json.loads(inter.report.render_json())
+        with_chain = [f for f in data["findings"] if "chain" in f]
+        assert with_chain
+        for f in with_chain:
+            for hop in f["chain"]:
+                assert set(hop) == {"file", "line", "label"}
+        # the key is invisible whenever the chain is empty — off-mode
+        # output stays byte-identical
+        intra_data = json.loads(intra.report.render_json())
+        assert all("chain" not in f for f in intra_data["findings"])
+
+    def test_sarif_related_locations_and_round_trip(self, inter):
+        log = json.loads(render_sarif(inter.report))
+        results = log["runs"][0]["results"]
+        related = [r for r in results if "relatedLocations" in r]
+        assert related
+        for r in related:
+            for loc in r["relatedLocations"]:
+                phys = loc["physicalLocation"]
+                assert not phys["artifactLocation"]["uri"] \
+                    .startswith("/")
+                assert loc["message"]["text"]
+        back = from_sarif(log)
+        chains = sorted(f.chain for f in back.findings if f.chain)
+        expect = sorted(
+            tuple((normalize_path(h[0]), h[1], h[2]) for h in f.chain)
+            for f in inter.report.findings if f.chain)
+        assert chains == expect

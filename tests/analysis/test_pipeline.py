@@ -107,9 +107,13 @@ class TestBaseline:
         path = tmp_path / "baseline.json"
         Baseline.from_report(annotated).save(path, annotated)
         data = json.loads(path.read_text())
-        assert data["version"] == 1
+        assert data["version"] == 2
+        assert data["paths"] == "repo-root-relative"
         assert data["fingerprints"] == sorted(data["fingerprints"])
         assert {d["rule"] for d in data["findings"]} == {"DET-WALLCLOCK"}
+        # documented paths are repo-root-relative, not absolute
+        assert all(not d["file"].startswith("/")
+                   for d in data["findings"])
 
 
 class TestSarif:
@@ -124,9 +128,12 @@ class TestSarif:
         assert {"DET-WALLCLOCK", "DET-UNSEEDED-RNG",
                 "DET-UNORDERED-ITER"} <= rule_ids
         back = from_sarif(log)
+        # artifact URIs come back repo-root-relative (the export
+        # normalizes them so logs diff cleanly across checkouts)
+        from repro.analysis import normalize_path
         assert [(f.rule, f.file, f.line, f.message)
                 for f in back.sorted()] == \
-            [(f.rule, f.file, f.line, f.message)
+            [(f.rule, normalize_path(f.file), f.line, f.message)
              for f in run.report.sorted()]
 
     def test_levels_and_fingerprints(self):

@@ -1,0 +1,263 @@
+"""Per-function summaries: extraction, composition, cache, fixpoint."""
+
+import textwrap
+
+from repro.analysis import (
+    AnalysisContext,
+    build_call_graph,
+    build_summaries,
+    clear_summary_cache,
+    summary_cache_info,
+)
+from repro.analysis.summaries import kernel_reachable
+
+
+def _build(tmp_path, files):
+    contexts = {}
+    for name, src in files.items():
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(src))
+        ctx = AnalysisContext.from_file(str(path))
+        contexts[ctx.filename] = ctx
+    graph = build_call_graph(contexts)
+    return graph, build_summaries(graph)
+
+
+def _summary(graph, summaries, qualname):
+    [fid] = [f for f in graph.functions if f.endswith(f"::{qualname}")]
+    return summaries[fid]
+
+
+class TestLocalExtraction:
+    def test_unconditional_transfer_is_an_effect(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from repro import xp
+
+            def stage(weights):
+                return xp.asarray(weights)
+        """})
+        [effect] = _summary(graph, summaries, "stage").by_kind("transfer")
+        assert effect.label == "xp.asarray"
+        assert effect.root[1] == 4
+
+    def test_transfer_inside_own_loop_is_not_summarized(self, tmp_path):
+        """The function's own loop already repeats the transfer; that is
+        the intra pass's finding, not a caller-liftable effect."""
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from repro import xp
+
+            def stage_each(chunks):
+                out = []
+                for chunk in chunks:
+                    out.append(xp.asarray(chunk))
+                return out
+        """})
+        assert _summary(graph, summaries, "stage_each") \
+            .by_kind("transfer") == []
+
+    def test_transfer_of_non_input_state_is_not_summarized(self, tmp_path):
+        """Arguments bound inside the function are not caller-visible,
+        so the transfer is not loop-invariant from any call site."""
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from repro import xp
+
+            def stage(source):
+                local = source.read()
+                return xp.asarray(local)
+        """})
+        assert _summary(graph, summaries, "stage") \
+            .by_kind("transfer") == []
+
+    def test_param_rng_draw(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            def jitter(rng, lo, hi):
+                return rng.uniform(lo, hi)
+        """})
+        [effect] = _summary(graph, summaries, "jitter").by_kind("draw")
+        assert effect.param == "rng"
+        assert effect.label == "uniform"
+
+    def test_returned_alloc_escapes(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            def fresh(pool, n):
+                return pool.alloc(n)
+
+            def staged(pool, n):
+                buf = pool.alloc(n)
+                buf.fill(0)
+                return buf
+
+            def contained(pool, n):
+                buf = pool.alloc(n)
+                return float(buf.sum())
+        """})
+        assert _summary(graph, summaries, "fresh").by_kind("escape")
+        assert _summary(graph, summaries, "staged").by_kind("escape")
+        # the handle never leaves: the intra MEM pass owns that scope
+        assert _summary(graph, summaries, "contained") \
+            .by_kind("escape") == []
+
+    def test_plan_template_needs_a_param_field(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from repro.cloud.bootstrap import BootstrapScript
+
+            def make(itype, n):
+                return BootstrapScript(itype, n, expected_hours=24.0)
+
+            def make_literal():
+                return BootstrapScript("ml.t3.medium", 1)
+        """})
+        [plan] = _summary(graph, summaries, "make").plans.values()
+        fields = dict(plan.fields)
+        assert fields["instance_type"] == ("param", "itype")
+        assert fields["expected_hours"] == ("lit", 24.0)
+        # fully literal constructions belong to the intra COST pass
+        assert not _summary(graph, summaries, "make_literal").plans
+
+    def test_host_effects_only_tracked_in_kernel_closure(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from numba import cuda
+
+            def log_it(i):
+                print(i)
+
+            def host_only(i):
+                print(i)
+
+            @cuda.jit
+            def kern(out):
+                i = cuda.grid(1)
+                log_it(i)
+        """})
+        [kfid] = [f for f in graph.functions if f.endswith("::kern")]
+        reach = kernel_reachable(graph)
+        assert kfid in reach
+        assert _summary(graph, summaries, "log_it").by_kind("host")
+        # identical body, but unreachable from any kernel: not tracked
+        assert _summary(graph, summaries, "host_only") \
+            .by_kind("host") == []
+
+
+class TestComposition:
+    def test_effects_lift_through_wrappers_with_chain(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from repro import xp
+
+            def stage(weights):
+                return xp.asarray(weights)
+
+            def wrap(weights):
+                return stage(weights) * 2.0
+        """})
+        [effect] = _summary(graph, summaries, "wrap").by_kind("transfer")
+        # hop through the wrapper first, root API last
+        assert [hop[2] for hop in effect.chain] == \
+            ["stage(...)", "xp.asarray"]
+        assert effect.root[1] == 4
+
+    def test_draw_lifts_only_via_param_forwarding(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            import random
+
+            def jitter(rng):
+                return rng.uniform(0.0, 1.0)
+
+            def forwarded(rng):
+                return jitter(rng)
+
+            def sealed():
+                local = random.Random(7)
+                return jitter(local)
+        """})
+        [effect] = _summary(graph, summaries, "forwarded").by_kind("draw")
+        assert effect.param == "rng"
+        # a locally-constructed RNG does not make the caller draw from
+        # its own inputs — nothing lifts
+        assert _summary(graph, summaries, "sealed").by_kind("draw") == []
+
+    def test_plan_completes_through_functools_partial(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from functools import partial
+
+            from repro.cloud.bootstrap import BootstrapScript
+
+            def make(itype, n):
+                return BootstrapScript(itype, n)
+
+            make_gpu = partial(make, "ml.p3.2xlarge")
+
+            def launch(n):
+                return make_gpu(n)
+        """})
+        [plan] = _summary(graph, summaries, "launch").plans.values()
+        fields = dict(plan.fields)
+        # the partial-bound positional fills instance_type as a literal
+        assert fields["instance_type"] == ("lit", "ml.p3.2xlarge")
+        assert fields["instance_count"] == ("param", "n")
+
+    def test_unresolved_call_contributes_nothing(self, tmp_path):
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            def caller(table, weights):
+                return table["stage"](weights)
+        """})
+        summary = _summary(graph, summaries, "caller")
+        assert not summary.effects and not summary.plans
+
+    def test_recursive_scc_reaches_a_fixpoint(self, tmp_path):
+        """Mutual recursion with a real effect in the cycle: iteration
+        terminates and both members carry the effect exactly once."""
+        graph, summaries = _build(tmp_path, {"a.py": """\
+            from repro import xp
+
+            def ping(weights, k):
+                if k == 0:
+                    return xp.asarray(weights)
+                return pong(weights, k - 1)
+
+            def pong(weights, k):
+                return ping(weights, k)
+        """})
+        for name in ("ping", "pong"):
+            transfers = _summary(graph, summaries, name) \
+                .by_kind("transfer")
+            assert len(transfers) == 1
+            assert transfers[0].root[2] == "xp.asarray"
+
+
+class TestCache:
+    def test_second_sweep_hits_the_cache(self, tmp_path):
+        files = {"a.py": """\
+            from repro import xp
+
+            def stage(weights):
+                return xp.asarray(weights)
+
+            def wrap(weights):
+                return stage(weights)
+        """}
+        clear_summary_cache()
+        graph, _ = _build(tmp_path, files)
+        cold = summary_cache_info()
+        assert cold["hits"] == 0 and cold["misses"] > 0
+        build_summaries(graph)
+        warm = summary_cache_info()
+        assert warm["misses"] == cold["misses"]
+        assert warm["hits"] == cold["misses"]
+        clear_summary_cache()
+        assert summary_cache_info() == \
+            {"hits": 0, "misses": 0, "size": 0}
+
+    def test_cache_keys_on_content_not_identity(self, tmp_path):
+        """The same function source in a fresh context re-uses the
+        cached summary — the fingerprint hashes content."""
+        files = {"a.py": "from repro import xp\n\n"
+                         "def stage(w):\n    return xp.asarray(w)\n"}
+        clear_summary_cache()
+        _build(tmp_path, files)
+        misses = summary_cache_info()["misses"]
+        other = tmp_path / "again"
+        other.mkdir()
+        _build(other, files)
+        after = summary_cache_info()
+        assert after["misses"] == misses
+        assert after["hits"] >= misses
