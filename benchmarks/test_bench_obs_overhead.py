@@ -1,0 +1,136 @@
+"""E-OBS — the correlation layer's own overhead.
+
+Under test: attaching an :class:`~repro.obs.observer.EndpointObserver`
+(structured logs + head+tail sampling + SLO burn-rate accounting) to a
+100k-request serving simulation
+
+* leaves every **simulated** number bit-identical — the observer only
+  reads resolutions and the tick, it never touches the event heap;
+* at the production log level (``min_level="WARNING"``: errors logged,
+  completions suppressed by the ingestion gate before any record is
+  built) costs ≤ 10% wall-clock over running with telemetry off — the
+  gate that keeps observation on by default;
+* at full verbosity (every resolution logged) stays under a loose
+  ceiling, priced honestly rather than gated;
+* retains a bounded sample no matter the request count.
+
+Timings use interleaved min-of-``ROUNDS`` per configuration, the
+standard defense against shared-machine noise: the minimum is the run
+least perturbed by other tenants.
+"""
+
+import time
+
+from repro.analytics import series_table
+from repro.cloud.session import CloudSession
+from repro.obs import (EndpointObserver, HeadTailSampler, LogPlane,
+                       SloMonitor, SloObjective, default_rules)
+from repro.serve.backend import BatchResult
+from repro.serve.endpoint import Endpoint, EndpointConfig
+from repro.serve.loadgen import poisson_trace
+from repro.serve.simulator import EndpointSimulation
+
+RATE_QPS = 2_000.0
+DURATION_MS = 50_000.0        # ~100k requests
+ROUNDS = 3
+
+#: the CI gate: production-leveled observation (sampling + SLO
+#: accounting + level-gated logs) on top of a telemetry-off run;
+#: observed ~1.05x
+PRODUCTION_CEILING = 1.10
+#: honest price of logging every resolution; observed ~1.8x
+FULL_VERBOSITY_CEILING = 3.0
+
+
+class FixedBackend:
+    """Analytic service profile — the sim work is pure queueing."""
+
+    name = "fixed"
+
+    def serve_batch(self, queries):
+        n = len(queries)
+        return BatchResult(
+            service_ms=4.0 + n,
+            per_query_ms=tuple(4.0 + (i + 1) for i in range(n)))
+
+
+def _observer(min_level):
+    return EndpointObserver(
+        log_plane=LogPlane(max_records_per_stream=200_000,
+                           min_level=min_level),
+        sampler=HeadTailSampler(),
+        monitor=SloMonitor(SloObjective(target=0.95),
+                           default_rules(ms_per_hour=50.0)))
+
+
+def _run(min_level):
+    """One untraced 100k-request run; returns (report, observer, s)."""
+    session = CloudSession()
+    endpoint = Endpoint(session, EndpointConfig(
+        name="bench", instance_type="g4dn.xlarge", initial_replicas=4,
+        min_replicas=4, max_replicas=4, max_batch_size=8,
+        batch_timeout_ms=2.0, max_queue_depth=256))
+    observer = _observer(min_level) if min_level is not None else None
+    trace = poisson_trace(RATE_QPS, DURATION_MS, ["q"], seed=5)
+    sim = EndpointSimulation(endpoint, FixedBackend(), observer=observer)
+    start = time.perf_counter()
+    report = sim.run(trace)
+    elapsed = time.perf_counter() - start
+    endpoint.delete()
+    return report, observer, elapsed
+
+
+def run_overhead_study():
+    configs = (None, "WARNING", "DEBUG")
+    best = {c: float("inf") for c in configs}
+    reports, observers = {}, {}
+    for _ in range(ROUNDS):
+        for config in configs:          # interleaved: noise hits all
+            report, observer, elapsed = _run(config)
+            best[config] = min(best[config], elapsed)
+            reports[config], observers[config] = report, observer
+    return best, reports, observers
+
+
+def test_bench_obs_overhead(benchmark):
+    best, reports, observers = benchmark.pedantic(
+        run_overhead_study, rounds=1, iterations=1)
+
+    rows = []
+    for config in (None, "WARNING", "DEBUG"):
+        label = "off" if config is None else f"min_level={config}"
+        ratio = best[config] / best[None]
+        obs = observers.get(config)
+        logged = len(obs.log_plane.records()) if obs else 0
+        rows.append([label, f"{best[config] * 1e3:.0f} ms",
+                     f"{ratio:.2f}x", logged])
+    print("\n" + series_table(
+        ["observer", "best wall", "overhead", "log records"],
+        rows, title="Observation overhead at 100k requests"))
+
+    base = reports[None]
+    assert base.submitted >= 100_000
+
+    # observation never perturbs the simulated numbers
+    for config in ("WARNING", "DEBUG"):
+        assert reports[config].to_dict() == base.to_dict()
+
+    # the production configuration meets the 10% gate
+    assert best["WARNING"] <= PRODUCTION_CEILING * best[None], (
+        f"production observation cost "
+        f"{best['WARNING'] / best[None]:.2f}x > {PRODUCTION_CEILING}x")
+    # full verbosity is priced, not gated
+    assert best["DEBUG"] <= FULL_VERBOSITY_CEILING * best[None]
+
+    # the level gate suppressed completion logs but kept every error
+    warn_obs = observers["WARNING"]
+    assert len(warn_obs.log_plane.records()) == base.shed + base.expired
+    full_obs = observers["DEBUG"]
+    assert len(full_obs.log_plane.records()) == base.submitted
+
+    # sampling stayed bounded at 100k requests
+    for config in ("WARNING", "DEBUG"):
+        sampler = observers[config].sampler
+        assert sampler.seen == base.submitted
+        assert len(sampler.retained_requests()) <= (
+            sampler.head_n + sampler.slowest_k + len(sampler.errors))

@@ -30,7 +30,13 @@ class AlarmState(str, Enum):
 
 @dataclass
 class Alarm:
-    """A threshold alarm over one metric."""
+    """A threshold alarm over one metric.
+
+    ``history`` records every state transition as
+    ``(timestamp_h, old_state, new_state)`` tuples — the alarm-history
+    surface the SLO monitor's fire/clear assertions read.  Transitions
+    are only recorded when the evaluation carries a timestamp.
+    """
 
     name: str
     namespace: str
@@ -40,19 +46,25 @@ class Alarm:
     comparison: str               # "greater" | "less"
     evaluation_periods: int = 1
     state: AlarmState = AlarmState.INSUFFICIENT_DATA
+    history: list[tuple[float, str, str]] = field(default_factory=list)
 
-    def evaluate(self, recent: list[float]) -> AlarmState:
+    def evaluate(self, recent: list[float],
+                 timestamp_h: float | None = None) -> AlarmState:
+        old = self.state
         if len(recent) < self.evaluation_periods:
             self.state = AlarmState.INSUFFICIENT_DATA
-            return self.state
-        window = recent[-self.evaluation_periods:]
-        if self.comparison == "greater":
-            breach = all(v > self.threshold for v in window)
-        elif self.comparison == "less":
-            breach = all(v < self.threshold for v in window)
         else:
-            raise CloudError(f"unknown comparison {self.comparison!r}")
-        self.state = AlarmState.ALARM if breach else AlarmState.OK
+            window = recent[-self.evaluation_periods:]
+            if self.comparison == "greater":
+                breach = all(v > self.threshold for v in window)
+            elif self.comparison == "less":
+                breach = all(v < self.threshold for v in window)
+            else:
+                raise CloudError(f"unknown comparison {self.comparison!r}")
+            self.state = AlarmState.ALARM if breach else AlarmState.OK
+        if timestamp_h is not None and self.state is not old:
+            self.history.append(
+                (timestamp_h, old.value, self.state.value))
         return self.state
 
 
@@ -96,13 +108,16 @@ class CloudWatch:
         self.alarms[alarm.name] = alarm
         return alarm
 
-    def evaluate_alarms(self) -> dict[str, AlarmState]:
-        """Re-evaluate every alarm against its latest datapoints."""
+    def evaluate_alarms(self, timestamp_h: float | None = None
+                        ) -> dict[str, AlarmState]:
+        """Re-evaluate every alarm against its latest datapoints.  With a
+        ``timestamp_h``, state transitions land in each alarm's
+        :attr:`Alarm.history`."""
         states = {}
         for alarm in self.alarms.values():
             key = (alarm.namespace, alarm.metric, alarm.dimension)
             recent = [d.value for d in self._metrics.get(key, [])]
-            states[alarm.name] = alarm.evaluate(recent)
+            states[alarm.name] = alarm.evaluate(recent, timestamp_h)
         return states
 
     def alarming(self) -> list[Alarm]:

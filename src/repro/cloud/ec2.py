@@ -29,6 +29,18 @@ from repro.telemetry import api as telemetry
 _instance_ids = itertools.count(1)
 
 
+def reset_instance_ids() -> None:
+    """Restart the process-wide instance-id sequence from ``i-…001``.
+
+    Instance ids are minted from a module-global counter, so two
+    otherwise-identical seeded runs in one process mint different ids.
+    Scenarios that promise byte-identical artifacts call this first;
+    sessions are isolated objects, so reuse across them is harmless.
+    """
+    global _instance_ids
+    _instance_ids = itertools.count(1)
+
+
 class InstanceState(str, Enum):
     PENDING = "pending"
     RUNNING = "running"

@@ -17,6 +17,13 @@ from repro.cloud.sagemaker import NotebookState, SageMakerService
 
 KEEP_ALIVE_TAG = "keep-alive"
 
+#: namespace of SLO burn-rate alarms published by ``repro.obs`` — these
+#: mean "the service is burning error budget", i.e. struggling under
+#: load, so the reaper must never treat them as reap triggers and must
+#: spare endpoints they point at (deleting capacity mid-burn would make
+#: the SLO breach worse, exactly the anti-pattern §III-A scripts avoid).
+SLO_GUARD_NAMESPACE = "repro/obs"
+
 
 @dataclass
 class ReapReport:
@@ -28,6 +35,7 @@ class ReapReport:
     reaped_endpoints: list[str] = field(default_factory=list)
     reaped_by_alarm: list[str] = field(default_factory=list)
     spared_keep_alive: list[str] = field(default_factory=list)
+    spared_slo_guard: list[str] = field(default_factory=list)
 
     @property
     def reaped_count(self) -> int:
@@ -69,20 +77,32 @@ class IdleReaper:
         self.sweeps: list[ReapReport] = []
 
     def _alarming_dimensions(self) -> set[str]:
-        """Dimensions (resource ids) of alarms currently in ALARM."""
+        """Dimensions (resource ids) of alarms currently in ALARM,
+        excluding SLO burn-rate alarms — those guard resources rather
+        than condemn them (see :func:`_slo_guarded_dimensions`)."""
         if self.cloudwatch is None:
             return set()
         self.cloudwatch.evaluate_alarms()
-        return {a.dimension for a in self.cloudwatch.alarming()}
+        return {a.dimension for a in self.cloudwatch.alarming()
+                if a.namespace != SLO_GUARD_NAMESPACE}
+
+    def _slo_guarded_dimensions(self) -> set[str]:
+        """Resource ids with an active SLO burn-rate alarm: the service
+        is failing its objective, so capacity there is sacrosanct."""
+        if self.cloudwatch is None:
+            return set()
+        return {a.dimension for a in self.cloudwatch.alarming()
+                if a.namespace == SLO_GUARD_NAMESPACE}
 
     def sweep(self) -> ReapReport:
         """One pass: stop idle or alarming instances/notebooks, honour
-        keep-alive tags, return the report (the instructor's audit
-        trail)."""
+        keep-alive tags and SLO burn guards, return the report (the
+        instructor's audit trail)."""
         report = ReapReport()
         now = self.ec2.now_h
         alarming = self._alarming_dimensions()
-        self._sweep_endpoints(report, now, alarming)
+        self._sweep_endpoints(report, now, alarming,
+                              self._slo_guarded_dimensions())
         live_endpoints = set(self.sagemaker.endpoints)
         for inst in self.ec2.describe(states=(InstanceState.RUNNING,)):
             # fleet replicas are the endpoint sweep's responsibility
@@ -117,7 +137,8 @@ class IdleReaper:
         return report
 
     def _sweep_endpoints(self, report: ReapReport, now: float,
-                         alarming: set[str]) -> None:
+                         alarming: set[str],
+                         slo_guarded: set[str] = frozenset()) -> None:
         """Delete serving endpoints that are idle past the threshold,
         alarmed, or sitting below the utilization floor.
 
@@ -125,6 +146,8 @@ class IdleReaper:
         disabled) catches the serving-specific waste mode: a fleet that
         *is* taking traffic — so never wall-clock idle — but is so
         over-provisioned it burns dollars doing almost nothing.
+        Endpoints named in ``slo_guarded`` (active burn-rate alarm) are
+        spared from every trigger.
         """
         for name in list(self.sagemaker.endpoints):
             ep = self.sagemaker.endpoints[name]
@@ -138,6 +161,9 @@ class IdleReaper:
                          and util is not None
                          and util < self.endpoint_util_floor)
             if not (idle or alarmed or underused):
+                continue
+            if name in slo_guarded:
+                report.spared_slo_guard.append(name)
                 continue
             if getattr(ep, "tags", {}).get(KEEP_ALIVE_TAG):
                 report.spared_keep_alive.append(name)

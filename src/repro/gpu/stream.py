@@ -19,6 +19,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 _stream_ids = itertools.count(1)
 
+
+def reset_stream_ids() -> None:
+    """Restart the process-wide stream-id sequence from 1.
+
+    Stream ids land in exported span attributes, so scenarios that
+    promise byte-identical artifacts reset the counter before building
+    their systems; streams are per-device objects, so id reuse across
+    independent systems is harmless.
+    """
+    global _stream_ids
+    _stream_ids = itertools.count(1)
+
 # The span categories a stream may carry (the Nsight Systems timeline
 # rows plus the Dask worker's "task" lane).  Enqueueing any other kind is
 # a typo that would silently vanish from every profiler grouping.

@@ -1,0 +1,133 @@
+"""The seeded overload scenario: every obs signal plane in one run.
+
+One bursty trace against one autoscaled endpoint, fully observed:
+
+* the backend is :class:`~repro.serve.backend.ScheduledNnBackend`, so
+  calibration measurements run layer tasks through the distributed
+  scheduler onto real simulated GPUs — giving the waterfall its
+  request → batch → task → kernel depth;
+* an :class:`~repro.obs.observer.EndpointObserver` drives the log
+  plane, head+tail sampling, and the SLO monitor;
+* the burst overloads the fleet hard enough to burn error budget, so
+  the fast burn-rate alert **fires** during the burst and **clears**
+  after it — and the autoscaler, watching that alarm, scales out on the
+  breach before target tracking would have;
+* everything is seeded and on the simulated clock, so the artifacts
+  (trace/logs JSONL, SLO JSON, report JSON) are byte-identical across
+  reruns — the property the acceptance test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cloud.ec2 import reset_instance_ids
+from repro.cloud.session import CloudSession
+from repro.obs.logs import LogPlane
+from repro.obs.observer import EndpointObserver
+from repro.obs.sampling import HeadTailSampler
+from repro.obs.slo import SloMonitor, SloObjective, default_rules
+from repro.serve.autoscaler import Autoscaler, TargetTrackingPolicy
+from repro.serve.backend import ScheduledNnBackend
+from repro.serve.endpoint import Endpoint, EndpointConfig
+from repro.serve.loadgen import bursty_trace
+from repro.serve.report import SloReport
+from repro.serve.simulator import EndpointSimulation
+from repro.gpu.stream import reset_stream_ids
+from repro.telemetry import Tracer, write_jsonl
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the scenario produced, in memory."""
+
+    report: SloReport
+    tracer: Tracer
+    observer: EndpointObserver
+    monitor: SloMonitor
+
+    @property
+    def spans(self):
+        return self.tracer.spans
+
+
+def run_overload_scenario(*, seed: int = 7, rate_qps: float = 700.0,
+                          duration_ms: float = 4000.0,
+                          burst_multiplier: float = 10.0,
+                          deadline_ms: float = 60.0,
+                          slo_target: float = 0.95,
+                          latency_threshold_ms: float = 40.0,
+                          ms_per_hour: float = 50.0) -> ScenarioResult:
+    """Run the canonical observed overload; returns the live objects.
+
+    ``ms_per_hour`` compresses the SRE alert windows onto the
+    simulation's clock (one "SLO hour" = 50 simulated ms by default, so
+    the fast rule's 6-hour long window is 300 ms — well inside the
+    burst).
+    """
+    # byte-identical artifacts need stable ids for everything that
+    # reaches the export — instance ids and device stream ids are minted
+    # from process-wide counters
+    reset_instance_ids()
+    reset_stream_ids()
+    backend = ScheduledNnBackend(
+        layer_dims=(8192, 16384, 16384, 8192), num_devices=2)
+    queries = [f"query-{i:02d}" for i in range(16)]
+    trace = bursty_trace(rate_qps, duration_ms, queries,
+                         burst_start_ms=duration_ms / 3,
+                         burst_end_ms=2 * duration_ms / 3,
+                         burst_multiplier=burst_multiplier, seed=seed)
+    session = CloudSession()
+    endpoint = Endpoint(session, EndpointConfig(
+        name="obs-endpoint", instance_type="g4dn.xlarge",
+        initial_replicas=1, min_replicas=1, max_replicas=4,
+        max_batch_size=8, batch_timeout_ms=2.0, max_queue_depth=16,
+        default_deadline_ms=deadline_ms))
+    monitor = SloMonitor(
+        SloObjective(name="serve-availability", target=slo_target,
+                     latency_threshold_ms=latency_threshold_ms),
+        default_rules(ms_per_hour), cloudwatch=session.cloudwatch,
+        dimension=endpoint.name)
+    # the queue-depth target is deliberately lax: scale-out during the
+    # burst is driven by the SLO breach alarm, not target tracking
+    autoscaler = Autoscaler(
+        TargetTrackingPolicy(metric="QueueDepthPerReplica", target=32.0,
+                             scale_out_cooldown_ms=100.0),
+        min_replicas=1, max_replicas=4,
+        cloudwatch=session.cloudwatch, dimension=endpoint.name,
+        breach_alarm=monitor.alarm_name("fast"))
+    observer = EndpointObserver(
+        log_plane=LogPlane(),
+        sampler=HeadTailSampler(head_n=100, slowest_k=50, max_errors=500),
+        monitor=monitor)
+    sim = EndpointSimulation(endpoint, backend, autoscaler=autoscaler,
+                             observer=observer, settle_ms=200.0)
+    try:
+        with Tracer(seed=seed, system=backend.system) as tracer:
+            report = sim.run(trace)
+    finally:
+        endpoint.delete()
+    return ScenarioResult(report=report, tracer=tracer,
+                          observer=observer, monitor=monitor)
+
+
+def write_artifacts(result: ScenarioResult, out_dir: str) -> dict[str, str]:
+    """Write the scenario's artifact set; returns ``{kind: path}``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trace": str(out / "trace.jsonl"),
+        "logs": str(out / "logs.jsonl"),
+        "slo": str(out / "slo.json"),
+        "report": str(out / "report.json"),
+    }
+    write_jsonl(paths["trace"], result.tracer.spans,
+                result.tracer.metrics)
+    result.observer.log_plane.write_jsonl(paths["logs"])
+    with open(paths["slo"], "w") as f:
+        json.dump(result.monitor.to_dict(), f, sort_keys=True, indent=1)
+    with open(paths["report"], "w") as f:
+        f.write(result.report.to_json())
+    return paths

@@ -1,0 +1,279 @@
+"""Error budgets and multi-window multi-burn-rate alerting.
+
+The SRE-workbook alerting model over the simulated clock.  An
+:class:`SloObjective` declares what fraction of requests must be *good*
+(completed, and under the latency threshold when one is set); the
+remainder is the **error budget**.  The **burn rate** over a window is
+
+    burn = bad_fraction(window) / (1 - target)
+
+so burn 1.0 spends the budget exactly at the rate it accrues, and burn
+14.4 exhausts a 30-day budget in 2 days.  A :class:`BurnRateRule` fires
+when *both* a long and a short window exceed its threshold — the long
+window proves the problem is material, the short window proves it is
+*still happening* — and clears when the short window drops back under,
+giving fast alert *reset* without flappy alert *raise* (Google SRE
+Workbook, ch. 5).  The canonical pairing is a **fast** rule (1 h short /
+6 h long, burn ≥ 6) for paging and a **slow** rule (6 h short / 3 d
+long, burn ≥ 1) for ticketing; window lengths scale through
+``ms_per_hour`` so a seconds-long simulation exercises the same math.
+
+The monitor publishes each rule's effective burn rate as a CloudWatch
+metric and maintains a threshold :class:`~repro.cloud.cloudwatch.Alarm`
+per rule in the ``repro/obs`` namespace — the namespace the autoscaler's
+``breach_alarm`` watches and the idle reaper treats as a *guard* rather
+than a reap trigger.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.cloud.cloudwatch import Alarm, CloudWatch
+from repro.errors import ReproError
+
+#: the namespace SLO burn alarms/metrics publish under — must match
+#: :data:`repro.cloud.reaper.SLO_GUARD_NAMESPACE` for the reaper guard
+OBS_NAMESPACE = "repro/obs"
+
+MS_PER_HOUR = 3_600_000.0
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """What fraction of requests must be good, and what "good" means."""
+
+    name: str = "availability"
+    target: float = 0.999
+    latency_threshold_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ReproError("target must be in (0, 1)")
+        if (self.latency_threshold_ms is not None
+                and self.latency_threshold_ms <= 0):
+            raise ReproError("latency threshold must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad fraction."""
+        return 1.0 - self.target
+
+    def is_good(self, completed: bool, latency_ms: float) -> bool:
+        if not completed:
+            return False
+        return (self.latency_threshold_ms is None
+                or latency_ms <= self.latency_threshold_ms)
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate alert rule."""
+
+    name: str
+    long_window_ms: float
+    short_window_ms: float
+    burn_threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_window_ms <= self.long_window_ms:
+            raise ReproError(
+                "need 0 < short_window_ms <= long_window_ms")
+        if self.burn_threshold <= 0:
+            raise ReproError("burn_threshold must be positive")
+
+
+def default_rules(ms_per_hour: float = MS_PER_HOUR
+                  ) -> tuple[BurnRateRule, BurnRateRule]:
+    """The SRE-workbook fast/slow pairing, scaled to simulation time.
+
+    ``ms_per_hour`` maps "one SLO hour" onto simulated milliseconds; at
+    the default the windows are literal hours, while e.g. ``50.0`` makes
+    a 300 ms simulated burst cover the fast rule's 6 "hour" long window.
+    """
+    if ms_per_hour <= 0:
+        raise ReproError("ms_per_hour must be positive")
+    return (
+        BurnRateRule(name="fast", long_window_ms=6 * ms_per_hour,
+                     short_window_ms=1 * ms_per_hour, burn_threshold=6.0),
+        BurnRateRule(name="slow", long_window_ms=72 * ms_per_hour,
+                     short_window_ms=6 * ms_per_hour, burn_threshold=1.0),
+    )
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One fire/clear edge of one rule."""
+
+    time_ms: float
+    rule: str
+    action: str                    # "fire" | "clear"
+    burn_long: float
+    burn_short: float
+
+    def to_dict(self) -> dict:
+        return {"time_ms": self.time_ms, "rule": self.rule,
+                "action": self.action,
+                "burn_long": round(self.burn_long, 6),
+                "burn_short": round(self.burn_short, 6)}
+
+
+@dataclass
+class _Snapshot:
+    """Cumulative good/bad counts at one evaluation instant."""
+
+    time_ms: float
+    good: int
+    bad: int
+
+
+class SloMonitor:
+    """Error-budget accounting + burn-rate alerting for one service.
+
+    Feed it every resolution via :meth:`record`, call :meth:`evaluate`
+    on a cadence (the serving tick), and read :attr:`alerts` for the
+    deterministic fire/clear history.  Counts are snapshotted
+    cumulatively per evaluation and pruned to the longest window, so
+    memory is bounded by evaluation cadence, not request count.
+    """
+
+    def __init__(self, objective: SloObjective,
+                 rules: tuple[BurnRateRule, ...] | None = None, *,
+                 ms_per_hour: float = MS_PER_HOUR,
+                 cloudwatch: CloudWatch | None = None,
+                 dimension: str = "service") -> None:
+        self.objective = objective
+        self.rules = (default_rules(ms_per_hour)
+                      if rules is None else tuple(rules))
+        if not self.rules:
+            raise ReproError("monitor needs at least one rule")
+        self.cloudwatch = cloudwatch
+        self.dimension = dimension
+        self.good = 0
+        self.bad = 0
+        self.alerts: list[AlertTransition] = []
+        self.active: dict[str, bool] = {r.name: False for r in self.rules}
+        self._snapshots: list[_Snapshot] = [_Snapshot(0.0, 0, 0)]
+        self._times: list[float] = [0.0]
+        self._longest_ms = max(r.long_window_ms for r in self.rules)
+        if cloudwatch is not None:
+            for rule in self.rules:
+                cloudwatch.put_alarm(Alarm(
+                    name=self.alarm_name(rule.name),
+                    namespace=OBS_NAMESPACE,
+                    metric=f"SloBurnRate.{rule.name}",
+                    dimension=dimension,
+                    threshold=rule.burn_threshold,
+                    comparison="greater"))
+
+    def alarm_name(self, rule_name: str) -> str:
+        return f"{self.dimension}-slo-burn-{rule_name}"
+
+    # -- accounting -------------------------------------------------------
+
+    def record(self, completed: bool, latency_ms: float = 0.0) -> bool:
+        """Account one resolution; returns whether it was good."""
+        good = self.objective.is_good(completed, latency_ms)
+        if good:
+            self.good += 1
+        else:
+            self.bad += 1
+        return good
+
+    def _window_counts(self, now_ms: float, window_ms: float
+                       ) -> tuple[int, int]:
+        """(good, bad) accrued inside ``(now - window, now]``."""
+        cutoff = now_ms - window_ms
+        i = bisect.bisect_right(self._times, cutoff) - 1
+        base = self._snapshots[max(i, 0)]
+        return self.good - base.good, self.bad - base.bad
+
+    def burn_rate(self, now_ms: float, window_ms: float) -> float:
+        """Bad fraction over the window, normalized by the budget."""
+        good, bad = self._window_counts(now_ms, window_ms)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.objective.budget
+
+    @property
+    def budget_spent(self) -> float:
+        """Fraction of the whole-run error budget consumed so far."""
+        total = self.good + self.bad
+        if total == 0:
+            return 0.0
+        return (self.bad / total) / self.objective.budget
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, now_ms: float,
+                 timestamp_h: float | None = None
+                 ) -> list[AlertTransition]:
+        """One evaluation tick: snapshot counts, update every rule's
+        fire/clear state, publish burn metrics + alarm states to
+        CloudWatch.  Returns the transitions this tick produced."""
+        if now_ms < self._times[-1]:
+            raise ReproError("evaluations must move forward in time")
+        self._snapshots.append(_Snapshot(now_ms, self.good, self.bad))
+        self._times.append(now_ms)
+        self._prune(now_ms)
+        transitions: list[AlertTransition] = []
+        for rule in self.rules:
+            burn_long = self.burn_rate(now_ms, rule.long_window_ms)
+            burn_short = self.burn_rate(now_ms, rule.short_window_ms)
+            firing = (burn_long > rule.burn_threshold
+                      and burn_short > rule.burn_threshold)
+            if firing and not self.active[rule.name]:
+                self.active[rule.name] = True
+                transitions.append(AlertTransition(
+                    now_ms, rule.name, "fire", burn_long, burn_short))
+            elif (self.active[rule.name]
+                  and burn_short <= rule.burn_threshold):
+                self.active[rule.name] = False
+                transitions.append(AlertTransition(
+                    now_ms, rule.name, "clear", burn_long, burn_short))
+            if self.cloudwatch is not None and timestamp_h is not None:
+                # the alarmable series is the rule's *effective* burn:
+                # the lesser window, since both must breach to fire
+                self.cloudwatch.put_metric(
+                    OBS_NAMESPACE, f"SloBurnRate.{rule.name}",
+                    self.dimension, min(burn_long, burn_short),
+                    timestamp_h)
+        if self.cloudwatch is not None and timestamp_h is not None:
+            self.cloudwatch.evaluate_alarms(timestamp_h)
+        self.alerts.extend(transitions)
+        return transitions
+
+    def _prune(self, now_ms: float) -> None:
+        """Drop snapshots older than the longest window (keeping one
+        boundary snapshot so window queries stay exact)."""
+        cutoff = now_ms - self._longest_ms
+        i = bisect.bisect_right(self._times, cutoff) - 1
+        if i > 0:
+            del self._snapshots[:i]
+            del self._times[:i]
+
+    # -- reporting --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": {
+                "name": self.objective.name,
+                "target": self.objective.target,
+                "latency_threshold_ms":
+                    self.objective.latency_threshold_ms,
+            },
+            "good": self.good,
+            "bad": self.bad,
+            "budget_spent": round(self.budget_spent, 6),
+            "rules": [
+                {"name": r.name,
+                 "long_window_ms": r.long_window_ms,
+                 "short_window_ms": r.short_window_ms,
+                 "burn_threshold": r.burn_threshold,
+                 "active": self.active[r.name]}
+                for r in self.rules
+            ],
+            "alerts": [t.to_dict() for t in self.alerts],
+        }

@@ -1,0 +1,109 @@
+"""Rendering one request's end-to-end causal tree.
+
+The tree a waterfall renders crosses three traces, stitched by span
+links rather than parenting (cross-trace causality is a *link* in OTel,
+because the target belongs to another trace):
+
+.. code-block:: text
+
+    serve.request                       (per-request trace)
+      └─▶ served_in: serve.batch        (per-batch trace)
+            └─▶ calibrated_as: serve.calibrate[batch=N]
+                  ├─ task:layer0        (scheduler task span)
+                  │    └─ gemm 256x1024 (bridged kernel span)
+                  └─ ...
+
+Within each trace, ordinary parent/child containment applies; when a
+span carries links, each link target's own subtree is inlined beneath
+it with a ``▶ kind:`` marker.  Children sort by ``(start_ns, span_id)``
+and visited spans are tracked, so the rendering is deterministic and
+cycle-safe.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.span import TelemetrySpan
+
+
+class WaterfallIndex:
+    """Span lookup tables for link-following traversal."""
+
+    def __init__(self, spans: list[TelemetrySpan]) -> None:
+        self.spans = list(spans)
+        self.by_span_id: dict[str, TelemetrySpan] = {
+            s.span_id: s for s in self.spans}
+        self._children: dict[tuple[str, str | None], list[TelemetrySpan]] \
+            = {}
+        for s in self.spans:
+            self._children.setdefault(
+                (s.trace_id, s.parent_id), []).append(s)
+        for kids in self._children.values():
+            kids.sort(key=lambda s: (s.start_ns, s.span_id))
+
+    def children(self, span: TelemetrySpan) -> list[TelemetrySpan]:
+        return self._children.get((span.trace_id, span.span_id), [])
+
+    def find_request(self, request_id: int) -> TelemetrySpan | None:
+        """The ``serve.request`` span for ``request_id``, if retained."""
+        for s in self.spans:
+            if (s.kind == "request"
+                    and s.attributes.get("request_id") == request_id):
+                return s
+        return None
+
+
+def _label(span: TelemetrySpan) -> str:
+    dur = span.duration_ms
+    bits = [f"{span.name}  [{span.kind}]  {dur:.3f}ms"]
+    if span.status != "ok":
+        bits.append(f"status={span.status}")
+    for key in ("request_id", "batch_id", "outcome", "replica",
+                "batch_size", "worker", "device"):
+        if key in span.attributes:
+            bits.append(f"{key}={span.attributes[key]}")
+    return "  ".join(bits)
+
+
+def render_tree(index: WaterfallIndex, root: TelemetrySpan,
+                *, max_depth: int = 16) -> list[str]:
+    """Indented lines for ``root``'s subtree, links inlined."""
+    lines: list[str] = []
+    visited: set[str] = set()
+
+    def walk(span: TelemetrySpan, depth: int) -> None:
+        if span.span_id in visited or depth > max_depth:
+            return
+        visited.add(span.span_id)
+        lines.append("  " * depth + _label(span))
+        for child in index.children(span):
+            walk(child, depth + 1)
+        for link in span.links:
+            target = index.by_span_id.get(link.span_id)
+            if target is None:
+                lines.append("  " * (depth + 1)
+                             + f"▶ {link.kind}: <not retained>")
+                continue
+            lines.append("  " * (depth + 1) + f"▶ {link.kind}:")
+            walk(target, depth + 2)
+
+    walk(root, 0)
+    return lines
+
+
+def render_request_waterfall(spans: list[TelemetrySpan],
+                             request_id: int) -> str:
+    """The full request→batch→task→kernel waterfall for one request."""
+    index = WaterfallIndex(spans)
+    root = index.find_request(request_id)
+    if root is None:
+        retained = sorted(
+            s.attributes["request_id"] for s in spans
+            if s.kind == "request" and "request_id" in s.attributes)
+        preview = ", ".join(str(r) for r in retained[:12])
+        more = f" … ({len(retained)} retained)" if len(retained) > 12 \
+            else ""
+        return (f"request {request_id} is not in the retained sample.\n"
+                f"retained request ids: {preview}{more}")
+    header = (f"waterfall for request {request_id} "
+              f"(trace {root.trace_id})")
+    return "\n".join([header, *render_tree(index, root)])

@@ -31,6 +31,7 @@ from repro.serve.backend import (
     ModelBackend,
     NnForwardBackend,
     RagModelBackend,
+    ScheduledNnBackend,
 )
 from repro.serve.endpoint import (
     Endpoint,
@@ -68,6 +69,7 @@ __all__ = [
     "Request",
     "RetryPolicy",
     "ScalingDecision",
+    "ScheduledNnBackend",
     "SloReport",
     "TargetTrackingPolicy",
     "bursty_trace",

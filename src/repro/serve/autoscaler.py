@@ -64,7 +64,8 @@ class Autoscaler:
     def __init__(self, policy: TargetTrackingPolicy, *,
                  min_replicas: int, max_replicas: int,
                  cloudwatch: CloudWatch, dimension: str,
-                 namespace: str = METRIC_NAMESPACE) -> None:
+                 namespace: str = METRIC_NAMESPACE,
+                 breach_alarm: str | None = None) -> None:
         if not 1 <= min_replicas <= max_replicas:
             raise ReproError("need 1 <= min_replicas <= max_replicas")
         self.policy = policy
@@ -73,9 +74,26 @@ class Autoscaler:
         self.cloudwatch = cloudwatch
         self.dimension = dimension
         self.namespace = namespace
+        self.breach_alarm = breach_alarm
         self.last_scale_out_ms = -math.inf
         self.last_scale_in_ms = -math.inf
         self.decisions: list[ScalingDecision] = []
+
+    # -- SLO breach override -----------------------------------------------
+
+    def _breach_active(self) -> bool:
+        """Is the configured SLO burn-rate alarm currently in ALARM?
+
+        The alarm (usually published by ``repro.obs``'s SLO monitor) is
+        read by *state*, not re-evaluated — the monitor owns evaluation
+        cadence, the autoscaler just reacts.
+        """
+        if self.breach_alarm is None:
+            return False
+        alarm = self.cloudwatch.alarms.get(self.breach_alarm)
+        if alarm is None:
+            return False
+        return getattr(alarm.state, "value", alarm.state) == "ALARM"
 
     # -- metric plumbing ---------------------------------------------------
 
@@ -100,7 +118,23 @@ class Autoscaler:
 
     def evaluate(self, now_ms: float, current: int,
                  window_h: tuple[float, float]) -> ScalingDecision:
-        """One evaluation tick; records and returns the decision."""
+        """One evaluation tick; records and returns the decision.
+
+        An active SLO burn-rate breach alarm overrides target tracking:
+        while the error budget is burning too fast, add a replica per
+        evaluation (cooldown still applies) even if the tracked metric
+        says the fleet is at target — latency SLOs fail before
+        utilization targets notice.
+        """
+        if self._breach_active() and current < self.max_replicas:
+            if now_ms - self.last_scale_out_ms >= \
+                    self.policy.scale_out_cooldown_ms:
+                self.last_scale_out_ms = now_ms
+                decision = ScalingDecision(
+                    now_ms, 0.0, current, current + 1, "scale_out",
+                    f"slo burn-rate breach ({self.breach_alarm})")
+                self.decisions.append(decision)
+                return decision
         value = self.read_metric(*window_h)
         if value is None:
             decision = ScalingDecision(now_ms, 0.0, current, current,

@@ -33,6 +33,7 @@ from repro.errors import ReproError
 from repro.gpu.kernelmodel import KernelCost
 from repro.gpu.system import GpuSystem
 from repro.telemetry import api as telemetry
+from repro.telemetry.context import SpanContext
 
 
 @dataclass(frozen=True)
@@ -72,11 +73,21 @@ class ModelBackend(Protocol):
 
 
 class _MemoizingBackend:
-    """Shared per-batch-size calibration cache."""
+    """Shared per-batch-size calibration cache.
+
+    Under an active tracer, each *actual* measurement runs inside a
+    ``serve.calibrate[batch=N]`` stage span whose kernels bridge
+    underneath, and the span's context is remembered per batch size.
+    Memoized replays can then **link** back to the calibration span that
+    produced their service profile (:meth:`calibration_context`) — the
+    honest "measured-as" semantics the request→kernel waterfall renders:
+    a replayed batch did not launch kernels, it reused these.
+    """
 
     def __init__(self, memoize_by_size: bool) -> None:
         self.memoize_by_size = memoize_by_size
         self._cache: dict[int, BatchResult] = {}
+        self._calibrations: dict[int, SpanContext] = {}
 
     def serve_batch(self, queries: Sequence[str]) -> BatchResult:
         if not queries:
@@ -84,10 +95,20 @@ class _MemoizingBackend:
         n = len(queries)
         if self.memoize_by_size and n in self._cache:
             return self._cache[n]
-        result = self._measure(list(queries))
+        with telemetry.span(f"serve.calibrate[batch={n}]", kind="stage",
+                            attributes={"batch_size": n}) as cal:
+            result = self._measure(list(queries))
+        if cal is not None:
+            self._calibrations[n] = SpanContext(
+                trace_id=cal.trace_id, span_id=cal.span_id)
         if self.memoize_by_size:
             self._cache[n] = result
         return result
+
+    def calibration_context(self, batch_size: int) -> SpanContext | None:
+        """The span context of the measurement that calibrated
+        ``batch_size`` (``None`` untraced or not yet measured)."""
+        return self._calibrations.get(batch_size)
 
     def _measure(self, queries: list[str]) -> BatchResult:
         raise NotImplementedError
@@ -166,6 +187,82 @@ class NnForwardBackend(_MemoizingBackend):
                            compute_efficiency=self.GEMM_EFF),
                 n_elements=batch * d_out)
         end_ns = dev.synchronize()
+        service_ms = max((end_ns - start_ns) / 1e6, 1e-6)
+        return BatchResult(service_ms=service_ms,
+                           per_query_ms=(service_ms,) * batch)
+
+
+@dataclass(frozen=True)
+class _Activation:
+    """A placeholder task result sized like the layer's output tensor,
+    so the scheduler's P2P transfer costing sees real byte counts."""
+
+    nbytes: int
+
+
+class ScheduledNnBackend(_MemoizingBackend):
+    """The dense forward pass as a *scheduled task graph*.
+
+    Same MLP as :class:`NnForwardBackend`, but each layer's GEMM is one
+    task in a :class:`~repro.distributed.taskgraph.TaskGraph` executed by
+    the :class:`~repro.distributed.scheduler.Scheduler` over one worker
+    per device — so under a tracer a calibration measurement produces the
+    full causal chain the observability layer renders: calibration stage
+    → ``task:layerN`` spans (with placement attributes) → bridged GEMM
+    kernels and P2P transfer spans.  Layer tasks form a chain, and each
+    result carries the activation's byte size so cross-device hops are
+    charged as transfers.
+    """
+
+    GEMM_EFF = 0.85
+
+    def __init__(self, layer_dims: Sequence[int] = (256, 1024, 1024, 64),
+                 part: str = "T4", num_devices: int = 2,
+                 memoize_by_size: bool = True) -> None:
+        super().__init__(memoize_by_size)
+        if len(layer_dims) < 2:
+            raise ReproError("layer_dims needs at least input and output")
+        if num_devices < 1:
+            raise ReproError("need at least one device")
+        from repro.distributed.worker import Worker
+
+        self.layer_dims = tuple(int(d) for d in layer_dims)
+        self.system = GpuSystem(num_devices=num_devices, part=part)
+        self.workers = [Worker(f"w{d.device_id}", self.system, d)
+                        for d in self.system.devices]
+        self.name = "nn-sched"
+
+    def _gemm_task(self, batch: int, d_in: int, d_out: int,
+                   upstream: "_Activation | None" = None) -> _Activation:
+        dev = self.system.current
+        flops = 2.0 * batch * d_in * d_out
+        nbytes = 4.0 * (batch * d_in + d_in * d_out + batch * d_out)
+        dev.launch_auto(
+            KernelCost(flops=flops, bytes_read=nbytes * 2 / 3,
+                       bytes_written=nbytes / 3,
+                       name=f"gemm {d_in}x{d_out}",
+                       compute_efficiency=self.GEMM_EFF),
+            n_elements=batch * d_out)
+        return _Activation(nbytes=4 * batch * d_out)
+
+    def _measure(self, queries: list[str]) -> BatchResult:
+        from repro.distributed.scheduler import Scheduler
+        from repro.distributed.taskgraph import TaskGraph
+
+        batch = len(queries)
+        start_ns = self.system.synchronize()
+        graph = TaskGraph()
+        prev = None
+        for li, (d_in, d_out) in enumerate(
+                zip(self.layer_dims, self.layer_dims[1:])):
+            if prev is None:
+                prev = graph.add(f"layer{li}", self._gemm_task,
+                                 batch, d_in, d_out)
+            else:
+                prev = graph.add(f"layer{li}", self._gemm_task,
+                                 batch, d_in, d_out, prev)
+        Scheduler(self.workers).run(graph)
+        end_ns = self.system.synchronize()
         service_ms = max((end_ns - start_ns) / 1e6, 1e-6)
         return BatchResult(service_ms=service_ms,
                            per_query_ms=(service_ms,) * batch)

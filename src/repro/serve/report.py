@@ -54,6 +54,10 @@ class SloReport:
     cost_per_1k_usd: float
     replica_timeline: tuple[tuple[float, int, int], ...] = field(
         default_factory=tuple)
+    #: worst retained (latency_ms, request_label) pairs, worst first —
+    #: the p99/p99.9 rows' "click-through" to concrete request traces
+    latency_exemplars: tuple[tuple[float, str], ...] = field(
+        default_factory=tuple)
 
     def to_dict(self) -> dict:
         """Plain-dict form with floats rounded for byte-stable dumps."""
@@ -64,6 +68,9 @@ class SloReport:
             elif key == "replica_timeline":
                 value = [[round(t, ROUND_DIGITS), int(n), int(d)]
                          for t, n, d in value]
+            elif key == "latency_exemplars":
+                value = [[round(v, ROUND_DIGITS), str(label)]
+                         for v, label in value]
             out[key] = value
         return out
 
@@ -76,6 +83,9 @@ class SloReport:
         data["replica_timeline"] = tuple(
             (float(t), int(n), int(d))
             for t, n, d in data.get("replica_timeline", ()))
+        data["latency_exemplars"] = tuple(
+            (float(v), str(label))
+            for v, label in data.get("latency_exemplars", ()))
         return cls(**data)
 
     def render(self) -> str:
@@ -107,4 +117,8 @@ class SloReport:
             steps = "  ".join(f"{t:.0f}ms:{n}"
                               for t, n, _ in self.replica_timeline)
             lines.append(f"  replicas over time: {steps}")
+        if self.latency_exemplars:
+            worst = "  ".join(f"req {label.lstrip('0') or '0'}: {v:.2f}ms"
+                              for v, label in self.latency_exemplars)
+            lines.append(f"  tail exemplars: {worst}")
         return "\n".join(lines)

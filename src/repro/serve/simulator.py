@@ -59,6 +59,7 @@ from repro.telemetry import api as telemetry
 from repro.telemetry.metrics import Histogram
 
 LATENCY_RESERVOIR = 8192
+LATENCY_EXEMPLARS = 5
 
 
 def _ns(ms: float) -> int:
@@ -75,7 +76,8 @@ class EndpointSimulation:
                  hours_per_ms: float = 1.0 / MS_PER_HOUR,
                  settle_ms: float = 0.0,
                  replace_interrupted: bool = True,
-                 latency_reservoir: int = LATENCY_RESERVOIR) -> None:
+                 latency_reservoir: int = LATENCY_RESERVOIR,
+                 observer=None) -> None:
         if tick_ms <= 0:
             raise ReproError("tick_ms must be positive")
         if hours_per_ms <= 0:
@@ -89,6 +91,11 @@ class EndpointSimulation:
         self.settle_ms = settle_ms
         self.replace_interrupted = replace_interrupted
         self.latency_reservoir = latency_reservoir
+        # An observation layer (repro.obs's EndpointObserver, or anything
+        # with the same hooks).  When attached it owns span emission for
+        # requests/batches — sampled and bounded — so the inline
+        # every-request telemetry.record calls are suppressed.
+        self.observer = observer
 
     # -- event plumbing ---------------------------------------------------
 
@@ -136,8 +143,10 @@ class EndpointSimulation:
         self.last_finish_ms = 0.0
         self.peak_replicas = len(ep.in_service())
         self.replica_timeline: list[tuple[float, int, int]] = []
+        self._batch_of_replica: dict[int, int] = {}
         self.latency_hist = Histogram("serve.latency_ms",
-                                      max_samples=self.latency_reservoir)
+                                      max_samples=self.latency_reservoir,
+                                      max_exemplars=LATENCY_EXEMPLARS)
         requests = [
             Request(request_id=i, query=a.query, arrival_ms=a.time_ms,
                     deadline_ms=(a.time_ms + ep.config.default_deadline_ms
@@ -150,6 +159,8 @@ class EndpointSimulation:
                             attributes={"endpoint": ep.name,
                                         "trace": trace.name,
                                         "requests": len(requests)}):
+            if self.observer is not None:
+                self.observer.attach(self)
             for req in requests:
                 self._push(req.arrival_ms, "arrival", req)
             for time_ms, replica_id in interruptions:
@@ -171,6 +182,8 @@ class EndpointSimulation:
                 elif kind == "tick":
                     self._on_tick()
             self._advance_cloud()
+            if self.observer is not None:
+                self.observer.finalize()
         return self._build_report()
 
     # -- arrivals / admission ---------------------------------------------
@@ -180,6 +193,8 @@ class EndpointSimulation:
             req.resolve(OUTCOME_EXPIRED, self.now_ms)
             self.expired += 1
             telemetry.count("serve.expired")
+            if self.observer is not None:
+                self.observer.on_resolve(req)
             return
         cfg = self.endpoint.config
         candidates = [r for r in self.endpoint.replicas
@@ -204,6 +219,8 @@ class EndpointSimulation:
             req.resolve(OUTCOME_SHED, self.now_ms)
             self.shed += 1
             telemetry.count("serve.shed")
+            if self.observer is not None:
+                self.observer.on_resolve(req)
 
     # -- batching ---------------------------------------------------------
 
@@ -245,6 +262,8 @@ class EndpointSimulation:
                 req.resolve(OUTCOME_EXPIRED, self.now_ms)
                 self.expired += 1
                 telemetry.count("serve.expired")
+                if self.observer is not None:
+                    self.observer.on_resolve(req)
                 continue
             batch.append(req)
         if not batch:
@@ -261,6 +280,7 @@ class EndpointSimulation:
         replica.invocations += 1
         self.batches += 1
         self.batch_queries += len(batch)
+        self._batch_of_replica[replica.replica_id] = self.batches
         self._push(replica.busy_until_ms, "done",
                    (replica, replica.service_epoch))
 
@@ -268,6 +288,7 @@ class EndpointSimulation:
         if epoch != replica.service_epoch or replica.in_flight is None:
             return
         batch_size = len(replica.in_flight)
+        batch_id = self._batch_of_replica.get(replica.replica_id, 0)
         for req, finish_ms in replica.in_flight:
             req.replica_id = replica.replica_id
             req.batch_size = batch_size
@@ -276,22 +297,31 @@ class EndpointSimulation:
             self.completed += 1
             self._completions_since_tick += 1
             self.last_finish_ms = max(self.last_finish_ms, finish_ms)
-            self.latency_hist.observe(latency)
+            self.latency_hist.observe(latency,
+                                      exemplar=f"{req.request_id:012d}")
             replica.queries_served += 1
             telemetry.observe("serve.latency_ms", latency)
             telemetry.count("serve.completed")
+            if self.observer is not None:
+                self.observer.on_resolve(req, batch_id=batch_id)
+            else:
+                telemetry.record(
+                    "serve.request", "request",
+                    _ns(req.arrival_ms), _ns(finish_ms),
+                    attributes={"request_id": req.request_id,
+                                "replica": replica.replica_id,
+                                "batch_size": batch_size,
+                                "attempts": req.attempts})
+        if self.observer is not None:
+            self.observer.on_batch(
+                batch_id, replica.replica_id, batch_size,
+                replica.busy_from_ms, replica.busy_until_ms)
+        else:
             telemetry.record(
-                "serve.request", "request",
-                _ns(req.arrival_ms), _ns(finish_ms),
-                attributes={"request_id": req.request_id,
-                            "replica": replica.replica_id,
-                            "batch_size": batch_size,
-                            "attempts": req.attempts})
-        telemetry.record(
-            "serve.batch", "stage",
-            _ns(replica.busy_from_ms), _ns(replica.busy_until_ms),
-            attributes={"replica": replica.replica_id,
-                        "batch_size": batch_size})
+                "serve.batch", "stage",
+                _ns(replica.busy_from_ms), _ns(replica.busy_until_ms),
+                attributes={"replica": replica.replica_id,
+                            "batch_size": batch_size})
         replica.recent_busy.append((replica.busy_from_ms,
                                     replica.busy_until_ms))
         replica.in_flight = None
@@ -380,6 +410,8 @@ class EndpointSimulation:
                                   ReplicaState.DRAINING)]
         ts = self._publish_metrics(serving)
         self._advance_cloud()
+        if self.observer is not None:
+            self.observer.on_tick(self.now_ms, ts)
         if self._completions_since_tick:
             ep.touch()
         self._completions_since_tick = 0
@@ -488,4 +520,5 @@ class EndpointSimulation:
             cost_per_1k_usd=(1e3 * cost / self.completed
                              if self.completed else 0.0),
             replica_timeline=tuple(self.replica_timeline),
+            latency_exemplars=tuple(hist.top_exemplars()),
         )

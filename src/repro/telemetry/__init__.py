@@ -45,7 +45,12 @@ from repro.telemetry.metrics import (
     record_device_memory,
     record_gpu_utilization,
 )
-from repro.telemetry.span import SPAN_KINDS, SpanEvent, TelemetrySpan
+from repro.telemetry.span import (
+    SPAN_KINDS,
+    SpanEvent,
+    SpanLink,
+    TelemetrySpan,
+)
 from repro.telemetry.tracer import Tracer
 
 __all__ = [
@@ -68,6 +73,7 @@ __all__ = [
     "record_gpu_utilization",
     "SPAN_KINDS",
     "SpanEvent",
+    "SpanLink",
     "TelemetrySpan",
     "Tracer",
 ]

@@ -64,12 +64,14 @@ def set_attribute(key: str, value: Any) -> None:
 
 
 def record(name: str, kind: str, start_ns: int, end_ns: int,
-           attributes: dict[str, Any] | None = None) -> None:
-    """Record an already-finished interval on the active tracer."""
+           attributes: dict[str, Any] | None = None):
+    """Record an already-finished interval on the active tracer; returns
+    the finished span (or ``None`` untraced) so callers can link it."""
     tracer = current_tracer()
-    if tracer is not None:
-        tracer.record(name, kind=kind, start_ns=start_ns, end_ns=end_ns,
-                      attributes=attributes)
+    if tracer is None:
+        return None
+    return tracer.record(name, kind=kind, start_ns=start_ns,
+                         end_ns=end_ns, attributes=attributes)
 
 
 def observe(metric: str, value: float) -> None:

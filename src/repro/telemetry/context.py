@@ -74,3 +74,19 @@ class IdGenerator:
     def next_span_id(self) -> str:
         self._span_n += 1
         return f"{self._span_n:016x}"
+
+    # Entity-derived trace ids: the serving plane wants trace identity a
+    # *reader* can compute from a request or batch id alone (that is what
+    # makes ``repro.obs waterfall <request-id>`` possible without an index
+    # lookup).  A marker nibble ("f" for requests, "e" for batches) keeps
+    # them disjoint from counter-allocated ids, which start near zero.
+
+    def request_trace_id(self, request_id: int) -> str:
+        if request_id < 0:
+            raise ValueError("request_id must be non-negative")
+        return f"{self.seed & 0xFFFFFFFF:08x}f{request_id:023x}"
+
+    def batch_trace_id(self, batch_id: int) -> str:
+        if batch_id < 0:
+            raise ValueError("batch_id must be non-negative")
+        return f"{self.seed & 0xFFFFFFFF:08x}e{batch_id:023x}"

@@ -35,7 +35,11 @@ def _lane(span: TelemetrySpan) -> tuple[object, object]:
 def to_chrome(spans: Iterable[TelemetrySpan],
               metrics: MetricsRegistry | None = None) -> dict:
     """A Chrome-trace document: complete ``X`` events for spans, instant
-    ``i`` events for span events, metrics snapshot in ``metadata``."""
+    ``i`` events for span events, flow ``s``/``f`` event pairs for span
+    links (drawing arrows across process/track lanes — request span to
+    device span), metrics snapshot in ``metadata``."""
+    spans = list(spans)
+    by_id = {s.span_id: s for s in spans}
     events: list[dict] = []
     for s in spans:
         pid, tid = _lane(s)
@@ -61,6 +65,23 @@ def to_chrome(spans: Iterable[TelemetrySpan],
                 "tid": tid,
                 "s": "t",                # thread-scoped instant
                 "args": dict(ev.attributes),
+            })
+        for link in s.links:
+            target = by_id.get(link.span_id)
+            if target is None:
+                continue                 # link outside the export
+            tpid, ttid = _lane(target)
+            flow_id = f"{s.span_id}:{link.span_id}"
+            events.append({
+                "name": link.kind, "cat": "flow", "ph": "s",
+                "id": flow_id, "ts": s.start_ns / 1e3,
+                "pid": pid, "tid": tid,
+            })
+            events.append({
+                "name": link.kind, "cat": "flow", "ph": "f",
+                "bp": "e",               # bind to enclosing slice
+                "id": flow_id, "ts": target.start_ns / 1e3,
+                "pid": tpid, "tid": ttid,
             })
     doc = {"traceEvents": events, "displayTimeUnit": "ms"}
     if metrics is not None:

@@ -67,26 +67,39 @@ class Histogram:
     serving trace pushes through.  The reservoir's replacement choices are
     drawn from an RNG seeded from the instrument name, so the same
     observation stream reproduces the same percentiles byte-for-byte.
+
+    With ``max_exemplars`` set, the histogram additionally retains the
+    **exemplars** of its ``max_exemplars`` largest observations — (value,
+    label) pairs, where the label is typically a trace or request id —
+    so a p99 read off the reservoir can be followed back to the worst
+    concrete offenders.  Ties break toward the lexicographically largest
+    label, keeping the retained set independent of observation order.
     """
 
     name: str
     samples: list[float] = field(default_factory=list)
     max_samples: int | None = None
+    max_exemplars: int = 0
+    exemplars: list[tuple[float, str]] = field(default_factory=list)
     _observed: int = field(default=0, repr=False, compare=False)
     _total: float = field(default=0.0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_samples is not None and self.max_samples <= 0:
             raise ReproError("max_samples must be positive when set")
+        if self.max_exemplars < 0:
+            raise ReproError("max_exemplars must be non-negative")
         self._observed = len(self.samples)
         self._total = float(np.sum(self.samples)) if self.samples else 0.0
         self._rng = random.Random(
             zlib.crc32(f"{self.name}:{self.max_samples}".encode()))
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         self._observed += 1
         self._total += value
+        if exemplar is not None and self.max_exemplars:
+            self._keep_exemplar(value, exemplar)
         if self.max_samples is None or len(self.samples) < self.max_samples:
             self.samples.append(value)
             return
@@ -95,6 +108,50 @@ class Histogram:
         j = self._rng.randrange(self._observed)
         if j < self.max_samples:
             self.samples[j] = value
+
+    def _keep_exemplar(self, value: float, label: str) -> None:
+        self.exemplars.append((value, label))
+        if len(self.exemplars) > self.max_exemplars:
+            # drop the smallest (value, label) — top-k by value, label
+            # tiebreak, so the kept set is observation-order independent
+            self.exemplars.sort()
+            del self.exemplars[0]
+
+    def top_exemplars(self) -> list[tuple[float, str]]:
+        """Retained exemplars, worst (largest value) first."""
+        return sorted(self.exemplars, reverse=True)
+
+    @classmethod
+    def merged(cls, name: str, parts: "list[Histogram]", *,
+               max_samples: int | None = None,
+               max_exemplars: int = 0) -> "Histogram":
+        """Merge histograms from independent shards, **order-independently**.
+
+        ``count``/``sum`` add exactly.  Pooled samples are sorted before
+        any subsampling and exemplars are re-ranked over the union, so
+        permuting ``parts`` cannot change the result — the property the
+        determinism tests pin.  (A pairwise sequential merge cannot make
+        this guarantee: reservoir replacement depends on arrival order.)
+        When the sorted pool exceeds ``max_samples`` it is subsampled at
+        evenly spaced ranks, which preserves the pooled percentile curve.
+        """
+        out = cls(name=name, max_samples=max_samples,
+                  max_exemplars=max_exemplars)
+        pooled: list[float] = []
+        for h in parts:
+            pooled.extend(h.samples)
+            out._observed += h.count
+            out._total += h.sum
+        pooled.sort()
+        if max_samples is not None and len(pooled) > max_samples:
+            idx = np.linspace(0, len(pooled) - 1, max_samples)
+            pooled = [pooled[int(round(i))] for i in idx]
+        out.samples = pooled
+        if max_exemplars:
+            union = sorted(
+                {ex for h in parts for ex in h.exemplars})
+            out.exemplars = union[-max_exemplars:]
+        return out
 
     @property
     def count(self) -> int:
@@ -153,14 +210,16 @@ class MetricsRegistry:
         return self._get(Gauge, name, labels)
 
     def histogram(self, name: str, max_samples: int | None = None,
-                  **labels) -> Histogram:
+                  max_exemplars: int = 0, **labels) -> Histogram:
         """Get-or-create a histogram.  ``max_samples`` puts a *new*
-        instrument in bounded-reservoir mode; an existing instrument keeps
-        whatever mode it was created with."""
+        instrument in bounded-reservoir mode and ``max_exemplars`` turns
+        on exemplar retention; an existing instrument keeps whatever mode
+        it was created with."""
         key = name + _label_suffix(labels)
         inst = self._instruments.get(key)
         if inst is None:
-            inst = Histogram(name=key, max_samples=max_samples)
+            inst = Histogram(name=key, max_samples=max_samples,
+                             max_exemplars=max_exemplars)
             self._instruments[key] = inst
         elif not isinstance(inst, Histogram):
             raise ReproError(

@@ -54,6 +54,31 @@ class SpanEvent:
                    attributes=dict(d.get("attributes", {})))
 
 
+@dataclass(frozen=True)
+class SpanLink:
+    """A causal reference to a span in another trace (OTel span links).
+
+    Parenting expresses *containment* inside one trace; a link expresses
+    *causality across traces* — a per-request trace pointing at the batch
+    span that served it, a batch span pointing at the calibration
+    measurement whose kernels produced its service profile.  ``kind``
+    names the relationship so renderers can label the hop.
+    """
+
+    trace_id: str
+    span_id: str
+    kind: str = "link"
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanLink":
+        return cls(trace_id=d["trace_id"], span_id=d["span_id"],
+                   kind=d.get("kind", "link"))
+
+
 @dataclass
 class TelemetrySpan:
     """One traced interval.
@@ -74,6 +99,7 @@ class TelemetrySpan:
     attributes: dict[str, Any] = field(default_factory=dict)
     events: list[SpanEvent] = field(default_factory=list)
     status: str = "ok"            # "ok" | "error"
+    links: list[SpanLink] = field(default_factory=list)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -99,6 +125,17 @@ class TelemetrySpan:
                        attributes=dict(attributes or {}))
         self.events.append(ev)
         return ev
+
+    def add_link(self, target: "TelemetrySpan | SpanLink", *,
+                 kind: str = "link") -> SpanLink:
+        """Record a causal reference to a span in another trace."""
+        if isinstance(target, SpanLink):
+            link = target
+        else:
+            link = SpanLink(trace_id=target.trace_id,
+                            span_id=target.span_id, kind=kind)
+        self.links.append(link)
+        return link
 
     # -- accessors --------------------------------------------------------
 
@@ -130,6 +167,7 @@ class TelemetrySpan:
             "attributes": dict(self.attributes),
             "events": [e.to_dict() for e in self.events],
             "status": self.status,
+            "links": [ln.to_dict() for ln in self.links],
         }
 
     @classmethod
@@ -146,4 +184,5 @@ class TelemetrySpan:
             attributes=dict(d.get("attributes", {})),
             events=[SpanEvent.from_dict(e) for e in d.get("events", [])],
             status=d.get("status", "ok"),
+            links=[SpanLink.from_dict(ln) for ln in d.get("links", [])],
         )

@@ -158,14 +158,24 @@ class Tracer:
 
     def record(self, name: str, kind: str, start_ns: int, end_ns: int,
                attributes: dict[str, Any] | None = None,
-               parent: TelemetrySpan | SpanContext | None = None
-               ) -> TelemetrySpan:
+               parent: TelemetrySpan | SpanContext | None = None,
+               trace_id: str | None = None) -> TelemetrySpan:
         """Record an already-finished interval as a span.
 
         Parents under the current open span when no explicit parent is
         given; parentless records share one "ambient" trace so a
         standalone bridged timeline still assembles into a single trace.
+        An explicit ``trace_id`` instead records the span as the *root*
+        of that trace, ignoring the open stack — how the observation
+        layer emits per-request traces with entity-derived ids.
         """
+        if trace_id is not None:
+            span = TelemetrySpan(
+                name=name, kind=kind, trace_id=trace_id,
+                span_id=self.ids.next_span_id(), parent_id=None,
+                start_ns=int(start_ns), attributes=dict(attributes or {}))
+            self.spans.append(span)
+            return span.finish(int(end_ns))
         if parent is None and self._open:
             parent = self._open[-1]
         if parent is None:

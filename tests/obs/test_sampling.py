@@ -1,0 +1,127 @@
+"""Head+tail sampling: retention classes, refcounted batches, bounds."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.sampling import BatchRecord, HeadTailSampler
+from repro.serve.request import (OUTCOME_COMPLETED, OUTCOME_SHED, Request)
+
+
+def resolved(request_id: int, latency_ms: float = 10.0,
+             outcome: str = OUTCOME_COMPLETED) -> Request:
+    req = Request(request_id=request_id, query="q",
+                  arrival_ms=float(request_id))
+    req.resolve(outcome, req.arrival_ms + latency_ms)
+    req.replica_id = 0
+    req.batch_size = 4
+    return req
+
+
+class TestRetentionClasses:
+    def test_head_keeps_the_first_n(self):
+        s = HeadTailSampler(head_n=3, slowest_k=0, max_errors=0)
+        for i in range(5):
+            s.offer(resolved(i))
+        assert [r.request_id for r in s.retained_requests()] == [0, 1, 2]
+        assert all(r.reason == "head" for r in s.retained_requests())
+        assert s.seen == 5
+
+    def test_errors_always_kept_up_to_cap(self):
+        s = HeadTailSampler(head_n=0, slowest_k=0, max_errors=2)
+        for i in range(4):
+            s.offer(resolved(i, outcome=OUTCOME_SHED))
+        retained = s.retained_requests()
+        assert [r.request_id for r in retained] == [0, 1]
+        assert all(r.reason == "error" for r in retained)
+        assert s.errors_dropped == 2
+
+    def test_slowest_k_keeps_the_worst_latencies(self):
+        s = HeadTailSampler(head_n=0, slowest_k=3, max_errors=0)
+        for i, lat in enumerate([5.0, 50.0, 1.0, 40.0, 30.0, 2.0]):
+            s.offer(resolved(i, latency_ms=lat))
+        retained = s.retained_requests()
+        assert sorted(r.latency_ms for r in retained) == [30.0, 40.0, 50.0]
+        assert all(r.reason == "slowest" for r in retained)
+
+    def test_shed_requests_never_enter_the_slow_heap(self):
+        s = HeadTailSampler(head_n=0, slowest_k=2, max_errors=0)
+        s.offer(resolved(0, latency_ms=100.0, outcome=OUTCOME_SHED))
+        assert s.retained_requests() == []
+
+    def test_dedup_prefers_head_over_slowest(self):
+        s = HeadTailSampler(head_n=1, slowest_k=5, max_errors=0)
+        s.offer(resolved(0, latency_ms=99.0))
+        retained = s.retained_requests()
+        assert len(retained) == 1
+        assert retained[0].reason == "head"
+
+    def test_unresolved_request_raises(self):
+        s = HeadTailSampler()
+        with pytest.raises(ReproError):
+            s.offer(Request(request_id=0, query="q", arrival_ms=0.0))
+
+    def test_is_retained(self):
+        s = HeadTailSampler(head_n=1, slowest_k=0, max_errors=0)
+        s.offer(resolved(0))
+        s.offer(resolved(1))
+        assert s.is_retained(0) and not s.is_retained(1)
+
+
+class TestOrderIndependence:
+    def test_slowest_k_is_offer_order_independent(self):
+        latencies = [(i, float(lat)) for i, lat in
+                     enumerate(random.Random(7).sample(range(1000), 200))]
+        baseline = None
+        for shuffle_seed in range(3):
+            order = list(latencies)
+            random.Random(shuffle_seed).shuffle(order)
+            s = HeadTailSampler(head_n=0, slowest_k=10, max_errors=0)
+            for rid, lat in order:
+                s.offer(resolved(rid, latency_ms=lat))
+            ids = [r.request_id for r in s.retained_requests()]
+            if baseline is None:
+                baseline = ids
+            assert ids == baseline
+
+
+class TestBatchRefcounting:
+    def test_batch_kept_only_while_referenced(self):
+        s = HeadTailSampler(head_n=1, slowest_k=0, max_errors=0)
+        s.offer(resolved(0), batch_id=11)
+        s.offer(resolved(1), batch_id=22)       # not retained
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        s.offer_batch(BatchRecord(22, 0, 4, 0.0, 5.0))
+        assert [b.batch_id for b in s.retained_batches()] == [11]
+
+    def test_heap_eviction_releases_the_batch(self):
+        s = HeadTailSampler(head_n=0, slowest_k=1, max_errors=0)
+        s.offer(resolved(0, latency_ms=10.0), batch_id=11)
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        assert [b.batch_id for b in s.retained_batches()] == [11]
+        s.offer(resolved(1, latency_ms=20.0), batch_id=22)
+        s.offer_batch(BatchRecord(22, 0, 4, 5.0, 9.0))
+        assert [b.batch_id for b in s.retained_batches()] == [22]
+
+    def test_shared_batch_survives_one_release(self):
+        s = HeadTailSampler(head_n=2, slowest_k=1, max_errors=0)
+        s.offer(resolved(0, latency_ms=10.0), batch_id=11)
+        s.offer(resolved(1, latency_ms=11.0), batch_id=11)
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        # request 2 evicts request 0 from the heap; 11 stays referenced
+        # by the head copies of 0 and 1
+        s.offer(resolved(2, latency_ms=99.0), batch_id=33)
+        s.offer_batch(BatchRecord(33, 0, 4, 5.0, 9.0))
+        assert [b.batch_id for b in s.retained_batches()] == [11, 33]
+
+    def test_memory_is_bounded_by_budgets_not_requests(self):
+        s = HeadTailSampler(head_n=5, slowest_k=5, max_errors=5)
+        for i in range(2000):
+            s.offer(resolved(i, latency_ms=float(i % 97)),
+                    batch_id=i // 8)
+            s.offer_batch(BatchRecord(i // 8, 0, 8, 0.0, 1.0))
+        assert s.seen == 2000
+        assert len(s.retained_requests()) <= 10
+        assert len(s._batches) <= 10
+        assert len(s._batch_refs) <= 10

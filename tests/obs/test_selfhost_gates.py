@@ -1,0 +1,23 @@
+"""The analysis gates self-host over the new observability layer.
+
+Same contract the rest of ``src/repro`` lives under: the DET
+determinism pass and the full interprocedural sweep report nothing over
+``src/repro/obs`` — the layer that promises byte-identical artifacts
+must itself pass the byte-identity linter.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+OBS = Path(__file__).resolve().parents[2] / "src" / "repro" / "obs"
+
+
+def test_det_pass_is_clean_over_obs():
+    report = analyze_paths([OBS], analyzers=("det",))
+    assert report.findings == []
+
+
+def test_interprocedural_sweep_is_clean_over_obs():
+    report = analyze_paths([OBS], interprocedural=True)
+    assert report.findings == []

@@ -1,0 +1,187 @@
+"""Error budgets, burn-rate windows, and the fire/clear state machine."""
+
+import pytest
+
+from repro.cloud.cloudwatch import AlarmState, CloudWatch
+from repro.cloud.reaper import SLO_GUARD_NAMESPACE
+from repro.errors import ReproError
+from repro.obs.slo import (OBS_NAMESPACE, BurnRateRule, SloMonitor,
+                           SloObjective, default_rules)
+
+
+def make_monitor(target=0.9, **kwargs):
+    # one rule, 100 ms long / 50 ms short, burn threshold 2.0
+    rule = BurnRateRule(name="r", long_window_ms=100.0,
+                        short_window_ms=50.0, burn_threshold=2.0)
+    return SloMonitor(SloObjective(target=target), (rule,), **kwargs)
+
+
+class TestObjective:
+    def test_target_bounds(self):
+        with pytest.raises(ReproError):
+            SloObjective(target=1.0)
+        with pytest.raises(ReproError):
+            SloObjective(target=0.0)
+
+    def test_budget_is_the_complement(self):
+        assert SloObjective(target=0.95).budget == pytest.approx(0.05)
+
+    def test_latency_threshold_makes_slow_requests_bad(self):
+        obj = SloObjective(target=0.9, latency_threshold_ms=10.0)
+        assert obj.is_good(True, 10.0)
+        assert not obj.is_good(True, 10.1)
+        assert not obj.is_good(False, 1.0)
+
+    def test_without_threshold_only_completion_matters(self):
+        obj = SloObjective(target=0.9)
+        assert obj.is_good(True, 1e9)
+
+
+class TestRules:
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ReproError):
+            BurnRateRule(name="r", long_window_ms=10.0,
+                         short_window_ms=20.0, burn_threshold=1.0)
+
+    def test_default_rules_scale_with_ms_per_hour(self):
+        fast, slow = default_rules(ms_per_hour=50.0)
+        assert (fast.long_window_ms, fast.short_window_ms) == (300.0, 50.0)
+        assert (slow.long_window_ms, slow.short_window_ms) == (
+            3600.0, 300.0)
+        assert fast.burn_threshold == 6.0 and slow.burn_threshold == 1.0
+
+    def test_ms_per_hour_must_be_positive(self):
+        with pytest.raises(ReproError):
+            default_rules(ms_per_hour=0.0)
+
+
+class TestBurnRateWindows:
+    def test_burn_is_bad_fraction_over_budget(self):
+        m = make_monitor(target=0.9)          # budget 0.1
+        for _ in range(8):
+            m.record(True)
+        for _ in range(2):
+            m.record(False)
+        m.evaluate(10.0)
+        # 20% bad over a 10% budget = burn 2.0
+        assert m.burn_rate(10.0, 100.0) == pytest.approx(2.0)
+
+    def test_windows_see_only_their_span(self):
+        m = make_monitor(target=0.9)
+        m.record(False)                       # bad lands in (0, 10]
+        m.evaluate(10.0)
+        for _ in range(4):
+            m.record(True)
+        m.evaluate(80.0)
+        # long window (100ms) still sees the early bad; short (50ms)
+        # only the recent goods
+        assert m.burn_rate(80.0, 100.0) == pytest.approx(2.0)
+        assert m.burn_rate(80.0, 50.0) == 0.0
+
+    def test_empty_window_burns_zero(self):
+        m = make_monitor()
+        m.evaluate(10.0)
+        assert m.burn_rate(10.0, 50.0) == 0.0
+        assert m.budget_spent == 0.0
+
+    def test_backwards_evaluation_raises(self):
+        m = make_monitor()
+        m.evaluate(10.0)
+        with pytest.raises(ReproError):
+            m.evaluate(5.0)
+
+    def test_pruning_keeps_window_queries_exact(self):
+        m = make_monitor(target=0.9)
+        reference = []
+        for t in range(1, 60):
+            now = t * 10.0
+            good = t % 3 != 0
+            m.record(good)
+            m.evaluate(now)
+            reference.append((now, good))
+        # snapshots pruned to the 100ms longest window...
+        assert len(m._snapshots) < 15
+        # ...but window counts match a brute-force recount
+        for window in (50.0, 100.0):
+            expected_bad = sum(1 for now, good in reference
+                               if not good and now > 590.0 - window)
+            expected_total = sum(1 for now, _ in reference
+                                 if now > 590.0 - window)
+            assert m._window_counts(590.0, window) == (
+                expected_total - expected_bad, expected_bad)
+
+
+class TestFireAndClear:
+    def test_fire_needs_both_windows_then_clears_on_short(self):
+        m = make_monitor(target=0.9)
+        # burn 5.0 in both windows -> fire
+        for _ in range(5):
+            m.record(False)
+        for _ in range(5):
+            m.record(True)
+        fired = m.evaluate(10.0)
+        assert [(t.rule, t.action) for t in fired] == [("r", "fire")]
+        assert m.active["r"]
+        # goods only: short window recovers first -> clear
+        for _ in range(50):
+            m.record(True)
+        cleared = m.evaluate(70.0)
+        assert [(t.rule, t.action) for t in cleared] == [("r", "clear")]
+        assert not m.active["r"]
+        assert [t.action for t in m.alerts] == ["fire", "clear"]
+
+    def test_long_window_alone_does_not_refire(self):
+        m = make_monitor(target=0.9)
+        m.record(False)
+        m.evaluate(10.0)           # burn 10 in both windows -> fires
+        for _ in range(3):
+            m.record(True)
+        m.evaluate(70.0)           # short window clean -> clears
+        # the long window still burns above threshold (the early bad),
+        # but without the short window it cannot re-fire
+        assert m.burn_rate(70.0, 100.0) > 2.0
+        assert m.evaluate(80.0) == []
+        assert [t.action for t in m.alerts] == ["fire", "clear"]
+
+    def test_no_transition_while_still_firing(self):
+        m = make_monitor(target=0.9)
+        m.record(False)
+        assert len(m.evaluate(10.0)) == 1
+        m.record(False)
+        assert m.evaluate(20.0) == []
+        assert len(m.alerts) == 1
+
+
+class TestCloudWatchBridge:
+    def test_monitor_installs_one_alarm_per_rule(self):
+        cw = CloudWatch()
+        m = make_monitor(cloudwatch=cw, dimension="ep")
+        name = m.alarm_name("r")
+        assert name == "ep-slo-burn-r"
+        assert cw.alarms[name].namespace == OBS_NAMESPACE
+
+    def test_alarm_tracks_the_lesser_window_burn(self):
+        cw = CloudWatch()
+        m = make_monitor(cloudwatch=cw, dimension="ep")
+        m.record(False)
+        m.evaluate(10.0, timestamp_h=0.1)
+        assert cw.alarms["ep-slo-burn-r"].state is AlarmState.ALARM
+        for _ in range(50):
+            m.record(True)
+        m.evaluate(70.0, timestamp_h=0.2)
+        assert cw.alarms["ep-slo-burn-r"].state is AlarmState.OK
+
+    def test_namespace_matches_the_reaper_guard(self):
+        assert OBS_NAMESPACE == SLO_GUARD_NAMESPACE
+
+
+class TestReporting:
+    def test_to_dict_shape(self):
+        m = make_monitor(target=0.9)
+        m.record(False)
+        m.evaluate(10.0)
+        d = m.to_dict()
+        assert d["objective"]["target"] == 0.9
+        assert d["good"] == 0 and d["bad"] == 1
+        assert d["rules"][0]["active"] is True
+        assert d["alerts"][0]["action"] == "fire"

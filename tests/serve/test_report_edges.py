@@ -1,0 +1,110 @@
+"""SloReport edge cases: empty traces, total overload, exemplars.
+
+The degenerate inputs an SLO report must survive without NaNs,
+ZeroDivisionErrors, or broken round-trips: a run that submitted
+nothing, a run where (almost) nothing completed, and the exemplar
+plumbing under both.
+"""
+
+from repro.serve.backend import BatchResult
+from repro.serve.loadgen import ArrivalTrace, constant_trace
+from repro.serve.report import SloReport
+from repro.serve.simulator import EndpointSimulation
+
+
+class NeverBackend:
+    """A backend that must not be reached (no arrivals -> no batches)."""
+
+    name = "never"
+
+    def serve_batch(self, queries):
+        raise AssertionError("empty trace should never serve a batch")
+
+
+class GlacialBackend:
+    """Service far slower than the deadline: nearly everything dies."""
+
+    name = "glacial"
+
+    def serve_batch(self, queries):
+        n = len(queries)
+        return BatchResult(service_ms=1000.0,
+                           per_query_ms=(1000.0,) * n)
+
+
+class TestEmptyTrace:
+    def _report(self, make_endpoint):
+        ep = make_endpoint()
+        sim = EndpointSimulation(ep, NeverBackend())
+        return sim.run(ArrivalTrace(name="empty", arrivals=(),
+                                    duration_ms=100.0))
+
+    def test_all_counts_and_rates_are_zero(self, make_endpoint):
+        rep = self._report(make_endpoint)
+        assert (rep.submitted, rep.completed, rep.shed, rep.expired) == (
+            0, 0, 0, 0)
+        assert rep.achieved_qps == 0.0
+        assert rep.shed_rate == 0.0 and rep.error_rate == 0.0
+        assert rep.avg_batch_size == 0.0
+        assert rep.cost_per_1k_usd == 0.0
+
+    def test_percentiles_of_nothing_are_zero(self, make_endpoint):
+        rep = self._report(make_endpoint)
+        assert rep.latency_p50_ms == 0.0
+        assert rep.latency_p999_ms == 0.0
+        assert rep.latency_exemplars == ()
+
+    def test_render_and_round_trip_survive(self, make_endpoint):
+        rep = self._report(make_endpoint)
+        assert "requests 0" in rep.render()
+        d = rep.to_dict()
+        assert SloReport.from_dict(d).to_dict() == d
+
+
+class TestTotalOverload:
+    def _report(self, make_endpoint):
+        ep = make_endpoint(max_queue_depth=1, max_batch_size=1,
+                           default_deadline_ms=5.0, max_replicas=1)
+        sim = EndpointSimulation(ep, GlacialBackend())
+        return sim.run(constant_trace(500.0, 100.0, ["q"], seed=1))
+
+    def test_conservation_holds_when_almost_nothing_completes(
+            self, make_endpoint):
+        rep = self._report(make_endpoint)
+        assert rep.completed + rep.shed + rep.expired == rep.submitted
+        assert rep.completed <= 1
+        assert rep.error_rate > 0.9
+
+    def test_report_stays_renderable_and_round_trippable(
+            self, make_endpoint):
+        rep = self._report(make_endpoint)
+        assert "shed rate" in rep.render()
+        d = rep.to_dict()
+        assert SloReport.from_dict(d).to_dict() == d
+
+    def test_exemplars_cover_only_completions(self, make_endpoint):
+        rep = self._report(make_endpoint)
+        assert len(rep.latency_exemplars) == rep.completed
+        for latency_ms, label in rep.latency_exemplars:
+            assert latency_ms > 0.0
+            assert label == f"{int(label):012d}"   # zero-padded ids
+
+
+class TestExemplarPlumbing:
+    def test_exemplars_match_the_worst_latencies(self, make_endpoint,
+                                                 backend):
+        ep = make_endpoint()
+        sim = EndpointSimulation(ep, backend)
+        rep = sim.run(constant_trace(200.0, 100.0, ["q"], seed=3))
+        assert 0 < len(rep.latency_exemplars) <= 5
+        worst = rep.latency_exemplars[0][0]
+        assert worst >= rep.latency_p999_ms * 0.999
+
+    def test_exemplars_round_trip_through_json(self, make_endpoint,
+                                               backend):
+        ep = make_endpoint()
+        sim = EndpointSimulation(ep, backend)
+        rep = sim.run(constant_trace(200.0, 100.0, ["q"], seed=3))
+        d = SloReport.from_dict(rep.to_dict())
+        assert d.latency_exemplars == tuple(
+            (round(v, 6), label) for v, label in rep.latency_exemplars)

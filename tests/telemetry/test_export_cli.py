@@ -122,3 +122,58 @@ class TestCli:
         assert cli_main(["critical-path", path]) == 0
         out = capsys.readouterr().out
         assert "(total extent)" in out
+
+
+def _span(name, trace_id, span_id, start_ns=0, end_ns=1000,
+          kind="stage"):
+    s = TelemetrySpan(name=name, kind=kind, trace_id=trace_id,
+                      span_id=span_id, parent_id=None, start_ns=start_ns)
+    s.finish(end_ns)
+    return s
+
+
+class TestFlowEvents:
+    def test_links_render_as_flow_start_finish_pairs(self):
+        src = _span("serve.request", "t1" + "0" * 30, "a" * 16,
+                    start_ns=5000, kind="request")
+        dst = _span("serve.batch", "t2" + "0" * 30, "b" * 16,
+                    start_ns=2000)
+        src.add_link(dst, kind="served_in")
+        doc = to_chrome([src, dst])
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "flow"]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["id"] == finish["id"] == f"{'a' * 16}:{'b' * 16}"
+        assert start["name"] == finish["name"] == "served_in"
+        assert start["ts"] == 5.0           # source start, in us
+        assert finish["ts"] == 2.0          # target start, in us
+        assert finish["bp"] == "e"
+
+    def test_link_to_absent_span_emits_no_flow(self):
+        src = _span("serve.request", "t1" + "0" * 30, "a" * 16)
+        dst = _span("serve.batch", "t2" + "0" * 30, "b" * 16)
+        src.add_link(dst, kind="served_in")
+        doc = to_chrome([src])              # dst not exported
+        assert [e for e in doc["traceEvents"]
+                if e.get("cat") == "flow"] == []
+
+    def test_jsonl_round_trip_preserves_links(self, tmp_path):
+        src = _span("serve.request", "t1" + "0" * 30, "a" * 16)
+        dst = _span("serve.batch", "t2" + "0" * 30, "b" * 16)
+        link = src.add_link(dst, kind="served_in")
+        assert (link.trace_id, link.span_id) == (dst.trace_id,
+                                                 dst.span_id)
+        path = tmp_path / "links.jsonl"
+        write_jsonl(str(path), [src, dst])
+        (spans, _) = read_jsonl(str(path))
+        assert [s.to_dict() for s in spans] == [
+            s.to_dict() for s in [src, dst]]
+        assert spans[0].links[0].kind == "served_in"
+
+    def test_linkless_spans_round_trip_unchanged(self, tmp_path):
+        s = _span("plain", "t1" + "0" * 30, "c" * 16)
+        path = tmp_path / "plain.jsonl"
+        write_jsonl(str(path), [s])
+        ([back], _) = read_jsonl(str(path))
+        assert back.links == []
+        assert "links" in back.to_dict()

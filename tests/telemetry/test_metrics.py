@@ -244,3 +244,90 @@ class TestDeviceMemory:
         # gauge publication must be a no-op without an active tracer
         self._load(system1)
         system1.device(0).synchronize()    # must not raise
+
+
+class TestExemplars:
+    def test_top_k_by_value_is_retained(self):
+        h = Histogram("lat", max_exemplars=3)
+        for v, label in [(5.0, "a"), (50.0, "b"), (1.0, "c"),
+                         (40.0, "d"), (30.0, "e")]:
+            h.observe(v, exemplar=label)
+        assert h.top_exemplars() == [(50.0, "b"), (40.0, "d"),
+                                     (30.0, "e")]
+
+    def test_retention_is_observation_order_independent(self):
+        import random
+        pairs = [(float(v), f"{i:04d}") for i, v in
+                 enumerate(random.Random(5).sample(range(500), 100))]
+        baseline = None
+        for seed in range(3):
+            order = list(pairs)
+            random.Random(seed).shuffle(order)
+            h = Histogram("lat", max_exemplars=7)
+            for v, label in order:
+                h.observe(v, exemplar=label)
+            if baseline is None:
+                baseline = h.top_exemplars()
+            assert h.top_exemplars() == baseline
+
+    def test_observe_without_exemplar_keeps_none(self):
+        h = Histogram("lat", max_exemplars=3)
+        h.observe(1.0)
+        assert h.top_exemplars() == []
+
+    def test_disabled_by_default(self):
+        h = Histogram("lat")
+        h.observe(1.0, exemplar="x")
+        assert h.exemplars == []
+
+    def test_registry_plumbs_max_exemplars(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", max_exemplars=2)
+        h.observe(3.0, exemplar="a")
+        h.observe(9.0, exemplar="b")
+        h.observe(6.0, exemplar="c")
+        assert h.top_exemplars() == [(9.0, "b"), (6.0, "c")]
+
+
+class TestMergedHistograms:
+    def _shard(self, values, labels=None, **kwargs):
+        h = Histogram("lat", **kwargs)
+        for i, v in enumerate(values):
+            h.observe(float(v),
+                      exemplar=labels[i] if labels else None)
+        return h
+
+    def test_count_and_sum_are_exact(self):
+        parts = [self._shard(range(100)), self._shard(range(100, 300))]
+        merged = Histogram.merged("lat", parts)
+        assert merged.count == 300
+        assert merged.sum == pytest.approx(sum(range(300)))
+
+    def test_merge_order_does_not_change_percentiles(self):
+        import random
+        rng = random.Random(11)
+        shards = [self._shard([rng.uniform(0, 100) for _ in range(400)],
+                              max_samples=64) for _ in range(4)]
+        forward = Histogram.merged("lat", shards, max_samples=64)
+        backward = Histogram.merged("lat", shards[::-1], max_samples=64)
+        assert forward.samples == backward.samples
+        for q in (50, 95, 99):
+            assert forward.percentile(q) == backward.percentile(q)
+
+    def test_merge_order_does_not_change_exemplars(self):
+        a = self._shard([1, 9], labels=["a1", "a9"], max_exemplars=2)
+        b = self._shard([5, 7], labels=["b5", "b7"], max_exemplars=2)
+        ab = Histogram.merged("lat", [a, b], max_exemplars=3)
+        ba = Histogram.merged("lat", [b, a], max_exemplars=3)
+        assert ab.top_exemplars() == ba.top_exemplars()
+        assert ab.top_exemplars()[0] == (9.0, "a9")
+
+    def test_subsampling_is_evenly_spaced_and_deterministic(self):
+        parts = [self._shard(range(1000))]
+        merged = Histogram.merged("lat", parts, max_samples=10)
+        again = Histogram.merged("lat", parts, max_samples=10)
+        assert merged.samples == again.samples
+        assert len(merged.samples) == 10
+        assert merged.samples[0] == 0.0
+        assert merged.samples[-1] == 999.0
+        assert merged.samples == sorted(merged.samples)

@@ -235,3 +235,39 @@ class TestNvtxBridge:
     def test_annotate_without_tracer_still_works(self, system1):
         with annotate("lonely"):
             _workload()  # no tracer: must not raise
+
+
+class TestEntityDerivedTraceIds:
+    def test_request_and_batch_ids_are_computable_and_disjoint(self):
+        ids = IdGenerator(seed=7)
+        req = ids.request_trace_id(0x123)
+        bat = ids.batch_trace_id(0x123)
+        assert req == "00000007f" + "0" * 20 + "123"
+        assert bat == "00000007e" + "0" * 20 + "123"
+        assert len(req) == len(ids.next_trace_id()) == 32
+        # counter-allocated ids never carry the marker nibble
+        assert ids.next_trace_id()[8] not in ("e", "f")
+
+    def test_negative_entity_ids_are_rejected(self):
+        ids = IdGenerator(seed=7)
+        with pytest.raises(ValueError):
+            ids.request_trace_id(-1)
+        with pytest.raises(ValueError):
+            ids.batch_trace_id(-1)
+
+    def test_record_with_trace_id_roots_a_new_trace(self):
+        with Tracer(seed=7) as tr:
+            with telemetry.span("serve.run"):
+                span = tr.record(
+                    "serve.request", "request", 0, 1000,
+                    trace_id=tr.ids.request_trace_id(42))
+        assert span.trace_id == tr.ids.request_trace_id(42)
+        assert span.parent_id is None       # not nested in serve.run
+        (run,) = tr.find("serve.run")
+        assert run.trace_id != span.trace_id
+
+    def test_api_record_returns_the_span(self):
+        with Tracer(seed=7):
+            span = telemetry.record("x", "stage", 0, 10)
+        assert span is not None and span.name == "x"
+        assert telemetry.record("x", "stage", 0, 10) is None  # untraced
