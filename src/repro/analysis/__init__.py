@@ -23,7 +23,13 @@ the same substrate:
 * :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.summaries` /
   :mod:`repro.analysis.interproc` — the interprocedural layer: the
   project-wide call graph, composable per-function summaries, and the
-  cross-function rules behind ``--interprocedural``.
+  cross-function rules behind ``--interprocedural``;
+* :mod:`repro.analysis.absint` / :mod:`repro.analysis.domains` /
+  :mod:`repro.analysis.kernelclass` — the opt-in abstract interpreter
+  (``--analyzers absint``): proof-grade SAN-OOB / SAN-BARRIER-DIV
+  verdicts over interval + affine domains and the serializable
+  :class:`KernelClass` vectorizability contract the JIT roadmap
+  consumes (``VEC-VECTORIZABLE`` / ``VEC-DIVERGENT``).
 
 Rule-by-rule documentation lives in ``docs/analysis.md``.
 """
@@ -56,7 +62,9 @@ from repro.analysis.dataflow import (
     solve,
 )
 from repro.analysis.driver import (
+    ALL_ANALYZERS,
     KNOWN_ANALYZERS,
+    OPT_IN_ANALYZERS,
     AnalysisRun,
     analyze_context,
     analyze_paths,
@@ -65,6 +73,36 @@ from repro.analysis.driver import (
     run_paths,
 )
 from repro.analysis.interproc import interprocedural_pass
+from repro.analysis.kernelclass import (
+    KernelClass,
+    classify,
+    render_classes_json,
+)
+
+#: lazily-imported names (PEP 562) — the abstract interpreter and its
+#: domains import :mod:`repro.sanitize.astlint`, which itself imports
+#: the framework's CFG, so an eager import here would cycle whenever
+#: ``repro.sanitize`` is imported first
+_LAZY = {
+    "AbsintResult": "repro.analysis.absint",
+    "LaunchEnv": "repro.analysis.absint",
+    "absint_context": "repro.analysis.absint",
+    "absint_source": "repro.analysis.absint",
+    "classify_kernel": "repro.analysis.absint",
+    "AbsVal": "repro.analysis.domains",
+    "Affine": "repro.analysis.domains",
+    "Interval": "repro.analysis.domains",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
 from repro.analysis.pipeline import (
     BASELINE_NAME,
     BASELINE_VERSION,
@@ -101,7 +139,20 @@ __all__ = [
     "solve",
     "reaching_at",
     "live_out",
+    "ALL_ANALYZERS",
     "KNOWN_ANALYZERS",
+    "OPT_IN_ANALYZERS",
+    "AbsintResult",
+    "AbsVal",
+    "Affine",
+    "Interval",
+    "KernelClass",
+    "LaunchEnv",
+    "absint_context",
+    "absint_source",
+    "classify",
+    "classify_kernel",
+    "render_classes_json",
     "AnalysisRun",
     "analyze_context",
     "analyze_source",

@@ -253,10 +253,24 @@ class CallGraph:
             shape = "doubleoctagon" if fn.is_kernel else "box"
             label = f"{fn.qualname}\\n{fn.file}:{fn.line}"
             lines.append(f'  "{fid}" [shape={shape}, label="{label}"];')
+        # unresolved callees render as dashed pseudo-nodes ("?::name")
+        # so the dot artifact shows every edge the json export has;
+        # both passes sort the same way, keeping the bytes stable
+        unresolved = sorted({site.name for site in self.sites
+                             if site.callee is None})
+        for name in unresolved:
+            lines.append(f'  "?::{name}" [shape=ellipse, '
+                         f'style=dashed, label="{name}?"];')
         seen: set[tuple] = set()
         for site in sorted(self.sites,
                            key=lambda s: (s.caller, s.line, s.name)):
             if site.callee is None:
+                key = (site.caller, f"?::{site.name}")
+                if key in seen:
+                    continue
+                seen.add(key)
+                lines.append(f'  "{site.caller}" -> "?::{site.name}" '
+                             "[style=dashed];")
                 continue
             key = (site.caller, site.callee)
             if key in seen:

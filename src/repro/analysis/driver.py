@@ -8,6 +8,10 @@ and hands the *same* context to every requested pass:
 * ``perf`` / ``cost`` / ``iam`` — :func:`repro.perflint.analyze_context`
 * ``mem`` — :func:`repro.memcheck.analyze_context`
 * ``det`` — :func:`repro.analysis.detpass.det_pass`
+* ``absint`` — :func:`repro.analysis.absint.absint_context` (opt-in:
+  named explicitly, never implied by ``all``; when run next to
+  ``kernel`` its proof-grade SAN-OOB / SAN-BARRIER-DIV verdicts replace
+  the heuristic's for the kernels it analyzed)
 
 Driver-level post-processing applies to every family uniformly:
 ``# repro: disable=RULE`` suppressions, duplicate-finding removal, and
@@ -30,6 +34,13 @@ from repro.sanitize.findings import Finding, Report
 
 #: every family the unified driver can dispatch, in canonical order
 KNOWN_ANALYZERS = ("kernel", "perf", "cost", "iam", "mem", "det")
+
+#: opt-in families — runnable by name but not part of ``all`` (the
+#: abstract interpreter adds VEC-* notes that default sweeps and
+#: golden reports should not pick up implicitly)
+OPT_IN_ANALYZERS = ("absint",)
+
+ALL_ANALYZERS = KNOWN_ANALYZERS + OPT_IN_ANALYZERS
 
 _PERFLINT_FAMILIES = ("perf", "cost", "iam")
 
@@ -60,6 +71,19 @@ def analyze_context(ctx: AnalysisContext,
     if "det" in analyzers:
         from repro.analysis.detpass import det_pass
         report.extend(det_pass(ctx).findings)
+    if "absint" in analyzers:
+        from repro.analysis.absint import OWNED_RULES, absint_context
+        result = absint_context(ctx)
+        if "kernel" in analyzers and result.analyzed:
+            # the interpreter's verdicts own SAN-OOB/SAN-BARRIER-DIV
+            # for the kernels it analyzed; the syntactic heuristic
+            # stays authoritative only where absint is off
+            owned = Report()
+            owned.extend(f for f in report.findings
+                         if not (f.rule in OWNED_RULES
+                                 and f.context in result.analyzed))
+            report = owned
+        report.extend(result.report.findings)
     kept = Report()
     for finding in report.findings:
         if ctx.is_suppressed(finding.rule, finding.line):
@@ -164,7 +188,9 @@ def analyze_paths(paths, analyzers=KNOWN_ANALYZERS, *,
 
 
 __all__ = [
+    "ALL_ANALYZERS",
     "KNOWN_ANALYZERS",
+    "OPT_IN_ANALYZERS",
     "AnalysisRun",
     "analyze_context",
     "analyze_source",

@@ -59,6 +59,7 @@ def make_finding(rule_id: str, message: str, *, file: str = "",
 
 def all_rules() -> dict[str, Rule]:
     """Every rule every analyzer family can emit, by stable id."""
+    from repro.analysis.kernelclass import RULES as VEC_RULES
     from repro.memcheck.rules import RULES as MEM_RULES
     from repro.perflint.rules import RULES as PERFLINT_RULES
     from repro.sanitize.rules import RULES as SAN_RULES
@@ -68,6 +69,7 @@ def all_rules() -> dict[str, Rule]:
     merged.update(PERFLINT_RULES)
     merged.update(MEM_RULES)
     merged.update(RULES)
+    merged.update(VEC_RULES)
     return merged
 
 

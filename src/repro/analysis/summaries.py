@@ -538,6 +538,84 @@ def _lift_plan(plan: PlanTemplate, site: CallSite, callee: FunctionInfo,
         chain=_extend_chain(hop, plan.chain))
 
 
+def device_affine_summary(
+        fn: ast.FunctionDef) -> tuple[dict[str, int], int] | None:
+    """Affine summary of a straight-line device helper: ``(coeffs,
+    const)`` such that the helper returns ``Σ coeffs[p]·p + const``
+    over its parameters — or ``None`` when the body is anything richer.
+
+    This is what lets the abstract interpreter
+    (:mod:`repro.analysis.absint`) inline a helper call like
+    ``flat_index(i, j, width)`` by summary instead of dropping the
+    index to top: only simple ``name = <affine>`` assignments followed
+    by a final ``return <affine>`` qualify, so the summary is exact
+    whenever it exists.
+    """
+    params = [a.arg for a in fn.args.args]
+    if fn.args.vararg or fn.args.kwarg or fn.args.kwonlyargs \
+            or fn.args.posonlyargs:
+        return None
+    env: dict[str, tuple[dict[str, int], int]] = {
+        p: ({p: 1}, 0) for p in params}
+
+    def affine_of(node) -> tuple[dict[str, int], int] | None:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) \
+                    or not isinstance(node.value, int):
+                return None
+            return {}, node.value
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.UnaryOp) \
+                and isinstance(node.op, ast.USub):
+            sub = affine_of(node.operand)
+            if sub is None:
+                return None
+            return {k: -v for k, v in sub[0].items()}, -sub[1]
+        if isinstance(node, ast.BinOp):
+            left = affine_of(node.left)
+            right = affine_of(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.op, ast.Add):
+                out = dict(left[0])
+                for k, v in right[0].items():
+                    out[k] = out.get(k, 0) + v
+                return out, left[1] + right[1]
+            if isinstance(node.op, ast.Sub):
+                out = dict(left[0])
+                for k, v in right[0].items():
+                    out[k] = out.get(k, 0) - v
+                return out, left[1] - right[1]
+            if isinstance(node.op, ast.Mult):
+                for const, form in ((left, right), (right, left)):
+                    if not const[0]:
+                        return ({k: v * const[1]
+                                 for k, v in form[0].items()},
+                                form[1] * const[1])
+                return None
+        return None
+
+    for stmt in fn.body[:-1]:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            return None
+        value = affine_of(stmt.value)
+        if value is None:
+            return None
+        env[stmt.targets[0].id] = value
+    last = fn.body[-1] if fn.body else None
+    if not isinstance(last, ast.Return) or last.value is None:
+        return None
+    result = affine_of(last.value)
+    if result is None:
+        return None
+    coeffs = {k: v for k, v in result[0].items() if v}
+    if any(k not in params for k in coeffs):
+        return None
+    return coeffs, result[1]
+
+
 def kernel_reachable(graph: CallGraph) -> frozenset:
     """Every function reachable from a ``@cuda.jit`` kernel through
     resolved edges — the only scope host effects are tracked in."""
@@ -598,6 +676,7 @@ __all__ = [
     "PlanTemplate",
     "build_summaries",
     "clear_summary_cache",
+    "device_affine_summary",
     "file_env",
     "kernel_reachable",
     "summary_cache_info",

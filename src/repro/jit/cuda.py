@@ -357,6 +357,22 @@ class CudaKernel:
             f"{self.name}[grid, block](...), not called directly"
         )
 
+    def classify(self):
+        """Statically classify this kernel for the JIT roadmap.
+
+        Runs the abstract interpreter
+        (:func:`repro.analysis.absint.classify_kernel`) over the
+        kernel's source and returns its
+        :class:`~repro.analysis.kernelclass.KernelClass` — the
+        vectorizability archetype, per-array access footprints, and
+        OOB/barrier verdicts a lowering pass must respect.  Extents
+        are anonymous (no launch site is visible from here), so bound
+        guards still prove safety but launch-dependent bounds report
+        ``unknown``.
+        """
+        from repro.analysis.absint import classify_kernel
+        return classify_kernel(self)
+
 
 class _Launcher:
     """One configured launch of a :class:`CudaKernel`."""

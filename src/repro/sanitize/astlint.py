@@ -22,9 +22,16 @@ The pass reproduces, on the simulator, the checks students get from
 
 Everything is heuristic in the way a linter is: taint is propagated
 through straight-line assignments, a name compared inside an ``if`` test
-counts as bounds-checked in the branch body, and loops are unrolled once
-for the phase analysis.  That is enough to be exact on the kernel shapes
-the course teaches (elementwise, stencil, tiled reduction/matmul).
+counts as bounds-checked in the branch body (and, after an early-exit
+``if i >= n: return``, in the straight-line code that survives it), and
+loops are unrolled once for the phase analysis.  That is enough to be
+exact on the kernel shapes the course teaches (elementwise, stencil,
+tiled reduction/matmul).
+
+When the abstract interpreter (:mod:`repro.analysis.absint`) runs next
+to this pass, its proof-grade verdicts *own* SAN-OOB and
+SAN-BARRIER-DIV for the kernels it analyzed — the heuristics here are
+the fallback for everything else (see ``docs/sanitizer.md``).
 """
 
 from __future__ import annotations
@@ -175,8 +182,18 @@ class _KernelLinter:
         return names
 
     def _visit_body(self, stmts, guards: set[str], divergence: int) -> None:
+        guards = set(guards)
         for stmt in stmts:
             self._visit_stmt(stmt, guards, divergence)
+            # early-exit bound check: after `if i >= n: return`, the
+            # surviving straight-line code is guarded on `i` exactly as
+            # if it were nested under `if i < n:` — without this, the
+            # guard idiom Lab 5 teaches second is a false SAN-OOB
+            if isinstance(stmt, ast.If) and not stmt.orelse \
+                    and stmt.body and isinstance(
+                        stmt.body[-1],
+                        (ast.Return, ast.Break, ast.Continue, ast.Raise)):
+                guards |= self._guard_names(stmt.test)
 
     def _visit_stmt(self, stmt: ast.stmt, guards: set[str],
                     divergence: int) -> None:

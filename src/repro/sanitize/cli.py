@@ -19,7 +19,11 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.driver import KNOWN_ANALYZERS, run_paths
+from repro.analysis.driver import (
+    ALL_ANALYZERS,
+    KNOWN_ANALYZERS,
+    run_paths,
+)
 from repro.analysis.pipeline import Baseline, fingerprint_report
 from repro.sanitize.findings import Report, Severity
 
@@ -46,8 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "findings")
     parser.add_argument("--analyzers", default="kernel", metavar="LIST",
                         help="comma-separated analyzer families to run: "
-                             f"{','.join(KNOWN_ANALYZERS)} (or 'all'; "
-                             "default: kernel)")
+                             f"{','.join(ALL_ANALYZERS)} (or 'all' for "
+                             f"{','.join(KNOWN_ANALYZERS)}; absint is "
+                             "opt-in by name; default: kernel)")
     parser.add_argument("--interprocedural", action="store_true",
                         help="resolve the project-wide call graph and "
                              "add cross-function findings (call-chain "
@@ -57,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, metavar="FORMAT",
                         help="print the resolved call graph (dot or "
                              "json) instead of analyzing, and exit 0")
+    parser.add_argument("--kernel-classes", choices=("json",),
+                        default=None, metavar="FORMAT",
+                        help="print the abstract interpreter's kernel "
+                             "classification (KernelClass JSON) instead "
+                             "of analyzing, and exit 0")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="accepted-findings ledger (JSON); only "
                              "findings whose fingerprint is not in the "
@@ -70,11 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _parse_analyzers(spec: str) -> "tuple[list[str], list[str]]":
     """``(selected, unknown)`` — ``unknown`` names every family the
-    spec asked for that does not exist."""
+    spec asked for that does not exist.  ``all`` expands to the six
+    default families; opt-in families (``absint``) still join when
+    named next to it (``--analyzers all,absint``)."""
     names = [n.strip() for n in spec.split(",") if n.strip()]
+    unknown = [n for n in names
+               if n != "all" and n not in ALL_ANALYZERS]
+    if unknown:
+        return [n for n in names if n != "all"], unknown
     if "all" in names:
-        return list(KNOWN_ANALYZERS), []
-    unknown = [n for n in names if n not in KNOWN_ANALYZERS]
+        extras = [n for n in names if n in ALL_ANALYZERS
+                  and n not in KNOWN_ANALYZERS]
+        return list(KNOWN_ANALYZERS) + extras, []
     return names, unknown
 
 
@@ -85,7 +102,7 @@ def main(argv: list[str] | None = None) -> int:
         what = ", ".join(unknown) if unknown else "nothing"
         print(f"repro.sanitize: unknown analyzer {what!r} in "
               f"{args.analyzers!r}; choose from "
-              f"{', '.join(KNOWN_ANALYZERS)} (or 'all')",
+              f"{', '.join(ALL_ANALYZERS)} (or 'all')",
               file=sys.stderr)
         return 2
     missing = [p for p in args.paths if not Path(p).exists()]
@@ -105,6 +122,19 @@ def main(argv: list[str] | None = None) -> int:
         graph = build_call_graph(contexts)
         print(graph.to_dot() if args.call_graph == "dot"
               else graph.render_json())
+        return 0
+    if args.kernel_classes:
+        from repro.analysis.absint import absint_context
+        from repro.analysis.context import AnalysisContext
+        from repro.analysis.driver import collect_files
+        from repro.analysis.kernelclass import render_classes_json
+
+        classes = []
+        for f in collect_files(args.paths):
+            ctx = AnalysisContext.from_file(f)
+            if ctx.ok:
+                classes.extend(absint_context(ctx).classes)
+        print(render_classes_json(classes))
         return 0
     # one parse per file, every family on the shared context; findings
     # come back deduplicated (overlapping paths analyze a file once)

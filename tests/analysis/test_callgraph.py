@@ -253,6 +253,28 @@ class TestExports:
         assert dot.startswith("digraph callgraph {")
         assert f'"{_fid(graph, "caller")}" -> ' \
                f'"{_fid(graph, "helper")}";' in dot
+        # the unresolved `table['x']()` call is in the picture too: a
+        # dashed pseudo-node with a dashed edge, like the json export
+        assert '"?::<dynamic>" [shape=ellipse, style=dashed, ' \
+               'label="<dynamic>?"];' in dot
+        assert f'"{_fid(graph, "caller")}" -> "?::<dynamic>" ' \
+               "[style=dashed];" in dot
+
+    def test_dot_unresolved_named_callee_and_stability(self, tmp_path):
+        graph = _graph(tmp_path, {"a.py": """\
+            def caller():
+                frobnicate()
+                frobnicate()
+                annotate()
+        """})
+        dot = graph.to_dot()
+        # one pseudo-node per unique callee name, sorted, and the
+        # repeated call collapses to one dashed edge
+        annotate = dot.index('"?::annotate"')
+        frob = dot.index('"?::frobnicate"')
+        assert annotate < frob
+        assert dot.count('-> "?::frobnicate" [style=dashed];') == 1
+        assert dot == graph.to_dot()
 
     def test_kernel_nodes_are_flagged(self, tmp_path):
         graph = _graph(tmp_path, {"k.py": """\

@@ -13,6 +13,7 @@ from repro.sanitize.cli import main
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 INTERPROC = Path(__file__).resolve().parent / "fixtures_interproc"
+ABSINT = Path(__file__).resolve().parent / "fixtures_absint"
 REPO = Path(__file__).resolve().parents[2]
 
 
@@ -39,6 +40,84 @@ class TestAnalyzerSelection:
         rc = main(["--analyzers", "all", "--format", "json",
                    str(FIXTURES / "det_clean_workflow.py")])
         assert rc == 0
+
+
+class TestAbsintCli:
+    def test_opt_in_by_name(self, capsys):
+        rc = main(["--analyzers", "absint", "--format", "json",
+                   str(ABSINT / "vec_clean.py")])
+        assert rc == 1
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        assert {f["rule"] for f in findings} == {"VEC-VECTORIZABLE"}
+        assert "elementwise" in findings[0]["message"]
+
+    def test_all_does_not_include_the_opt_in(self, capsys):
+        rc = main(["--analyzers", "all", "--format", "json",
+                   str(ABSINT / "vec_clean.py")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+    def test_all_plus_absint_combines(self, capsys):
+        rc = main(["--analyzers", "all,absint", "--format", "json",
+                   str(ABSINT / "vec_clean.py")])
+        assert rc == 1
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        assert {f["rule"] for f in findings} == {"VEC-VECTORIZABLE"}
+
+    def test_unknown_analyzer_error_names_absint(self, capsys):
+        rc = main(["--analyzers", "absnt", str(ABSINT)])
+        assert rc == 2
+        assert "absint" in capsys.readouterr().err
+
+    def test_errors_only_gates_on_proofs_not_notes(self, capsys):
+        rc = main(["--analyzers", "absint", "--errors-only",
+                   "--format", "json", str(ABSINT)])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+    def test_inline_suppression_of_vec_note(self, capsys):
+        rc = main(["--analyzers", "absint", "--format", "json",
+                   str(ABSINT / "vec_divergent.py")])
+        assert rc == 1
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        assert {f["rule"] for f in findings} == {"VEC-DIVERGENT"}
+        rc = main(["--analyzers", "absint", "--format", "json",
+                   str(ABSINT / "vec_divergent_suppressed.py")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+    def test_baseline_round_trip_for_vec_family(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(["--analyzers", "absint", "--baseline", str(baseline),
+                   "--update-baseline", str(ABSINT)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["--analyzers", "absint", "--baseline", str(baseline),
+                   "--format", "json", str(ABSINT)])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+    def test_kernel_classes_json(self, capsys):
+        rc = main(["--kernel-classes", "json", str(ABSINT)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro.analysis.absint"
+        by_name = {k["kernel"]: k for k in doc["kernels"]}
+        saxpy = by_name["saxpy"]
+        assert saxpy["class"] == "elementwise"
+        assert saxpy["oob"] == "proven_safe"
+        assert saxpy["launches"] == 1
+        bases = {ax["base"] for a in saxpy["accesses"]
+                 for ax in a["axes"]}
+        assert bases == {"256*bid.x + tid.x"}
+        assert by_name["gather"]["class"] == "divergent-fallback"
+        assert doc["summary"]["total"] == 3
+
+    def test_kernel_classes_json_is_deterministic(self, capsys):
+        main(["--kernel-classes", "json", str(ABSINT)])
+        one = capsys.readouterr().out
+        main(["--kernel-classes", "json", str(ABSINT)])
+        assert capsys.readouterr().out == one
 
 
 class TestDeterministicOutput:

@@ -1,0 +1,151 @@
+"""The abstract domains behind the kernel verifier: interval
+arithmetic and widening, affine forms with cancellation, constraint
+entailment, and the joined :class:`AbsVal` lattice."""
+
+from repro.analysis.domains import (
+    INF,
+    NEG_INF,
+    AbsVal,
+    Affine,
+    Interval,
+    T_BLOCK,
+    T_GLOBAL,
+    T_NONE,
+    T_THREAD,
+    affine_taint,
+    entails_le_zero,
+)
+
+
+class TestInterval:
+    def test_arithmetic(self):
+        a = Interval(0, 10)
+        b = Interval(2, 3)
+        assert a + b == Interval(2, 13)
+        assert a - b == Interval(-3, 8)
+        assert a * b == Interval(0, 30)
+        assert -a == Interval(-10, 0)
+
+    def test_mul_with_negatives(self):
+        assert Interval(-2, 3) * Interval(-4, 5) == Interval(-12, 15)
+
+    def test_infinite_endpoints_stay_sound(self):
+        top = Interval.top()
+        assert top + Interval.const(5) == top
+        assert Interval(0, INF) * Interval.const(2) == Interval(0, INF)
+        assert Interval(0, INF) * Interval.const(-1) == Interval(NEG_INF, 0)
+
+    def test_floordiv_const(self):
+        assert Interval(0, 10).floordiv_const(3) == Interval(0, 3)
+        assert Interval(0, INF).floordiv_const(4) == Interval(0, INF)
+
+    def test_mod_const(self):
+        assert Interval(0, 100).mod_const(8) == Interval(0, 7)
+        assert Interval(0, 3).mod_const(8) == Interval(0, 3)
+        assert Interval(-5, 5).mod_const(8) == Interval(-7, 7)
+
+    def test_join_meet(self):
+        assert Interval(0, 2).join(Interval(5, 9)) == Interval(0, 9)
+        assert Interval(0, 7).meet(Interval(5, 9)) == Interval(5, 7)
+        assert Interval(0, 2).meet(Interval(5, 9)).is_empty
+
+    def test_widen_jumps_unstable_bounds_to_infinity(self):
+        old = Interval(0, 10)
+        assert old.widen(Interval(0, 11)) == Interval(0, INF)
+        assert old.widen(Interval(-1, 10)) == Interval(NEG_INF, 10)
+        assert old.widen(Interval(0, 10)) == old
+
+
+class TestAffine:
+    def test_make_drops_zero_coefficients(self):
+        f = Affine.make({"tid.x": 1, "bid.x": 0}, 3)
+        assert f.atoms() == ("tid.x",)
+        assert f.const == 3
+
+    def test_equal_forms_compare_equal(self):
+        a = Affine.make({"a": 1, "b": 2}, 1)
+        b = Affine.make({"b": 2, "a": 1}, 1)
+        assert a == b
+
+    def test_add_sub_cancellation(self):
+        grid = Affine.make({"bid.x": 256, "tid.x": 1})
+        tx = Affine.atom("tid.x")
+        assert (grid - tx) == Affine.make({"bid.x": 256})
+
+    def test_scale_and_exact_floordiv(self):
+        f = Affine.make({"bid.x": 256}, 512)
+        assert f.exact_floordiv(256) == Affine.make({"bid.x": 1}, 2)
+        assert Affine.make({"bid.x": 255}).exact_floordiv(256) is None
+
+    def test_render(self):
+        assert Affine.make({"tid.x": 1}, 2).render() == "tid.x + 2"
+        assert Affine.make({"bid.x": 64}).render() == "64*bid.x"
+        assert Affine.constant(0).render() == "0"
+
+
+class TestAffineTaint:
+    def test_atoms_map_to_lattice(self):
+        assert affine_taint(Affine.atom("tid.x")) == T_THREAD
+        assert affine_taint(Affine.atom("bid.y")) == T_BLOCK
+        assert affine_taint(Affine.atom("gidx.x")) == T_GLOBAL
+        assert affine_taint(Affine.atom("host:n")) == T_NONE
+
+    def test_thread_plus_block_is_global(self):
+        grid = Affine.make({"bid.x": 256, "tid.x": 1})
+        assert affine_taint(grid) == T_GLOBAL
+
+    def test_cancellation_downgrades_taint(self):
+        # i - tid.x leaves only the block part: the precision win the
+        # syntactic taint walk cannot see
+        grid = Affine.make({"bid.x": 256, "tid.x": 1})
+        assert affine_taint(grid - Affine.atom("tid.x")) == T_BLOCK
+
+
+class TestEntailment:
+    def test_constant_forms(self):
+        assert entails_le_zero(Affine.constant(-1), frozenset())
+        assert not entails_le_zero(Affine.constant(1), frozenset())
+
+    def test_constant_difference_against_known_fact(self):
+        # fact: i - n <= 0; goal: i - n - 1 <= 0
+        i, n = Affine.atom("gidx.x"), Affine.atom("host:n")
+        fact = i - n
+        goal = i - n - Affine.constant(1)
+        assert entails_le_zero(goal, frozenset([fact]))
+        # i - n + 1 <= 0 is NOT entailed by i - n <= 0
+        assert not entails_le_zero(
+            i - n + Affine.constant(1), frozenset([fact]))
+
+    def test_interval_evaluation_fallback(self):
+        tid = Affine.atom("tid.x") - Affine.constant(64)
+
+        def interval_of(form):
+            out = Interval.const(form.const)
+            for atom, coeff in form.coeffs:
+                out = out + Interval(0, 63) * Interval.const(coeff)
+            return out
+
+        assert entails_le_zero(tid, frozenset(), interval_of)
+
+
+class TestAbsVal:
+    def test_join_keeps_equal_affine_only(self):
+        a = AbsVal(Affine.atom("tid.x"), Interval(0, 63), T_THREAD)
+        b = AbsVal(Affine.atom("tid.x"), Interval(0, 127), T_THREAD)
+        j = a.join(b)
+        assert j.affine == Affine.atom("tid.x")
+        assert j.interval == Interval(0, 127)
+        c = AbsVal(Affine.atom("bid.x"), Interval(0, 3), T_BLOCK)
+        assert a.join(c).affine is None
+        assert a.join(c).taint == T_THREAD
+
+    def test_widen_widens_interval(self):
+        a = AbsVal(None, Interval(0, 10), T_NONE)
+        b = AbsVal(None, Interval(0, 11), T_NONE)
+        assert a.widen(b).interval == Interval(0, INF)
+
+    def test_const(self):
+        v = AbsVal.const(7)
+        assert v.affine == Affine.constant(7)
+        assert v.interval == Interval.const(7)
+        assert v.taint == T_NONE

@@ -265,3 +265,47 @@ class TestBarrierThreadedExecutor:
         report = check_launch(racy_reverse, 1, 32, v, out)
         assert any(f.rule in ("SAN-DYN-RW", "SAN-DYN-WW")
                    for f in report.findings), report.render_text()
+
+
+class TestKernelClassify:
+    """`CudaKernel.classify()` — the live bridge into the abstract
+    interpreter's vectorizability contract."""
+
+    def test_elementwise_kernel_classifies(self, system1):
+        @cuda.jit
+        def double(x, out):
+            i = cuda.grid(1)
+            if i < x.size and i < out.size:
+                out[i] = 2.0 * x[i]
+
+        kc = double.classify()
+        assert kc.kernel == "double"
+        assert kc.klass == "elementwise"
+        assert kc.vectorizable
+        # guards bound every array, so even the launch-free extraction
+        # proves the accesses safe
+        assert kc.oob == "proven_safe"
+
+    def test_divergent_kernel_falls_back(self, system1):
+        @cuda.jit
+        def gather(idx, x, out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] = x[idx[i]]
+
+        kc = gather.classify()
+        assert kc.klass == "divergent-fallback"
+        assert not kc.vectorizable
+        assert kc.reasons
+
+    def test_classification_does_not_interfere_with_launch(self, system1):
+        @cuda.jit
+        def fill(out):
+            i = cuda.grid(1)
+            if i < out.size:
+                out[i] = 1.0
+
+        assert fill.classify().klass == "elementwise"
+        out = cuda.device_array(64)
+        fill[1, 64](out)
+        assert out.get().sum() == 64

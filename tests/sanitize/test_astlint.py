@@ -159,6 +159,54 @@ class TestCleanKernels:
         '''))
         assert report.ok, report.render_text()
 
+    def test_early_exit_guard_is_clean(self):
+        # the guard is inverted: threads past the bound return, so the
+        # subscripts below are covered even without an enclosing `if`
+        report = lint_source(textwrap.dedent('''
+            from repro.jit import cuda
+
+            @cuda.jit
+            def saxpy(a, x, y, out):
+                i = cuda.grid(1)
+                if i >= out.size:
+                    return
+                out[i] = a * x[i] + y[i]
+        '''))
+        assert not [f for f in report.findings
+                    if f.rule == "SAN-OOB"], report.render_text()
+
+    def test_early_exit_guard_does_not_leak_into_siblings(self):
+        # an early-exit check guards *subsequent* statements only; an
+        # access before it is still unguarded
+        report = lint_source(textwrap.dedent('''
+            from repro.jit import cuda
+
+            @cuda.jit
+            def premature(x, out):
+                i = cuda.grid(1)
+                out[i] = x[i]
+                if i >= out.size:
+                    return
+        '''))
+        assert [f for f in report.findings if f.rule == "SAN-OOB"]
+
+    def test_early_exit_with_else_branch_does_not_guard(self):
+        # with an else arm the statement is not an early exit — both
+        # arms fall through, so nothing below is guarded
+        report = lint_source(textwrap.dedent('''
+            from repro.jit import cuda
+
+            @cuda.jit
+            def fallthrough(x, out):
+                i = cuda.grid(1)
+                if i >= out.size:
+                    j = 0
+                else:
+                    j = 1
+                out[i] = x[i] + j
+        '''))
+        assert [f for f in report.findings if f.rule == "SAN-OOB"]
+
     def test_grid_stride_loop_is_clean(self):
         report = lint_source(textwrap.dedent('''
             from repro.jit import cuda

@@ -1,0 +1,147 @@
+"""Cross-validation: the static verdicts of the abstract interpreter
+(:mod:`repro.analysis.absint`) against the dynamic race detector
+(:mod:`repro.sanitize.dynamic`), over the *same* kernel sources.
+
+The contract under test: a kernel absint marks ``verified`` (OOB
+proven, barriers uniform, no heuristic race) must never race at
+runtime, and a kernel that does race dynamically must not have been
+``verified`` statically.  The static pass is allowed to be *more*
+conservative than the dynamic one — never less.
+"""
+
+import numpy as np
+
+from repro.analysis.absint import absint_source
+from repro.jit import cuda  # noqa: F401  (exec'd fixtures use it)
+from repro.sanitize import check_launch
+
+SAFE_SAXPY = """\
+import numpy as np
+from repro.jit import cuda
+
+@cuda.jit
+def saxpy(a, x, y, out):
+    i = cuda.grid(1)
+    if i < out.size:
+        out[i] = a * x[i] + y[i]
+
+def launch(kernel):
+    n = 1000
+    x = cuda.to_device(np.arange(n, dtype=np.float32))
+    y = cuda.to_device(np.ones(n, dtype=np.float32))
+    out = cuda.device_array(n)
+    return (n + 255) // 256, 256, (2.0, x, y, out)
+
+def main():
+    n = 1000
+    x = cuda.to_device(np.arange(n, dtype=np.float32))
+    y = cuda.to_device(np.ones(n, dtype=np.float32))
+    out = cuda.device_array(n)
+    saxpy[(n + 255) // 256, 256](2.0, x, y, out)
+"""
+
+SAFE_REDUCTION = """\
+import numpy as np
+from repro.jit import cuda
+
+@cuda.jit
+def block_sum(v, partials):
+    tile = cuda.shared.array(64, np.float32)
+    tx = cuda.threadIdx.x
+    i = cuda.grid(1)
+    tile[tx] = v[i] if i < v.size else 0.0
+    cuda.syncthreads()
+    stride = 32
+    while stride > 0:
+        if tx < stride:
+            tile[tx] += tile[tx + stride]
+        cuda.syncthreads()
+        stride //= 2
+    if tx == 0:
+        partials[cuda.blockIdx.x] = tile[0]
+
+def launch(kernel):
+    v = cuda.to_device(np.ones(128, dtype=np.float32))
+    partials = cuda.device_array(2)
+    return 2, 64, (v, partials)
+
+def main():
+    v = cuda.to_device(np.ones(128, dtype=np.float32))
+    partials = cuda.device_array(2)
+    block_sum[2, 64](v, partials)
+"""
+
+RACY_REDUCTION = """\
+import numpy as np
+from repro.jit import cuda
+
+@cuda.jit
+def racy_sum(v, partials):
+    tile = cuda.shared.array(64, np.float32)
+    tx = cuda.threadIdx.x
+    i = cuda.grid(1)
+    tile[tx] = v[i] if i < v.size else 0.0
+    cuda.syncthreads()
+    stride = 32
+    while stride > 0:
+        if tx < stride:
+            tile[tx] += tile[tx + stride]
+        stride //= 2
+    if tx == 0:
+        partials[cuda.blockIdx.x] = tile[0]
+
+def launch(kernel):
+    v = cuda.to_device(np.ones(128, dtype=np.float32))
+    partials = cuda.device_array(2)
+    return 2, 64, (v, partials)
+
+def main():
+    v = cuda.to_device(np.ones(128, dtype=np.float32))
+    partials = cuda.device_array(2)
+    racy_sum[2, 64](v, partials)
+"""
+
+FIXTURES = {
+    "saxpy": SAFE_SAXPY,
+    "block_sum": SAFE_REDUCTION,
+    "racy_sum": RACY_REDUCTION,
+}
+
+
+def _run_both(name: str, source: str):
+    """Static verdict and dynamic report for one fixture."""
+    static = absint_source(source, f"{name}.py")
+    kc = {k.kernel: k for k in static.classes}[name]
+    ns: dict = {}
+    exec(compile(source, f"<{name}>", "exec"), ns)
+    grid, block, args = ns["launch"](ns[name])
+    dynamic = check_launch(ns[name], grid, block, *args)
+    return kc, dynamic
+
+
+class TestCrossValidation:
+    def test_no_kernel_is_both_verified_and_racy(self, system1):
+        disagreements = []
+        for name, source in FIXTURES.items():
+            kc, dynamic = _run_both(name, source)
+            dyn_races = [f for f in dynamic.findings
+                         if f.rule in ("SAN-DYN-WW", "SAN-DYN-RW")]
+            if kc.verified and dyn_races:
+                disagreements.append(
+                    (name, kc.oob, [f.rule for f in dyn_races]))
+        assert not disagreements, disagreements
+
+    def test_safe_kernels_agree(self, system1):
+        for name in ("saxpy", "block_sum"):
+            kc, dynamic = _run_both(name, FIXTURES[name])
+            assert kc.oob == "proven_safe", (name, kc.oob)
+            assert kc.verified, name
+            assert dynamic.ok, (name, dynamic.render_text())
+
+    def test_racy_kernel_is_not_verified_statically(self, system1):
+        kc, dynamic = _run_both("racy_sum", RACY_REDUCTION)
+        rules = {f.rule for f in dynamic.findings}
+        assert "SAN-DYN-RW" in rules, dynamic.render_text()
+        # the static heuristic race count blocks verification
+        assert kc.races > 0
+        assert not kc.verified
