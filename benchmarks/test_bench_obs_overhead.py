@@ -19,6 +19,7 @@ standard defense against shared-machine noise: the minimum is the run
 least perturbed by other tenants.
 """
 
+import gc
 import time
 
 from repro.analytics import series_table
@@ -73,6 +74,11 @@ def _run(min_level):
     observer = _observer(min_level) if min_level is not None else None
     trace = poisson_trace(RATE_QPS, DURATION_MS, ["q"], seed=5)
     sim = EndpointSimulation(endpoint, FixedBackend(), observer=observer)
+    # settle the allocator before timing: garbage left by earlier tests
+    # in the same process otherwise taxes the configurations unevenly
+    # (collection cycles scale with heap size, and the observed runs
+    # allocate more, so they pay more of someone else's cleanup)
+    gc.collect()
     start = time.perf_counter()
     report = sim.run(trace)
     elapsed = time.perf_counter() - start

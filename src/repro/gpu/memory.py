@@ -38,6 +38,10 @@ _allocation_ids = itertools.count(1)
 #: fraction of capacity held back for the driver + context by default
 DEFAULT_RESERVE_FRACTION = 0.03
 
+#: granularity of the pool's page-occupancy map (CUDA's caching
+#: allocators round large blocks to 2 MiB segments)
+DEFAULT_STATS_PAGE_BYTES = 2 << 20
+
 #: host RAM assumed when no instance is in scope (a g4dn.xlarge has 16 GiB)
 DEFAULT_HOST_RAM_BYTES = 16 * (1 << 30)
 
@@ -80,9 +84,15 @@ def _capture_site(max_depth: int = 16) -> str:
 
 
 class Allocation:
-    """One tracked reservation in a :class:`MemoryPool` ledger."""
+    """One tracked reservation in a :class:`MemoryPool` ledger.
 
-    __slots__ = ("alloc_id", "nbytes", "tag", "site", "freed")
+    ``pages`` records which slots of the pool's page-occupancy map the
+    allocation holds (empty when the map could not place it, which only
+    happens when untracked :meth:`MemoryPool.reserve` bytes crowd the
+    map); it exists for fragmentation statistics, not correctness.
+    """
+
+    __slots__ = ("alloc_id", "nbytes", "tag", "site", "freed", "pages")
 
     def __init__(self, nbytes: int, tag: str, site: str) -> None:
         self.alloc_id = next(_allocation_ids)
@@ -90,6 +100,7 @@ class Allocation:
         self.tag = tag
         self.site = site
         self.freed = False
+        self.pages: tuple[int, ...] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "freed" if self.freed else "live"
@@ -191,6 +202,7 @@ class LeakReport:
 
     device_name: str
     entries: tuple[LeakEntry, ...]
+    fragmentation: "FragmentationStats | None" = None
 
     @property
     def total_bytes(self) -> int:
@@ -215,7 +227,57 @@ class LeakReport:
             site = f" at {e.site}" if e.site else ""
             lines.append(f"  {e.tag}: {e.count}× {format_bytes(e.nbytes)}"
                          f" total{site}")
+        if self.fragmentation is not None:
+            lines.append(f"  pool: {self.fragmentation.render()}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FragmentationStats:
+    """Occupancy/fragmentation snapshot of a pool's page map.
+
+    The pool models its address space as fixed-size pages (the 2 MiB
+    segments CUDA's caching allocator rounds to).  Tracked allocations
+    are placed first-fit, preferring a contiguous run; frees punch
+    holes, and the statistics here describe the holes:
+
+    * ``largest_free_block_bytes`` — the longest contiguous free run,
+      the biggest single allocation that could be placed without
+      compaction;
+    * ``external_fragmentation`` — ``1 - largest_run / free_pages``:
+      0.0 when all free space is one block, approaching 1.0 when free
+      space is shredded into single-page holes;
+    * ``page_utilization`` — live bytes over the capacity of the pages
+      holding them: internal fragmentation from partial last pages.
+
+    ``unmapped_bytes`` counts raw :meth:`MemoryPool.reserve` bytes that
+    live outside the page map (they are still byte-accounted; they just
+    carry no address).
+    """
+
+    total_bytes: int
+    free_bytes: int
+    page_bytes: int
+    total_pages: int
+    free_pages: int
+    largest_free_block_bytes: int
+    page_utilization: float
+    external_fragmentation: float
+    unmapped_bytes: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of pages holding at least one live byte."""
+        if self.total_pages == 0:
+            return 0.0
+        return (self.total_pages - self.free_pages) / self.total_pages
+
+    def render(self) -> str:
+        return (f"{format_bytes(self.free_bytes)} free of "
+                f"{format_bytes(self.total_bytes)} "
+                f"(largest block {format_bytes(self.largest_free_block_bytes)}, "
+                f"page util {100 * self.page_utilization:.1f}%, "
+                f"ext frag {100 * self.external_fragmentation:.1f}%)")
 
 
 class MemoryPool:
@@ -238,11 +300,14 @@ class MemoryPool:
     capture_sites = True
 
     def __init__(self, total_bytes: int,
-                 reserve_fraction: float = DEFAULT_RESERVE_FRACTION) -> None:
+                 reserve_fraction: float = DEFAULT_RESERVE_FRACTION,
+                 stats_page_bytes: int = DEFAULT_STATS_PAGE_BYTES) -> None:
         if total_bytes <= 0:
             raise ValueError("pool must have positive capacity")
         if not 0.0 <= reserve_fraction < 1.0:
             raise ValueError("reserve_fraction must be in [0, 1)")
+        if stats_page_bytes <= 0:
+            raise ValueError("stats_page_bytes must be positive")
         self.total_bytes = int(total_bytes * (1.0 - reserve_fraction))
         self.used_bytes = 0
         self.peak_bytes = 0
@@ -253,12 +318,25 @@ class MemoryPool:
         self._tag_bytes: dict[str, int] = {}
         self._tag_counts: dict[str, int] = {}
         self.peak_breakdown: dict[str, int] = {}
+        # page-occupancy map: one flag per fixed-size page, placed
+        # first-fit for tracked allocations.  Pure bookkeeping — whether
+        # an allocation succeeds stays byte-counted (the counting model
+        # is what keeps OOM behaviour exactly reproducible).
+        self.page_bytes = int(stats_page_bytes)
+        self._page_count = max(1, self.total_bytes // self.page_bytes)
+        self._page_used = bytearray(self._page_count)
+        self._free_page_hint = 0
 
     # -- raw byte accounting ----------------------------------------------
 
     def can_allocate(self, nbytes: int) -> bool:
         """Whether an allocation of ``nbytes`` would currently succeed."""
         return self.used_bytes + int(nbytes) <= self.total_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently grantable (capacity minus everything held)."""
+        return self.total_bytes - self.used_bytes
 
     def reserve(self, nbytes: int) -> None:
         """Account for an allocation, raising :class:`OutOfMemoryError`
@@ -314,6 +392,7 @@ class MemoryPool:
             site = _capture_site()
         self._reserve(int(nbytes), tag=tag)
         alloc = Allocation(int(nbytes), tag, site or "")
+        alloc.pages = self._place_pages(alloc.nbytes)
         self._live[alloc.alloc_id] = alloc
         return alloc
 
@@ -326,6 +405,8 @@ class MemoryPool:
             return False
         allocation.freed = True
         del self._live[allocation.alloc_id]
+        self._release_pages(allocation.pages)
+        allocation.pages = ()
         self._tag_bytes[allocation.tag] = (
             self._tag_bytes.get(allocation.tag, 0) - allocation.nbytes)
         self._tag_counts[allocation.tag] = (
@@ -367,7 +448,8 @@ class MemoryPool:
             for (tag, site), allocs in groups.items()
         ]
         entries.sort(key=lambda e: (-e.nbytes, e.tag, e.site))
-        return LeakReport(device_name=device_name, entries=tuple(entries))
+        return LeakReport(device_name=device_name, entries=tuple(entries),
+                          fragmentation=self.fragmentation())
 
     def stats(self) -> PoolStats:
         """Current accounting snapshot."""
@@ -379,6 +461,97 @@ class MemoryPool:
             free_count=self.free_count,
             live_allocations=len(self._live),
             double_free_count=self.double_free_count,
+        )
+
+    # -- page-occupancy map ------------------------------------------------
+
+    def _place_pages(self, nbytes: int) -> tuple[int, ...]:
+        """Claim page slots for a tracked allocation, first-fit.
+
+        Prefers a contiguous run starting at the lowest free index (what a
+        segment allocator would hand out); falls back to scattering across
+        whatever holes exist.  Returns ``()`` when the map has fewer free
+        slots than needed — possible only when untracked :meth:`reserve`
+        bytes hold capacity that owns no pages.
+        """
+        if nbytes <= 0:
+            return ()
+        need = -(-int(nbytes) // self.page_bytes)  # ceil-div
+        used = self._page_used
+        n = self._page_count
+        # contiguous first-fit from the hint
+        start = self._free_page_hint
+        i = start
+        while i + need <= n:
+            if used[i]:
+                i += 1
+                continue
+            j = i
+            while j < i + need and not used[j]:
+                j += 1
+            if j == i + need:
+                for k in range(i, j):
+                    used[k] = 1
+                if i == self._free_page_hint:
+                    self._free_page_hint = j
+                return tuple(range(i, j))
+            i = j + 1
+        # scattered fallback: any free slots, lowest-index first
+        free = [k for k in range(n) if not used[k]]
+        if len(free) < need:
+            return ()
+        taken = free[:need]
+        for k in taken:
+            used[k] = 1
+        return tuple(taken)
+
+    def _release_pages(self, pages: tuple[int, ...]) -> None:
+        for k in pages:
+            self._page_used[k] = 0
+        if pages:
+            self._free_page_hint = min(self._free_page_hint, pages[0])
+
+    def fragmentation(self) -> FragmentationStats:
+        """Occupancy/fragmentation snapshot from the page map."""
+        used = self._page_used
+        n = self._page_count
+        free_pages = n - sum(used)
+        # longest contiguous free run
+        longest = run = 0
+        for flag in used:
+            if flag:
+                run = 0
+            else:
+                run += 1
+                if run > longest:
+                    longest = run
+        largest_block = min(longest * self.page_bytes, self.free_bytes)
+        # internal fragmentation: live tracked bytes vs pages holding them
+        held_pages = 0
+        live_bytes = 0
+        unmapped = 0
+        for alloc in self._live.values():
+            if alloc.pages:
+                held_pages += len(alloc.pages)
+                live_bytes += alloc.nbytes
+            else:
+                unmapped += alloc.nbytes
+        # raw reserve() bytes never enter the map either
+        tracked = live_bytes + unmapped
+        unmapped += max(0, self.used_bytes - tracked)
+        held_capacity = held_pages * self.page_bytes
+        page_util = live_bytes / held_capacity if held_capacity else 1.0
+        ext_frag = 1.0 - longest / free_pages if free_pages else 0.0
+        return FragmentationStats(
+            total_bytes=self.total_bytes,
+            free_bytes=self.free_bytes,
+            page_bytes=self.page_bytes,
+            total_pages=n,
+            free_pages=free_pages,
+            largest_free_block_bytes=largest_block,
+            page_utilization=page_util,
+            external_fragmentation=ext_frag,
+            unmapped_bytes=unmapped,
         )
 
 

@@ -1,0 +1,117 @@
+"""The autoregressive transformer cost model.
+
+A decoder-only transformer's serving cost splits into two regimes the
+roofline timing model (:mod:`repro.gpu.kernelmodel`) reproduces
+faithfully once we feed it exact FLOP/byte counts:
+
+* **prefill** — the prompt is processed in one pass; every layer runs
+  dense GEMMs over all prompt tokens at once, so arithmetic intensity
+  is high and the phase is compute-bound;
+* **decode** — one token per sequence per step; every step must re-read
+  the *entire* weight set and each sequence's KV cache to produce a
+  single token per sequence, so the phase is memory-bound and its cost
+  is nearly independent of batch size.  Batching decode steps amortizes
+  the weight read across sequences — the whole economic case for
+  continuous batching.
+
+:class:`TransformerSpec` derives those counts from the architecture
+(GPT-style: pre-norm attention + MLP blocks, tied embeddings).  The KV
+cache stores 2 (K and V) × ``d_model`` values per token per layer —
+``kv_bytes_per_token`` — which is what the paged allocator
+(:mod:`repro.llm.kvcache`) hands out in fixed-size pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """Architecture of a decoder-only transformer, for cost accounting."""
+
+    n_layers: int = 16
+    d_model: int = 1024
+    n_heads: int = 16
+    d_ff: int = 4096
+    vocab_size: int = 32000
+    dtype_bytes: int = 2          # fp16 weights and KV cache
+
+    def __post_init__(self) -> None:
+        if min(self.n_layers, self.d_model, self.n_heads, self.d_ff,
+               self.vocab_size, self.dtype_bytes) < 1:
+            raise ReproError("transformer dimensions must be positive")
+        if self.d_model % self.n_heads:
+            raise ReproError("d_model must divide evenly into heads")
+
+    # -- static footprints -------------------------------------------------
+
+    @property
+    def n_params(self) -> int:
+        """Linear-layer parameters: per block 4·d² attention projections
+        (Q, K, V, O) + 2·d·d_ff MLP, plus the tied embedding/LM head."""
+        per_block = 4 * self.d_model ** 2 + 2 * self.d_model * self.d_ff
+        return self.n_layers * per_block + self.vocab_size * self.d_model
+
+    @property
+    def weights_bytes(self) -> int:
+        """Resident weight bytes — read in full by every decode step."""
+        return self.n_params * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token occupies across all layers (K + V)."""
+        return 2 * self.n_layers * self.d_model * self.dtype_bytes
+
+    # -- per-phase FLOP/byte counts ---------------------------------------
+
+    @property
+    def linear_flops_per_token(self) -> float:
+        """GEMM FLOPs to push one token through every linear layer
+        (2 FLOPs per parameter per token)."""
+        return 2.0 * self.n_params
+
+    def decode_step_flops(self, batch: int, total_context: int) -> float:
+        """One decode iteration: ``batch`` tokens through the linears,
+        plus attention over ``total_context`` cached tokens (QKᵀ and
+        A·V are each 2·d FLOPs per context token per layer)."""
+        linear = batch * self.linear_flops_per_token
+        attention = 4.0 * self.d_model * total_context * self.n_layers
+        return linear + attention
+
+    def decode_step_bytes(self, batch: int,
+                          total_context: int) -> tuple[float, float]:
+        """(read, written) bytes of one decode iteration: the full
+        weight set + every live KV page in, one KV row per sequence
+        out.  This read set is why decode is memory-bound."""
+        read = (self.weights_bytes
+                + self.kv_bytes_per_token * total_context
+                + batch * self.d_model * self.dtype_bytes)
+        written = (self.kv_bytes_per_token * batch
+                   + batch * self.d_model * self.dtype_bytes)
+        return float(read), float(written)
+
+    def prefill_flops(self, prompt_lens: tuple[int, ...]) -> float:
+        """One prefill pass over whole prompts: dense linears over every
+        token plus causal attention (~len²/2 pairs, 4·d FLOPs each)."""
+        total = sum(prompt_lens)
+        linear = total * self.linear_flops_per_token
+        attention = sum(2.0 * self.d_model * length * length
+                        * self.n_layers for length in prompt_lens)
+        return linear + attention
+
+    def prefill_bytes(self, prompt_lens: tuple[int, ...]
+                      ) -> tuple[float, float]:
+        """(read, written) bytes of one prefill pass: weights once,
+        activations streamed, the prompts' KV rows written."""
+        total = sum(prompt_lens)
+        act = total * self.d_model * self.dtype_bytes
+        read = self.weights_bytes + act
+        written = float(self.kv_bytes_per_token * total + act)
+        return float(read), written
+
+    def kv_footprint_bytes(self, tokens: int) -> int:
+        """KV bytes ``tokens`` cached tokens occupy (page-unrounded)."""
+        return self.kv_bytes_per_token * int(tokens)

@@ -32,6 +32,7 @@ from repro.memcheck.estimate import (
     Preflight,
     ddp_training_footprint,
     gcn_training_footprint,
+    llm_token_budget_preflight,
     preflight,
     rag_index_footprint,
     right_size,
@@ -102,6 +103,7 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "mem_pass",
+    "llm_token_budget_preflight",
     "preflight",
     "right_size",
     "usable_gpu_bytes",

@@ -172,6 +172,42 @@ class Preflight:
                 f"({self.hourly_delta:+.2f} $/h)")
 
 
+def llm_token_budget_preflight(weights_bytes: int, kv_bytes_per_token: int,
+                               token_budget: int,
+                               instance_type: InstanceType | str,
+                               page_tokens: int = 16):
+    """Bound a planned KV **token budget** against device memory.
+
+    ``token_budget`` is the most cached tokens the serving plane may
+    ever hold at once (``max concurrent sequences × max tokens per
+    sequence``); the paged allocator rounds each sequence up to whole
+    pages, so the bound is computed on page-rounded bytes.  Returns
+    ``(Preflight, findings)`` where ``findings`` carries a
+    ``MEM-PEAK-OOM`` when the plan cannot fit — the check the
+    continuous-batching simulator runs *before* a single event fires,
+    so an over-committed config fails before the cloud bill starts.
+    """
+    if token_budget < 0 or page_tokens < 1:
+        raise ValueError("token budget and page size must be sane")
+    pages = -(-int(token_budget) // page_tokens)  # ceil-div
+    kv_bytes = pages * page_tokens * kv_bytes_per_token
+    peak = int(weights_bytes) + kv_bytes
+    verdict = preflight(peak, instance_type)
+    findings = []
+    if not verdict.fits:
+        from repro.memcheck.rules import make_finding
+        findings.append(make_finding(
+            "MEM-PEAK-OOM",
+            f"planned KV token budget of {token_budget} tokens needs "
+            f"{format_bytes(kv_bytes)} of cache on top of "
+            f"{format_bytes(weights_bytes)} of weights — "
+            f"{format_bytes(peak)} total against "
+            f"{format_bytes(verdict.usable_bytes)} usable on "
+            f"{verdict.instance.name}",
+            context=verdict.render()))
+    return verdict, findings
+
+
 def preflight(peak_bytes: int, instance_type: InstanceType | str
               ) -> Preflight:
     """Check a peak estimate against ``instance_type``; when it does not

@@ -20,7 +20,11 @@ import json
 import sys
 
 from repro.obs.logs import LogPlane
-from repro.obs.scenario import run_overload_scenario, write_artifacts
+from repro.obs.scenario import (
+    run_llm_scenario,
+    run_overload_scenario,
+    write_artifacts,
+)
 from repro.obs.waterfall import render_request_waterfall
 from repro.telemetry import read_jsonl
 
@@ -32,8 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "runs: logs, exemplars, waterfalls, burn rates.")
     sub = p.add_subparsers(dest="command", required=True)
 
-    runp = sub.add_parser("run", help="run the seeded overload scenario")
-    runp.add_argument("--seed", type=int, default=7)
+    runp = sub.add_parser("run", help="run a seeded observed scenario")
+    runp.add_argument("--scenario", choices=("overload", "llm"),
+                      default="overload",
+                      help="overload: dynamic batching under a burst; "
+                           "llm: continuous batching with TTFT/tok-s")
+    runp.add_argument("--seed", type=int, default=None)
     runp.add_argument("--out", default=None,
                       help="directory for the artifact set")
 
@@ -43,7 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     wf.add_argument("--trace", default=None,
                     help="trace JSONL to read (default: run the seeded "
                          "scenario in memory)")
-    wf.add_argument("--seed", type=int, default=7)
+    wf.add_argument("--scenario", choices=("overload", "llm"),
+                    default="overload")
+    wf.add_argument("--seed", type=int, default=None)
 
     lg = sub.add_parser("logs", help="render a log JSONL export")
     lg.add_argument("file")
@@ -57,8 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _run_scenario(name: str, seed: int | None):
+    if name == "llm":
+        return run_llm_scenario(**({} if seed is None
+                                   else {"seed": seed}))
+    return run_overload_scenario(**({} if seed is None
+                                    else {"seed": seed}))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_overload_scenario(seed=args.seed)
+    result = _run_scenario(args.scenario, args.seed)
     print(result.report.render())
     print()
     monitor = result.monitor
@@ -85,7 +103,7 @@ def _cmd_waterfall(args: argparse.Namespace) -> int:
     if args.trace is not None:
         spans, _ = read_jsonl(args.trace)
     else:
-        spans = run_overload_scenario(seed=args.seed).spans
+        spans = _run_scenario(args.scenario, args.seed).spans
     print(render_request_waterfall(spans, args.request_id))
     return 0
 

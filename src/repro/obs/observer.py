@@ -87,11 +87,15 @@ class EndpointObserver:
             self.monitor.record(completed, latency)
 
     def on_batch(self, batch_id: int, replica_id: int, size: int,
-                 start_ms: float, end_ms: float) -> None:
-        """Every completed batch (after its requests' resolutions)."""
+                 start_ms: float, end_ms: float, *,
+                 label: str = "serve.batch", phase: str = "",
+                 tokens: int = 0, calibration_key=None) -> None:
+        """Every completed batch or decode/prefill iteration (after its
+        requests' resolutions)."""
         self.sampler.offer_batch(BatchRecord(
             batch_id=batch_id, replica_id=replica_id, size=size,
-            start_ms=start_ms, end_ms=end_ms))
+            start_ms=start_ms, end_ms=end_ms, label=label, phase=phase,
+            tokens=tokens, calibration_key=calibration_key))
 
     def on_tick(self, now_ms: float, timestamp_h: float) -> None:
         """Every metrics tick: evaluate the SLO rules, log transitions."""
@@ -120,13 +124,19 @@ class EndpointObserver:
         backend = self._sim.backend if self._sim is not None else None
         batch_spans: dict[int, object] = {}
         for b in self.sampler.retained_batches():
+            attributes = {"batch_id": b.batch_id,
+                          "replica": b.replica_id,
+                          "batch_size": b.size}
+            if b.phase:
+                attributes["phase"] = b.phase
+                attributes["tokens"] = b.tokens
             span = tracer.record(
-                "serve.batch", "stage", _ns(b.start_ms), _ns(b.end_ms),
-                attributes={"batch_id": b.batch_id,
-                            "replica": b.replica_id,
-                            "batch_size": b.size},
+                b.label, "stage", _ns(b.start_ms), _ns(b.end_ms),
+                attributes=attributes,
                 trace_id=tracer.ids.batch_trace_id(b.batch_id))
-            cal = (backend.calibration_context(b.size)
+            cal_key = (b.calibration_key
+                       if b.calibration_key is not None else b.size)
+            cal = (backend.calibration_context(cal_key)
                    if hasattr(backend, "calibration_context") else None)
             if cal is not None:
                 span.add_link(SpanLink(trace_id=cal.trace_id,
@@ -134,15 +144,20 @@ class EndpointObserver:
                                        kind="calibrated_as"))
             batch_spans[b.batch_id] = span
         for r in self.sampler.retained_requests():
+            attributes = {"request_id": r.request_id,
+                          "outcome": r.outcome,
+                          "attempts": r.attempts,
+                          "replica": r.replica_id,
+                          "batch_size": r.batch_size,
+                          "sampled_as": r.reason}
+            if r.first_token_ms is not None:
+                attributes["ttft_ms"] = round(
+                    r.first_token_ms - r.arrival_ms, 6)
+                attributes["tokens"] = r.tokens
             span = tracer.record(
                 "serve.request", "request",
                 _ns(r.arrival_ms), _ns(r.resolved_ms),
-                attributes={"request_id": r.request_id,
-                            "outcome": r.outcome,
-                            "attempts": r.attempts,
-                            "replica": r.replica_id,
-                            "batch_size": r.batch_size,
-                            "sampled_as": r.reason},
+                attributes=attributes,
                 trace_id=tracer.ids.request_trace_id(r.request_id))
             if r.outcome != OUTCOME_COMPLETED:
                 span.status = "error"

@@ -41,6 +41,9 @@ class RequestRecord:
     batch_size: int | None
     batch_id: int | None
     reason: str                   # "head" | "error" | "slowest"
+    # LLM-plane extras (zeroed for one-shot backends)
+    first_token_ms: float | None = None
+    tokens: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -56,6 +59,14 @@ class BatchRecord:
     size: int
     start_ms: float
     end_ms: float
+    #: span name at emission — iteration-plane batches use
+    #: ``serve.prefill_iter`` / ``serve.decode_iter``
+    label: str = "serve.batch"
+    phase: str = ""               # "" | "prefill" | "decode"
+    tokens: int = 0               # tokens this batch/iteration processed
+    #: the backend calibration-cache key this batch's timing came from;
+    #: ``None`` falls back to the batch size (one-shot convention)
+    calibration_key: object = None
 
 
 class HeadTailSampler:
@@ -103,7 +114,9 @@ class HeadTailSampler:
         base = dict(request_id=req.request_id, arrival_ms=req.arrival_ms,
                     resolved_ms=req.finish_ms, outcome=req.outcome,
                     attempts=req.attempts, replica_id=req.replica_id,
-                    batch_size=req.batch_size, batch_id=batch_id)
+                    batch_size=req.batch_size, batch_id=batch_id,
+                    first_token_ms=req.first_token_ms,
+                    tokens=req.tokens_generated)
         if len(self.head) < self.head_n:
             self.head.append(RequestRecord(reason="head", **base))
             self._retain_batch(batch_id)

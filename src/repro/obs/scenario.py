@@ -113,6 +113,54 @@ def run_overload_scenario(*, seed: int = 7, rate_qps: float = 700.0,
                           observer=observer, monitor=monitor)
 
 
+def run_llm_scenario(*, seed: int = 11, rate_qps: float = 60.0,
+                     duration_ms: float = 1500.0,
+                     slo_target: float = 0.95,
+                     latency_threshold_ms: float = 400.0,
+                     ms_per_hour: float = 50.0) -> ScenarioResult:
+    """The observed LLM serving run: continuous batching, fully traced.
+
+    A Poisson arrival stream of mixed-length generation requests runs
+    through :class:`~repro.serve.continuous.ContinuousBatchingSimulation`
+    on an :class:`~repro.llm.backend.LlmBackend`; the waterfall depth
+    here is request → prefill/decode *iteration* → calibration →
+    kernels, and the report carries TTFT / tokens-per-second.
+    """
+    from repro.llm import LlmBackend
+    from repro.serve.continuous import ContinuousBatchingSimulation
+    from repro.serve.loadgen import poisson_trace
+
+    reset_instance_ids()
+    reset_stream_ids()
+    backend = LlmBackend(part="T4", seed=seed)
+    queries = [f"prompt-{i:02d}" for i in range(24)]
+    trace = poisson_trace(rate_qps, duration_ms, queries, seed=seed)
+    session = CloudSession()
+    endpoint = Endpoint(session, EndpointConfig(
+        name="llm-endpoint", instance_type="g4dn.xlarge",
+        initial_replicas=1, min_replicas=1, max_replicas=1,
+        max_batch_size=8, max_queue_depth=64))
+    monitor = SloMonitor(
+        SloObjective(name="llm-availability", target=slo_target,
+                     latency_threshold_ms=latency_threshold_ms),
+        default_rules(ms_per_hour), cloudwatch=session.cloudwatch,
+        dimension=endpoint.name)
+    observer = EndpointObserver(
+        log_plane=LogPlane(),
+        sampler=HeadTailSampler(head_n=100, slowest_k=50, max_errors=500),
+        monitor=monitor)
+    sim = ContinuousBatchingSimulation(endpoint, backend,
+                                       observer=observer,
+                                       settle_ms=200.0)
+    try:
+        with Tracer(seed=seed, system=backend.system) as tracer:
+            report = sim.run(trace)
+    finally:
+        endpoint.delete()
+    return ScenarioResult(report=report, tracer=tracer,
+                          observer=observer, monitor=monitor)
+
+
 def write_artifacts(result: ScenarioResult, out_dir: str) -> dict[str, str]:
     """Write the scenario's artifact set; returns ``{kind: path}``."""
     out = Path(out_dir)

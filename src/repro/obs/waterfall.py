@@ -58,7 +58,8 @@ def _label(span: TelemetrySpan) -> str:
     if span.status != "ok":
         bits.append(f"status={span.status}")
     for key in ("request_id", "batch_id", "outcome", "replica",
-                "batch_size", "worker", "device"):
+                "batch_size", "phase", "tokens", "ttft_ms",
+                "worker", "device"):
         if key in span.attributes:
             bits.append(f"{key}={span.attributes[key]}")
     return "  ".join(bits)

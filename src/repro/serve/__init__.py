@@ -19,7 +19,13 @@ an **open-loop serving stack** on the simulated clock:
   queues, dynamic batching, admission control (fast-fail 429 + client
   retry/backoff), deadlines, graceful drain, and spot interruptions;
 * :mod:`repro.serve.report` — :class:`SloReport`, the offered-vs-
-  achieved / tail-latency / shed-rate / $-per-1k-requests summary.
+  achieved / tail-latency / shed-rate / $-per-1k-requests summary,
+  plus the LLM block (tokens/sec, TTFT, inter-token latency, KV and
+  preemption stats) when the run was autoregressive;
+* :mod:`repro.serve.continuous` —
+  :class:`ContinuousBatchingSimulation`: iteration-level scheduling of
+  an :class:`~repro.llm.backend.LlmBackend` with a paged KV cache,
+  KV/deadline-aware admission, and preemption under memory pressure.
 
 ``python -m repro.serve`` runs a trace against an endpoint config and
 renders the report.
@@ -33,6 +39,7 @@ from repro.serve.backend import (
     RagModelBackend,
     ScheduledNnBackend,
 )
+from repro.serve.continuous import ContinuousBatchingSimulation
 from repro.serve.endpoint import (
     Endpoint,
     EndpointConfig,
@@ -57,6 +64,7 @@ __all__ = [
     "ArrivalTrace",
     "Autoscaler",
     "BatchResult",
+    "ContinuousBatchingSimulation",
     "Endpoint",
     "EndpointConfig",
     "EndpointSimulation",

@@ -1,13 +1,17 @@
 """``python -m repro.serve`` — run a trace against an endpoint config.
 
-The serving lab's driver: pick a backend (``rag`` or ``nn``), a trace
-shape, and an endpoint configuration; optionally attach a
+The serving lab's driver: pick a backend (``rag``, ``nn``, or ``llm``),
+a trace shape, and an endpoint configuration; optionally attach a
 target-tracking autoscaler; get the :class:`~repro.serve.report.SloReport`
-as a human summary or ``--json``.
+as a human summary or ``--json``.  With ``--backend llm`` the flag
+``--continuous`` switches the request plane from one-shot dynamic
+batching to iteration-level continuous batching with a paged KV cache.
 
 Examples::
 
     python -m repro.serve --backend nn --trace poisson --rate 200
+    python -m repro.serve --backend llm --continuous --rate 60 \\
+        --instance-type g4dn.xlarge
     python -m repro.serve --backend rag --trace bursty --rate 30 \\
         --duration-ms 4000 --autoscale-metric QueueDepthPerReplica \\
         --autoscale-target 4 --max-replicas 4 --json
@@ -38,7 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.serve",
         description="Simulate an autoscaled inference endpoint under an "
                     "open-loop arrival trace.")
-    p.add_argument("--backend", choices=("rag", "nn"), default="nn")
+    p.add_argument("--backend", choices=("rag", "nn", "llm"), default="nn")
+    p.add_argument("--continuous", action="store_true",
+                   help="iteration-level continuous batching with a "
+                        "paged KV cache (llm backend only); default is "
+                        "one-shot dynamic batching")
     p.add_argument("--trace",
                    choices=("constant", "poisson", "bursty", "diurnal"),
                    default="poisson")
@@ -80,6 +88,11 @@ def make_backend(name: str, seed: int) -> tuple[ModelBackend, list[str]]:
     if name == "nn":
         backend = NnForwardBackend()
         return backend, [f"query-{i:02d}" for i in range(16)]
+    if name == "llm":
+        from repro.llm import LlmBackend
+
+        backend = LlmBackend(part="T4", seed=seed)
+        return backend, [f"prompt-{i:02d}" for i in range(24)]
     from repro.gpu.system import make_system
     from repro.rag.corpus import make_corpus
     from repro.rag.pipeline import RagPipeline
@@ -135,9 +148,19 @@ def run(args: argparse.Namespace) -> SloReport:
                                 max_replicas=config.max_replicas,
                                 cloudwatch=session.cloudwatch,
                                 dimension=endpoint.name)
-    sim = EndpointSimulation(endpoint, backend, autoscaler=autoscaler,
-                             tick_ms=args.tick_ms,
-                             settle_ms=args.settle_ms)
+    if args.continuous:
+        if args.backend != "llm":
+            raise SystemExit("--continuous requires --backend llm")
+        from repro.serve.continuous import ContinuousBatchingSimulation
+
+        sim = ContinuousBatchingSimulation(
+            endpoint, backend, autoscaler=autoscaler,
+            tick_ms=args.tick_ms, settle_ms=args.settle_ms)
+    else:
+        sim = EndpointSimulation(endpoint, backend,
+                                 autoscaler=autoscaler,
+                                 tick_ms=args.tick_ms,
+                                 settle_ms=args.settle_ms)
     try:
         return sim.run(trace)
     finally:

@@ -58,6 +58,27 @@ class SloReport:
     #: the p99/p99.9 rows' "click-through" to concrete request traces
     latency_exemplars: tuple[tuple[float, str], ...] = field(
         default_factory=tuple)
+    # -- LLM serving block (zeroed for one-shot backends) ------------------
+    #: output tokens of completed requests (what tokens/sec counts)
+    total_tokens: int = 0
+    #: prompt tokens prefilled (recomputation after preemption counts)
+    prefill_tokens: int = 0
+    tokens_per_sec: float = 0.0
+    ttft_mean_ms: float = 0.0
+    ttft_p50_ms: float = 0.0
+    ttft_p95_ms: float = 0.0
+    ttft_p99_ms: float = 0.0
+    itl_p50_ms: float = 0.0
+    itl_p99_ms: float = 0.0
+    #: per-request decode throughput median (tokens/sec after TTFT)
+    tokens_per_sec_p50: float = 0.0
+    preemptions: int = 0
+    kv_peak_pages: int = 0
+    #: how full the KV pages were at the page peak (1 - internal frag)
+    kv_page_utilization: float = 0.0
+    #: worst retained (ttft_ms, request_label) pairs, worst first
+    ttft_exemplars: tuple[tuple[float, str], ...] = field(
+        default_factory=tuple)
 
     def to_dict(self) -> dict:
         """Plain-dict form with floats rounded for byte-stable dumps."""
@@ -68,7 +89,7 @@ class SloReport:
             elif key == "replica_timeline":
                 value = [[round(t, ROUND_DIGITS), int(n), int(d)]
                          for t, n, d in value]
-            elif key == "latency_exemplars":
+            elif key in ("latency_exemplars", "ttft_exemplars"):
                 value = [[round(v, ROUND_DIGITS), str(label)]
                          for v, label in value]
             out[key] = value
@@ -86,6 +107,9 @@ class SloReport:
         data["latency_exemplars"] = tuple(
             (float(v), str(label))
             for v, label in data.get("latency_exemplars", ()))
+        data["ttft_exemplars"] = tuple(
+            (float(v), str(label))
+            for v, label in data.get("ttft_exemplars", ()))
         return cls(**data)
 
     def render(self) -> str:
@@ -113,6 +137,20 @@ class SloReport:
             f"  cost ${self.cost_usd:.6f}  "
             f"(${self.cost_per_1k_usd:.4f} per 1k requests)",
         ]
+        if self.total_tokens:
+            lines.append(
+                f"  tokens: {self.total_tokens} generated "
+                f"(+{self.prefill_tokens} prefilled) at "
+                f"{self.tokens_per_sec:.1f} tok/s")
+            lines.append(
+                f"  ttft ms: mean {self.ttft_mean_ms:.2f}  "
+                f"p50 {self.ttft_p50_ms:.2f}  p95 {self.ttft_p95_ms:.2f}  "
+                f"p99 {self.ttft_p99_ms:.2f}   itl ms: "
+                f"p50 {self.itl_p50_ms:.2f}  p99 {self.itl_p99_ms:.2f}")
+            lines.append(
+                f"  kv cache: peak {self.kv_peak_pages} pages at "
+                f"{100 * self.kv_page_utilization:.1f}% full, "
+                f"{self.preemptions} preemptions")
         if self.replica_timeline:
             steps = "  ".join(f"{t:.0f}ms:{n}"
                               for t, n, _ in self.replica_timeline)
@@ -121,4 +159,8 @@ class SloReport:
             worst = "  ".join(f"req {label.lstrip('0') or '0'}: {v:.2f}ms"
                               for v, label in self.latency_exemplars)
             lines.append(f"  tail exemplars: {worst}")
+        if self.ttft_exemplars:
+            worst = "  ".join(f"req {label.lstrip('0') or '0'}: {v:.2f}ms"
+                              for v, label in self.ttft_exemplars)
+            lines.append(f"  ttft exemplars: {worst}")
         return "\n".join(lines)

@@ -57,6 +57,17 @@ class Request:
     finish_ms: float = 0.0
     replica_id: int = -1
     batch_size: int = 0
+    # autoregressive decoding (repro.serve.continuous): when the first
+    # output token streamed back, and how many were produced in total
+    first_token_ms: float | None = None
+    tokens_generated: int = 0
+
+    @property
+    def ttft_ms(self) -> float | None:
+        """Time to first token (only meaningful for decoded requests)."""
+        if self.first_token_ms is None:
+            return None
+        return self.first_token_ms - self.arrival_ms
 
     @property
     def latency_ms(self) -> float:
@@ -64,6 +75,13 @@ class Request:
         return self.finish_ms - self.arrival_ms
 
     def expired(self, now_ms: float) -> bool:
+        """Deadlines are **inclusive**: a request checked at exactly its
+        deadline still ships.  The comparison must stay strict — a batch
+        window that closes at the same instant the deadline lands (e.g.
+        ``batch_timeout_ms == default_deadline_ms`` for a lone arrival)
+        dequeues the request at ``now_ms == deadline_ms``, and ``>=``
+        would make that tie expire or ship depending on event-queue
+        ordering.  Pinned by ``TestDeadlines.test_deadline_tie_ships``."""
         return self.deadline_ms is not None and now_ms > self.deadline_ms
 
     def resolve(self, outcome: str, now_ms: float) -> None:

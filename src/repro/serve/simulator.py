@@ -169,22 +169,30 @@ class EndpointSimulation:
             while self._events:
                 time_ms, _, kind, data = heapq.heappop(self._events)
                 self.now_ms = time_ms
-                if kind == "arrival":
-                    self._on_arrival(data)
-                elif kind == "timeout":
-                    self._on_timeout(*data)
-                elif kind == "done":
-                    self._on_done(*data)
-                elif kind == "provisioned":
-                    self._on_provisioned(data)
-                elif kind == "interrupt":
-                    self._on_interrupt(data)
-                elif kind == "tick":
-                    self._on_tick()
+                self._dispatch(kind, data)
             self._advance_cloud()
             if self.observer is not None:
                 self.observer.finalize()
         return self._build_report()
+
+    def _dispatch(self, kind: str, data) -> None:
+        """Route one popped event to its handler.  Subclasses that add
+        event kinds (the continuous-batching plane's ``iter``) extend
+        this; an unknown kind is a bug, not a silent drop."""
+        if kind == "arrival":
+            self._on_arrival(data)
+        elif kind == "timeout":
+            self._on_timeout(*data)
+        elif kind == "done":
+            self._on_done(*data)
+        elif kind == "provisioned":
+            self._on_provisioned(data)
+        elif kind == "interrupt":
+            self._on_interrupt(data)
+        elif kind == "tick":
+            self._on_tick()
+        else:
+            raise ReproError(f"unknown event kind {kind!r}")
 
     # -- arrivals / admission ---------------------------------------------
 

@@ -235,3 +235,86 @@ class TestFormatBytes:
         assert format_bytes(2048) == "2.0 KiB"
         assert format_bytes(5 * (1 << 20)) == "5.0 MiB"
         assert format_bytes(int(15.5 * (1 << 30))) == "15.5 GiB"
+
+
+class TestFragmentationStats:
+    def _pool(self, pages=8, page_bytes=100):
+        return MemoryPool(pages * page_bytes, reserve_fraction=0.0,
+                          stats_page_bytes=page_bytes)
+
+    def test_empty_pool_is_one_free_block(self):
+        pool = self._pool()
+        frag = pool.fragmentation()
+        assert frag.free_bytes == pool.total_bytes == 800
+        assert frag.total_pages == 8 and frag.free_pages == 8
+        assert frag.largest_free_block_bytes == 800
+        assert frag.external_fragmentation == 0.0
+        assert frag.occupancy == 0.0
+
+    def test_free_bytes_property_tracks_usage(self):
+        pool = self._pool()
+        a = pool.allocate(250, tag="a")
+        assert pool.free_bytes == 550
+        pool.free(a)
+        assert pool.free_bytes == 800
+
+    def test_holes_shrink_largest_block(self):
+        pool = self._pool()
+        # place 4× two-page allocations, then free alternating ones:
+        # map becomes [..][free][..][free] → free space is shredded
+        allocs = [pool.allocate(200, tag=f"t{i}") for i in range(4)]
+        pool.free(allocs[1])
+        pool.free(allocs[3])
+        frag = pool.fragmentation()
+        assert frag.free_pages == 4
+        assert frag.largest_free_block_bytes == 200
+        assert frag.external_fragmentation == pytest.approx(0.5)
+        assert frag.occupancy == pytest.approx(0.5)
+
+    def test_partial_last_page_is_internal_fragmentation(self):
+        pool = self._pool()
+        pool.allocate(150, tag="partial")  # 2 pages hold 150 B of 200 B
+        frag = pool.fragmentation()
+        assert frag.page_utilization == pytest.approx(0.75)
+
+    def test_first_fit_reuses_freed_hole(self):
+        pool = self._pool()
+        a = pool.allocate(200, tag="a")
+        pool.allocate(200, tag="b")
+        pool.free(a)
+        c = pool.allocate(100, tag="c")
+        assert c.pages == (0,)  # lands back in the hole, not at the end
+
+    def test_untracked_reserve_counts_as_unmapped(self):
+        pool = self._pool()
+        pool.reserve(300)
+        frag = pool.fragmentation()
+        assert frag.unmapped_bytes == 300
+        assert frag.free_bytes == 500
+        # the page map is untouched by raw reserves...
+        assert frag.free_pages == 8
+        # ...so the largest block is clamped to actually-grantable bytes
+        assert frag.largest_free_block_bytes == 500
+
+    def test_scattered_fallback_when_no_contiguous_run(self):
+        pool = self._pool()
+        allocs = [pool.allocate(100, tag=f"t{i}") for i in range(8)]
+        for i in (0, 2, 4, 6):
+            pool.free(allocs[i])
+        big = pool.allocate(300, tag="big")  # needs 3 pages, max run is 1
+        assert len(big.pages) == 3
+        assert big.pages == (0, 2, 4)
+
+    def test_leak_report_carries_fragmentation(self):
+        pool = self._pool()
+        pool.allocate(200, tag="held")
+        report = pool.leak_report("gpu0")
+        assert report.fragmentation is not None
+        assert "free of" in report.fragmentation.render()
+        assert "pool:" in report.render()
+
+    def test_render_mentions_largest_block(self):
+        pool = self._pool()
+        pool.allocate(400, tag="x")
+        text = pool.fragmentation().render()
+        assert "largest block" in text and "ext frag" in text

@@ -1,0 +1,38 @@
+"""Examples stay runnable: smoke-run the serving walkthroughs.
+
+The examples directory is the course's front door — a walkthrough that
+crashes is worse than no walkthrough.  Each smoke test runs one example
+as a real subprocess (``PYTHONPATH=src``, no pytest magic in scope) and
+asserts it exits cleanly with its headline numbers in the output.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_example(name: str) -> str:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / name)],
+        capture_output=True, text=True, timeout=600, env=env)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_serve_llm_endpoint_walkthrough():
+    out = run_example("serve_llm_endpoint.py")
+    assert "MEM-PEAK-OOM" in out            # the pre-flight demo fired
+    assert "tokens/sec" in out
+    assert "Continuous batching moved" in out
+    # the walkthrough's claim is the acceptance ratio, live
+    ratio = float(out.split("Continuous batching moved ")[1].split("x")[0])
+    assert ratio >= 1.5
+
+
+def test_serve_rag_endpoint_walkthrough():
+    out = run_example("serve_rag_endpoint.py")
+    assert "p99" in out or "p50" in out

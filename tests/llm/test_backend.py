@@ -1,0 +1,103 @@
+"""LlmBackend: seeded lengths, calibrated timings, one-shot semantics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.llm import LlmBackend
+from repro.llm.backend import TOKEN_BUCKET
+from repro.telemetry import Tracer
+
+QUERIES = [f"prompt-{i:02d}" for i in range(24)]
+
+
+@pytest.fixture
+def backend():
+    return LlmBackend(part="T4", seed=7)
+
+
+class TestLengthSampling:
+    def test_lengths_respect_the_configured_caps(self, backend):
+        for q in QUERIES:
+            prompt, gen = backend.sample_lengths(q)
+            assert 8 <= prompt <= backend.max_prompt_tokens
+            assert 4 <= gen <= backend.max_new_tokens
+
+    def test_same_seed_same_lengths_across_instances(self, backend):
+        other = LlmBackend(part="T4", seed=7)
+        assert ([backend.sample_lengths(q) for q in QUERIES]
+                == [other.sample_lengths(q) for q in QUERIES])
+
+    def test_different_seed_changes_the_mix(self, backend):
+        other = LlmBackend(part="T4", seed=8)
+        assert ([backend.sample_lengths(q) for q in QUERIES]
+                != [other.sample_lengths(q) for q in QUERIES])
+
+    def test_traffic_is_mixed_length(self, backend):
+        gens = {backend.sample_lengths(q)[1] for q in QUERIES}
+        assert len(gens) > 4        # heavy-tailed, not uniform
+
+
+class TestCalibrationKeys:
+    def test_keys_bucket_the_mean_sequence_length(self, backend):
+        assert backend.prefill_key([10, 20]) == ("prefill", 2, TOKEN_BUCKET)
+        assert backend.decode_key([100] * 8) == ("decode", 8, 2 * TOKEN_BUCKET)
+
+    def test_timings_replay_from_the_bucket_cache(self, backend):
+        first = backend.decode_ms([100])
+        assert backend.decode_ms([128]) == first       # same bucket
+        assert len(backend._timings) == 1
+
+    def test_calibration_context_links_under_a_tracer(self, backend):
+        with Tracer(seed=0, system=backend.system):
+            backend.decode_ms([64] * 4)
+        key = backend.decode_key([64] * 4)
+        ctx = backend.calibration_context(key)
+        assert ctx is not None and ctx.span_id
+
+    def test_empty_iterations_raise(self, backend):
+        with pytest.raises(ReproError):
+            backend.prefill_ms([])
+        with pytest.raises(ReproError):
+            backend.decode_ms([])
+
+
+class TestPhaseEconomics:
+    def test_batched_decode_amortizes_the_weight_read(self, backend):
+        # eight sequences decode in far less than eight single-sequence
+        # iterations — the case for continuous batching, in one assert
+        single = backend.decode_ms([128])
+        batched = backend.decode_ms([128] * 8)
+        assert batched < 2.0 * single
+
+    def test_prefill_scales_with_tokens_decode_barely_does(self, backend):
+        assert (backend.prefill_ms([256]) / backend.prefill_ms([64])
+                > backend.decode_ms([256]) / backend.decode_ms([64]))
+
+
+class TestOneShotServe:
+    def test_batch_members_finish_staggered_under_the_service_time(
+            self, backend):
+        result = backend.serve_batch(QUERIES[:8])
+        assert max(result.per_query_ms) == pytest.approx(result.service_ms)
+        assert min(result.per_query_ms) < result.service_ms
+        assert all(t > 0 for t in result.per_query_ms)
+
+    def test_token_counters_advance_even_on_cache_hits(self, backend):
+        backend.serve_batch(QUERIES[:4])
+        prefill, gen = backend.prefill_tokens, backend.generated_tokens
+        backend.serve_batch(QUERIES[:4])        # replayed result
+        assert backend.prefill_tokens == 2 * prefill
+        assert backend.generated_tokens == 2 * gen
+
+    def test_serve_is_deterministic_across_instances(self, backend):
+        other = LlmBackend(part="T4", seed=7)
+        assert (backend.serve_batch(QUERIES[:8])
+                == other.serve_batch(QUERIES[:8]))
+
+    def test_empty_batch_raises(self, backend):
+        with pytest.raises(ReproError):
+            backend.serve_batch([])
+
+    def test_token_cap_validation(self):
+        with pytest.raises(ReproError):
+            LlmBackend(max_prompt_tokens=0)

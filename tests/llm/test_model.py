@@ -1,0 +1,53 @@
+"""TransformerSpec: the FLOP/byte arithmetic the roofline model eats."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.llm import TransformerSpec
+
+
+class TestSpecArithmetic:
+    def test_param_count_matches_hand_count(self):
+        spec = TransformerSpec(n_layers=2, d_model=8, n_heads=2,
+                               d_ff=16, vocab_size=100)
+        per_block = 4 * 8 * 8 + 2 * 8 * 16
+        assert spec.n_params == 2 * per_block + 100 * 8
+
+    def test_weights_bytes_is_params_times_dtype(self):
+        spec = TransformerSpec()
+        assert spec.weights_bytes == spec.n_params * spec.dtype_bytes
+
+    def test_kv_bytes_per_token(self):
+        # K and V, d_model values each, per layer, at dtype width
+        spec = TransformerSpec(n_layers=16, d_model=1024, dtype_bytes=2)
+        assert spec.kv_bytes_per_token == 2 * 16 * 1024 * 2
+        assert spec.kv_footprint_bytes(100) == 100 * spec.kv_bytes_per_token
+
+    def test_decode_read_set_carries_the_whole_weight_set(self):
+        spec = TransformerSpec()
+        read, written = spec.decode_step_bytes(batch=1, total_context=128)
+        assert read > spec.weights_bytes
+        assert written < read          # one KV row out vs everything in
+
+    def test_prefill_is_compute_bound_decode_is_memory_bound(self):
+        # arithmetic intensity (flops/byte) across the phases is the
+        # whole economic story: prefill should sit far above decode
+        spec = TransformerSpec()
+        pf = spec.prefill_flops((256,))
+        pr, _ = spec.prefill_bytes((256,))
+        df = spec.decode_step_flops(1, 256)
+        dr, _ = spec.decode_step_bytes(1, 256)
+        assert pf / pr > 50 * (df / dr)
+
+    def test_batching_decode_amortizes_weight_reads(self):
+        # 8 sequences read the weights once; bytes grow far slower than 8x
+        spec = TransformerSpec()
+        r1, _ = spec.decode_step_bytes(1, 128)
+        r8, _ = spec.decode_step_bytes(8, 8 * 128)
+        assert r8 < 2.0 * r1
+
+    def test_dimension_validation(self):
+        with pytest.raises(ReproError):
+            TransformerSpec(n_layers=0)
+        with pytest.raises(ReproError):
+            TransformerSpec(d_model=100, n_heads=3)

@@ -1,0 +1,23 @@
+"""The analysis gates self-host over the LLM serving subsystem.
+
+Same contract as ``tests/obs/test_selfhost_gates.py``: the DET
+determinism pass and the full interprocedural sweep report nothing over
+``src/repro/llm`` — the subsystem whose benchmark asserts byte-identical
+reports must itself pass the byte-identity linter.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+LLM = Path(__file__).resolve().parents[2] / "src" / "repro" / "llm"
+
+
+def test_det_pass_is_clean_over_llm():
+    report = analyze_paths([LLM], analyzers=("det",))
+    assert report.findings == []
+
+
+def test_interprocedural_sweep_is_clean_over_llm():
+    report = analyze_paths([LLM], interprocedural=True)
+    assert report.findings == []

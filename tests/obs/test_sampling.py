@@ -115,6 +115,54 @@ class TestBatchRefcounting:
         s.offer_batch(BatchRecord(33, 0, 4, 5.0, 9.0))
         assert [b.batch_id for b in s.retained_batches()] == [11, 33]
 
+    def test_double_retained_request_holds_two_references(self):
+        # one request kept as head AND slowest holds two refs; heap
+        # eviction releases exactly one, and the head copy keeps the
+        # batch alive — a double-release here would drop it
+        s = HeadTailSampler(head_n=1, slowest_k=1, max_errors=0)
+        s.offer(resolved(0, latency_ms=10.0), batch_id=11)
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        assert s._batch_refs[11] == 2
+        s.offer(resolved(1, latency_ms=20.0), batch_id=22)  # evicts 0
+        s.offer_batch(BatchRecord(22, 0, 4, 5.0, 9.0))
+        assert s._batch_refs[11] == 1
+        assert [b.batch_id for b in s.retained_batches()] == [11, 22]
+
+    def test_error_and_slowest_paths_do_not_double_release(self):
+        # an error request never enters the slow heap, so its batch ref
+        # cannot be released by heap churn: flood the heap and the
+        # error-retained batch must survive
+        s = HeadTailSampler(head_n=0, slowest_k=1, max_errors=10)
+        s.offer(resolved(0, latency_ms=50.0, outcome=OUTCOME_SHED),
+                batch_id=11)
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        for i in range(1, 5):
+            s.offer(resolved(i, latency_ms=float(10 * i)), batch_id=100 + i)
+            s.offer_batch(BatchRecord(100 + i, 0, 4, 0.0, 5.0))
+        assert 11 in {b.batch_id for b in s.retained_batches()}
+        assert s._batch_refs[11] == 1
+
+    def test_dropped_errors_do_not_retain_their_batch(self):
+        s = HeadTailSampler(head_n=0, slowest_k=0, max_errors=1)
+        s.offer(resolved(0, outcome=OUTCOME_SHED), batch_id=11)
+        s.offer(resolved(1, outcome=OUTCOME_SHED), batch_id=22)  # dropped
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        s.offer_batch(BatchRecord(22, 0, 4, 0.0, 5.0))
+        assert [b.batch_id for b in s.retained_batches()] == [11]
+        assert s.errors_dropped == 1
+        assert 22 not in s._batch_refs
+
+    def test_batch_offered_before_its_requests_is_dropped(self):
+        # offer_batch keeps a record only if a retained request already
+        # references it — which is why the iteration plane defers its
+        # batch records until after completions resolve
+        s = HeadTailSampler(head_n=1, slowest_k=0, max_errors=0)
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        s.offer(resolved(0), batch_id=11)
+        assert s.retained_batches() == []
+        s.offer_batch(BatchRecord(11, 0, 4, 0.0, 5.0))
+        assert [b.batch_id for b in s.retained_batches()] == [11]
+
     def test_memory_is_bounded_by_budgets_not_requests(self):
         s = HeadTailSampler(head_n=5, slowest_k=5, max_errors=5)
         for i in range(2000):

@@ -120,6 +120,46 @@ class TestDeadlines:
                          poisson_trace(1500.0, 100.0, QUERIES, seed=3))
         assert report.expired == 0
 
+    def test_deadline_tie_ships(self, make_endpoint, backend):
+        # pins Request.expired's strict ``>``: a lone arrival's batch
+        # window closes at exactly its deadline (timeout == deadline),
+        # and the inclusive-deadline contract says the tie ships —
+        # deterministically, not at the mercy of event-queue ordering
+        ep = make_endpoint(batch_timeout_ms=2.0, default_deadline_ms=2.0)
+        report = run_sim(ep, backend,
+                         constant_trace(1.0, 800.0, QUERIES))
+        assert report.expired == 0
+        assert report.completed == report.submitted
+        assert report.latency_p50_ms == pytest.approx(7.0, abs=1e-6)
+
+    def test_deadline_inside_the_window_expires(self, make_endpoint,
+                                                backend):
+        # one tick earlier the same request is genuinely late: the
+        # window outlives the deadline and dequeue expires it
+        ep = make_endpoint(batch_timeout_ms=2.0, default_deadline_ms=1.5)
+        report = run_sim(ep, backend,
+                         constant_trace(1.0, 800.0, QUERIES))
+        assert report.expired == report.submitted
+        assert report.completed == 0
+
+    def test_deadline_tie_outcome_is_stable_across_reruns(self, session,
+                                                          backend):
+        from repro.serve.endpoint import Endpoint, EndpointConfig
+
+        def one_run():
+            ep = Endpoint(session, EndpointConfig(
+                name="tie", instance_type="g4dn.xlarge",
+                initial_replicas=1, min_replicas=1, max_replicas=1,
+                max_batch_size=8, batch_timeout_ms=2.0,
+                max_queue_depth=64, default_deadline_ms=2.0))
+            try:
+                return run_sim(ep, backend,
+                               constant_trace(1.0, 800.0, QUERIES))
+            finally:
+                ep.delete()
+
+        assert one_run().to_json() == one_run().to_json()
+
 
 class TestRouting:
     def test_load_spreads_across_replicas(self, make_endpoint, backend):
